@@ -1,0 +1,345 @@
+// Command exysim regenerates the paper's tables and figures from the
+// simulator, runs single slices with detailed statistics, and executes
+// the ablation studies.
+//
+// Usage:
+//
+//	exysim tables --id=1|2|3|4        # Table I..IV
+//	exysim fig1                       # MPKI vs GHIST length sweep
+//	exysim fig9 [--points=N]          # MPKI population curves per generation
+//	exysim fig16 [--points=N]         # load-latency population curves
+//	exysim fig17 [--points=N]         # IPC population curves
+//	exysim summary                    # headline numbers vs the paper
+//	exysim power                      # front-end energy proxy per generation
+//	exysim branchstats                # §IV-A dual-slot statistics
+//	exysim ablate [--feature=name]    # design-choice ablations
+//	exysim run --gen=M4 --slice=web/3 # one slice, full detail
+//
+// The --spec flag (tiny|quick|standard) sizes the synthetic population.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"exysim/internal/cluster"
+	"exysim/internal/core"
+	"exysim/internal/experiments"
+	"exysim/internal/trace"
+	"exysim/internal/workload"
+)
+
+func specByName(name string) workload.SuiteSpec {
+	switch name {
+	case "tiny":
+		return workload.TinySpec
+	case "quick":
+		return workload.QuickSpec
+	case "standard", "":
+		return workload.StandardSpec
+	default:
+		fmt.Fprintf(os.Stderr, "unknown spec %q (tiny|quick|standard)\n", name)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "tables":
+		cmdTables(args)
+	case "fig1":
+		cmdFig1(args)
+	case "fig9":
+		cmdCurve(args, "Fig. 9 — MPKI across workload slices (sorted per generation, clipped at 20)",
+			experiments.MetricMPKI, 20)
+	case "fig16":
+		cmdCurve(args, "Fig. 16 — average load latency across workload slices (sorted per generation)",
+			experiments.MetricLoadLat, 0)
+	case "fig17":
+		cmdCurve(args, "Fig. 17 — IPC across workload slices (sorted per generation)",
+			experiments.MetricIPC, 0)
+	case "summary":
+		cmdSummary(args)
+	case "report":
+		cmdReport(args)
+	case "power":
+		cmdPower(args)
+	case "security":
+		cmdSecurity(args)
+	case "sharing":
+		cmdSharing(args)
+	case "timeline":
+		cmdTimeline(args)
+	case "cluster":
+		cmdCluster(args)
+	case "branchstats":
+		cmdBranchStats(args)
+	case "ablate":
+		cmdAblate(args)
+	case "run":
+		cmdRun(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: exysim <tables|fig1|fig9|fig16|fig17|summary|report|power|security|sharing|timeline|cluster|branchstats|ablate|run> [flags]")
+}
+
+func cmdTables(args []string) {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	id := fs.Int("id", 0, "table number (1-4); 0 prints all")
+	spec := fs.String("spec", "quick", "population size for Table IV")
+	_ = fs.Parse(args)
+	if *id == 1 || *id == 0 {
+		fmt.Println(experiments.RenderTableI())
+	}
+	if *id == 2 || *id == 0 {
+		fmt.Println(experiments.RenderTableII())
+	}
+	if *id == 3 || *id == 0 {
+		fmt.Println(experiments.RenderTableIII())
+	}
+	if *id == 4 || *id == 0 {
+		p := experiments.RunPopulation(specByName(*spec))
+		fmt.Println(experiments.RenderTableIV(p))
+	}
+}
+
+func cmdFig1(args []string) {
+	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
+	slices := fs.Int("slices", 8, "CBP-like trace count")
+	insts := fs.Int("insts", 60_000, "instructions per trace")
+	_ = fs.Parse(args)
+	pts := experiments.Fig1(*slices, *insts, nil, 0xE59)
+	fmt.Println(experiments.RenderFig1(pts))
+}
+
+func cmdCurve(args []string, title string, m experiments.Metric, clip float64) {
+	fs := flag.NewFlagSet("fig", flag.ExitOnError)
+	spec := fs.String("spec", "quick", "population size (tiny|quick|standard)")
+	points := fs.Int("points", 12, "sampled positions along the sorted population")
+	summary := fs.Bool("summary", false, "print headline numbers too")
+	csv := fs.Bool("csv", false, "emit plot-ready CSV (one row per slice position)")
+	_ = fs.Parse(args)
+	p := experiments.RunPopulation(specByName(*spec))
+	if *csv {
+		curves := p.Curves(m, *points)
+		fmt.Print("position")
+		for _, g := range p.Gens {
+			fmt.Printf(",%s", g.Name)
+		}
+		fmt.Println()
+		for i := 0; i < *points; i++ {
+			fmt.Printf("%d", i)
+			for gidx := range p.Gens {
+				fmt.Printf(",%g", curves[gidx][i])
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fmt.Println(experiments.RenderCurves(title, p.Gens, p.Curves(m, *points), clip))
+	if *summary {
+		fmt.Println(experiments.Summary(p))
+	}
+}
+
+func cmdSummary(args []string) {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	spec := fs.String("spec", "quick", "population size")
+	_ = fs.Parse(args)
+	p := experiments.RunPopulation(specByName(*spec))
+	fmt.Println(experiments.Summary(p))
+}
+
+// cmdReport runs the population once and prints every table and figure.
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	spec := fs.String("spec", "standard", "population size")
+	points := fs.Int("points", 12, "curve sample points")
+	_ = fs.Parse(args)
+	p := experiments.RunPopulation(specByName(*spec))
+	fmt.Println(experiments.RenderTableI())
+	fmt.Println(experiments.RenderTableII())
+	fmt.Println(experiments.RenderTableIII())
+	fmt.Println(experiments.RenderTableIV(p))
+	fmt.Println(experiments.RenderFig1(experiments.Fig1(8, 100_000, nil, 0xE59)))
+	fmt.Println(experiments.RenderCurves("Fig. 9 — MPKI across workload slices (sorted per generation, clipped at 20)",
+		p.Gens, p.Curves(experiments.MetricMPKI, *points), 20))
+	fmt.Println(experiments.RenderCurves("Fig. 16 — average load latency across workload slices (sorted per generation)",
+		p.Gens, p.Curves(experiments.MetricLoadLat, *points), 0))
+	fmt.Println(experiments.RenderCurves("Fig. 17 — IPC across workload slices (sorted per generation)",
+		p.Gens, p.Curves(experiments.MetricIPC, *points), 0))
+	fmt.Println(experiments.Summary(p))
+}
+
+// cmdPower prints the front-end energy proxy per generation.
+func cmdPower(args []string) {
+	fs := flag.NewFlagSet("power", flag.ExitOnError)
+	spec := fs.String("spec", "quick", "population size")
+	_ = fs.Parse(args)
+	p := experiments.RunPopulation(specByName(*spec))
+	fmt.Println(experiments.RenderPower(p))
+}
+
+// cmdSecurity prints the §V mitigation-cost study.
+func cmdSecurity(args []string) {
+	fs := flag.NewFlagSet("security", flag.ExitOnError)
+	spec := fs.String("spec", "quick", "population size")
+	rekey := fs.Int("rekey", 20_000, "re-key period in instructions")
+	_ = fs.Parse(args)
+	fmt.Println(experiments.RenderSecurity(experiments.SecurityCost(specByName(*spec), *rekey)))
+}
+
+// cmdSharing prints the §III shared-vs-private L2 study.
+func cmdSharing(args []string) {
+	fs := flag.NewFlagSet("sharing", flag.ExitOnError)
+	spec := fs.String("spec", "quick", "population size")
+	_ = fs.Parse(args)
+	fmt.Println(experiments.RenderSharing(experiments.SharingStudy(specByName(*spec), nil)))
+}
+
+// cmdTimeline prints per-interval IPC/MPKI for one slice — the phase
+// view that §II's SimPoint methodology clusters.
+func cmdTimeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	gen := fs.String("gen", "M6", "generation")
+	sliceName := fs.String("slice", "specint/0", "workload slice")
+	spec := fs.String("spec", "quick", "suite sizing")
+	interval := fs.Int("interval", 10_000, "interval length in instructions")
+	_ = fs.Parse(args)
+	g, ok := core.GenByName(*gen)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown generation %q\n", *gen)
+		os.Exit(2)
+	}
+	sl, err := workload.ByName(*sliceName, specByName(*spec))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sim := core.NewSimulator(g)
+	fmt.Printf("%s on %s, %d-instruction intervals\n", sl.Name, *gen, *interval)
+	fmt.Println("interval    IPC   MPKI")
+	for _, ir := range sim.RunTimeline(sl, *interval) {
+		fmt.Printf("%8d %6.2f %6.2f\n", ir.Interval, ir.IPC, ir.MPKI)
+	}
+}
+
+// cmdCluster runs N copies of a workload family on an N-core cluster
+// sharing the memory path (§I) and compares against solo runs.
+func cmdCluster(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	gen := fs.String("gen", "M4", "generation")
+	cores := fs.Int("cores", 4, "cluster size")
+	family := fs.String("family", "micro.stream", "workload family")
+	insts := fs.Int("insts", 40_000, "instructions per slice")
+	spec := fs.String("spec", "quick", "suite sizing (seed source)")
+	_ = fs.Parse(args)
+	g, ok := core.GenByName(*gen)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown generation %q\n", *gen)
+		os.Exit(2)
+	}
+	sp := specByName(*spec)
+	var sls []*trace.Slice
+	for i := 0; i < *cores; i++ {
+		sl, err := workload.ByName(fmt.Sprintf("%s/%d", *family, i), workload.SuiteSpec{
+			SlicesPerFamily: sp.SlicesPerFamily, InstsPerSlice: *insts, WarmupFrac: 0.25, Seed: sp.Seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sls = append(sls, sl)
+	}
+	fmt.Printf("%d-core %s cluster, one %s slice per core (%d insts)\n", *cores, *gen, *family, *insts)
+	fmt.Println("core   solo IPC   clustered IPC   slowdown")
+	solos := make([]float64, len(sls))
+	for i := range sls {
+		solos[i] = cluster.New(g, 1).Run(sls[i : i+1])[0].IPC
+	}
+	results := cluster.New(g, *cores).Run(sls)
+	for i, r := range results {
+		fmt.Printf("%4d %10.3f %15.3f %9.1f%%\n", i, solos[i], r.IPC, (1-r.IPC/solos[i])*100)
+	}
+}
+
+func cmdBranchStats(args []string) {
+	fs := flag.NewFlagSet("branchstats", flag.ExitOnError)
+	spec := fs.String("spec", "quick", "population size")
+	_ = fs.Parse(args)
+	lead, second, nt := experiments.BranchSlotStats(specByName(*spec))
+	fmt.Printf("dual-prediction slots (§IV-A; paper: 60%% / 24%% / 16%%)\n")
+	fmt.Printf("lead TAKEN      %5.1f%%\n", lead*100)
+	fmt.Printf("second TAKEN    %5.1f%%\n", second*100)
+	fmt.Printf("both NOT-TAKEN  %5.1f%%\n", nt*100)
+}
+
+func cmdAblate(args []string) {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	feature := fs.String("feature", "", "comma-separated study names (empty = all)")
+	spec := fs.String("spec", "quick", "population size")
+	_ = fs.Parse(args)
+	var names []string
+	if *feature != "" {
+		names = strings.Split(*feature, ",")
+	}
+	fmt.Println(experiments.RenderAblations(names, specByName(*spec)))
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	gen := fs.String("gen", "M6", "generation (M1..M6)")
+	sliceName := fs.String("slice", "specint/0", "workload slice, family/index")
+	traceFile := fs.String("trace", "", "run a .exyt trace file instead of a synthetic slice")
+	spec := fs.String("spec", "quick", "population sizing for the slice")
+	_ = fs.Parse(args)
+	g, ok := core.GenByName(*gen)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown generation %q\n", *gen)
+		os.Exit(2)
+	}
+	var sl *trace.Slice
+	var err error
+	if *traceFile != "" {
+		var f *os.File
+		if f, err = os.Open(*traceFile); err == nil {
+			sl, err = trace.Read(f)
+			f.Close()
+		}
+	} else {
+		sl, err = workload.ByName(*sliceName, specByName(*spec))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := core.RunSlice(g, sl)
+	fmt.Printf("slice %s on %s\n", r.Slice, r.Gen)
+	fmt.Printf("  insts %d  cycles %d  IPC %.3f\n", r.Insts, r.Cycles, r.IPC)
+	fmt.Printf("  branch: MPKI %.2f (dir %d, target %d, indirect %d, return %d, BTBmiss %d), bubbles %d\n",
+		r.MPKI, r.Front.MispredDir, r.Front.MispredTarget, r.Front.MispredIndirect,
+		r.Front.MispredReturn, r.Front.MispredBTBMiss, r.Front.Bubbles)
+	fmt.Printf("  sources: ubtb-locked %d, zat %d, 1at %d, mrb %d, l2btb-fills %d\n",
+		r.Front.UBTBLockedPreds, r.Front.ZATHits, r.Front.OneATHits, r.Front.MRBCovered, r.Front.L2Fills)
+	fmt.Printf("  memory: avg load lat %.2f cycles over %d loads; L1 %d, L2 %d, L3 %d, DRAM %d\n",
+		r.AvgLoadLat, r.Mem.Loads, r.Mem.L1DHits, r.Mem.L2Hits, r.Mem.L3Hits, r.Mem.MemHits)
+	fmt.Printf("  prefetch: in-flight hits %d, MAB stall cycles %d, castouts e/o/d %d/%d/%d, spec-read launches %d\n",
+		r.Mem.InFlightHits, r.Mem.MABStallCycles,
+		r.Mem.CastoutsElevated, r.Mem.CastoutsOrdinary, r.Mem.CastoutsDropped, r.Mem.SpecReadSavings)
+	if r.Pipe.UOCSupplied > 0 {
+		fmt.Printf("  uoc: %d μops supplied with icache/decode gated\n", r.Pipe.UOCSupplied)
+	}
+}

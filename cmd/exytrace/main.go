@@ -1,0 +1,213 @@
+// Command exytrace manages workload traces: it materializes the
+// synthetic suite to disk in the compact binary format, inspects trace
+// files, and runs SimPoint phase analysis (§II) over a trace.
+//
+// Usage:
+//
+//	exytrace gen --out=DIR [--spec=tiny|quick|standard]   # write the suite
+//	exytrace info FILE...                                 # summarize traces
+//	exytrace simpoint FILE [--interval=N] [--maxk=K]      # phase analysis
+//	exytrace simpoint --slice=web/0 [--spec=quick]        # ... of a synthetic slice
+//	exytrace convert CHAMPSIM.trace[.gz] --out=FILE.exyt  # import a ChampSim trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"exysim/internal/simpoint"
+	"exysim/internal/trace"
+	"exysim/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "simpoint":
+		cmdSimpoint(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: exytrace <gen|info|simpoint|convert> [flags]")
+}
+
+func specByName(name string) workload.SuiteSpec {
+	switch name {
+	case "tiny":
+		return workload.TinySpec
+	case "quick", "":
+		return workload.QuickSpec
+	case "standard":
+		return workload.StandardSpec
+	default:
+		fmt.Fprintf(os.Stderr, "unknown spec %q\n", name)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "traces", "output directory")
+	spec := fs.String("spec", "quick", "suite size (tiny|quick|standard)")
+	_ = fs.Parse(args)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	slices := workload.Suite(specByName(*spec))
+	var bytes int64
+	for _, sl := range slices {
+		name := strings.ReplaceAll(sl.Name, "/", "_") + ".exyt"
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, sl); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(path)
+		bytes += st.Size()
+	}
+	fmt.Printf("wrote %d traces to %s (%.1f MB, %.2f bytes/inst)\n",
+		len(slices), *out, float64(bytes)/1e6,
+		float64(bytes)/float64(len(slices)*slices[0].Len()))
+}
+
+func cmdInfo(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "exytrace info FILE...")
+		os.Exit(2)
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		sl, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		st := sl.Summarize()
+		fmt.Printf("%s: %s (suite %s)\n", path, sl.Name, sl.Suite)
+		fmt.Printf("  %d insts (%d warmup), %d static PCs, %d data lines\n",
+			st.Insts, sl.Warmup, st.UniquePCs, st.UniqueLines)
+		fmt.Printf("  branches %d (%.1f%%): cond taken/NT %d/%d, indirect %d, returns %d\n",
+			st.Branches, st.BranchRate()*100, st.CondTaken, st.CondNotTkn, st.Indirects, st.Returns)
+		fmt.Printf("  loads %d, stores %d\n", st.Loads, st.Stores)
+		if err := sl.Validate(); err != nil {
+			fmt.Printf("  VALIDATION FAILED: %v\n", err)
+		} else {
+			fmt.Printf("  control flow validated\n")
+		}
+	}
+}
+
+func cmdSimpoint(args []string) {
+	fs := flag.NewFlagSet("simpoint", flag.ExitOnError)
+	sliceName := fs.String("slice", "", "synthetic slice (family/idx) instead of a file")
+	spec := fs.String("spec", "quick", "suite sizing for --slice")
+	interval := fs.Int("interval", 10_000, "interval length in instructions")
+	maxk := fs.Int("maxk", 8, "maximum phase count")
+	_ = fs.Parse(args)
+
+	var sl *trace.Slice
+	var err error
+	switch {
+	case *sliceName != "":
+		sl, err = workload.ByName(*sliceName, specByName(*spec))
+	case fs.NArg() == 1:
+		var f *os.File
+		if f, err = os.Open(fs.Arg(0)); err == nil {
+			sl, err = trace.Read(f)
+			f.Close()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "exytrace simpoint FILE | --slice=family/idx")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := simpoint.DefaultConfig()
+	cfg.IntervalInsts = *interval
+	cfg.MaxK = *maxk
+	res, err := simpoint.Analyze(sl, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d intervals of %d insts -> %d phases\n", sl.Name, res.Intervals, *interval, res.K)
+	fmt.Printf("assignment: %v\n", res.Assignment)
+	for _, p := range res.Picks {
+		fmt.Printf("  phase %d: representative interval %d, weight %.2f\n", p.Cluster, p.Interval, p.Weight)
+	}
+}
+
+// cmdConvert imports a ChampSim trace into the native format.
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	out := fs.String("out", "", "output .exyt path (default: input + .exyt)")
+	name := fs.String("name", "", "slice name (default: file base name)")
+	maxInsts := fs.Int("max", 0, "instruction cap (0 = all)")
+	warmup := fs.Int("warmup", 0, "warmup instructions (default 10%)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "exytrace convert CHAMPSIM.trace[.gz] [--out=FILE]")
+		os.Exit(2)
+	}
+	in := fs.Arg(0)
+	if *name == "" {
+		*name = "imported/" + filepath.Base(in)
+	}
+	if *out == "" {
+		*out = in + ".exyt"
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	sl, err := trace.ReadChampSim(f, *name, "imported", *maxInsts, *warmup)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	o, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Write(o, sl); err != nil {
+		fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		fatal(err)
+	}
+	st := sl.Summarize()
+	fmt.Printf("converted %d insts (%d branches, %d loads, %d stores) -> %s\n",
+		st.Insts, st.Branches, st.Loads, st.Stores, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exytrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Prefetchlab: drive the three prefetcher-revealing workload shapes —
+// multi-stride streaming, spatial (SMS) region patterns, and dependent
+// pointer chasing — through successive memory-system generations and
+// show which engine covers which shape (§VII-§IX).
+package main
+
+import (
+	"fmt"
+
+	"exysim/internal/core"
+	"exysim/internal/workload"
+)
+
+func main() {
+	shapes := []struct {
+		slice string
+		why   string
+	}{
+		{"micro.stream/0", "multi-stride streams: the §VII multi-stride engine's home turf"},
+		{"micro.sms/0", "irregular-but-spatial regions: invisible to stride detection, covered by SMS (§VII-C)"},
+		{"micro.chase/0", "dependent pointer chase: no pattern to prefetch; only cache capacity and the §IX DRAM-latency features help"},
+	}
+	gens := []string{"M1", "M3", "M4", "M5", "M6"}
+
+	for _, sh := range shapes {
+		sl, err := workload.ByName(sh.slice, workload.QuickSpec)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s — %s\n", sh.slice, sh.why)
+		fmt.Printf("  %-4s %8s %10s %12s %10s\n", "gen", "IPC", "loadLat", "L1-hit%", "DRAM")
+		for _, gname := range gens {
+			g, _ := core.GenByName(gname)
+			sim := core.NewSimulator(g)
+			r := sim.Run(sl)
+			hitPct := 0.0
+			if n := r.Mem.Loads + r.Mem.Stores; n > 0 {
+				hitPct = float64(r.Mem.L1DHits) / float64(n) * 100
+			}
+			fmt.Printf("  %-4s %8.3f %9.1fc %11.1f%% %10d\n", gname, r.IPC, r.AvgLoadLat, hitPct, r.Mem.MemHits)
+			if gname == "M5" {
+				msp := sim.Core().Mem().MSP().Stats()
+				fmt.Printf("       M5 engines: stride locks %d / issued %d / confirmations %d",
+					msp.Locks, msp.Issued, msp.Confirmations)
+				if sa := sim.Core().Mem().Standalone(); sa != nil {
+					st := sa.Stats()
+					fmt.Printf("; standalone issued %d (promotions %d)", st.Issued, st.Promotions)
+				}
+				fmt.Println()
+			}
+			sl.Reset()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Shapes to notice: stream IPC climbs as the dynamic-degree stride")
+	fmt.Println("engine gets the MABs to run ahead (M4+); the SMS shape jumps once")
+	fmt.Println("the spatial engine has a large-enough L2 behind it (M4, after M3's")
+	fmt.Println("L2 downsizing dip); and the chase shape only moves when cache")
+	fmt.Println("capacity and the §IX DRAM-latency features do.")
+}

@@ -1,0 +1,3 @@
+module exysim
+
+go 1.22

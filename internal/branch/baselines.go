@@ -1,0 +1,215 @@
+package branch
+
+import "exysim/internal/rng"
+
+// Bimodal is the classic per-PC two-bit-counter predictor, the simplest
+// baseline against which the SHP's MPKI reductions are reported.
+type Bimodal struct {
+	counters []int8 // 2-bit saturating, range [0,3], taken when >= 2
+	mask     uint32
+}
+
+// NewBimodal builds a predictor with entries counters (power of two).
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: bimodal entries must be a power of two")
+	}
+	b := &Bimodal{counters: make([]int8, entries), mask: uint32(entries - 1)}
+	for i := range b.counters {
+		b.counters[i] = 2 // weakly taken
+	}
+	return b
+}
+
+func (b *Bimodal) idx(pc uint64) uint32 { return uint32(pc>>2) & b.mask }
+
+// Predict implements DirectionPredictor.
+func (b *Bimodal) Predict(pc uint64) Prediction {
+	c := b.counters[b.idx(pc)]
+	return Prediction{Taken: c >= 2, Sum: int(c), LowConfidence: c == 1 || c == 2}
+}
+
+// Train implements DirectionPredictor.
+func (b *Bimodal) Train(pc uint64, taken bool) {
+	c := &b.counters[b.idx(pc)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// OnBranch implements DirectionPredictor (bimodal keeps no history).
+func (b *Bimodal) OnBranch(pc uint64, cond, taken bool) {}
+
+// Name implements DirectionPredictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// StorageBits implements DirectionPredictor.
+func (b *Bimodal) StorageBits() int { return len(b.counters) * 2 }
+
+// GShare is the global-history XOR-indexed two-bit predictor [11], the
+// standard mid-tier baseline.
+type GShare struct {
+	counters []int8
+	mask     uint32
+	hist     uint32
+	histBits uint
+}
+
+// NewGShare builds a predictor with entries counters and histBits of
+// global history.
+func NewGShare(entries int, histBits uint) *GShare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: gshare entries must be a power of two")
+	}
+	g := &GShare{counters: make([]int8, entries), mask: uint32(entries - 1), histBits: histBits}
+	for i := range g.counters {
+		g.counters[i] = 2
+	}
+	return g
+}
+
+func (g *GShare) idx(pc uint64) uint32 {
+	return (uint32(pc>>2) ^ (g.hist & ((1 << g.histBits) - 1))) & g.mask
+}
+
+// Predict implements DirectionPredictor.
+func (g *GShare) Predict(pc uint64) Prediction {
+	c := g.counters[g.idx(pc)]
+	return Prediction{Taken: c >= 2, Sum: int(c), LowConfidence: c == 1 || c == 2}
+}
+
+// Train implements DirectionPredictor.
+func (g *GShare) Train(pc uint64, taken bool) {
+	c := &g.counters[g.idx(pc)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// OnBranch implements DirectionPredictor.
+func (g *GShare) OnBranch(pc uint64, cond, taken bool) {
+	if cond {
+		g.hist <<= 1
+		if taken {
+			g.hist |= 1
+		}
+	}
+}
+
+// Name implements DirectionPredictor.
+func (g *GShare) Name() string { return "gshare" }
+
+// StorageBits implements DirectionPredictor.
+func (g *GShare) StorageBits() int { return len(g.counters)*2 + int(g.histBits) }
+
+// LHP is the local-history hashed perceptron that augments the μBTB's
+// difficult-to-predict branch nodes (§IV-B). Each branch keeps a short
+// local outcome history; a few small weight tables are indexed by hashes
+// of (PC, local-history segments).
+type LHP struct {
+	tables   int
+	rows     int
+	weights  [][]int8
+	local    []uint16 // per-branch local history registers
+	localLen uint
+	mask     uint32
+	lmask    uint32
+
+	theta   int
+	lastIdx []uint32
+	lastSum int
+	lastPC  uint64
+	lastOK  bool
+}
+
+// NewLHP builds the local perceptron: tables × rows weights over
+// localLen bits of per-branch history kept in histEntries registers.
+func NewLHP(tables, rows, histEntries int, localLen uint) *LHP {
+	if rows&(rows-1) != 0 || histEntries&(histEntries-1) != 0 {
+		panic("branch: LHP sizes must be powers of two")
+	}
+	l := &LHP{
+		tables: tables, rows: rows,
+		weights:  make([][]int8, tables),
+		local:    make([]uint16, histEntries),
+		localLen: localLen,
+		mask:     uint32(rows - 1),
+		lmask:    uint32(histEntries - 1),
+		theta:    2*tables + 8,
+		lastIdx:  make([]uint32, tables),
+	}
+	for t := range l.weights {
+		l.weights[t] = make([]int8, rows)
+	}
+	return l
+}
+
+func (l *LHP) lidx(pc uint64) uint32 { return uint32(rng.Mix64(pc>>2)) & l.lmask }
+
+func (l *LHP) index(pc uint64, t int) uint32 {
+	h := uint64(l.local[l.lidx(pc)] & ((1 << l.localLen) - 1))
+	// Each table hashes a different rotation of the local history so the
+	// tables decorrelate.
+	h = rng.Mix64(h<<8 ^ uint64(t)<<56 ^ (pc >> 2))
+	return uint32(h) & l.mask
+}
+
+// Predict implements DirectionPredictor.
+func (l *LHP) Predict(pc uint64) Prediction {
+	sum := 0
+	for t := 0; t < l.tables; t++ {
+		idx := l.index(pc, t)
+		l.lastIdx[t] = idx
+		sum += int(l.weights[t][idx])
+	}
+	l.lastPC, l.lastSum, l.lastOK = pc, sum, true
+	abs := sum
+	if abs < 0 {
+		abs = -abs
+	}
+	return Prediction{Taken: sum >= 0, Sum: sum, LowConfidence: abs <= l.theta}
+}
+
+// Train implements DirectionPredictor.
+func (l *LHP) Train(pc uint64, taken bool) {
+	if !l.lastOK || l.lastPC != pc {
+		l.Predict(pc)
+	}
+	l.lastOK = false
+	mis := (l.lastSum >= 0) != taken
+	abs := l.lastSum
+	if abs < 0 {
+		abs = -abs
+	}
+	if mis || abs <= l.theta {
+		for t := 0; t < l.tables; t++ {
+			w := &l.weights[t][l.lastIdx[t]]
+			*w = satAdd8(*w, taken, 63)
+		}
+	}
+	// Local history update is per-branch and unconditional.
+	lh := &l.local[l.lidx(pc)]
+	*lh <<= 1
+	if taken {
+		*lh |= 1
+	}
+}
+
+// OnBranch implements DirectionPredictor (local history updates in Train).
+func (l *LHP) OnBranch(pc uint64, cond, taken bool) {}
+
+// Name implements DirectionPredictor.
+func (l *LHP) Name() string { return "lhp" }
+
+// StorageBits implements DirectionPredictor.
+func (l *LHP) StorageBits() int {
+	return l.tables*l.rows*8 + len(l.local)*int(l.localLen)
+}

@@ -1,0 +1,387 @@
+package branch
+
+import (
+	"exysim/internal/isa"
+	"exysim/internal/rng"
+)
+
+// BTBLineBytes is the branch-organization granule: the main BTBs hold up
+// to eight sequential discovered branches per 128B cache line (§IV-A,
+// Fig. 2); denser lines spill to the vBTB.
+const BTBLineBytes = 128
+
+// BranchesPerLine is the per-line branch slot count of the mBTB.
+const BranchesPerLine = 8
+
+// BTBEntry is one discovered branch. Targets may be stored encrypted
+// when a TargetCipher is installed (§V); the stored value is whatever the
+// cipher produced and is decrypted on the way out.
+type BTBEntry struct {
+	PC     uint64
+	Kind   isa.BranchKind
+	Target uint64 // stored (possibly encrypted) primary target
+
+	// Taken/not-taken observation counts drive always-taken (1AT) and
+	// often-taken (ZOT) classification.
+	TakenSeen   uint32
+	NotTakenSeen uint32
+
+	// ZAT/ZOT replication (§IV-E): the target of the next
+	// always/often-taken branch located at this branch's target,
+	// letting the predecessor announce both redirects in one lookup.
+	NextTarget uint64
+	NextValid  bool
+
+	// Built is the UOC back-propagated "built" bit (§VI).
+	Built bool
+
+	Valid bool
+}
+
+// AlwaysTaken reports the 1AT property: the branch has a taken history
+// and has never been observed not-taken.
+func (e *BTBEntry) AlwaysTaken() bool {
+	return e.Valid && e.TakenSeen > 0 && e.NotTakenSeen == 0
+}
+
+// OftenTaken reports the ZOT property: taken at least ~90% of the time.
+func (e *BTBEntry) OftenTaken() bool {
+	if !e.Valid {
+		return false
+	}
+	tot := e.TakenSeen + e.NotTakenSeen
+	return tot >= 8 && e.TakenSeen*10 >= tot*9
+}
+
+// btbLine is the mBTB's unit of allocation: a tag over a 128B code line
+// plus eight branch slots.
+type btbLine struct {
+	tag      uint64
+	valid    bool
+	branches [BranchesPerLine]BTBEntry
+	lruTick  uint64
+}
+
+// MBTB is the main BTB: a set-associative array of 128B-line entries.
+type MBTB struct {
+	sets  int
+	ways  int
+	lines [][]btbLine
+	tick  uint64
+
+	// spill receives branches beyond the eighth in a line (§IV-A).
+	spill *VBTB
+}
+
+// NewMBTB builds sets×ways line entries; spill receives dense-line
+// overflow and may be shared with the VPC chains.
+func NewMBTB(sets, ways int, spill *VBTB) *MBTB {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("branch: mBTB sets must be a power of two")
+	}
+	m := &MBTB{sets: sets, ways: ways, spill: spill, lines: make([][]btbLine, sets)}
+	for i := range m.lines {
+		m.lines[i] = make([]btbLine, ways)
+	}
+	return m
+}
+
+func (m *MBTB) lineOf(pc uint64) (set int, tag uint64) {
+	line := pc / BTBLineBytes
+	return int(line) & (m.sets - 1), line
+}
+
+// LookupLine returns the resident line for pc's 128B granule, or nil.
+func (m *MBTB) LookupLine(pc uint64) *btbLine {
+	set, tag := m.lineOf(pc)
+	for w := range m.lines[set] {
+		l := &m.lines[set][w]
+		if l.valid && l.tag == tag {
+			m.tick++
+			l.lruTick = m.tick
+			return l
+		}
+	}
+	return nil
+}
+
+// Lookup finds the entry for the branch at pc: first in the line's
+// slots, then in the vBTB spill. The second result reports whether the
+// hit came from the spill (extra access latency, §IV-A).
+func (m *MBTB) Lookup(pc uint64) (*BTBEntry, bool) {
+	if l := m.LookupLine(pc); l != nil {
+		for i := range l.branches {
+			if l.branches[i].Valid && l.branches[i].PC == pc {
+				return &l.branches[i], false
+			}
+		}
+	}
+	if m.spill != nil {
+		if e := m.spill.Lookup(pc); e != nil {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// allocLine returns (possibly victimizing) the line for pc. The victim's
+// contents are returned so the caller can write them back to the L2BTB.
+func (m *MBTB) allocLine(pc uint64) (*btbLine, *btbLine) {
+	set, tag := m.lineOf(pc)
+	var victim *btbLine
+	for w := range m.lines[set] {
+		l := &m.lines[set][w]
+		if l.valid && l.tag == tag {
+			return l, nil
+		}
+		if !l.valid {
+			victim = l
+		}
+	}
+	var evicted *btbLine
+	if victim == nil {
+		// Evict true-LRU within the set.
+		victim = &m.lines[set][0]
+		for w := 1; w < m.ways; w++ {
+			if m.lines[set][w].lruTick < victim.lruTick {
+				victim = &m.lines[set][w]
+			}
+		}
+		ev := *victim
+		evicted = &ev
+	}
+	m.tick++
+	*victim = btbLine{tag: tag, valid: true, lruTick: m.tick}
+	return victim, evicted
+}
+
+// Insert discovers the branch at pc, allocating its line if needed. If
+// the line's eight slots are full, the branch spills to the vBTB. The
+// returned entry is where the branch now lives; evicted is a victim line
+// for the L2BTB, if any.
+func (m *MBTB) Insert(pc uint64, kind isa.BranchKind, target uint64) (entry *BTBEntry, evicted *btbLine) {
+	l, ev := m.allocLine(pc)
+	for i := range l.branches {
+		if l.branches[i].Valid && l.branches[i].PC == pc {
+			return &l.branches[i], ev
+		}
+	}
+	for i := range l.branches {
+		if !l.branches[i].Valid {
+			l.branches[i] = BTBEntry{PC: pc, Kind: kind, Target: target, Valid: true}
+			return &l.branches[i], ev
+		}
+	}
+	if m.spill != nil {
+		return m.spill.Insert(pc, kind, target), ev
+	}
+	return nil, ev
+}
+
+// InstallLine copies a line fetched from the L2BTB into the mBTB,
+// returning the installed line and any victim line for L2BTB writeback.
+func (m *MBTB) InstallLine(src *btbLine) (*btbLine, *btbLine) {
+	pc := src.tag * BTBLineBytes
+	l, evicted := m.allocLine(pc)
+	l.branches = src.branches
+	return l, evicted
+}
+
+// Lines returns total line capacity (for storage accounting).
+func (m *MBTB) Lines() int { return m.sets * m.ways }
+
+// VBTB is the virtual-address-indexed spill BTB holding dense-line
+// overflow branches and VPC virtual branches (§IV-A, Figs. 2-3). It is a
+// plain set-associative structure keyed by branch PC with an extra cycle
+// of access latency.
+type VBTB struct {
+	sets    int
+	ways    int
+	entries [][]BTBEntry
+	lru     [][]uint64
+	tick    uint64
+}
+
+// NewVBTB builds sets×ways branch entries.
+func NewVBTB(sets, ways int) *VBTB {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("branch: vBTB sets must be a power of two")
+	}
+	v := &VBTB{sets: sets, ways: ways,
+		entries: make([][]BTBEntry, sets), lru: make([][]uint64, sets)}
+	for i := range v.entries {
+		v.entries[i] = make([]BTBEntry, ways)
+		v.lru[i] = make([]uint64, ways)
+	}
+	return v
+}
+
+func (v *VBTB) set(pc uint64) int {
+	return int(rng.Mix64(pc>>2)) & (v.sets - 1)
+}
+
+// Lookup returns the entry for pc or nil.
+func (v *VBTB) Lookup(pc uint64) *BTBEntry {
+	s := v.set(pc)
+	for w := range v.entries[s] {
+		e := &v.entries[s][w]
+		if e.Valid && e.PC == pc {
+			v.tick++
+			v.lru[s][w] = v.tick
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert allocates (or refreshes) the entry for pc, evicting LRU.
+func (v *VBTB) Insert(pc uint64, kind isa.BranchKind, target uint64) *BTBEntry {
+	s := v.set(pc)
+	victim, vw := -1, uint64(^uint64(0))
+	for w := range v.entries[s] {
+		e := &v.entries[s][w]
+		if e.Valid && e.PC == pc {
+			return e
+		}
+		if !e.Valid {
+			victim, vw = w, 0
+			break
+		}
+		if v.lru[s][w] < vw {
+			victim, vw = w, v.lru[s][w]
+		}
+	}
+	v.tick++
+	v.entries[s][victim] = BTBEntry{PC: pc, Kind: kind, Target: target, Valid: true}
+	v.lru[s][victim] = v.tick
+	return &v.entries[s][victim]
+}
+
+// Capacity returns total entries (for storage accounting).
+func (v *VBTB) Capacity() int { return v.sets * v.ways }
+
+// L2BTB is the level-2 BTB (§IV-A): a larger, denser, slower backing
+// store of whole mBTB lines. Victim lines from the mBTB are written here;
+// mBTB misses that hit here refill with a small bubble cost whose latency
+// and bandwidth improved in M4 (§IV-D).
+type L2BTB struct {
+	sets  int
+	ways  int
+	lines [][]btbLine
+	tick  uint64
+}
+
+// NewL2BTB builds sets×ways line entries.
+func NewL2BTB(sets, ways int) *L2BTB {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("branch: L2BTB sets must be a power of two")
+	}
+	l := &L2BTB{sets: sets, ways: ways, lines: make([][]btbLine, sets)}
+	for i := range l.lines {
+		l.lines[i] = make([]btbLine, ways)
+	}
+	return l
+}
+
+func (l *L2BTB) setOf(tag uint64) int { return int(rng.Mix64(tag)) & (l.sets - 1) }
+
+// Lookup returns the stored line for pc's granule, or nil.
+func (l *L2BTB) Lookup(pc uint64) *btbLine {
+	tag := pc / BTBLineBytes
+	s := l.setOf(tag)
+	for w := range l.lines[s] {
+		e := &l.lines[s][w]
+		if e.valid && e.tag == tag {
+			l.tick++
+			e.lruTick = l.tick
+			return e
+		}
+	}
+	return nil
+}
+
+// Install writes a (victim) line into the L2BTB, evicting LRU.
+func (l *L2BTB) Install(line *btbLine) {
+	s := l.setOf(line.tag)
+	victim := &l.lines[s][0]
+	for w := range l.lines[s] {
+		e := &l.lines[s][w]
+		if e.valid && e.tag == line.tag {
+			victim = e
+			break
+		}
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.lruTick < victim.lruTick {
+			victim = e
+		}
+	}
+	l.tick++
+	*victim = *line
+	victim.lruTick = l.tick
+}
+
+// NextLine returns the stored line for the granule after pc's, used by
+// the M4+ doubled fill bandwidth (§IV-D) to stream two lines per fill.
+func (l *L2BTB) NextLine(pc uint64) *btbLine {
+	return l.Lookup(pc + BTBLineBytes)
+}
+
+// Lines returns total line capacity (for storage accounting).
+func (l *L2BTB) Lines() int { return l.sets * l.ways }
+
+// RAS is the return-address stack with standard push/pop plus wrap-around
+// on overflow (§IV: "standard mechanisms to repair multiple speculative
+// pushes and pops"; in this trace-driven model history repair is implicit
+// because branches resolve in order). Stored return addresses pass
+// through the optional TargetCipher (§V).
+type RAS struct {
+	stack []uint64
+	top   int // index of next free slot; wraps
+	depth int // valid entries, <= len(stack)
+
+	cipher TargetCipher
+	ctx    *Context
+}
+
+// NewRAS builds a stack with the given depth.
+func NewRAS(depth int) *RAS {
+	return &RAS{stack: make([]uint64, depth)}
+}
+
+// SetCipher installs target encryption for stored return addresses.
+func (r *RAS) SetCipher(c TargetCipher, ctx *Context) { r.cipher, r.ctx = c, ctx }
+
+// Push records a return address (encrypted if a cipher is installed).
+func (r *RAS) Push(ret uint64) {
+	if r.cipher != nil {
+		ret = r.cipher.Encrypt(r.ctx, ret)
+	}
+	r.stack[r.top] = ret
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts a return target; ok is false on underflow.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	v := r.stack[r.top]
+	if r.cipher != nil {
+		v = r.cipher.Decrypt(r.ctx, v)
+	}
+	return v, true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.depth }
+
+// Size returns the configured capacity.
+func (r *RAS) Size() int { return len(r.stack) }

@@ -1,0 +1,354 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exysim/internal/isa"
+)
+
+// ---- VPC ----
+
+func TestVPCLearnsMonomorphicSite(t *testing.T) {
+	v := NewVPC(M1VPCConfig(), nil)
+	pc, tgt := uint64(0x1000), uint64(0x9000)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		p := v.Predict(pc)
+		if !p.Hit || p.Target != tgt {
+			miss++
+		}
+		v.Train(pc, tgt, p)
+	}
+	if miss > 1 {
+		t.Fatalf("monomorphic site missed %d times", miss)
+	}
+}
+
+func TestVPCChainCapacity(t *testing.T) {
+	cfg := M1VPCConfig()
+	v := NewVPC(cfg, nil)
+	pc := uint64(0x2000)
+	// Touch more targets than MaxChain; chain must stay bounded.
+	for i := 0; i < cfg.MaxChain*3; i++ {
+		p := v.Predict(pc)
+		v.Train(pc, uint64(0x8000+i*64), p)
+	}
+	if got := v.ChainLen(pc); got > cfg.MaxChain {
+		t.Fatalf("chain grew to %d, max %d", got, cfg.MaxChain)
+	}
+}
+
+func TestVPCM6HashLearnsLongCycle(t *testing.T) {
+	// A deterministic 64-target cycle: beyond any VPC chain, but exactly
+	// what the per-branch target-history hash captures (§IV-F).
+	shp := NewSHP(M1SHPConfig())
+	m1 := NewVPC(M1VPCConfig(), shp)
+	shp6 := NewSHP(M5SHPConfig())
+	m6 := NewVPC(M6VPCConfig(), shp6)
+	const n = 64
+	run := func(v *VPC) int {
+		pc := uint64(0x3000)
+		miss := 0
+		for i := 0; i < 6*n; i++ {
+			tgt := uint64(0x10000 + (i%n)*0x100)
+			p := v.Predict(pc)
+			if i > 3*n && (!p.Hit || p.Target != tgt) {
+				miss++
+			}
+			v.Train(pc, tgt, p)
+		}
+		return miss
+	}
+	miss1, miss6 := run(m1), run(m6)
+	t.Logf("64-cycle misses: M1=%d M6=%d", miss1, miss6)
+	if miss6 >= miss1 {
+		t.Fatalf("M6 hybrid (%d) should beat pure VPC (%d) on a 64-target cycle", miss6, miss1)
+	}
+	if miss6 > n/4 {
+		t.Fatalf("M6 should learn the cycle nearly perfectly, missed %d", miss6)
+	}
+}
+
+func TestVPCWalkLimitCapsLatency(t *testing.T) {
+	cfg := M6VPCConfig()
+	v := NewVPC(cfg, nil)
+	pc := uint64(0x4000)
+	for i := 0; i < 32; i++ {
+		p := v.Predict(pc)
+		v.Train(pc, uint64(0x8000+(i%12)*64), p)
+	}
+	p := v.Predict(pc)
+	if p.Walked > cfg.WalkLimit {
+		t.Fatalf("walked %d > limit %d", p.Walked, cfg.WalkLimit)
+	}
+}
+
+// ---- RAS ----
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(8)
+	for i := 0; i < 5; i++ {
+		r.Push(uint64(0x100 + i*4))
+	}
+	for i := 4; i >= 0; i-- {
+		v, ok := r.Pop()
+		if !ok || v != uint64(0x100+i*4) {
+			t.Fatalf("pop %d: got %#x ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop of empty RAS should fail")
+	}
+}
+
+func TestRASOverflowWrapsLosingOldest(t *testing.T) {
+	r := NewRAS(4)
+	for i := 0; i < 6; i++ {
+		r.Push(uint64(0x1000 + i*8))
+	}
+	if r.Depth() != 4 {
+		t.Fatalf("depth=%d", r.Depth())
+	}
+	// Newest four survive.
+	for i := 5; i >= 2; i-- {
+		v, ok := r.Pop()
+		if !ok || v != uint64(0x1000+i*8) {
+			t.Fatalf("after wrap, pop got %#x", v)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("oldest entries should have been lost")
+	}
+}
+
+func TestRASCipherRoundTrips(t *testing.T) {
+	ctx := &Context{ASID: 7, SWEntropy: [4]uint64{1, 2, 3, 4}, HWEntropy: [4]uint64{5, 6, 7, 8}}
+	ctx.ComputeHash()
+	r := NewRAS(8)
+	r.SetCipher(XorCipher{}, ctx)
+	r.Push(0xdeadbeef000)
+	v, ok := r.Pop()
+	if !ok || v != 0xdeadbeef000 {
+		t.Fatalf("same-context pop got %#x", v)
+	}
+	// A different context must not recover the stored address.
+	r.Push(0xdeadbeef000)
+	ctx2 := &Context{ASID: 8, SWEntropy: [4]uint64{9, 9, 9, 9}}
+	r.SetCipher(XorCipher{}, ctx2)
+	v2, _ := r.Pop()
+	if v2 == 0xdeadbeef000 {
+		t.Fatal("cross-context pop recovered the plaintext target")
+	}
+}
+
+// ---- MRB ----
+
+func TestMRBRecordsAndReplays(t *testing.T) {
+	m := NewMRB(16)
+	seq := []uint64{0xA00, 0xB00, 0xC00}
+	// Two traversals to build confidence.
+	for pass := 0; pass < 2; pass++ {
+		if n := m.OnMispredict(0x500, true); pass == 0 && n != 0 {
+			t.Fatalf("replay before training: %d", n)
+		}
+		for _, a := range seq {
+			m.OnBlockStart(a)
+		}
+	}
+	// Third traversal: replay covers all three blocks.
+	if n := m.OnMispredict(0x500, true); n != 3 {
+		t.Fatalf("expected 3 covered blocks, got %d", n)
+	}
+	hits := 0
+	for _, a := range seq {
+		if m.OnBlockStart(a) {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("replay hits=%d", hits)
+	}
+}
+
+func TestMRBSquashesOnDivergence(t *testing.T) {
+	m := NewMRB(16)
+	seq := []uint64{0xA00, 0xB00, 0xC00}
+	for pass := 0; pass < 3; pass++ {
+		m.OnMispredict(0x500, true)
+		for _, a := range seq {
+			m.OnBlockStart(a)
+		}
+	}
+	m.OnMispredict(0x500, true)
+	if !m.OnBlockStart(0xA00) {
+		t.Fatal("first block should replay")
+	}
+	if m.OnBlockStart(0xDEAD) {
+		t.Fatal("diverging block must not count as replay hit")
+	}
+	if m.OnBlockStart(0xC00) {
+		t.Fatal("replay must be squashed after divergence")
+	}
+}
+
+func TestMRBKeySeparatesDirections(t *testing.T) {
+	m := NewMRB(16)
+	for pass := 0; pass < 3; pass++ {
+		m.OnMispredict(0x500, true)
+		for _, a := range []uint64{1, 2, 3} {
+			m.OnBlockStart(a)
+		}
+	}
+	// Same branch, other direction: no replay.
+	if n := m.OnMispredict(0x500, false); n != 0 {
+		t.Fatalf("direction-mismatched replay: %d", n)
+	}
+}
+
+// ---- μBTB ----
+
+func TestUBTBLocksOnTightKernel(t *testing.T) {
+	cfg := DefaultUBTBConfig()
+	u := NewUBTB(cfg)
+	ins := []isa.Inst{
+		{PC: 0x10, Class: isa.Branch, Branch: isa.BranchCond, Taken: true, Target: 0x00},
+		{PC: 0x20, Class: isa.Branch, Branch: isa.BranchUncond, Taken: true, Target: 0x30},
+	}
+	for i := 0; i < 200; i++ {
+		in := ins[i%2]
+		u.Predict(in.PC)
+		u.Train(&in, true)
+	}
+	if !u.Locked() {
+		t.Fatal("μBTB should lock on a 2-branch kernel")
+	}
+	// A mispredict unlocks and starts the cooldown.
+	in := ins[0]
+	u.Train(&in, false)
+	if u.Locked() {
+		t.Fatal("mispredict must unlock")
+	}
+	if hit, _, _ := u.Predict(0x10); hit {
+		t.Fatal("cooldown should disable lookups")
+	}
+}
+
+func TestUBTBCapacityEviction(t *testing.T) {
+	cfg := DefaultUBTBConfig()
+	cfg.Nodes = 8
+	cfg.UncondNodes = 0
+	u := NewUBTB(cfg)
+	for i := 0; i < 64; i++ {
+		in := isa.Inst{PC: uint64(0x100 + i*16), Class: isa.Branch, Branch: isa.BranchUncond, Taken: true, Target: 0x10}
+		u.Predict(in.PC)
+		u.Train(&in, true)
+	}
+	if got := len(u.nodes); got > 8 {
+		t.Fatalf("graph grew to %d nodes", got)
+	}
+}
+
+// ---- Security ----
+
+func TestContextHashDeterministicAndSensitive(t *testing.T) {
+	base := Context{ASID: 1, VMID: 2, Level: ELUser,
+		SWEntropy: [4]uint64{11, 12, 13, 14}, HWEntropy: [4]uint64{21, 22, 23, 24},
+		HWSecEntropy: [2]uint64{31, 32}}
+	a, b := base, base
+	a.ComputeHash()
+	b.ComputeHash()
+	if a.Hash() != b.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	muts := []func(*Context){
+		func(c *Context) { c.ASID++ },
+		func(c *Context) { c.VMID++ },
+		func(c *Context) { c.Secure = true },
+		func(c *Context) { c.Level = ELKernel },
+		func(c *Context) { c.SWEntropy[0]++ },
+		func(c *Context) { c.HWEntropy[0]++ },
+	}
+	for i, mut := range muts {
+		c := base
+		mut(&c)
+		c.ComputeHash()
+		if c.Hash() == a.Hash() {
+			t.Fatalf("mutation %d did not change CONTEXT_HASH", i)
+		}
+	}
+}
+
+func TestXorCipherRoundTrip(t *testing.T) {
+	ctx := &Context{ASID: 3, SWEntropy: [4]uint64{1, 2, 3, 4}}
+	ctx.ComputeHash()
+	c := XorCipher{}
+	if err := quick.Check(func(target uint64) bool {
+		return c.Decrypt(ctx, c.Encrypt(ctx, target)) == target
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorCipherCrossContextGarbage(t *testing.T) {
+	a := &Context{ASID: 1, SWEntropy: [4]uint64{1, 0, 0, 0}}
+	b := &Context{ASID: 2, SWEntropy: [4]uint64{2, 0, 0, 0}}
+	a.ComputeHash()
+	b.ComputeHash()
+	c := XorCipher{}
+	target := uint64(0x7fff12345678)
+	if c.Decrypt(b, c.Encrypt(a, target)) == target {
+		t.Fatal("cross-context decryption recovered plaintext")
+	}
+}
+
+func TestDiffuseIsBijective(t *testing.T) {
+	// Distinct inputs must map to distinct outputs (spot check): the
+	// paper requires the diffusion rounds be reversible.
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		v := diffuse(i * 0x9e3779b97f4a7c15)
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("diffuse collision: %d and %d", prev, i)
+		}
+		seen[v] = i
+	}
+}
+
+// Spectre-v2 style cross-training experiment at the front-end level:
+// attacker trains an indirect branch to a gadget; the victim context
+// then executes the same branch. Without the cipher the victim's first
+// prediction is the attacker's gadget; with the cipher it never is.
+func TestCrossTrainingMitigation(t *testing.T) {
+	gadget := uint64(0x6666000)
+	victimTgt := uint64(0x7777000)
+	run := func(withCipher bool) (predictedGadget bool) {
+		shp := NewSHP(M1SHPConfig())
+		v := NewVPC(M1VPCConfig(), shp)
+		attacker := &Context{ASID: 100, SWEntropy: [4]uint64{0xA, 0, 0, 0}}
+		victim := &Context{ASID: 200, SWEntropy: [4]uint64{0xB, 0, 0, 0}}
+		attacker.ComputeHash()
+		victim.ComputeHash()
+		if withCipher {
+			v.SetCipher(XorCipher{}, attacker)
+		}
+		pc := uint64(0x5000)
+		for i := 0; i < 50; i++ {
+			p := v.Predict(pc)
+			v.Train(pc, gadget, p)
+		}
+		// Context switch to the victim.
+		if withCipher {
+			v.SetCipher(XorCipher{}, victim)
+		}
+		p := v.Predict(pc)
+		_ = victimTgt
+		return p.Hit && p.Target == gadget
+	}
+	if !run(false) {
+		t.Fatal("without mitigation, cross-training must land on the gadget")
+	}
+	if run(true) {
+		t.Fatal("with CONTEXT_HASH encryption, the gadget address must not survive the context switch")
+	}
+}

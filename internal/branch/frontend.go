@@ -1,0 +1,583 @@
+package branch
+
+import (
+	"fmt"
+
+	"exysim/internal/isa"
+	"exysim/internal/power"
+)
+
+// Source identifies which mechanism supplied a prediction, for the
+// bubble model and reporting.
+type Source uint8
+
+// Prediction sources, roughly ordered by redirect cost.
+const (
+	SrcNone    Source = iota // not a branch / predicted not-taken
+	SrcUBTB                  // zero-bubble locked μBTB (§IV-B)
+	SrcZAT                   // zero-bubble replicated always/often-taken (§IV-E)
+	SrcMRB                   // post-mispredict refill covered by the MRB (§IV-E)
+	Src1AT                   // one-bubble always-taken early redirect (§IV-C)
+	SrcMBTB                  // main BTB + SHP, 2-bubble taken
+	SrcVBTB                  // spill BTB, extra access cycle
+	SrcRAS                   // return-address stack
+	SrcVPC                   // VPC chain walk
+	SrcIndHash               // M6 dedicated indirect target table (§IV-F)
+	SrcMiss                  // undiscovered branch (BTB miss)
+	numSources
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SrcNone:
+		return "none"
+	case SrcUBTB:
+		return "ubtb"
+	case SrcZAT:
+		return "zat"
+	case SrcMRB:
+		return "mrb"
+	case Src1AT:
+		return "1at"
+	case SrcMBTB:
+		return "mbtb"
+	case SrcVBTB:
+		return "vbtb"
+	case SrcRAS:
+		return "ras"
+	case SrcVPC:
+		return "vpc"
+	case SrcIndHash:
+		return "indhash"
+	case SrcMiss:
+		return "miss"
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
+
+// Config sizes one generation's front end. Per-generation constructors
+// (M1FrontendConfig..M6FrontendConfig) encode the evolution of §IV.
+type Config struct {
+	Name string
+
+	SHP  SHPConfig
+	UBTB UBTBConfig
+	VPC  VPCConfig
+
+	MBTBSets, MBTBWays int // line-organized main BTB
+	VBTBSets, VBTBWays int
+	L2Sets, L2Ways     int
+	RASDepth           int
+
+	// TakenBubbles is the baseline mBTB taken-redirect cost (1-2 bubble
+	// TAKEN, §IV; we charge 2).
+	TakenBubbles int
+	// VBTBExtraBubbles is the spill BTB's additional access latency.
+	VBTBExtraBubbles int
+	// L2FillBubbles is charged when an mBTB miss refills from the
+	// L2BTB; M4 reduced it (§IV-D).
+	L2FillBubbles int
+	// L2FillTwoLines streams the sequentially next line too (M4's 2x
+	// fill bandwidth, §IV-D).
+	L2FillTwoLines bool
+
+	Has1AT          bool // M3+ (§IV-C)
+	HasZATZOT       bool // M5+ (§IV-E)
+	HasEmptyLineOpt bool // M5+ (§IV-E)
+	MRBEntries      int  // M5+ (§IV-E); 0 disables
+
+	// MispredictPenalty is the full redirect cost (Table I: 14 for
+	// M1/M2, 16 for M3+).
+	MispredictPenalty int
+}
+
+// Stats aggregates front-end behaviour over a run.
+type Stats struct {
+	Insts         uint64
+	Branches      uint64
+	CondBranches  uint64
+	TakenBranches uint64
+
+	Mispredicts     uint64
+	MispredDir      uint64 // conditional direction wrong
+	MispredTarget   uint64 // taken with wrong/unknown target
+	MispredBTBMiss  uint64 // taken branch unknown to the BTBs
+	MispredIndirect uint64
+	MispredReturn   uint64
+
+	Bubbles    uint64
+	SrcCounts  [numSources]uint64
+	L2Fills    uint64
+	ZATHits    uint64
+	OneATHits  uint64
+	MRBCovered uint64
+	EmptyLines uint64
+
+	UBTBLockedPreds uint64
+
+	// Dual-prediction slot statistics (§IV-A: lead taken 60%, second
+	// taken 24%, both not-taken 16%).
+	LeadTaken, SecondTaken, BothNT uint64
+
+	VPCWalked   uint64
+	VPCPredicts uint64
+}
+
+// MPKI returns mispredicts per thousand instructions.
+func (s *Stats) MPKI() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Insts) * 1000
+}
+
+// CondMPKI returns conditional-direction mispredicts per thousand
+// instructions.
+func (s *Stats) CondMPKI() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return float64(s.MispredDir) / float64(s.Insts) * 1000
+}
+
+// Result is the front end's verdict for one instruction.
+type Result struct {
+	IsBranch   bool
+	Cond       bool
+	Taken      bool
+	Mispredict bool
+	// Bubbles is the fetch-delay cost charged before the next useful
+	// fetch group (includes the mispredict penalty on mispredicts).
+	Bubbles int
+	Source  Source
+}
+
+// Frontend glues the branch-prediction stack together and models the
+// per-branch redirect costs of one core generation.
+type Frontend struct {
+	cfg Config
+
+	shp  *SHP
+	ubtb *UBTB
+	vpc  *VPC
+	mbtb *MBTB
+	vbtb *VBTB
+	l2   *L2BTB
+	ras  *RAS
+	mrb  *MRB
+
+	cipher TargetCipher
+	ctx    *Context
+
+	// ZAT/ZOT linkage: the previous taken branch's location so its
+	// entry can learn its successor's target (§IV-E Fig. 5).
+	prevTakenPC      uint64
+	prevTakenValid   bool
+	firstAfterRedirect bool
+
+	// Dual-slot statistics state: whether the previous branch in the
+	// stream was a not-taken "lead".
+	pairLeadOpen bool
+
+	// Empty-line tracking (§IV-E): lines seen before with no branches.
+	lineSeen   map[uint64]bool
+	lineBranch map[uint64]bool
+	curLine    uint64
+
+	// meter, when set, charges the front-end power proxy (§IV-B's SHP
+	// clock gating, §IV-E's empty-line optimization).
+	meter *power.Meter
+
+	stats Stats
+}
+
+// NewFrontend builds one generation's front end.
+func NewFrontend(cfg Config) *Frontend {
+	f := &Frontend{cfg: cfg}
+	f.shp = NewSHP(cfg.SHP)
+	f.ubtb = NewUBTB(cfg.UBTB)
+	f.vbtb = NewVBTB(cfg.VBTBSets, cfg.VBTBWays)
+	f.mbtb = NewMBTB(cfg.MBTBSets, cfg.MBTBWays, f.vbtb)
+	f.l2 = NewL2BTB(cfg.L2Sets, cfg.L2Ways)
+	f.ras = NewRAS(cfg.RASDepth)
+	f.vpc = NewVPC(cfg.VPC, f.shp)
+	if cfg.MRBEntries > 0 {
+		f.mrb = NewMRB(cfg.MRBEntries)
+	}
+	if cfg.HasEmptyLineOpt {
+		f.lineSeen = make(map[uint64]bool)
+		f.lineBranch = make(map[uint64]bool)
+	}
+	f.curLine = ^uint64(0)
+	return f
+}
+
+// Config returns the generation configuration.
+func (f *Frontend) Config() Config { return f.cfg }
+
+// Stats returns a snapshot of accumulated statistics.
+func (f *Frontend) Stats() Stats { return f.stats }
+
+// SetMeter installs the front-end power proxy.
+func (f *Frontend) SetMeter(m *power.Meter) { f.meter = m }
+
+func (f *Frontend) charge(e power.Event, n uint64) {
+	if f.meter != nil {
+		f.meter.Charge(e, n)
+	}
+}
+
+// ResetStats clears counters (e.g. after trace warmup) while keeping all
+// learned predictor state.
+func (f *Frontend) ResetStats() { f.stats = Stats{} }
+
+// SetCipher installs Spectre-v2 target encryption (§V) on the structures
+// that store instruction-address targets learned from execution: the RAS
+// and the indirect predictor.
+func (f *Frontend) SetCipher(c TargetCipher, ctx *Context) {
+	f.cipher, f.ctx = c, ctx
+	f.ras.SetCipher(c, ctx)
+	f.vpc.SetCipher(c, ctx)
+}
+
+// SwitchContext models a context switch: CONTEXT_HASH is recomputed from
+// the new context's entropy (§V, Fig. 10). Predictor contents persist —
+// that is the point: entries trained in another context now decrypt to
+// useless targets instead of attacker-chosen ones.
+func (f *Frontend) SwitchContext(ctx *Context) {
+	ctx.ComputeHash()
+	f.ctx = ctx
+	f.ras.SetCipher(f.cipher, ctx)
+	f.vpc.SetCipher(f.cipher, ctx)
+}
+
+// UBTBLocked reports whether the μBTB is driving the pipe (consumed by
+// the UOC's FilterMode, §VI).
+func (f *Frontend) UBTBLocked() bool { return f.ubtb.Locked() }
+
+// Step processes one dynamic instruction in program order and returns
+// the fetch-cost verdict.
+func (f *Frontend) Step(in *isa.Inst) Result {
+	f.stats.Insts++
+	f.trackLine(in.PC)
+	if !in.Branch.IsBranch() {
+		return Result{}
+	}
+	return f.stepBranch(in)
+}
+
+// trackLine charges one BTB lookup per fetched 128B line; with the M5
+// empty-line optimization, lines known to hold no branches skip the
+// lookup at gated cost (§IV-E). A locked μBTB likewise gates the mBTB.
+func (f *Frontend) trackLine(pc uint64) {
+	line := pc / BTBLineBytes
+	if line == f.curLine {
+		return
+	}
+	f.curLine = line
+	switch {
+	case f.ubtb.Locked():
+		f.charge(power.EvMBTBLookupGated, 1)
+	case f.cfg.HasEmptyLineOpt && f.lineSeen[line] && !f.lineBranch[line]:
+		f.stats.EmptyLines++
+		f.charge(power.EvMBTBLookupGated, 1)
+	default:
+		f.charge(power.EvMBTBLookup, 1)
+	}
+	if f.cfg.HasEmptyLineOpt {
+		f.lineSeen[line] = true
+	}
+}
+
+func (f *Frontend) stepBranch(in *isa.Inst) Result {
+	cfg := &f.cfg
+	st := &f.stats
+	st.Branches++
+	cond := in.Branch == isa.BranchCond
+	if cond {
+		st.CondBranches++
+	}
+	if in.Taken {
+		st.TakenBranches++
+	}
+	f.pairStats(in.Taken)
+	if f.cfg.HasEmptyLineOpt {
+		f.lineBranch[in.PC/BTBLineBytes] = true
+	}
+
+	// --- Lookup phase ---
+	entry, fromVBTB := f.mbtb.Lookup(in.PC)
+	l2Filled := false
+	if entry == nil {
+		if line := f.l2.Lookup(in.PC); line != nil {
+			installed, evicted := f.mbtb.InstallLine(line)
+			if evicted != nil {
+				f.l2.Install(evicted)
+			}
+			if cfg.L2FillTwoLines {
+				if nl := f.l2.NextLine(in.PC); nl != nil {
+					if _, ev2 := f.mbtb.InstallLine(nl); ev2 != nil {
+						f.l2.Install(ev2)
+					}
+				}
+			}
+			for i := range installed.branches {
+				if installed.branches[i].Valid && installed.branches[i].PC == in.PC {
+					entry = &installed.branches[i]
+					break
+				}
+			}
+			l2Filled = true
+			st.L2Fills++
+			f.charge(power.EvL2BTBFill, 1)
+		}
+	}
+	known := entry != nil
+
+	// --- Prediction phase ---
+	var (
+		predTaken  bool
+		predTarget uint64
+		source     = SrcMiss
+		lowConf    bool
+		indPred    IndPrediction
+		indBubbles int
+	)
+
+	f.charge(power.EvUBTBLookup, 1)
+	shpPred := Prediction{}
+	if cond {
+		shpPred = f.shp.Predict(in.PC)
+		// §IV-B: with the μBTB locked and highly confident, the mBTB
+		// is clock gated and the SHP disabled entirely; the simulator
+		// still computes the prediction for bookkeeping but charges
+		// only the gated residual.
+		if f.ubtb.Locked() {
+			f.charge(power.EvSHPLookupGated, 1)
+		} else {
+			f.charge(power.EvSHPLookup, 1)
+		}
+		lowConf = shpPred.LowConfidence
+	}
+
+	switch {
+	case !known:
+		// Undiscovered: fetch falls through sequentially.
+		predTaken, source = false, SrcMiss
+	case cond:
+		predTaken = shpPred.Taken
+		predTarget = entry.Target
+		if fromVBTB {
+			source = SrcVBTB
+		} else {
+			source = SrcMBTB
+		}
+	case in.Branch == isa.BranchReturn:
+		predTaken = true
+		if t, ok := f.ras.Pop(); ok {
+			predTarget = t
+		}
+		source = SrcRAS
+	case in.Branch.IsIndirect():
+		predTaken = true
+		indPred = f.vpc.Predict(in.PC)
+		st.VPCPredicts++
+		st.VPCWalked += uint64(indPred.Walked)
+		if indPred.Hit {
+			predTarget = indPred.Target
+			if indPred.FromHash {
+				source = SrcIndHash
+			} else {
+				source = SrcVPC
+			}
+			indBubbles = indPred.Bubbles
+		} else {
+			source = SrcMiss
+		}
+	default: // direct unconditional / call
+		predTaken = true
+		predTarget = entry.Target
+		if fromVBTB {
+			source = SrcVBTB
+		} else {
+			source = SrcMBTB
+		}
+	}
+
+	// μBTB arbitration: a locked μBTB covering this branch drives the
+	// pipe at zero bubbles, but its predictions are checked behind by
+	// the mBTB and SHP (§IV-B) — when the checkers disagree, the main
+	// predictor's view wins and the redirect costs the normal taken
+	// bubbles instead of zero. The M5 heuristic arbiter chooses between
+	// the μBTB and the ZAT/ZOT zero-bubble path; here the μBTB wins when
+	// locked, matching its "no lead-branch required" advantage on tight
+	// kernels (§IV-E).
+	uhit, utaken, utgt := f.ubtb.Predict(in.PC)
+	ubtbDrives := uhit && f.ubtb.Locked() && !in.Branch.IsIndirect() && in.Branch != isa.BranchReturn &&
+		known && utaken == predTaken && (!predTaken || utgt == predTarget)
+	if ubtbDrives {
+		st.UBTBLockedPreds++
+	}
+
+	// ZAT/ZOT (§IV-E): if the previous taken branch's entry replicated
+	// this branch's target, this redirect is announced a cycle early —
+	// zero bubbles. Applies to the first branch after a redirect.
+	zatHit := false
+	if cfg.HasZATZOT && !ubtbDrives && f.firstAfterRedirect && f.prevTakenValid && known &&
+		(entry.AlwaysTaken() || entry.OftenTaken()) && !in.Branch.IsIndirect() && in.Branch != isa.BranchReturn {
+		if prev, _ := f.mbtb.Lookup(f.prevTakenPC); prev != nil && prev.NextValid && prev.NextTarget == predTarget {
+			zatHit = true
+		}
+	}
+
+	// --- Resolution ---
+	correct := predTaken == in.Taken && (!in.Taken || predTarget == in.Target)
+
+	res := Result{IsBranch: true, Cond: cond, Taken: in.Taken, Source: source}
+	if !correct {
+		res.Mispredict = true
+		st.Mispredicts++
+		switch {
+		case cond && predTaken != in.Taken:
+			st.MispredDir++
+		case !known && in.Taken:
+			st.MispredBTBMiss++
+		case in.Branch.IsIndirect():
+			st.MispredIndirect++
+		case in.Branch == isa.BranchReturn:
+			st.MispredReturn++
+		default:
+			st.MispredTarget++
+		}
+		res.Bubbles = cfg.MispredictPenalty
+		// Arm the MRB on identified low-confidence conditional
+		// redirects (§IV-E cites [19]); BTB-miss redirects also refill
+		// small blocks and benefit.
+		if f.mrb != nil && (lowConf || !known) {
+			f.mrb.OnMispredict(in.PC, in.Taken)
+		}
+	} else if in.Taken {
+		mrbHit := false
+		if f.mrb != nil {
+			mrbHit = f.mrb.OnBlockStart(in.Target)
+		}
+		switch {
+		case mrbHit:
+			res.Bubbles = 0
+			res.Source = SrcMRB
+			st.MRBCovered++
+		case ubtbDrives:
+			res.Bubbles = 0
+		case zatHit:
+			res.Bubbles = 0
+			res.Source = SrcZAT
+			st.ZATHits++
+		case cfg.Has1AT && known && entry.AlwaysTaken() && !in.Branch.IsIndirect() && in.Branch != isa.BranchReturn:
+			res.Bubbles = 1
+			res.Source = Src1AT
+			st.OneATHits++
+		case in.Branch.IsIndirect():
+			res.Bubbles = cfg.TakenBubbles - 1 + indBubbles
+		case fromVBTB:
+			res.Bubbles = cfg.TakenBubbles + cfg.VBTBExtraBubbles
+		default:
+			res.Bubbles = cfg.TakenBubbles
+		}
+		if l2Filled {
+			res.Bubbles += cfg.L2FillBubbles
+		}
+	} else if f.mrb != nil {
+		// Not-taken branches do not start blocks; nothing to verify.
+		_ = lowConf
+	}
+	st.Bubbles += uint64(res.Bubbles)
+	st.SrcCounts[res.Source]++
+
+	// --- Update phase ---
+	f.update(in, entry, known, correct)
+	return res
+}
+
+// update trains every structure with the resolved branch.
+func (f *Frontend) update(in *isa.Inst, entry *BTBEntry, known, correct bool) {
+	cfg := &f.cfg
+	cond := in.Branch == isa.BranchCond
+
+	// Discover taken branches in the BTB (not-taken conditionals stay
+	// undiscovered; sequential fetch predicts them for free).
+	if !known && in.Taken {
+		var evicted *btbLine
+		entry, evicted = f.mbtb.Insert(in.PC, in.Branch, in.Target)
+		if evicted != nil {
+			f.l2.Install(evicted)
+		}
+	}
+	if entry != nil {
+		if in.Taken {
+			entry.TakenSeen++
+			if !in.Branch.IsIndirect() {
+				entry.Target = in.Target
+			}
+		} else {
+			entry.NotTakenSeen++
+		}
+	}
+
+	// ZAT/ZOT replication learning (§IV-E Fig. 5): this branch is the
+	// first after a redirect; if it is an always/often-taken direct
+	// branch, copy its target into the predecessor's entry.
+	if cfg.HasZATZOT && f.firstAfterRedirect && f.prevTakenValid && entry != nil && in.Taken &&
+		!in.Branch.IsIndirect() && in.Branch != isa.BranchReturn &&
+		(entry.AlwaysTaken() || entry.OftenTaken()) {
+		if prev, _ := f.mbtb.Lookup(f.prevTakenPC); prev != nil {
+			prev.NextTarget = in.Target
+			prev.NextValid = true
+		}
+	}
+	f.firstAfterRedirect = in.Taken
+	if in.Taken {
+		f.prevTakenPC, f.prevTakenValid = in.PC, true
+	}
+
+	// Direction predictor.
+	if cond {
+		f.shp.Train(in.PC, in.Taken)
+	}
+	f.shp.OnBranch(in.PC, cond, in.Taken)
+
+	// RAS: calls push the sequential return address.
+	if in.Branch.PushesRAS() {
+		f.ras.Push(in.PC + isa.InstBytes)
+	}
+
+	// Indirect chains.
+	if in.Branch.IsIndirect() {
+		f.vpc.Train(in.PC, in.Target, IndPrediction{})
+	}
+
+	// μBTB graph learns direct branches only (returns/indirects have
+	// volatile targets the graph cannot hold).
+	if !in.Branch.IsIndirect() && in.Branch != isa.BranchReturn {
+		f.ubtb.Train(in, correct)
+	}
+}
+
+// pairStats advances the §IV-A dual-prediction-slot statistics.
+func (f *Frontend) pairStats(taken bool) {
+	if !f.pairLeadOpen {
+		if taken {
+			f.stats.LeadTaken++
+		} else {
+			f.pairLeadOpen = true
+		}
+		return
+	}
+	// This is the second branch of a NT-lead pair.
+	if taken {
+		f.stats.SecondTaken++
+	} else {
+		f.stats.BothNT++
+	}
+	f.pairLeadOpen = false
+}

@@ -1,0 +1,160 @@
+package branch
+
+// Per-generation front-end configurations (§IV). Geometry choices encode
+// the paper's stated evolution:
+//
+//	M1: SHP 8x1K weights, GHIST 165 / PHIST 80, μBTB, mBTB/vBTB/L2BTB, VPC-16.
+//	M2: no significant branch-prediction changes (§IV-B).
+//	M3: SHP rows doubled, μBTB doubled via unconditional-only entries,
+//	    1AT early redirect, L2BTB capacity doubled (§IV-C).
+//	M4: L2BTB doubled again, fills faster and 2x wider (§IV-D).
+//	M5: SHP 16x2K + GHIST +25%, ZAT/ZOT replication, empty-line
+//	    optimization, μBTB shrunk, MRB added (§IV-E).
+//	M6: mBTB +50%, L2BTB doubled, hybrid VPC-5 + indirect target hash
+//	    (§IV-F).
+
+// M1FrontendConfig returns the first-generation front end.
+func M1FrontendConfig() Config {
+	return Config{
+		Name: "M1",
+		SHP:  M1SHPConfig(),
+		UBTB: UBTBConfig{Nodes: 64, UncondNodes: 0, LHPTables: 3, LHPRows: 256, LHPHists: 64, LHPBits: 10, Window: 24, Cooldown: 12},
+		VPC:  M1VPCConfig(),
+
+		MBTBSets: 64, MBTBWays: 8, // 512 lines, 4K branch slots
+		VBTBSets: 128, VBTBWays: 4, // 512 spill entries
+		L2Sets: 256, L2Ways: 6, // 1536 lines
+		RASDepth: 32,
+
+		TakenBubbles:     2,
+		VBTBExtraBubbles: 1,
+		L2FillBubbles:    5,
+
+		MispredictPenalty: 14,
+	}
+}
+
+// M2FrontendConfig: "The M2 core made no significant changes to branch
+// prediction" (§IV-B); the speedups came from deeper queues elsewhere.
+func M2FrontendConfig() Config {
+	c := M1FrontendConfig()
+	c.Name = "M2"
+	return c
+}
+
+// M3FrontendConfig applies the §IV-C throughput changes.
+func M3FrontendConfig() Config {
+	c := M2FrontendConfig()
+	c.Name = "M3"
+	c.SHP.Rows = 2048 // "doubling of SHP rows"
+	c.SHP.BiasEntries = 8192
+	c.UBTB.UncondNodes = 64 // graph doubled, new half unconditional-only
+	c.MBTBSets, c.MBTBWays = 128, 6 // wider 6-wide pipe needs more reach
+	c.VBTBSets, c.VBTBWays = 128, 6
+	c.L2Sets, c.L2Ways = 512, 6 // "doubling of L2BTB capacity"
+	c.Has1AT = true
+	c.MispredictPenalty = 16 // Table I
+	return c
+}
+
+// M4FrontendConfig applies the §IV-D large-workload changes.
+func M4FrontendConfig() Config {
+	c := M3FrontendConfig()
+	c.Name = "M4"
+	c.L2Sets = 1024        // "doubled again ... four times as many as M1"
+	c.L2FillBubbles = 4    // "latency slightly reduced"
+	c.L2FillTwoLines = true // "bandwidth improved by 2x"
+	return c
+}
+
+// M5FrontendConfig applies the §IV-E efficiency changes.
+func M5FrontendConfig() Config {
+	c := M4FrontendConfig()
+	c.Name = "M5"
+	c.SHP = M5SHPConfig() // 16 tables x 2048, GHIST +25%
+	c.UBTB.Nodes = 48     // μBTB area reduced...
+	c.UBTB.UncondNodes = 48
+	c.HasZATZOT = true // ...with ZAT/ZOT participating more
+	c.HasEmptyLineOpt = true
+	c.MRBEntries = 64
+	return c
+}
+
+// M6FrontendConfig applies the §IV-F indirect-capacity changes.
+func M6FrontendConfig() Config {
+	c := M5FrontendConfig()
+	c.Name = "M6"
+	c.MBTBSets, c.MBTBWays = 128, 9 // mBTB +50%
+	c.VBTBSets, c.VBTBWays = 128, 9
+	c.L2Sets = 2048 // Table II: L2BTB doubled again
+	c.VPC = M6VPCConfig()
+	c.RASDepth = 48
+	return c
+}
+
+// Generations returns the six per-generation configurations in order.
+func Generations() []Config {
+	return []Config{
+		M1FrontendConfig(), M2FrontendConfig(), M3FrontendConfig(),
+		M4FrontendConfig(), M5FrontendConfig(), M6FrontendConfig(),
+	}
+}
+
+// StorageBudget is one generation's row of Table II, in kilobytes.
+type StorageBudget struct {
+	Gen    string
+	SHPKB  float64
+	L1KB   float64 // "L1BTBs": mBTB + vBTB + μBTB (+LHP) + RAS + MRB + indirect hash
+	L2KB   float64
+	TotalKB float64
+}
+
+// Per-entry bit costs used by the accounting. The real arrays add ECC
+// and redundancy; these widths reproduce Table II's magnitudes.
+const (
+	mbtbLineTagBits   = 34
+	mbtbBranchBits    = 4 + 30 + 6 + 3 + 6 // offset, target, bias, type, AT counters
+	// zatExtraBits is the amortized per-slot cost of the ZAT/ZOT
+	// replicated next-target storage (M5+): the replication is carried
+	// by a fraction of entries via a compressed side structure, which
+	// is what Table II's modest M4->M5 L1 growth implies.
+	zatExtraBits = 5
+	vbtbEntryBits     = 36 + 30 + 8        // tag, target, misc
+	l2LineTagBits     = 30
+	l2BranchBits      = 4 + 28 + 2 + 1 // denser, slower macro (§IV-G)
+	rasEntryBits      = 30
+	indHashEntryBits  = 32 + 1 // + tag bits from config
+)
+
+// Budget computes the Table II storage accounting for a configuration.
+func Budget(c Config) StorageBudget {
+	b := StorageBudget{Gen: c.Name}
+	kb := func(bits int) float64 { return float64(bits) / 8192 }
+
+	b.SHPKB = kb(c.SHP.Tables * c.SHP.Rows * 8)
+
+	branchBits := mbtbBranchBits
+	if c.HasZATZOT {
+		branchBits += zatExtraBits
+	}
+	mbtbBits := c.MBTBSets * c.MBTBWays * (mbtbLineTagBits + BranchesPerLine*branchBits)
+	vbtbBits := c.VBTBSets * c.VBTBWays * vbtbEntryBits
+	ubtb := NewUBTB(c.UBTB)
+	ubtbBits := ubtb.StorageBits()
+	rasBits := c.RASDepth * rasEntryBits
+	mrbBits := 0
+	if c.MRBEntries > 0 {
+		mrbBits = NewMRB(c.MRBEntries).StorageBits()
+	}
+	indBits := 0
+	if c.VPC.HashEntries > 0 {
+		indBits = c.VPC.HashEntries * (indHashEntryBits + int(c.VPC.HashTagBits))
+	}
+	// SHP bias lives in the BTB entries and is already counted there via
+	// mbtbBranchBits' bias field.
+	b.L1KB = kb(mbtbBits + vbtbBits + ubtbBits + rasBits + mrbBits + indBits)
+
+	b.L2KB = kb(c.L2Sets * c.L2Ways * (l2LineTagBits + BranchesPerLine*l2BranchBits))
+	b.TotalKB = b.SHPKB + b.L1KB + b.L2KB
+	return b
+}

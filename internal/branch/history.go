@@ -1,0 +1,257 @@
+// Package branch implements the paper's branch-prediction stack (§IV):
+// the Scaled Hashed Perceptron (SHP) conditional direction predictor, the
+// BTB hierarchy (zero-bubble μBTB with a local-history hashed perceptron,
+// main BTB, virtual BTB, level-2 BTB, return-address stack), VPC-based
+// indirect prediction with the M6 hybrid indirect target hash, the
+// per-generation front-end refinements (1AT, ZAT/ZOT, empty-line
+// optimization, Mispredict Recovery Buffer), the Spectre-v2 target
+// encryption of §V, and simple baseline predictors for comparison.
+package branch
+
+import (
+	"math"
+	"math/bits"
+)
+
+// historyRing records the raw outcome/path streams so that windowed
+// folded hashes can be maintained incrementally: each push needs the
+// values entering and leaving every table's interval.
+type historyRing struct {
+	vals []uint16 // ring of pushed groups (1-bit outcomes or 3-bit path chunks)
+	pos  int      // total pushes so far
+}
+
+func newHistoryRing(capacity int) *historyRing {
+	// Round up to a power of two for cheap masking.
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &historyRing{vals: make([]uint16, c)}
+}
+
+// push appends a group to the stream.
+func (h *historyRing) push(v uint16) {
+	h.vals[h.pos&(len(h.vals)-1)] = v
+	h.pos++
+}
+
+// at returns the group pushed d pushes ago (d >= 1); zero before enough
+// history has accumulated or beyond ring capacity.
+func (h *historyRing) at(d int) uint16 {
+	if d <= 0 || d > h.pos || d > len(h.vals) {
+		return 0
+	}
+	return h.vals[(h.pos-d)&(len(h.vals)-1)]
+}
+
+// foldedInterval maintains, in O(1) per push, a W-bit hash of the groups
+// in the window (lo, hi] pushes ago — the "interval" of one SHP table
+// (§IV-A). Each pushed group carries k bits. The fold is the XOR of all
+// groups in the window, each rotated by k·(age_within_window) mod W, the
+// standard folded-history construction from perceptron/TAGE
+// implementations generalized to k-bit groups.
+type foldedInterval struct {
+	comp    uint32
+	w       uint // fold width in bits (index width of the table)
+	k       uint // bits per pushed group (1 for GHIST, 3 for PHIST)
+	lo, hi  int  // window in pushes: groups (lo, hi] ago are in the fold
+	inRot   uint // rotation applied when a group enters the window
+	outRot  uint // rotation a group has when it leaves (k*(hi-lo-? ) mod w)
+	mask    uint32
+}
+
+// newFoldedInterval creates a fold of width w over the (lo, hi] window.
+func newFoldedInterval(w, k uint, lo, hi int) *foldedInterval {
+	if w == 0 || w > 30 || k == 0 || hi <= lo {
+		panic("branch: invalid folded interval shape")
+	}
+	f := &foldedInterval{w: w, k: k, lo: lo, hi: hi, mask: (1 << w) - 1}
+	// A group enters the fold with rotation 0 and is rotated k bits per
+	// subsequent push; after (hi-lo) more pushes it leaves with rotation
+	// k*(hi-lo) mod w.
+	f.outRot = uint((int(k) * (hi - lo)) % int(w))
+	return f
+}
+
+func (f *foldedInterval) rotl(x uint32, r uint) uint32 {
+	r %= f.w
+	if r == 0 {
+		return x & f.mask
+	}
+	return ((x << r) | (x >> (f.w - r))) & f.mask
+}
+
+// push advances the fold by one group: entering is the group that is now
+// lo+1 pushes old (just crossed into the window), leaving is the group
+// that is now hi+1 pushes old (just crossed out).
+func (f *foldedInterval) push(entering, leaving uint16) {
+	f.comp = f.rotl(f.comp, f.k)
+	f.comp ^= uint32(entering) & ((1 << f.k) - 1)
+	f.comp ^= f.rotl(uint32(leaving)&((1<<f.k)-1), f.outRot)
+	f.comp &= f.mask
+}
+
+// value returns the current W-bit fold.
+func (f *foldedInterval) value() uint32 { return f.comp }
+
+// GlobalHistory couples the outcome (GHIST, §IV-A item 1) and path
+// (PHIST, §IV-A item 2: bits two through four of each branch address)
+// streams with a set of per-table folded intervals.
+type GlobalHistory struct {
+	ghist *historyRing
+	phist *historyRing
+
+	gFolds []*foldedInterval
+	pFolds []*foldedInterval
+}
+
+// Interval is one table's history window: it hashes GHIST groups
+// (GLo, GHi] and PHIST groups (PLo, PHi] pushes back.
+type Interval struct {
+	GLo, GHi int
+	PLo, PHi int
+}
+
+// NewGlobalHistory builds incremental folds of width indexBits for each
+// interval.
+func NewGlobalHistory(indexBits uint, intervals []Interval) *GlobalHistory {
+	maxG, maxP := 2, 2
+	for _, iv := range intervals {
+		if iv.GHi > maxG {
+			maxG = iv.GHi
+		}
+		if iv.PHi > maxP {
+			maxP = iv.PHi
+		}
+	}
+	g := &GlobalHistory{
+		ghist: newHistoryRing(maxG + 2),
+		phist: newHistoryRing(maxP + 2),
+	}
+	for _, iv := range intervals {
+		var gf, pf *foldedInterval
+		if iv.GHi > iv.GLo {
+			gf = newFoldedInterval(indexBits, 1, iv.GLo, iv.GHi)
+		}
+		if iv.PHi > iv.PLo {
+			pf = newFoldedInterval(indexBits, 3, iv.PLo, iv.PHi)
+		}
+		g.gFolds = append(g.gFolds, gf)
+		g.pFolds = append(g.pFolds, pf)
+	}
+	return g
+}
+
+// PushOutcome records a conditional branch outcome into GHIST.
+func (g *GlobalHistory) PushOutcome(taken bool) {
+	var b uint16
+	if taken {
+		b = 1
+	}
+	// Update folds before the ring advances: after this push, the group
+	// entering table t's window (gLo, gHi] is the one currently gLo
+	// pushes old (it becomes gLo+1 old); the leaving group is currently
+	// gHi old.
+	for _, f := range g.gFolds {
+		if f == nil {
+			continue
+		}
+		var entering uint16
+		if f.lo == 0 {
+			entering = b
+		} else {
+			entering = g.ghist.at(f.lo)
+		}
+		leaving := g.ghist.at(f.hi)
+		f.push(entering, leaving)
+	}
+	g.ghist.push(b)
+}
+
+// PushPath records a branch's path chunk (address bits 2..4, §IV-A) into
+// PHIST. The paper pushes path history for branches encountered.
+func (g *GlobalHistory) PushPath(pc uint64) {
+	chunk := uint16((pc >> 2) & 0x7)
+	for _, f := range g.pFolds {
+		if f == nil {
+			continue
+		}
+		var entering uint16
+		if f.lo == 0 {
+			entering = chunk
+		} else {
+			entering = g.phist.at(f.lo)
+		}
+		leaving := g.phist.at(f.hi)
+		f.push(entering, leaving)
+	}
+	g.phist.push(chunk)
+}
+
+// TableHash returns the folded GHIST^PHIST contribution for table t.
+func (g *GlobalHistory) TableHash(t int) uint32 {
+	var v uint32
+	if f := g.gFolds[t]; f != nil {
+		v ^= f.value()
+	}
+	if f := g.pFolds[t]; f != nil {
+		// Decorrelate the path fold from the outcome fold so tables
+		// whose intervals coincide don't cancel.
+		v ^= bits.RotateLeft32(f.value(), 7) & f.mask
+	}
+	return v
+}
+
+// OutcomeAt returns the conditional outcome d branches back (d >= 1).
+func (g *GlobalHistory) OutcomeAt(d int) bool { return g.ghist.at(d) != 0 }
+
+// Len reports how many outcomes have been pushed.
+func (g *GlobalHistory) Len() int { return g.ghist.pos }
+
+// GeometricIntervals builds the per-table history windows the SHP tables
+// hash (§IV-A): interval endpoints grow geometrically out to ghistLen,
+// chosen empirically in the paper via stochastic search; here we use the
+// classic geometric spacing which has the same diminishing-returns
+// character (Fig. 1). Table 0 gets the shortest window. PHIST windows
+// track the GHIST windows but saturate at phistLen.
+func GeometricIntervals(tables, ghistLen, phistLen int) []Interval {
+	if tables < 1 {
+		panic("branch: need at least one table")
+	}
+	ivs := make([]Interval, tables)
+	// Endpoints: e_i = ghistLen^((i+1)/tables), min spacing 1.
+	prev := 0
+	for i := 0; i < tables; i++ {
+		frac := float64(i+1) / float64(tables)
+		hi := ipow(float64(ghistLen), frac)
+		if hi <= prev {
+			hi = prev + 1
+		}
+		lo := prev
+		// Overlap each window slightly with its predecessor ancestor:
+		// strided-sampling SHP uses segments; pure segments lose the
+		// short-history signal in long tables, so stretch lo back 25%.
+		lo -= (hi - lo) / 4
+		if lo < 0 {
+			lo = 0
+		}
+		pLo, pHi := lo, hi
+		if pHi > phistLen {
+			pHi = phistLen
+		}
+		if pLo >= pHi {
+			pLo, pHi = 0, 0
+		}
+		ivs[i] = Interval{GLo: lo, GHi: hi, PLo: pLo, PHi: pHi}
+		prev = hi
+	}
+	return ivs
+}
+
+func ipow(base, exp float64) int {
+	if base <= 1 {
+		return 1
+	}
+	return int(math.Pow(base, exp) + 0.5)
+}

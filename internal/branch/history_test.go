@@ -1,0 +1,144 @@
+package branch
+
+import (
+	"testing"
+
+	"exysim/internal/rng"
+)
+
+// bruteFold recomputes what foldedInterval should hold: XOR of groups in
+// the (lo, hi] window. A group enters the fold unrotated when it reaches
+// age lo+1 and is rotated k bits per subsequent push, so a group at age a
+// (lo < a <= hi) carries rotation k*(a-lo-1) mod w.
+func bruteFold(groups []uint16, lo, hi int, w, k uint) uint32 {
+	mask := uint32(1<<w) - 1
+	rotl := func(x uint32, r uint) uint32 {
+		r %= w
+		if r == 0 {
+			return x & mask
+		}
+		return ((x << r) | (x >> (w - r))) & mask
+	}
+	var v uint32
+	n := len(groups)
+	for age := lo + 1; age <= hi; age++ {
+		if age > n {
+			break
+		}
+		g := uint32(groups[n-age]) & ((1 << k) - 1)
+		v ^= rotl(g, uint((age-lo-1)*int(k))%w)
+	}
+	return v
+}
+
+func TestFoldedIntervalMatchesBruteForce(t *testing.T) {
+	r := rng.New(5)
+	cases := []struct {
+		w, k   uint
+		lo, hi int
+	}{
+		{10, 1, 0, 7},
+		{10, 1, 0, 64},
+		{11, 1, 5, 37},
+		{10, 1, 40, 165},
+		{12, 3, 0, 16},
+		{10, 3, 3, 80},
+		{13, 1, 0, 13}, // window length == width
+	}
+	for ci, c := range cases {
+		f := newFoldedInterval(c.w, c.k, c.lo, c.hi)
+		ring := newHistoryRing(c.hi + 2)
+		var groups []uint16
+		for step := 0; step < 500; step++ {
+			g := uint16(r.Intn(1 << c.k))
+			var entering uint16
+			if c.lo == 0 {
+				entering = g
+			} else {
+				entering = ring.at(c.lo)
+			}
+			leaving := ring.at(c.hi)
+			f.push(entering, leaving)
+			ring.push(g)
+			groups = append(groups, g)
+			want := bruteFold(groups, c.lo, c.hi, c.w, c.k)
+			if f.value() != want {
+				t.Fatalf("case %d step %d: fold=%#x want %#x", ci, step, f.value(), want)
+			}
+		}
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := newHistoryRing(8)
+	for i := 1; i <= 20; i++ {
+		h.push(uint16(i))
+	}
+	if got := h.at(1); got != 20 {
+		t.Fatalf("at(1)=%d", got)
+	}
+	if got := h.at(5); got != 16 {
+		t.Fatalf("at(5)=%d", got)
+	}
+	if got := h.at(0); got != 0 {
+		t.Fatalf("at(0)=%d", got)
+	}
+	if got := h.at(100); got != 0 {
+		t.Fatalf("at(100)=%d", got)
+	}
+}
+
+func TestGeometricIntervals(t *testing.T) {
+	ivs := GeometricIntervals(8, 165, 80)
+	if len(ivs) != 8 {
+		t.Fatalf("tables=%d", len(ivs))
+	}
+	prevHi := 0
+	for i, iv := range ivs {
+		if iv.GHi <= iv.GLo {
+			t.Fatalf("table %d empty ghist window: %+v", i, iv)
+		}
+		if iv.GHi <= prevHi {
+			t.Fatalf("table %d endpoints not increasing: %+v", i, iv)
+		}
+		prevHi = iv.GHi
+		if iv.PHi > 80 {
+			t.Fatalf("table %d phist window exceeds cap: %+v", i, iv)
+		}
+	}
+	// Longest window must reach the configured GHIST length (within
+	// rounding).
+	last := ivs[len(ivs)-1]
+	if last.GHi < 150 || last.GHi > 180 {
+		t.Fatalf("last window hi=%d, want ~165", last.GHi)
+	}
+}
+
+func TestGlobalHistoryOutcomeAt(t *testing.T) {
+	g := NewGlobalHistory(10, GeometricIntervals(4, 64, 32))
+	pattern := []bool{true, false, true, true, false}
+	for _, b := range pattern {
+		g.PushOutcome(b)
+		g.PushPath(0x1000)
+	}
+	for d := 1; d <= len(pattern); d++ {
+		if g.OutcomeAt(d) != pattern[len(pattern)-d] {
+			t.Fatalf("OutcomeAt(%d) wrong", d)
+		}
+	}
+	if g.Len() != len(pattern) {
+		t.Fatalf("Len=%d", g.Len())
+	}
+}
+
+func TestTableHashChangesWithHistory(t *testing.T) {
+	g := NewGlobalHistory(10, GeometricIntervals(4, 64, 32))
+	before := g.TableHash(3)
+	for i := 0; i < 40; i++ {
+		g.PushOutcome(i%3 == 0)
+		g.PushPath(uint64(0x1000 + i*4))
+	}
+	if g.TableHash(3) == before {
+		t.Fatal("long-history table hash did not move")
+	}
+}

@@ -1,0 +1,139 @@
+package branch
+
+import "exysim/internal/rng"
+
+// MRB is the Mispredict Recovery Buffer (§IV-E, Figs. 6-7): for
+// identified low-confidence branches it records the most probable
+// sequence of the next three fetch (basic-block) addresses after the
+// redirect. On a matching mispredict the recorded addresses stream out
+// on consecutive cycles, hiding the taken-branch prediction delay during
+// pipe refill; the third pipeline stage verifies each supplied address
+// against the branch predictor and corrects on disagreement.
+type MRB struct {
+	entries []mrbEntry
+	mask    uint32
+
+	// pending tracks an in-flight recording: after a low-confidence
+	// mispredict we capture the next SeqLen basic-block start addresses
+	// actually executed.
+	pendingKey   uint64
+	pendingSeq   []uint64
+	pendingLive  bool
+
+	// active tracks an in-flight replay: addresses the MRB supplied
+	// that remain to be verified against the actual path.
+	activeSeq  []uint64
+	activeLive bool
+}
+
+// mrbSeqLen is the recorded fetch-address count ("the next three fetch
+// addresses").
+const mrbSeqLen = 3
+
+type mrbEntry struct {
+	key   uint64
+	seq   [mrbSeqLen]uint64
+	n     int
+	conf  int8
+	valid bool
+}
+
+// NewMRB builds a direct-mapped buffer with the given entry count.
+func NewMRB(entries int) *MRB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: MRB entries must be a power of two")
+	}
+	return &MRB{entries: make([]mrbEntry, entries), mask: uint32(entries - 1)}
+}
+
+// key identifies a redirect: the mispredicted branch and the direction
+// it actually resolved to.
+func (m *MRB) key(pc uint64, taken bool) uint64 {
+	k := pc << 1
+	if taken {
+		k |= 1
+	}
+	return k
+}
+
+func (m *MRB) idx(key uint64) uint32 { return uint32(rng.Mix64(key)) & m.mask }
+
+// OnMispredict is called at a mispredict redirect of a low-confidence
+// branch. It returns how many upcoming basic-block addresses the MRB can
+// supply (0 if no trained entry), and arms both replay verification and
+// recording of the actual path for future training.
+func (m *MRB) OnMispredict(pc uint64, taken bool) int {
+	k := m.key(pc, taken)
+	// Arm recording of the actual upcoming path.
+	m.pendingKey = k
+	m.pendingSeq = m.pendingSeq[:0]
+	m.pendingLive = true
+
+	e := &m.entries[m.idx(k)]
+	if e.valid && e.key == k && e.conf > 0 && e.n > 0 {
+		m.activeSeq = append(m.activeSeq[:0], e.seq[:e.n]...)
+		m.activeLive = true
+		return e.n
+	}
+	m.activeLive = false
+	return 0
+}
+
+// OnBlockStart is called with each subsequent basic-block start address
+// (the target of each taken redirect after the mispredict). It returns
+// whether the MRB had supplied this address (replay hit: the usual
+// branch-prediction delay for this block is hidden).
+func (m *MRB) OnBlockStart(addr uint64) bool {
+	hit := false
+	if m.activeLive && len(m.activeSeq) > 0 {
+		if m.activeSeq[0] == addr {
+			hit = true
+			m.activeSeq = m.activeSeq[1:]
+		} else {
+			// Verification failed: squash the remaining replay.
+			m.activeLive = false
+			m.activeSeq = m.activeSeq[:0]
+		}
+	}
+	if m.pendingLive {
+		m.pendingSeq = append(m.pendingSeq, addr)
+		if len(m.pendingSeq) >= mrbSeqLen {
+			m.commit()
+		}
+	}
+	return hit
+}
+
+// commit trains the entry with the recorded path, with a small
+// hysteresis: a sequence must repeat to gain confidence.
+func (m *MRB) commit() {
+	e := &m.entries[m.idx(m.pendingKey)]
+	same := e.valid && e.key == m.pendingKey && e.n == len(m.pendingSeq)
+	if same {
+		for i := range m.pendingSeq {
+			if e.seq[i] != m.pendingSeq[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		ne := mrbEntry{key: m.pendingKey, valid: true, conf: 1}
+		ne.n = copy(ne.seq[:], m.pendingSeq)
+		if e.valid && e.key == m.pendingKey {
+			// Replacing the sequence of an existing key: start at
+			// zero confidence so an unstable path does not replay.
+			ne.conf = 0
+		}
+		*e = ne
+	}
+	m.pendingLive = false
+	m.pendingSeq = m.pendingSeq[:0]
+}
+
+// StorageBits: key tag (~24b) + 3 addresses (~32b each) + conf.
+func (m *MRB) StorageBits() int { return len(m.entries) * (24 + mrbSeqLen*32 + 2) }

@@ -1,0 +1,143 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exysim/internal/isa"
+)
+
+// Property: SHP weights and bias stay within their saturating ranges
+// under arbitrary training sequences.
+func TestSHPWeightsBounded(t *testing.T) {
+	cfg := M1SHPConfig()
+	cfg.Rows = 256
+	cfg.BiasEntries = 256
+	s := NewSHP(cfg)
+	if err := quick.Check(func(pcRaw uint16, taken bool) bool {
+		pc := uint64(pcRaw) << 2
+		s.Predict(pc)
+		s.Train(pc, taken)
+		s.OnBranch(pc, true, taken)
+		for _, tab := range s.weights {
+			for _, w := range tab {
+				if int(w) > cfg.WeightMax || int(w) < -cfg.WeightMax {
+					return false
+				}
+			}
+		}
+		for _, be := range s.bias {
+			if int(be.bias) > cfg.BiasMax || int(be.bias) < -cfg.BiasMax {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VPC chains never exceed MaxChain and always contain the most
+// recently resolved target at the MRU position.
+func TestVPCChainInvariants(t *testing.T) {
+	v := NewVPC(M1VPCConfig(), nil)
+	if err := quick.Check(func(pcSel uint8, tgtSel uint8) bool {
+		pc := uint64(0x1000 + int(pcSel%4)*8)
+		tgt := uint64(0x8000 + int(tgtSel)*64)
+		p := v.Predict(pc)
+		v.Train(pc, tgt, p)
+		c := v.chains[pc]
+		if len(c.targets) > v.cfg.MaxChain {
+			return false
+		}
+		return v.load(c.targets[0]) == tgt
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the RAS depth never exceeds its capacity and pops never
+// underflow state below zero.
+func TestRASDepthBounded(t *testing.T) {
+	r := NewRAS(16)
+	if err := quick.Check(func(push bool, addr uint32) bool {
+		if push {
+			r.Push(uint64(addr))
+		} else {
+			r.Pop()
+		}
+		return r.Depth() >= 0 && r.Depth() <= r.Size()
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MRB never panics and replay hits only ever follow an armed
+// mispredict, under arbitrary event interleavings.
+func TestMRBArbitraryEvents(t *testing.T) {
+	m := NewMRB(16)
+	armed := false
+	if err := quick.Check(func(ev uint8, pc uint16, taken bool, addr uint16) bool {
+		switch ev % 3 {
+		case 0:
+			n := m.OnMispredict(uint64(pc)<<2, taken)
+			armed = n > 0
+			_ = armed
+		default:
+			m.OnBlockStart(uint64(addr) << 4)
+		}
+		return true
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the front end never produces negative bubbles and its MPKI
+// is consistent with its mispredict counter, for arbitrary (valid)
+// branch streams.
+func TestFrontendStepInvariants(t *testing.T) {
+	f := NewFrontend(M5FrontendConfig())
+	pcs := []uint64{0x100, 0x180, 0x240, 0x300, 0x5000, 0x5100}
+	if err := quick.Check(func(sel uint8, taken bool, kindSel uint8) bool {
+		pc := pcs[int(sel)%len(pcs)]
+		var in isa.Inst
+		switch kindSel % 4 {
+		case 0:
+			in = isa.Inst{PC: pc, Class: isa.Branch, Branch: isa.BranchCond, Taken: taken, Target: pcs[(int(sel)+1)%len(pcs)]}
+		case 1:
+			in = isa.Inst{PC: pc, Class: isa.Branch, Branch: isa.BranchUncond, Taken: true, Target: pcs[(int(sel)+2)%len(pcs)]}
+		case 2:
+			in = isa.Inst{PC: pc, Class: isa.ALUSimple, Dst: 1}
+		default:
+			in = isa.Inst{PC: pc, Class: isa.Branch, Branch: isa.BranchIndirect, Taken: true, Target: pcs[(int(sel)+3)%len(pcs)]}
+		}
+		r := f.Step(&in)
+		if r.Bubbles < 0 {
+			return false
+		}
+		st := f.Stats()
+		return st.Mispredicts <= st.Branches
+	}, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: folded interval values always fit in their configured width.
+func TestFoldedWidthBounded(t *testing.T) {
+	f := newFoldedInterval(11, 3, 2, 40)
+	ring := newHistoryRing(64)
+	if err := quick.Check(func(g uint8) bool {
+		v := uint16(g & 7)
+		var entering uint16
+		if f.lo == 0 {
+			entering = v
+		} else {
+			entering = ring.at(f.lo)
+		}
+		f.push(entering, ring.at(f.hi))
+		ring.push(v)
+		return f.value() < 1<<11
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package branch
+
+// Spectre-v2 hardening (§V): learned indirect-branch and return targets
+// stored in the BTB/RAS are XOR-scrambled with a per-context key
+// (CONTEXT_HASH). Reads from a different context decrypt to a useless
+// address, defeating cross-training; the key's dependence on hardware
+// entropy and process identity defeats replay across executions. The
+// threat model trusts the OS/hypervisor and distrusts userland (§V).
+
+// PrivLevel is the architectural privilege level selecting which entropy
+// registers participate (EL0..EL3).
+type PrivLevel uint8
+
+// Privilege levels (ARMv8 exception levels).
+const (
+	ELUser PrivLevel = iota // EL0
+	ELKernel
+	ELHypervisor
+	ELFirmware
+)
+
+// Context is the processor context whose identity keys the cipher. It
+// mirrors the CONTEXT_HASH inputs of Fig. 10: a software entropy source
+// per privilege level (SCXTNUM_ELx from ARMv8.5 CSV2), hardware entropy
+// per level, hardware entropy per security state, and the
+// ASID/VMID/security-state/privilege tuple.
+type Context struct {
+	ASID     uint16
+	VMID     uint16
+	Secure   bool
+	Level    PrivLevel
+	SWEntropy [4]uint64 // SCXTNUM_EL0..EL3, software-visible knobs
+	HWEntropy [4]uint64 // per-level hardware entropy, never SW-visible
+	HWSecEntropy [2]uint64 // per-security-state hardware entropy
+
+	// hash is the derived CONTEXT_HASH register. It is not software
+	// accessible; it is recomputed only at context switch (§V).
+	hash uint64
+}
+
+// diffuse performs one round of deterministic, reversible non-linear
+// entropy spreading (§V cites Shannon's diffusion): a xorshift-multiply
+// permutation of the 64-bit state. Reversibility matters on the real
+// hardware so the hash is well-defined; here it documents intent.
+func diffuse(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ComputeHash derives CONTEXT_HASH from the context's entropy sources
+// with several diffusion rounds. Performed wholly in hardware at context
+// switch, taking only a few cycles (§V); software never observes
+// intermediate values.
+func (c *Context) ComputeHash() {
+	lvl := int(c.Level)
+	if lvl > 3 {
+		lvl = 3
+	}
+	sec := 0
+	if c.Secure {
+		sec = 1
+	}
+	h := uint64(0x9e3779b97f4a7c15)
+	h = diffuse(h ^ c.SWEntropy[lvl])
+	h = diffuse(h ^ c.HWEntropy[lvl])
+	h = diffuse(h ^ c.HWSecEntropy[sec])
+	id := uint64(c.ASID) | uint64(c.VMID)<<16 | uint64(sec)<<32 | uint64(lvl)<<40
+	h = diffuse(h ^ id)
+	c.hash = h
+}
+
+// Hash returns the derived CONTEXT_HASH (test/observability hook; the
+// real register has no software access path).
+func (c *Context) Hash() uint64 {
+	if c.hash == 0 {
+		c.ComputeHash()
+	}
+	return c.hash
+}
+
+// TargetCipher scrambles instruction-address targets on their way into
+// predictor storage and unscrambles them on the way out. Implementations
+// must be exact inverses under the same context.
+type TargetCipher interface {
+	Encrypt(ctx *Context, target uint64) uint64
+	Decrypt(ctx *Context, target uint64) uint64
+}
+
+// XorCipher is the paper's fast stream cipher: the stored target is
+// XORed with CONTEXT_HASH, with an additional fixed bit-rotation as the
+// "simple substitution cipher or bit reversal" hardening against known-
+// plaintext probing (§V, Fig. 11). Cheap enough for the RAS/BTB timing
+// paths.
+type XorCipher struct{}
+
+func rotl64(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Encrypt implements TargetCipher.
+func (XorCipher) Encrypt(ctx *Context, target uint64) uint64 {
+	return rotl64(target^ctx.Hash(), 13)
+}
+
+// Decrypt implements TargetCipher.
+func (XorCipher) Decrypt(ctx *Context, target uint64) uint64 {
+	return rotl64(target, 64-13) ^ ctx.Hash()
+}
+
+// NullCipher stores targets in plaintext (the pre-mitigation cores, and
+// the baseline for the security ablation).
+type NullCipher struct{}
+
+// Encrypt implements TargetCipher.
+func (NullCipher) Encrypt(_ *Context, target uint64) uint64 { return target }
+
+// Decrypt implements TargetCipher.
+func (NullCipher) Decrypt(_ *Context, target uint64) uint64 { return target }

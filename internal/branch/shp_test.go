@@ -1,0 +1,271 @@
+package branch
+
+import (
+	"testing"
+
+	"exysim/internal/rng"
+)
+
+// runPredictor feeds a synthetic conditional-branch stream to p and
+// returns the misprediction rate over the last half (after warmup).
+// gen is called with the step index and global outcome history (most
+// recent last) and returns (pc, taken).
+func runPredictor(p DirectionPredictor, steps int, gen func(i int, past []bool) (uint64, bool)) float64 {
+	var past []bool
+	mis, counted := 0, 0
+	for i := 0; i < steps; i++ {
+		pc, taken := gen(i, past)
+		pred := p.Predict(pc)
+		if i >= steps/2 {
+			counted++
+			if pred.Taken != taken {
+				mis++
+			}
+		}
+		p.Train(pc, taken)
+		p.OnBranch(pc, true, taken)
+		past = append(past, taken)
+	}
+	return float64(mis) / float64(counted)
+}
+
+func newTestSHP() *SHP {
+	cfg := M1SHPConfig()
+	cfg.Rows = 512 // keep tests fast
+	cfg.BiasEntries = 1024
+	return NewSHP(cfg)
+}
+
+func TestSHPLearnsBias(t *testing.T) {
+	rate := runPredictor(newTestSHP(), 4000, func(i int, _ []bool) (uint64, bool) {
+		return 0x1000, true
+	})
+	if rate != 0 {
+		t.Fatalf("always-taken mispredict rate %v", rate)
+	}
+}
+
+func TestSHPLearnsAlternatingPattern(t *testing.T) {
+	rate := runPredictor(newTestSHP(), 6000, func(i int, _ []bool) (uint64, bool) {
+		return 0x2000, i%2 == 0
+	})
+	if rate > 0.02 {
+		t.Fatalf("alternating mispredict rate %v", rate)
+	}
+}
+
+func TestSHPLearnsLongPattern(t *testing.T) {
+	pattern := []bool{true, true, false, true, false, false, true, false, true, true, true, false}
+	rate := runPredictor(newTestSHP(), 20000, func(i int, _ []bool) (uint64, bool) {
+		return 0x3000, pattern[i%len(pattern)]
+	})
+	if rate > 0.05 {
+		t.Fatalf("period-12 mispredict rate %v", rate)
+	}
+}
+
+func TestSHPLearnsHistoryCorrelation(t *testing.T) {
+	// Outcome equals the outcome 30 branches back: only a
+	// global-history predictor with reach >= 30 can learn it.
+	r := rng.New(1)
+	rate := runPredictor(newTestSHP(), 60000, func(i int, past []bool) (uint64, bool) {
+		pc := uint64(0x4000 + (i%5)*4)
+		if len(past) < 30 {
+			return pc, r.Bool(0.5)
+		}
+		return pc, past[len(past)-30]
+	})
+	if rate > 0.10 {
+		t.Fatalf("distance-30 correlation mispredict rate %v", rate)
+	}
+	// A gshare with only 12 history bits cannot.
+	gRate := runPredictor(NewGShare(4096, 12), 60000, func(i int, past []bool) (uint64, bool) {
+		pc := uint64(0x4000 + (i%5)*4)
+		if len(past) < 30 {
+			return pc, r.Bool(0.5)
+		}
+		return pc, past[len(past)-30]
+	})
+	if gRate < rate {
+		t.Fatalf("short-history gshare (%v) should not beat SHP (%v) here", gRate, rate)
+	}
+}
+
+func TestSHPBeatsBaselinesOnMixedStream(t *testing.T) {
+	// A mixture of biased, pattern and correlated branches: SHP must
+	// beat gshare, which must beat bimodal (the paper's predictor
+	// lineage in miniature).
+	gen := func() func(i int, past []bool) (uint64, bool) {
+		r := rng.New(7)
+		return func(i int, past []bool) (uint64, bool) {
+			switch i % 4 {
+			case 0:
+				return 0x100, r.Bool(0.92)
+			case 1:
+				return 0x200, i%8 < 3
+			case 2:
+				if len(past) >= 17 {
+					return 0x300, past[len(past)-17] != past[len(past)-2]
+				}
+				return 0x300, r.Bool(0.5)
+			default:
+				return uint64(0x400 + (i%16)*4), (i/16)%2 == 0
+			}
+		}
+	}
+	shpRate := runPredictor(newTestSHP(), 40000, gen())
+	gshareRate := runPredictor(NewGShare(4096, 12), 40000, gen())
+	bimodalRate := runPredictor(NewBimodal(4096), 40000, gen())
+	if !(shpRate < gshareRate) {
+		t.Fatalf("shp %v should beat gshare %v", shpRate, gshareRate)
+	}
+	if !(gshareRate < bimodalRate) {
+		t.Fatalf("gshare %v should beat bimodal %v", gshareRate, bimodalRate)
+	}
+}
+
+func TestSHPMoreTablesHelpOnHardMix(t *testing.T) {
+	// The M5 growth (16 tables, longer GHIST) must not be worse than the
+	// M1 geometry on a long-range-correlation stream.
+	gen := func() func(i int, past []bool) (uint64, bool) {
+		r := rng.New(11)
+		return func(i int, past []bool) (uint64, bool) {
+			pc := uint64(0x1000 + (i%7)*4)
+			d := 40 + (i%3)*60 // correlations at 40, 100, 160
+			if len(past) < d {
+				return pc, r.Bool(0.5)
+			}
+			return pc, past[len(past)-d]
+		}
+	}
+	m1 := runPredictor(NewSHP(M1SHPConfig()), 120000, gen())
+	m5 := runPredictor(NewSHP(M5SHPConfig()), 120000, gen())
+	if m5 > m1+0.01 {
+		t.Fatalf("M5 SHP (%v) should be at least as good as M1 (%v)", m5, m1)
+	}
+}
+
+func TestSHPThetaAdapts(t *testing.T) {
+	s := newTestSHP()
+	r := rng.New(3)
+	for i := 0; i < 30000; i++ {
+		pc := uint64(0x100 + (i%9)*4)
+		s.Predict(pc)
+		taken := r.Bool(0.5) // hopeless branch: mispredicts drive theta up
+		s.Train(pc, taken)
+		s.OnBranch(pc, true, taken)
+	}
+	if s.Theta() <= 2*8+14 {
+		t.Fatalf("theta should have grown under constant mispredicts, got %d", s.Theta())
+	}
+}
+
+func TestSHPTrainWithoutPredictRecovers(t *testing.T) {
+	s := newTestSHP()
+	// Protocol violation: Train with no preceding Predict must not
+	// panic and must still learn.
+	for i := 0; i < 1000; i++ {
+		s.Train(0x500, true)
+		s.OnBranch(0x500, true, true)
+	}
+	if !s.Predict(0x500).Taken {
+		t.Fatal("did not learn under recovered protocol")
+	}
+}
+
+func TestAlwaysTakenFilterKeepsWeightsClean(t *testing.T) {
+	s := newTestSHP()
+	// Train an always-taken branch heavily; weight tables should stay
+	// untouched (only bias moves).
+	for i := 0; i < 5000; i++ {
+		s.Predict(0x700)
+		s.Train(0x700, true)
+		s.OnBranch(0x700, true, true)
+	}
+	sum := 0
+	for _, tab := range s.weights {
+		for _, w := range tab {
+			if w != 0 {
+				sum++
+			}
+		}
+	}
+	if sum != 0 {
+		t.Fatalf("always-taken branch dirtied %d weights", sum)
+	}
+	// Once it goes not-taken, weights may engage.
+	s.Predict(0x700)
+	s.Train(0x700, false)
+	s.OnBranch(0x700, true, false)
+	s.Predict(0x700)
+	s.Train(0x700, false)
+	dirty := 0
+	for _, tab := range s.weights {
+		for _, w := range tab {
+			if w != 0 {
+				dirty++
+			}
+		}
+	}
+	if dirty == 0 {
+		t.Fatal("weights never engaged after not-taken outcome")
+	}
+}
+
+func TestPredictorStorageBits(t *testing.T) {
+	s := NewSHP(M1SHPConfig())
+	// 8 tables x 1024 x 8b = 64Kb = 8KB of weights (§IV-G Table II).
+	weights := 8 * 1024 * 8
+	if s.StorageBits() < weights {
+		t.Fatalf("storage %d below weight-array floor %d", s.StorageBits(), weights)
+	}
+	if NewBimodal(4096).StorageBits() != 8192 {
+		t.Fatal("bimodal storage wrong")
+	}
+	if NewGShare(4096, 12).StorageBits() != 8192+12 {
+		t.Fatal("gshare storage wrong")
+	}
+}
+
+func TestLHPLearnsLocalPattern(t *testing.T) {
+	l := NewLHP(4, 512, 128, 12)
+	rate := runPredictor(l, 20000, func(i int, _ []bool) (uint64, bool) {
+		return 0x900, i%5 < 2 // period-5 local pattern
+	})
+	if rate > 0.05 {
+		t.Fatalf("LHP period-5 rate %v", rate)
+	}
+}
+
+func TestLHPIsolatesBranches(t *testing.T) {
+	// Two branches with opposite constant behaviour must coexist.
+	l := NewLHP(4, 512, 128, 12)
+	mis := 0
+	for i := 0; i < 8000; i++ {
+		pc := uint64(0xA00)
+		taken := true
+		if i%2 == 1 {
+			pc, taken = 0xB00, false
+		}
+		if p := l.Predict(pc); i > 4000 && p.Taken != taken {
+			mis++
+		}
+		l.Train(pc, taken)
+	}
+	if mis > 40 {
+		t.Fatalf("LHP cross-talk: %d mispredicts", mis)
+	}
+}
+
+func BenchmarkSHPPredictTrain(b *testing.B) {
+	s := NewSHP(M1SHPConfig())
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x1000 + (i%64)*4)
+		s.Predict(pc)
+		taken := r.Bool(0.7)
+		s.Train(pc, taken)
+		s.OnBranch(pc, true, taken)
+	}
+}

@@ -1,0 +1,199 @@
+package branch
+
+import (
+	"exysim/internal/isa"
+	"exysim/internal/rng"
+)
+
+// UBTB is the micro-BTB (§IV-B): a small graph-based predictor that
+// filters for hot kernels, learns their taken and not-taken edges, and —
+// once the kernel is confirmed to fit and predict well — "locks" and
+// drives the pipe at zero-bubble throughput until a misprediction, with
+// the mBTB/SHP checking behind it (and eventually clock-gated). Hard
+// branch nodes are augmented with a local-history hashed perceptron.
+//
+// The model captures the mechanism's externally visible behaviour:
+// capacity-limited edge learning, a seed/confirmation filter, lock with
+// zero bubbles, unlock + cooldown on mispredict (after a mispredict the
+// μBTB is disabled until the next seed, §IV-E Fig. 6 note).
+type UBTB struct {
+	nodes    map[uint64]*ubtbNode
+	capacity int
+	// uncondOnly reserves a fraction of capacity for entries that may
+	// hold only unconditional branches — M3's cheap size doubling
+	// (§IV-C).
+	uncondCap int
+	uncondCnt int
+
+	lhp *LHP
+
+	// Lock heuristics: a window of recent lookups must all hit learned
+	// edges before the structure locks; any mispredict unlocks and
+	// starts a cooldown.
+	window     int
+	hitStreak  int
+	locked     bool
+	cooldown   int
+	cooldownN  int
+
+	tick uint64
+}
+
+type ubtbNode struct {
+	pc        uint64
+	kind      isa.BranchKind
+	takenTgt  uint64
+	hasTaken  bool
+	hasNT     bool
+	uncond    bool
+	lru       uint64
+}
+
+// UBTBConfig sizes the micro-BTB.
+type UBTBConfig struct {
+	Nodes       int // conditional-capable graph nodes
+	UncondNodes int // extra unconditional-only nodes (0 before M3)
+	LHPTables   int
+	LHPRows     int
+	LHPHists    int
+	LHPBits     uint
+	// Window is the confirmation length before locking; Cooldown is the
+	// post-mispredict disable period (the two-cycle startup penalty and
+	// re-seed behaviour appear to the pipeline as lost zero-bubble
+	// opportunity).
+	Window   int
+	Cooldown int
+}
+
+// DefaultUBTBConfig returns an M1-era geometry.
+func DefaultUBTBConfig() UBTBConfig {
+	return UBTBConfig{Nodes: 64, UncondNodes: 0, LHPTables: 3, LHPRows: 256, LHPHists: 64, LHPBits: 10, Window: 24, Cooldown: 12}
+}
+
+// NewUBTB builds the predictor.
+func NewUBTB(cfg UBTBConfig) *UBTB {
+	return &UBTB{
+		nodes:     make(map[uint64]*ubtbNode, cfg.Nodes+cfg.UncondNodes),
+		capacity:  cfg.Nodes + cfg.UncondNodes,
+		uncondCap: cfg.UncondNodes,
+		lhp:       NewLHP(cfg.LHPTables, cfg.LHPRows, cfg.LHPHists, cfg.LHPBits),
+		window:    cfg.Window,
+		cooldownN: cfg.Cooldown,
+	}
+}
+
+// Locked reports whether the μBTB currently drives the pipe.
+func (u *UBTB) Locked() bool { return u.locked }
+
+// Predict consults the graph for the branch at pc. It returns whether
+// the μBTB covers this branch (hit), and if so the predicted direction
+// and target. Zero-bubble delivery applies only while locked.
+func (u *UBTB) Predict(pc uint64) (hit bool, taken bool, target uint64) {
+	n, ok := u.nodes[pc]
+	if !ok || u.cooldown > 0 {
+		return false, false, 0
+	}
+	u.tick++
+	n.lru = u.tick
+	switch {
+	case n.kind == isa.BranchCond && n.hasTaken && n.hasNT:
+		// Difficult node: consult the LHP.
+		p := u.lhp.Predict(pc)
+		return true, p.Taken, n.takenTgt
+	case n.kind == isa.BranchCond && n.hasTaken:
+		return true, true, n.takenTgt
+	case n.kind == isa.BranchCond:
+		return true, false, 0
+	case n.hasTaken:
+		return true, true, n.takenTgt
+	}
+	return false, false, 0
+}
+
+// Train records the resolved branch, learning edges, updating the LHP,
+// and advancing the lock/seed state machine. correct reports whether the
+// front end's overall prediction for this branch was correct.
+func (u *UBTB) Train(in *isa.Inst, correct bool) {
+	if u.cooldown > 0 {
+		u.cooldown--
+	}
+	n, ok := u.nodes[in.PC]
+	if !ok {
+		n = u.alloc(in)
+	}
+	if n != nil {
+		if in.Taken {
+			n.takenTgt = in.Target
+			n.hasTaken = true
+		} else {
+			n.hasNT = true
+		}
+		if in.Branch == isa.BranchCond {
+			u.lhp.Predict(in.PC)
+			u.lhp.Train(in.PC, in.Taken)
+		}
+	}
+
+	// Lock heuristic: consecutive correct predictions over branches the
+	// graph covers confirm a resident, predictable kernel.
+	if ok && correct && u.cooldown == 0 {
+		u.hitStreak++
+		if u.hitStreak >= u.window {
+			u.locked = true
+		}
+	} else {
+		u.hitStreak = 0
+	}
+	if !correct {
+		// Mispredict: unlock and disable until the next seed window.
+		u.locked = false
+		u.cooldown = u.cooldownN
+	}
+}
+
+// alloc admits a branch into the graph, evicting LRU; unconditional
+// branches prefer the unconditional-only pool (M3, §IV-C).
+func (u *UBTB) alloc(in *isa.Inst) *ubtbNode {
+	uncond := in.Branch.IsUnconditional()
+	if len(u.nodes) >= u.capacity {
+		// Evict the LRU node, respecting the unconditional-only pool:
+		// if the newcomer is conditional it cannot displace into
+		// unconditional-only space when that is all that's left.
+		var victim *ubtbNode
+		for _, n := range u.nodes {
+			if victim == nil || n.lru < victim.lru {
+				victim = n
+			}
+		}
+		if victim == nil {
+			return nil
+		}
+		if !uncond && victim.uncond && u.condCount() >= u.capacity-u.uncondCap {
+			return nil // conditional pool full; do not thrash
+		}
+		if victim.uncond {
+			u.uncondCnt--
+		}
+		delete(u.nodes, victim.pc)
+		u.locked = false
+	}
+	n := &ubtbNode{pc: in.PC, kind: in.Branch}
+	if uncond && u.uncondCnt < u.uncondCap {
+		n.uncond = true
+		u.uncondCnt++
+	}
+	u.tick++
+	n.lru = u.tick
+	u.nodes[in.PC] = n
+	return n
+}
+
+func (u *UBTB) condCount() int { return len(u.nodes) - u.uncondCnt }
+
+// StorageBits approximates the structure cost: per node a tag (~20b),
+// target (~32b), kind/flags (~6b), plus the LHP.
+func (u *UBTB) StorageBits() int {
+	return u.capacity*(20+32+6) + u.lhp.StorageBits()
+}
+
+var _ = rng.Mix64 // hashing reserved for future set-assoc variant

@@ -1,0 +1,267 @@
+package branch
+
+import "exysim/internal/rng"
+
+// Indirect-branch prediction (§IV-A Fig. 3, §IV-F Fig. 8).
+//
+// The VPC predictor [17] serializes an indirect prediction into a chain
+// of virtual conditional branches, one per learned target, each
+// consulting the SHP; the first virtual branch predicted taken supplies
+// the target. Chain entries live in the shared vBTB, so many-target
+// branches both cost O(n) prediction cycles and crowd the vBTB — the
+// JavaScript-era pressure that M6 answers with a dedicated
+// indirect-target hash table searched in parallel with a VPC walk capped
+// at five targets.
+
+// VPCConfig sizes the indirect predictor.
+type VPCConfig struct {
+	// MaxChain is the design maximum of virtual branches per indirect
+	// branch (16 in Fig. 3).
+	MaxChain int
+	// WalkLimit caps how many virtual branches are consulted per
+	// prediction; M6 reduces it to 5 with the hash table covering the
+	// rest (Fig. 8). Zero means MaxChain.
+	WalkLimit int
+	// HashEntries > 0 enables the M6 dedicated indirect target table.
+	HashEntries int
+	// HashTagBits is the partial tag width of hash entries.
+	HashTagBits uint
+	// HashLatency is the bubble cost of a hash-table-supplied target
+	// ("large dedicated storage takes a few cycles to access").
+	HashLatency int
+	// TargetHistLen is how many recent indirect targets fold into the
+	// hash index (§IV-F: the standard SHP hash did not perform well; a
+	// hash based on the history of recent indirect targets is used).
+	TargetHistLen int
+}
+
+// M1VPCConfig is the first-generation pure-VPC arrangement.
+func M1VPCConfig() VPCConfig {
+	return VPCConfig{MaxChain: 16, WalkLimit: 16}
+}
+
+// M6VPCConfig is the hybrid arrangement of §IV-F.
+func M6VPCConfig() VPCConfig {
+	return VPCConfig{MaxChain: 16, WalkLimit: 5, HashEntries: 2048, HashTagBits: 10, HashLatency: 3, TargetHistLen: 2}
+}
+
+type vpcChain struct {
+	targets []uint64 // stored (possibly encrypted) targets, MRU-ordered
+	tgtHist uint64   // folded history of this branch's recent targets
+}
+
+type indHashEntry struct {
+	tag    uint32
+	target uint64 // stored (possibly encrypted)
+	valid  bool
+}
+
+// VPC is the indirect predictor. Virtual branches consult the shared SHP
+// through the shp handle; chain storage is charged to the vBTB by the
+// front end.
+type VPC struct {
+	cfg    VPCConfig
+	chains map[uint64]*vpcChain
+	shp    *SHP
+
+	hash     []indHashEntry
+	hashMask uint32
+
+	cipher TargetCipher
+	ctx    *Context
+}
+
+// NewVPC builds the predictor; shp supplies virtual-branch direction
+// predictions and may be nil for tests (falls back to MRU order).
+func NewVPC(cfg VPCConfig, shp *SHP) *VPC {
+	if cfg.WalkLimit <= 0 || cfg.WalkLimit > cfg.MaxChain {
+		cfg.WalkLimit = cfg.MaxChain
+	}
+	v := &VPC{cfg: cfg, chains: make(map[uint64]*vpcChain), shp: shp}
+	if cfg.HashEntries > 0 {
+		if cfg.HashEntries&(cfg.HashEntries-1) != 0 {
+			panic("branch: indirect hash entries must be a power of two")
+		}
+		v.hash = make([]indHashEntry, cfg.HashEntries)
+		v.hashMask = uint32(cfg.HashEntries - 1)
+	}
+	return v
+}
+
+// SetCipher installs target encryption for stored indirect targets (§V).
+func (v *VPC) SetCipher(c TargetCipher, ctx *Context) { v.cipher, v.ctx = c, ctx }
+
+func (v *VPC) store(t uint64) uint64 {
+	if v.cipher != nil {
+		return v.cipher.Encrypt(v.ctx, t)
+	}
+	return t
+}
+
+func (v *VPC) load(t uint64) uint64 {
+	if v.cipher != nil {
+		return v.cipher.Decrypt(v.ctx, t)
+	}
+	return t
+}
+
+// virtualPC derives the PC of the i-th virtual branch of the indirect
+// branch at pc [17].
+func virtualPC(pc uint64, i int) uint64 {
+	return pc ^ (uint64(i+1) * 0x9E3779B97F4A7C15 >> 16 << 2)
+}
+
+// hashIndex derives the dedicated indirect table's index from the
+// branch PC and that branch's recent-target history (§IV-F: the standard
+// SHP GHIST/PHIST/PC hash "did not perform well, as the precursor
+// conditional branches do not highly correlate with the indirect
+// targets"; a hash based on the history of recent indirect targets is
+// used instead).
+func (v *VPC) hashIndex(pc uint64, chain *vpcChain) (idx uint32, tag uint32) {
+	var th uint64
+	if chain != nil {
+		th = chain.tgtHist
+	}
+	h := rng.Mix64(pc>>2 ^ th*0x9E3779B97F4A7C15)
+	idx = uint32(h) & v.hashMask
+	tag = uint32(h>>32) & ((1 << v.cfg.HashTagBits) - 1)
+	return idx, tag
+}
+
+// IndPrediction is the outcome of an indirect lookup.
+type IndPrediction struct {
+	Target uint64
+	// Hit reports whether any mechanism produced a target.
+	Hit bool
+	// Bubbles is the redirect cost: the VPC walk position, or the hash
+	// access latency when the table supplied the target.
+	Bubbles int
+	// FromHash reports the M6 hash table supplied the target.
+	FromHash bool
+	// Walked is how many virtual branches were consulted (history cost).
+	Walked int
+}
+
+// Predict runs the (limited) VPC walk and, if enabled, the parallel hash
+// lookup (Fig. 8).
+func (v *VPC) Predict(pc uint64) IndPrediction {
+	chain := v.chains[pc]
+	var hashTgt uint64
+	hashHit := false
+	if v.hash != nil {
+		idx, tag := v.hashIndex(pc, chain)
+		if e := &v.hash[idx]; e.valid && e.tag == tag {
+			hashTgt, hashHit = v.load(e.target), true
+		}
+	}
+	if chain != nil {
+		limit := len(chain.targets)
+		fullyWalked := limit <= v.cfg.WalkLimit
+		if limit > v.cfg.WalkLimit {
+			limit = v.cfg.WalkLimit
+		}
+		for i := 0; i < limit; i++ {
+			vpc := virtualPC(pc, i)
+			taken := true
+			if v.shp != nil {
+				taken = v.shp.Predict(vpc).Taken
+			}
+			if taken {
+				return IndPrediction{Target: v.load(chain.targets[i]), Hit: true, Bubbles: i + 1, Walked: i + 1}
+			}
+		}
+		// §IV-F: "the accuracy of SHP+VPC+hash-table lookups still
+		// proves superior to a pure hash-table lookup for small numbers
+		// of targets" — a fully-walked small chain falls back to its
+		// MRU head; the hash covers only the targets the capped walk
+		// cannot reach.
+		if limit > 0 && (fullyWalked || !hashHit) {
+			return IndPrediction{Target: v.load(chain.targets[0]), Hit: true, Bubbles: limit, Walked: limit}
+		}
+		if hashHit {
+			return IndPrediction{Target: hashTgt, Hit: true, Bubbles: v.cfg.HashLatency, FromHash: true, Walked: limit}
+		}
+	}
+	if hashHit {
+		return IndPrediction{Target: hashTgt, Hit: true, Bubbles: v.cfg.HashLatency, FromHash: true}
+	}
+	return IndPrediction{}
+}
+
+// Train resolves the indirect branch at pc to target, updating the chain
+// (MRU promotion or insertion), training the SHP virtual branches that
+// were consulted, pushing their outcomes into global history, and
+// updating the hash table and target history.
+func (v *VPC) Train(pc, target uint64, pred IndPrediction) {
+	chain := v.chains[pc]
+	if chain == nil {
+		chain = &vpcChain{}
+		v.chains[pc] = chain
+	}
+	// Locate the target in the chain.
+	pos := -1
+	for i, t := range chain.targets {
+		if v.load(t) == target {
+			pos = i
+			break
+		}
+	}
+	// Train the virtual conditional branches: entries before pos are
+	// not-taken, pos is taken. Outcomes enter global history like real
+	// conditionals [17]. Only walked positions trained at predict time
+	// had a Predict() issued; for the rest issue Predict to satisfy the
+	// SHP protocol.
+	if v.shp != nil {
+		limit := pos
+		if limit < 0 || limit > v.cfg.WalkLimit {
+			limit = min(len(chain.targets), v.cfg.WalkLimit)
+		}
+		for i := 0; i <= limit && i < len(chain.targets); i++ {
+			vpc := virtualPC(pc, i)
+			taken := i == pos
+			v.shp.Predict(vpc)
+			v.shp.Train(vpc, taken)
+			v.shp.OnBranch(vpc, true, taken)
+		}
+	}
+	switch {
+	case pos == 0:
+		// already MRU
+	case pos > 0:
+		// MRU promotion.
+		t := chain.targets[pos]
+		copy(chain.targets[1:pos+1], chain.targets[:pos])
+		chain.targets[0] = t
+	default:
+		// New target: insert at MRU, evicting the LRU tail at capacity.
+		if len(chain.targets) >= v.cfg.MaxChain {
+			chain.targets = chain.targets[:v.cfg.MaxChain-1]
+		}
+		chain.targets = append([]uint64{v.store(target)}, chain.targets...)
+	}
+	if v.hash != nil {
+		idx, tag := v.hashIndex(pc, chain)
+		v.hash[idx] = indHashEntry{tag: tag, target: v.store(target), valid: true}
+	}
+	// Fold the resolved target into this branch's target history.
+	chain.tgtHist = (chain.tgtHist<<7 | chain.tgtHist>>57) ^ (target >> 2)
+	if v.cfg.TargetHistLen > 0 {
+		chain.tgtHist &= (1 << uint(7*v.cfg.TargetHistLen)) - 1
+	}
+}
+
+// ChainLen reports the learned target count for pc (vBTB occupancy).
+func (v *VPC) ChainLen(pc uint64) int {
+	if c := v.chains[pc]; c != nil {
+		return len(c.targets)
+	}
+	return 0
+}
+
+// StorageBits charges the hash table only; chains live in the vBTB.
+func (v *VPC) StorageBits() int {
+	if v.hash == nil {
+		return 0
+	}
+	return len(v.hash) * (int(v.cfg.HashTagBits) + 32 + 1)
+}

@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg64k() Config { return Config{Name: "t", SizeKB: 64, Ways: 8, Latency: 4} }
+
+func TestLookupMissThenFillHit(t *testing.T) {
+	c := New(cfg64k())
+	if c.Lookup(0x1000, 0, false).Hit {
+		t.Fatal("cold cache should miss")
+	}
+	c.Fill(0x1000, 0, 0, OriginDemand, InsertElevated)
+	if !c.Lookup(0x1000, 1, false).Hit {
+		t.Fatal("fill then lookup should hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{SizeKB: 1, Ways: 2, Latency: 1}) // 8 sets x 2 ways
+	sets := c.Sets()
+	// Three lines mapping to the same set: the first becomes victim.
+	a0 := uint64(0)
+	a1 := uint64(sets * LineBytes)
+	a2 := uint64(2 * sets * LineBytes)
+	c.Fill(a0, 0, 0, OriginDemand, InsertElevated)
+	c.Fill(a1, 1, 1, OriginDemand, InsertElevated)
+	c.Lookup(a0, 2, false) // refresh a0
+	v := c.Fill(a2, 3, 3, OriginDemand, InsertElevated)
+	if !v.Valid || v.Addr != a1 {
+		t.Fatalf("victim %+v, want a1", v)
+	}
+	if !c.Contains(a0) || !c.Contains(a2) || c.Contains(a1) {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestOrdinaryInsertionEvictsFirst(t *testing.T) {
+	c := New(Config{SizeKB: 1, Ways: 4, Latency: 1})
+	sets := c.Sets()
+	base := uint64(0)
+	step := uint64(sets * LineBytes)
+	// Fill three ways elevated, one ordinary.
+	for i := uint64(0); i < 3; i++ {
+		c.Fill(base+i*step, i, i, OriginDemand, InsertElevated)
+	}
+	ord := base + 3*step
+	c.Fill(ord, 10, 10, OriginDemand, InsertOrdinary)
+	v := c.Fill(base+4*step, 11, 11, OriginDemand, InsertElevated)
+	if !v.Valid || v.Addr != ord {
+		t.Fatalf("ordinary-priority line should be the victim, got %+v", v)
+	}
+}
+
+func TestSectoredTagSharing(t *testing.T) {
+	c := New(Config{SizeKB: 4, Ways: 2, SectorLog2: 1, Latency: 1})
+	// Two 64B lines of the same 128B sector share one tag.
+	c.Fill(0x1000, 0, 0, OriginDemand, InsertElevated)
+	if c.Contains(0x1040) {
+		t.Fatal("buddy line must stay invalid without its own fill (§VIII-B)")
+	}
+	c.Fill(0x1040, 1, 1, OriginDemand, InsertElevated)
+	if !c.Contains(0x1000) || !c.Contains(0x1040) {
+		t.Fatal("both sector lines should be resident")
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatal("buddy fill must not evict (tag shared)")
+	}
+}
+
+func TestInFlightReadyAt(t *testing.T) {
+	c := New(cfg64k())
+	c.Fill(0x2000, 100, 180, OriginMSP, InsertElevated)
+	r := c.Lookup(0x2000, 120, false)
+	if !r.Hit || r.ReadyAt != 180 {
+		t.Fatalf("in-flight hit %+v", r)
+	}
+	if !r.WasPrefetch {
+		t.Fatal("first demand touch of a prefetched line must report WasPrefetch")
+	}
+	if c.Lookup(0x2000, 200, false).WasPrefetch {
+		t.Fatal("WasPrefetch must report only once")
+	}
+}
+
+func TestPrefetchUnusedAccounting(t *testing.T) {
+	c := New(Config{SizeKB: 1, Ways: 1, Latency: 1})
+	sets := c.Sets()
+	c.Fill(0, 0, 0, OriginMSP, InsertElevated)
+	v := c.Fill(uint64(sets*LineBytes), 1, 1, OriginDemand, InsertElevated)
+	if !v.Valid || !v.Line.Prefetched || v.Line.DemandHit {
+		t.Fatalf("victim %+v", v)
+	}
+	if c.Stats().PrefetchUnused != 1 {
+		t.Fatal("unused prefetch eviction not counted")
+	}
+}
+
+func TestInvalidateAndRealloc(t *testing.T) {
+	c := New(cfg64k())
+	c.Fill(0x3000, 0, 0, OriginDemand, InsertElevated)
+	l := c.Invalidate(0x3000)
+	if l == nil || c.Contains(0x3000) {
+		t.Fatal("invalidate failed")
+	}
+	if c.Invalidate(0x3000) != nil {
+		t.Fatal("double invalidate should return nil")
+	}
+	c.Fill(0x4000, 0, 0, OriginDemand, InsertOrdinary)
+	c.SetRealloc(0x4000)
+	if p := c.Peek(0x4000); p == nil || !p.Realloc {
+		t.Fatal("realloc mark lost")
+	}
+}
+
+func TestTouchDirty(t *testing.T) {
+	c := New(cfg64k())
+	c.Fill(0x5000, 0, 0, OriginDemand, InsertElevated)
+	c.Touch(0x5000, true)
+	if p := c.Peek(0x5000); p == nil || !p.Dirty {
+		t.Fatal("dirty mark lost")
+	}
+}
+
+func TestPrefetchProbeHasNoSideEffects(t *testing.T) {
+	c := New(cfg64k())
+	c.Lookup(0x6000, 0, true)
+	if st := c.Stats(); st.Misses != 0 {
+		t.Fatal("probe must not count a miss")
+	}
+}
+
+func TestBuddyAddr(t *testing.T) {
+	if err := quick.Check(func(a uint64) bool {
+		b := BuddyAddr(a)
+		return b != a && BuddyAddr(b) == a && (a>>7) == (b>>7)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupConsistentWithContains(t *testing.T) {
+	c := New(Config{SizeKB: 2, Ways: 2, Latency: 1})
+	if err := quick.Check(func(addrs []uint16) bool {
+		for _, a16 := range addrs {
+			addr := uint64(a16) << 6
+			c.Fill(addr, 0, 0, OriginDemand, InsertElevated)
+			if !c.Contains(addr) {
+				return false
+			}
+			if !c.Lookup(addr, 0, false).Hit {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortBandwidth(t *testing.T) {
+	c := New(Config{SizeKB: 64, Ways: 8, Latency: 4, BytesPerCycle: 16})
+	// 64B line at 16B/cycle occupies the port 4 cycles: back-to-back
+	// fills at the same cycle queue 0, 4, 8, ...
+	for i := 0; i < 4; i++ {
+		if d := c.PortDelay(100); d != i*4 {
+			t.Fatalf("fill %d delayed %d, want %d", i, d, i*4)
+		}
+	}
+	// A later fill after the port drained pays nothing.
+	if d := c.PortDelay(200); d != 0 {
+		t.Fatalf("drained port delayed %d", d)
+	}
+	// Unmodelled bandwidth is free.
+	free := New(Config{SizeKB: 64, Ways: 8, Latency: 4})
+	if free.PortDelay(0) != 0 {
+		t.Fatal("unmodelled port should be free")
+	}
+	// Wider ports drain faster: 64B/cycle = 1-cycle occupancy.
+	wide := New(Config{SizeKB: 64, Ways: 8, Latency: 4, BytesPerCycle: 64})
+	wide.PortDelay(10)
+	if d := wide.PortDelay(10); d != 1 {
+		t.Fatalf("64B/cycle port delayed %d, want 1", d)
+	}
+}

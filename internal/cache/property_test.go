@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: a line just filled is always resident, and occupancy never
+// exceeds the configured capacity, under arbitrary fill/lookup mixes.
+func TestFillAlwaysResident(t *testing.T) {
+	c := New(Config{SizeKB: 8, Ways: 4, Latency: 1})
+	capacity := 8 * 1024 / LineBytes
+	if err := quick.Check(func(addrRaw uint16, lookup bool) bool {
+		addr := uint64(addrRaw) << 6
+		if lookup {
+			c.Lookup(addr, 0, false)
+			return true
+		}
+		c.Fill(addr, 0, 0, OriginDemand, InsertElevated)
+		if !c.Contains(addr) {
+			return false
+		}
+		// Count resident lines.
+		n := 0
+		for a := uint64(0); a < uint64(1<<16); a += LineBytes {
+			if c.Contains(a << 0) {
+				n++
+			}
+		}
+		return n <= capacity
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sectored caches keep buddy lines independent — filling one
+// line never makes its unfilled buddy visible.
+func TestSectorBuddyIndependence(t *testing.T) {
+	c := New(Config{SizeKB: 16, Ways: 4, SectorLog2: 1, Latency: 1})
+	seen := map[uint64]bool{}
+	if err := quick.Check(func(addrRaw uint16) bool {
+		addr := uint64(addrRaw) << 6
+		c.Fill(addr, 0, 0, OriginDemand, InsertElevated)
+		seen[addr] = true
+		buddy := BuddyAddr(addr)
+		if !seen[buddy] && c.Contains(buddy) {
+			// The buddy may only be resident if it was filled at some
+			// point (evictions can clear seen lines, so only the
+			// false-positive direction is checked).
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: invalidate always removes residency.
+func TestInvalidateRemoves(t *testing.T) {
+	c := New(Config{SizeKB: 4, Ways: 2, Latency: 1})
+	if err := quick.Check(func(addrRaw uint16) bool {
+		addr := uint64(addrRaw) << 6
+		c.Fill(addr, 0, 0, OriginDemand, InsertElevated)
+		c.Invalidate(addr)
+		return !c.Contains(addr)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hit/miss statistics are consistent — every non-probe lookup
+// increments exactly one of the two counters.
+func TestStatsConservation(t *testing.T) {
+	c := New(Config{SizeKB: 4, Ways: 2, Latency: 1})
+	lookups := uint64(0)
+	if err := quick.Check(func(addrRaw uint16, fill bool) bool {
+		addr := uint64(addrRaw) << 6
+		if fill {
+			c.Fill(addr, 0, 0, OriginDemand, InsertElevated)
+			return true
+		}
+		c.Lookup(addr, 0, false)
+		lookups++
+		st := c.Stats()
+		return st.Hits+st.Misses == lookups
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

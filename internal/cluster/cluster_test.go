@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+
+	"exysim/internal/core"
+	"exysim/internal/trace"
+	"exysim/internal/workload"
+)
+
+func slices(t *testing.T, fam workload.Family, n, insts int) []*trace.Slice {
+	t.Helper()
+	out := make([]*trace.Slice, n)
+	for i := range out {
+		out[i] = fam.Gen(i, insts, insts/4, 0xE59)
+		if err := out[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func gen(t *testing.T, name string) core.GenConfig {
+	t.Helper()
+	g, ok := core.GenByName(name)
+	if !ok {
+		t.Fatal("unknown gen")
+	}
+	return g
+}
+
+func TestBandwidthContention(t *testing.T) {
+	// Four DRAM-hungry streaming cores on one memory path must each run
+	// slower than a core owning the path alone.
+	g := gen(t, "M4")
+	sls := slices(t, workload.StreamFamily(), 4, 40000)
+
+	solo := New(g, 1).Run(sls[:1])
+	soloIPC := solo[0].IPC
+
+	quad := New(g, 4).Run(sls)
+	var worst float64 = 1e9
+	for _, r := range quad {
+		if r.IPC < worst {
+			worst = r.IPC
+		}
+	}
+	t.Logf("solo IPC %.3f, worst of four sharing DRAM %.3f", soloIPC, worst)
+	if worst >= soloIPC {
+		t.Fatalf("DRAM sharing should cost something: solo %.3f vs shared %.3f", soloIPC, worst)
+	}
+}
+
+func TestCacheResidentScalesCleanly(t *testing.T) {
+	// Cache-resident kernels barely touch DRAM: running four of them
+	// together must cost far less than the streaming case (the residual
+	// coupling comes from occasional wrap-around prefetch traffic).
+	g := gen(t, "M4")
+	sls := slices(t, workload.TightLoopFamily(), 4, 40000)
+	solos := make([]float64, len(sls))
+	for i := range sls {
+		solos[i] = New(g, 1).Run(sls[i : i+1])[0].IPC
+	}
+	quad := New(g, 4).Run(sls)
+	for i, r := range quad {
+		if r.IPC < solos[i]*0.8 {
+			t.Fatalf("cache-resident core %d slowed from %.2f to %.2f under clustering", i, solos[i], r.IPC)
+		}
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	g := gen(t, "M5")
+	mk := func() []core.Result {
+		return New(g, 2).Run(slices(t, workload.SpecIntFamily(), 2, 20000))
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].IPC != b[i].IPC || a[i].Cycles != b[i].Cycles {
+			t.Fatalf("cluster run nondeterministic at core %d", i)
+		}
+	}
+}
+
+func TestFewerSlicesThanCores(t *testing.T) {
+	g := gen(t, "M3")
+	out := New(g, 4).Run(slices(t, workload.MobileFamily(), 2, 15000))
+	if len(out) != 2 {
+		t.Fatalf("results=%d", len(out))
+	}
+	for _, r := range out {
+		if r.Insts == 0 {
+			t.Fatal("idle-core handling broke an active lane")
+		}
+	}
+}
+
+func TestSharedUncoreObservesAllCores(t *testing.T) {
+	g := gen(t, "M4")
+	cl := New(g, 2)
+	cl.Run(slices(t, workload.ChaseFamily(), 2, 20000))
+	if cl.Uncore().Stats().Reads == 0 {
+		t.Fatal("shared path saw no traffic")
+	}
+}

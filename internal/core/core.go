@@ -1,0 +1,201 @@
+// Package core is the top-level simulator API: it assembles one Exynos
+// M-series generation from its three subsystem configurations (branch
+// front end, memory system, pipeline) and replays workload slices
+// through it, producing the per-slice metrics every experiment consumes:
+// IPC (Fig. 17), branch MPKI (Fig. 9), and average load latency
+// (Fig. 16 / Table IV).
+package core
+
+import (
+	"exysim/internal/branch"
+	"exysim/internal/mem"
+	"exysim/internal/pipeline"
+	"exysim/internal/power"
+	"exysim/internal/trace"
+)
+
+// GenConfig bundles one generation's subsystem configurations plus the
+// Table I product metadata.
+type GenConfig struct {
+	Name        string
+	ProcessNode string
+	ProductGHz  float64
+
+	Branch branch.Config
+	Mem    mem.Config
+	Pipe   pipeline.Config
+}
+
+// Generations returns all six generations, M1 through M6.
+func Generations() []GenConfig {
+	meta := []struct {
+		node string
+		ghz  float64
+	}{
+		{"14nm", 2.6}, {"10nm LPE", 2.3}, {"10nm LPP", 2.7},
+		{"8nm LPP", 2.7}, {"7nm", 2.8}, {"5nm", 2.8},
+	}
+	b := branch.Generations()
+	m := mem.Generations()
+	p := pipeline.Generations()
+	out := make([]GenConfig, 6)
+	for i := range out {
+		out[i] = GenConfig{
+			Name:        b[i].Name,
+			ProcessNode: meta[i].node,
+			ProductGHz:  meta[i].ghz,
+			Branch:      b[i],
+			Mem:         m[i],
+			Pipe:        p[i],
+		}
+	}
+	return out
+}
+
+// GenByName returns the named generation ("M1".."M6").
+func GenByName(name string) (GenConfig, bool) {
+	for _, g := range Generations() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GenConfig{}, false
+}
+
+// Result is one slice's outcome on one generation.
+type Result struct {
+	Gen   string
+	Slice string
+	Suite string
+
+	Insts  uint64
+	Cycles uint64
+	IPC    float64
+
+	MPKI       float64
+	AvgLoadLat float64
+
+	// FetchEPKI is the front-end energy proxy per 1k instructions
+	// (§IV-B/§IV-E/§VI power features); PowerBreakdown splits it by
+	// structure.
+	FetchEPKI      float64
+	PowerBreakdown map[string]float64
+
+	Front branch.Stats
+	Mem   mem.Stats
+	Pipe  pipeline.Result
+}
+
+// Simulator is one instantiated generation.
+type Simulator struct {
+	cfg   GenConfig
+	core  *pipeline.Core
+	meter *power.Meter
+}
+
+// NewSimulator builds a fresh, cold simulator for the generation.
+func NewSimulator(cfg GenConfig) *Simulator {
+	front := branch.NewFrontend(cfg.Branch)
+	msys := mem.New(cfg.Mem)
+	s := &Simulator{cfg: cfg, core: pipeline.New(cfg.Pipe, front, msys)}
+	s.meter = power.NewMeter(power.DefaultModel())
+	s.core.SetMeter(s.meter)
+	return s
+}
+
+// Core exposes the pipeline (for ablations and deep stats).
+func (s *Simulator) Core() *pipeline.Core { return s.core }
+
+// Config returns the generation this simulator instantiates.
+func (s *Simulator) Config() GenConfig { return s.cfg }
+
+// Run replays a slice: the warmup prefix trains all structures, stats
+// reset, and the detailed region produces the result (§II's
+// SimPoint-style methodology).
+func (s *Simulator) Run(sl *trace.Slice) Result {
+	sl.Reset()
+	n := 0
+	for {
+		in, err := sl.Next()
+		if err != nil {
+			break
+		}
+		s.core.Step(&in)
+		n++
+		if n == sl.Warmup {
+			s.core.ResetStats()
+		}
+	}
+	return s.Snapshot(sl)
+}
+
+// Snapshot assembles a Result from the simulator's current accumulated
+// state — used by Run and by callers that step the core manually (the
+// cluster scheduler, timelines).
+func (s *Simulator) Snapshot(sl *trace.Slice) Result {
+	pr := s.core.Result()
+	fr := s.core.Frontend().Stats()
+	ms := s.core.Mem().Stats()
+	return Result{
+		Gen:            s.cfg.Name,
+		Slice:          sl.Name,
+		Suite:          sl.Suite,
+		Insts:          pr.Insts,
+		Cycles:         pr.Cycles,
+		IPC:            pr.IPC,
+		MPKI:           fr.MPKI(),
+		AvgLoadLat:     ms.LoadLat.Mean(),
+		FetchEPKI:      s.meter.EPKI(),
+		PowerBreakdown: s.meter.Breakdown(),
+		Front:          fr,
+		Mem:            ms,
+		Pipe:           pr,
+	}
+}
+
+// RunSlice is the one-shot convenience: cold simulator, one slice.
+func RunSlice(cfg GenConfig, sl *trace.Slice) Result {
+	return NewSimulator(cfg).Run(sl)
+}
+
+// IntervalResult is one timeline sample of RunTimeline.
+type IntervalResult struct {
+	Interval int
+	IPC      float64
+	MPKI     float64
+}
+
+// RunTimeline replays the slice and reports IPC/MPKI per fixed interval
+// — the phase-level view SimPoint clusters (§II). The whole slice is
+// measured (no warmup reset), so interval 0 includes cold structures.
+func (s *Simulator) RunTimeline(sl *trace.Slice, intervalInsts int) []IntervalResult {
+	if intervalInsts <= 0 {
+		intervalInsts = 10_000
+	}
+	sl.Reset()
+	var out []IntervalResult
+	n := 0
+	lastCycles, lastMis := uint64(0), uint64(0)
+	for {
+		in, err := sl.Next()
+		if err != nil {
+			break
+		}
+		s.core.Step(&in)
+		n++
+		if n%intervalInsts == 0 {
+			pr := s.core.Result()
+			fr := s.core.Frontend().Stats()
+			dCyc := pr.Cycles - lastCycles
+			dMis := fr.Mispredicts - lastMis
+			ir := IntervalResult{Interval: len(out)}
+			if dCyc > 0 {
+				ir.IPC = float64(intervalInsts) / float64(dCyc)
+			}
+			ir.MPKI = float64(dMis) / float64(intervalInsts) * 1000
+			out = append(out, ir)
+			lastCycles, lastMis = pr.Cycles, fr.Mispredicts
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package dram models main memory for the latency experiments of §IX: a
+// banked LPDDR-style device with open-row (row-buffer) state, expressed
+// in core cycles at the paper's normalized 2.6GHz. It supports the M5
+// early page-activate hint — a sideband command that speculatively opens
+// a DRAM page ahead of the read, which the controller may ignore under
+// load (§IX).
+package dram
+
+// Config sizes the device, with timings in core cycles.
+type Config struct {
+	Banks    int
+	RowBytes uint64
+	TRCD     int // activate-to-read
+	TRP      int // precharge
+	TCAS     int // read-to-data
+	TBurst   int // data burst occupancy per access
+	// ActivateWindow bounds how far ahead an early-activate hint may
+	// usefully open a row.
+	ActivateWindow uint64
+}
+
+// DefaultConfig returns the timings used across generations (the paper
+// normalizes all cores to 2.6GHz so DRAM cycles are constant; what the
+// generations change is the path to DRAM, §IX).
+func DefaultConfig() Config {
+	return Config{
+		Banks: 8, RowBytes: 2048,
+		TRCD: 29, TRP: 29, TCAS: 28, TBurst: 4,
+		ActivateWindow: 300,
+	}
+}
+
+type bank struct {
+	openRow uint64
+	hasOpen bool
+	// busyAll is the bank's full occupancy; busyDemand excludes most
+	// prefetch occupancy, because the controller prioritizes demand
+	// reads and lets prefetches yield.
+	busyAll    uint64
+	busyDemand uint64
+	// hintRow/hintAt record a pending early-activate.
+	hintRow uint64
+	hintAt  uint64
+	hasHint bool
+}
+
+// Stats counts device events.
+type Stats struct {
+	Accesses    uint64
+	RowHits     uint64
+	RowMisses   uint64
+	RowConflicts uint64
+	HintsHonored uint64
+	HintsIgnored uint64
+}
+
+// DRAM is the device model.
+type DRAM struct {
+	cfg   Config
+	banks []bank
+	stats Stats
+}
+
+// New builds the device.
+func New(cfg Config) *DRAM {
+	if cfg.Banks <= 0 || cfg.Banks&(cfg.Banks-1) != 0 {
+		panic("dram: banks must be a power of two")
+	}
+	return &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+}
+
+// Stats returns a snapshot.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+func (d *DRAM) decode(addr uint64) (bankIdx int, row uint64) {
+	rowAddr := addr / d.cfg.RowBytes
+	return int(rowAddr) & (d.cfg.Banks - 1), rowAddr >> uint(popcount(uint64(d.cfg.Banks-1)))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		n += int(x & 1)
+		x >>= 1
+	}
+	return n
+}
+
+// Activate delivers an early page-activate hint (§IX): the row opens
+// speculatively if the bank is idle; a busy bank ignores the hint.
+func (d *DRAM) Activate(addr uint64, now uint64) {
+	bi, row := d.decode(addr)
+	b := &d.banks[bi]
+	if b.busyAll > now {
+		d.stats.HintsIgnored++
+		return
+	}
+	b.hintRow, b.hintAt, b.hasHint = row, now, true
+	d.stats.HintsHonored++
+}
+
+// Access performs a read at cycle now and returns the cycle data is
+// available. Demand reads have priority: they wait only for other
+// demands (plus a bounded tail of in-progress prefetch bursts), while
+// prefetch reads queue behind everything — modelling a controller that
+// deprioritizes or drops prefetches under load.
+func (d *DRAM) Access(addr uint64, now uint64, prefetch bool) (doneAt uint64) {
+	bi, row := d.decode(addr)
+	b := &d.banks[bi]
+	d.stats.Accesses++
+	start := now
+	if prefetch {
+		if b.busyAll > start {
+			start = b.busyAll
+		}
+	} else {
+		if b.busyDemand > start {
+			start = b.busyDemand
+		}
+		// A prefetch burst in progress can only delay a demand by a
+		// couple of bursts before yielding.
+		if cap := b.busyAll; cap > start+2*uint64(d.cfg.TBurst) {
+			start += 2 * uint64(d.cfg.TBurst)
+		} else if cap > start {
+			start = cap
+		}
+	}
+	// An honoured early-activate that had time to complete leaves the
+	// row open by the time the read arrives.
+	if b.hasHint && b.hintRow == row && now-b.hintAt <= d.cfg.ActivateWindow {
+		if now >= b.hintAt+uint64(d.cfg.TRCD) {
+			b.openRow, b.hasOpen = row, true
+		} else {
+			// Partially overlapped activate: the remaining tRCD shows.
+			b.openRow, b.hasOpen = row, true
+			start += b.hintAt + uint64(d.cfg.TRCD) - now
+		}
+	}
+	b.hasHint = false
+	var lat int
+	switch {
+	case b.hasOpen && b.openRow == row:
+		d.stats.RowHits++
+		lat = d.cfg.TCAS
+	case b.hasOpen:
+		d.stats.RowConflicts++
+		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+	default:
+		d.stats.RowMisses++
+		lat = d.cfg.TRCD + d.cfg.TCAS
+	}
+	b.openRow, b.hasOpen = row, true
+	end := start + uint64(lat) + uint64(d.cfg.TBurst)
+	if end > b.busyAll {
+		b.busyAll = end
+	}
+	if !prefetch && end > b.busyDemand {
+		b.busyDemand = end
+	}
+	return start + uint64(lat)
+}

@@ -1,0 +1,95 @@
+package dram
+
+import "testing"
+
+func TestRowHitVsMiss(t *testing.T) {
+	d := New(DefaultConfig())
+	cfg := DefaultConfig()
+	// First access to a closed bank: tRCD + tCAS.
+	done := d.Access(0x10000, 1000, false)
+	if got := int(done - 1000); got != cfg.TRCD+cfg.TCAS {
+		t.Fatalf("closed-row latency %d", got)
+	}
+	// Same row, after the burst: tCAS only.
+	start := done + uint64(cfg.TBurst)
+	done2 := d.Access(0x10040, start, false)
+	if got := int(done2 - start); got != cfg.TCAS {
+		t.Fatalf("row-hit latency %d", got)
+	}
+	// Different row in the same bank: tRP + tRCD + tCAS.
+	other := 0x10000 + cfg.RowBytes*uint64(cfg.Banks)
+	start = done2 + uint64(cfg.TBurst)
+	done3 := d.Access(other, start, false)
+	if got := int(done3 - start); got != cfg.TRP+cfg.TRCD+cfg.TCAS {
+		t.Fatalf("row-conflict latency %d", got)
+	}
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowMisses != 1 || st.RowConflicts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBankBusyQueuing(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0x0, 0, false)
+	// Immediate second access to the same bank waits out the burst.
+	done := d.Access(0x40, 1, false)
+	cfg := DefaultConfig()
+	first := uint64(cfg.TRCD + cfg.TCAS)
+	if done < first+uint64(cfg.TBurst) {
+		t.Fatalf("second access (%d) overlapped the busy bank", done)
+	}
+}
+
+func TestEarlyActivateHidesTRCD(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	addr := uint64(0x40000)
+	// Hint far enough ahead: the read pays only tCAS.
+	d.Activate(addr, 100)
+	done := d.Access(addr, 100+uint64(cfg.TRCD)+5, false)
+	if got := int(done - (100 + uint64(cfg.TRCD) + 5)); got != cfg.TCAS {
+		t.Fatalf("activated-row latency %d, want %d", got, cfg.TCAS)
+	}
+	if d.Stats().HintsHonored != 1 {
+		t.Fatal("hint not honoured")
+	}
+}
+
+func TestEarlyActivatePartialOverlap(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	addr := uint64(0x80000)
+	d.Activate(addr, 200)
+	// Read arrives before the activate finished: pays the remainder.
+	arrive := uint64(200 + 10)
+	done := d.Access(addr, arrive, false)
+	want := uint64(cfg.TRCD-10) + uint64(cfg.TCAS)
+	if got := done - arrive; got != want {
+		t.Fatalf("partial-overlap latency %d, want %d", got, want)
+	}
+}
+
+func TestBusyBankIgnoresHint(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	d.Access(0x0, 0, false) // bank 0 busy
+	d.Activate(0x0, 1)
+	if d.Stats().HintsIgnored != 1 {
+		t.Fatal("busy bank should ignore the hint (§IX)")
+	}
+}
+
+func TestHintExpires(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	addr := uint64(0xC0000)
+	d.Activate(addr, 0)
+	// Way beyond the activate window: hint stale. The access still
+	// proceeds (row may have been opened by the hint, that is fine),
+	// but the stale-hint path must not crash or go negative.
+	done := d.Access(addr, cfg.ActivateWindow+10_000, false)
+	if done <= cfg.ActivateWindow+10_000 {
+		t.Fatal("nonsensical completion time")
+	}
+}

@@ -1,0 +1,63 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: completions are always after the request and at least tCAS
+// away; per-bank busy state never moves backwards.
+func TestAccessTimingInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	now := uint64(0)
+	if err := quick.Check(func(addrRaw uint32, advance uint8, prefetch bool) bool {
+		now += uint64(advance)
+		done := d.Access(uint64(addrRaw)<<6, now, prefetch)
+		if done < now+uint64(cfg.TCAS) {
+			return false
+		}
+		// Upper bound: queueing behind at most the whole window of
+		// prior work; sanity-check against runaway accumulation.
+		return done < now+1_000_000
+	}, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a demand read is never slower than the same read issued as a
+// prefetch from identical device state.
+func TestDemandPriorityProperty(t *testing.T) {
+	if err := quick.Check(func(ops []uint16, addrRaw uint16) bool {
+		mk := func() *DRAM {
+			d := New(DefaultConfig())
+			now := uint64(0)
+			for _, op := range ops {
+				now += uint64(op % 16)
+				d.Access(uint64(op)<<6, now, op%3 == 0)
+			}
+			return d
+		}
+		at := uint64(len(ops) * 8)
+		demand := mk().Access(uint64(addrRaw)<<6, at, false)
+		pf := mk().Access(uint64(addrRaw)<<6, at, true)
+		return demand <= pf
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hints never make a subsequent access slower.
+func TestHintNeverHurts(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := quick.Check(func(addrRaw uint16, lead uint8) bool {
+		addr := uint64(addrRaw) << 6
+		at := uint64(500)
+		plain := New(cfg).Access(addr, at, false)
+		hinted := New(cfg)
+		hinted.Activate(addr, at-uint64(lead%100)-1)
+		return hinted.Access(addr, at, false) <= plain
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

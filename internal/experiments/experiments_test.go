@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"exysim/internal/workload"
+)
+
+var tinyPop = workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 20_000, WarmupFrac: 0.25, Seed: 0xE59}
+
+func TestRunPopulationShape(t *testing.T) {
+	p := RunPopulation(tinyPop)
+	if len(p.Gens) != 6 {
+		t.Fatalf("gens=%d", len(p.Gens))
+	}
+	if len(p.Results) != 6 || len(p.Results[0]) != len(p.Slices) {
+		t.Fatal("results shape wrong")
+	}
+	for g := range p.Results {
+		for s := range p.Results[g] {
+			if p.Results[g][s].Insts == 0 {
+				t.Fatalf("empty result at gen %d slice %d", g, s)
+			}
+		}
+	}
+}
+
+func TestPopulationDeterministicAcrossParallelRuns(t *testing.T) {
+	a := RunPopulation(tinyPop)
+	b := RunPopulation(tinyPop)
+	for g := range a.Results {
+		for s := range a.Results[g] {
+			if a.Results[g][s].IPC != b.Results[g][s].IPC {
+				t.Fatalf("nondeterminism at gen %d slice %d", g, s)
+			}
+		}
+	}
+}
+
+func TestCurvesAreSorted(t *testing.T) {
+	p := RunPopulation(tinyPop)
+	for _, m := range []Metric{MetricMPKI, MetricIPC, MetricLoadLat} {
+		curves := p.Curves(m, 10)
+		for g, c := range curves {
+			for i := 1; i < len(c); i++ {
+				if c[i] < c[i-1] {
+					t.Fatalf("gen %d curve not sorted: %v", g, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMeansAndSuiteMeans(t *testing.T) {
+	p := RunPopulation(tinyPop)
+	mpki := p.Means(MetricMPKI)
+	if len(mpki) != 6 {
+		t.Fatal("means length")
+	}
+	spec := p.SuiteMeans(MetricMPKI, "spec")
+	if spec[0] <= 0 {
+		t.Fatal("spec suite means empty")
+	}
+	if none := p.SuiteMeans(MetricMPKI, "nosuch"); none[0] != 0 {
+		t.Fatal("unknown suite should be zero")
+	}
+}
+
+func TestFig1SweepShape(t *testing.T) {
+	pts := Fig1(2, 20_000, []int{8, 64, 224}, 0xE59)
+	if len(pts) != 3 {
+		t.Fatalf("points=%d", len(pts))
+	}
+	if !(pts[0].GHISTBits < pts[1].GHISTBits && pts[1].GHISTBits < pts[2].GHISTBits) {
+		t.Fatal("points not sorted")
+	}
+	// Long history must beat very short history on CBP traces.
+	if pts[2].MPKI >= pts[0].MPKI {
+		t.Fatalf("GHIST 224 (%.2f) should beat GHIST 8 (%.2f)", pts[2].MPKI, pts[0].MPKI)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	p := RunPopulation(tinyPop)
+	for name, s := range map[string]string{
+		"tableI":   RenderTableI(),
+		"tableII":  RenderTableII(),
+		"tableIII": RenderTableIII(),
+		"tableIV":  RenderTableIV(p),
+		"summary":  Summary(p),
+		"fig1":     RenderFig1([]Fig1Point{{8, 9.0}, {64, 7.0}}),
+		"curves":   RenderCurves("t", p.Gens, p.Curves(MetricMPKI, 8), 20),
+	} {
+		if len(s) < 40 {
+			t.Fatalf("%s render too short: %q", name, s)
+		}
+		if !strings.Contains(s, "M1") && name != "fig1" {
+			t.Fatalf("%s render lacks generation labels", name)
+		}
+	}
+}
+
+func TestBranchSlotStats(t *testing.T) {
+	lead, second, nt := BranchSlotStats(tinyPop)
+	sum := lead + second + nt
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if lead < 0.4 {
+		t.Fatalf("lead-taken %v implausibly low", lead)
+	}
+}
+
+func TestAblationRegistryRuns(t *testing.T) {
+	// Smoke: every registered ablation must execute and produce a
+	// nonzero baseline.
+	for _, a := range Ablations() {
+		r := RunAblation(a, tinyPop)
+		if r.BaselineIPC <= 0 || r.DisabledIPC <= 0 {
+			t.Fatalf("%s: degenerate result %+v", a.Name, r)
+		}
+	}
+}
+
+func TestKeyAblationsHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population run")
+	}
+	spec := workload.SuiteSpec{SlicesPerFamily: 2, InstsPerSlice: 60_000, WarmupFrac: 0.25, Seed: 0xE59}
+	for _, name := range []string{"prefetch", "ubtb", "dramlat"} {
+		for _, a := range Ablations() {
+			if a.Name != name {
+				continue
+			}
+			r := RunAblation(a, spec)
+			if r.SpeedupPct < 0.3 {
+				t.Fatalf("%s should show a clear benefit, got %+.2f%% (base %.3f vs %.3f)",
+					name, r.SpeedupPct, r.BaselineIPC, r.DisabledIPC)
+			}
+		}
+	}
+}
+
+func TestUOCCutsFrontEndEnergy(t *testing.T) {
+	// §VI: the UOC exists primarily to save fetch and decode power —
+	// M5 (first UOC generation) must show a clear EPKI drop vs M4.
+	p := RunPopulation(tinyPop)
+	epki := p.Means(MetricEPKI)
+	t.Logf("EPKI by generation: %.0f", epki)
+	if epki[4] >= epki[3]*0.9 {
+		t.Fatalf("M5 EPKI (%.0f) should undercut M4's (%.0f) by >10%%", epki[4], epki[3])
+	}
+}
+
+func TestRenderPower(t *testing.T) {
+	p := RunPopulation(tinyPop)
+	s := RenderPower(p)
+	if len(s) < 100 || !strings.Contains(s, "uoc") {
+		t.Fatalf("power render: %q", s)
+	}
+}
+
+func TestSecurityCost(t *testing.T) {
+	rows := SecurityCost(tinyPop, 4000)
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	base, stable, rekey := rows[0], rows[1], rows[2]
+	t.Logf("base MPKI %.2f, cipher %.2f, rekey %.2f (ind %d/%d/%d)",
+		base.MPKI, stable.MPKI, rekey.MPKI, base.IndirectMis, stable.IndirectMis, rekey.IndirectMis)
+	// Within one context the cipher is performance-neutral (§V).
+	if stable.MPKI > base.MPKI*1.02 {
+		t.Fatalf("stable-context cipher cost too high: %.2f vs %.2f", stable.MPKI, base.MPKI)
+	}
+	// Re-keying must cost indirect/RAS retrains.
+	if rekey.IndirectMis+rekey.ReturnMis <= stable.IndirectMis+stable.ReturnMis {
+		t.Fatal("re-keying should force indirect/RAS retraining")
+	}
+	if RenderSecurity(rows) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSharingStudy(t *testing.T) {
+	rows := SharingStudy(tinyPop, []float64{0, 0.6})
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byKey := map[string]SharingRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s@%.1f", r.Gen, r.Load)] = r
+	}
+	// Co-runner load must hurt the shared-L2 M2.
+	if byKey["M2@0.6"].MeanIPC >= byKey["M2@0.0"].MeanIPC {
+		t.Fatalf("co-runners should hurt shared L2: %.3f vs %.3f",
+			byKey["M2@0.6"].MeanIPC, byKey["M2@0.0"].MeanIPC)
+	}
+	// Load must hurt the private-L2 M3 too (it still shares L3/DRAM)...
+	if byKey["M3@0.6"].MeanIPC >= byKey["M3@0.0"].MeanIPC {
+		t.Fatal("co-runners should also hurt M3 via the shared L3/DRAM")
+	}
+	// ...but its private L2 is structurally isolated: co-runner fills
+	// land in M2's L2 and M3's L3, never M3's L2.
+	if byKey["M2@0.6"].L2Polluted == 0 {
+		t.Fatal("shared L2 should receive co-runner fills")
+	}
+	if byKey["M3@0.6"].L2Polluted != 0 {
+		t.Fatalf("private L2 polluted by %d co-runner fills", byKey["M3@0.6"].L2Polluted)
+	}
+	if byKey["M3@0.6"].L3Polluted == 0 {
+		t.Fatal("M3's shared L3 should receive co-runner fills")
+	}
+	m2drop := 1 - byKey["M2@0.6"].MeanIPC/byKey["M2@0.0"].MeanIPC
+	m3drop := 1 - byKey["M3@0.6"].MeanIPC/byKey["M3@0.0"].MeanIPC
+	t.Logf("relative IPC drop under load: M2 %.1f%%, M3 %.1f%%", m2drop*100, m3drop*100)
+	if RenderSharing(rows) == "" {
+		t.Fatal("empty render")
+	}
+}

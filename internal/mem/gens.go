@@ -1,0 +1,132 @@
+package mem
+
+import (
+	"exysim/internal/cache"
+	"exysim/internal/dram"
+	"exysim/internal/prefetch"
+	"exysim/internal/tlb"
+	"exysim/internal/uncore"
+)
+
+// Per-generation memory-system configurations, straight from Table I
+// (caches, TLBs, latencies, outstanding misses) and §VII-§IX (prefetch
+// engines and DRAM-path features). The average L2 latencies of 13.5 for
+// the shared-by-two M5/M6 L2 are rounded up to 14 in this integer model.
+
+// M1MemConfig returns the first-generation memory system.
+func M1MemConfig() Config {
+	return Config{
+		Name: "M1",
+		L1I:  cache.Config{Name: "l1i", SizeKB: 64, Ways: 4, Latency: 4},
+		L1D:  cache.Config{Name: "l1d", SizeKB: 32, Ways: 8, Latency: 4},
+		L2:   cache.Config{Name: "l2", SizeKB: 2048, Ways: 16, SectorLog2: 1, Latency: 22, BytesPerCycle: 16},
+		MABs: 8,
+		Sharers: 4, ClusterCores: 4, // L2 shared by the 4-core cluster (Table I)
+
+		DTLB:  tlb.Config{Name: "dtlb", Entries: 32, Ways: 32, Sectors: 1, Latency: 0},
+		ITLB:  tlb.Config{Name: "itlb", Entries: 64, Ways: 64, Sectors: 4, Latency: 0},
+		L2TLB: tlb.Config{Name: "l2tlb", Entries: 1024, Ways: 4, Sectors: 1, Latency: 7},
+		WalkLatency: 40,
+
+		MSP: prefetch.MSPConfig{
+			Streams: 16, DeltaHistory: 12, MaxPeriod: 4,
+			MinDegree: 2, MaxDegree: 8, // bounded by 8 fill buffers
+			Integrated: false, ConfQueueSize: 16, ConfWindow: 4,
+		},
+		OnePassWatermark: 16,
+
+		Uncore: uncore.Config{
+			CrossingCycles: 9, QueueCycles: 7, SnoopFilterCycles: 8,
+			MissPredictorEntries: 1024,
+		},
+		DRAM: dram.DefaultConfig(),
+	}
+}
+
+// M2MemConfig: no memory-hierarchy geometry changes over M1 (Table I);
+// M2's gains came from deeper queues elsewhere in the core.
+func M2MemConfig() Config {
+	c := M1MemConfig()
+	c.Name = "M2"
+	return c
+}
+
+// M3MemConfig: private 512KB L2 at less than half the latency, a new
+// 4MB exclusive L3, a 64KB L1D, the L1.5 DTLB, 12 outstanding misses,
+// the integrated confirmation queue (§VII-D) and the SMS engine (§VII-C).
+func M3MemConfig() Config {
+	c := M2MemConfig()
+	c.Name = "M3"
+	c.L1D = cache.Config{Name: "l1d", SizeKB: 64, Ways: 8, Latency: 4}
+	c.L2 = cache.Config{Name: "l2", SizeKB: 512, Ways: 8, SectorLog2: 1, Latency: 12, BytesPerCycle: 32}
+	c.L3 = cache.Config{Name: "l3", SizeKB: 4096, Ways: 16, Latency: 37}
+	c.MABs = 12
+	c.Sharers = 1 // M3 made the L2 private (Table I); the L3 stays cluster-shared
+	c.D15 = tlb.Config{Name: "d15tlb", Entries: 128, Ways: 4, Sectors: 4, Latency: 2}
+	c.L2TLB = tlb.Config{Name: "l2tlb", Entries: 1024, Ways: 4, Sectors: 4, Latency: 7}
+	c.ITLB = tlb.Config{Name: "itlb", Entries: 64, Ways: 64, Sectors: 8, Latency: 0}
+	c.MSP.Integrated = true
+	c.MSP.MaxDegree = 12
+	c.HasSMS = true
+	c.SMS = prefetch.DefaultSMSConfig()
+	return c
+}
+
+// M4MemConfig: 1MB L2, 3MB L3, 4-way L1D with load-load cascading, the
+// MAB approach with 32 outstanding misses, the 48-page DTLB, the buddy
+// prefetcher (§VIII-B), and the dedicated DRAM fast path (§IX).
+func M4MemConfig() Config {
+	c := M3MemConfig()
+	c.Name = "M4"
+	c.L1D = cache.Config{Name: "l1d", SizeKB: 64, Ways: 4, Latency: 4}
+	c.HasCascade = true
+	c.L2 = cache.Config{Name: "l2", SizeKB: 1024, Ways: 8, SectorLog2: 1, Latency: 12, BytesPerCycle: 32}
+	c.L3 = cache.Config{Name: "l3", SizeKB: 3072, Ways: 16, Latency: 37}
+	c.MABs = 32
+	c.ClusterCores = 2 // 4-core cluster -> 2-core cluster (§III)
+	c.DTLB = tlb.Config{Name: "dtlb", Entries: 48, Ways: 48, Sectors: 1, Latency: 0}
+	c.MSP.MaxDegree = 32
+	c.HasBuddy = true
+	c.Uncore.FastPath = true
+	return c
+}
+
+// M5MemConfig: 2MB shared-by-two L2 (slightly higher average latency),
+// faster 3MB L3, the standalone lower-level prefetcher (§VIII-C/D), and
+// the speculative-read + early-page-activate DRAM features (§IX).
+func M5MemConfig() Config {
+	c := M4MemConfig()
+	c.Name = "M5"
+	c.L2 = cache.Config{Name: "l2", SizeKB: 2048, Ways: 8, SectorLog2: 1, Latency: 14, BytesPerCycle: 32}
+	c.L3 = cache.Config{Name: "l3", SizeKB: 3072, Ways: 12, Latency: 30}
+	c.Sharers = 2 // shared by two cores again (Table I)
+	c.HasStandalone = true
+	c.Standalone = prefetch.DefaultStandaloneConfig()
+	c.Uncore.SpecRead = true
+	c.Uncore.EarlyActivate = true
+	return c
+}
+
+// M6MemConfig: 128KB L1s, 4MB L3, 40 outstanding misses, the 128-page
+// DTLB and the 8K-page L2 TLB.
+func M6MemConfig() Config {
+	c := M5MemConfig()
+	c.Name = "M6"
+	c.L1I = cache.Config{Name: "l1i", SizeKB: 128, Ways: 4, Latency: 4}
+	c.L2.BytesPerCycle = 64 // Table I: 64B/cycle on M6
+	c.L1D = cache.Config{Name: "l1d", SizeKB: 128, Ways: 8, Latency: 4}
+	c.L3 = cache.Config{Name: "l3", SizeKB: 4096, Ways: 16, Latency: 30}
+	c.MABs = 40
+	c.DTLB = tlb.Config{Name: "dtlb", Entries: 128, Ways: 128, Sectors: 1, Latency: 0}
+	c.L2TLB = tlb.Config{Name: "l2tlb", Entries: 2048, Ways: 4, Sectors: 4, Latency: 7}
+	c.MSP.MaxDegree = 40
+	return c
+}
+
+// Generations returns the six memory configurations in order.
+func Generations() []Config {
+	return []Config{
+		M1MemConfig(), M2MemConfig(), M3MemConfig(),
+		M4MemConfig(), M5MemConfig(), M6MemConfig(),
+	}
+}

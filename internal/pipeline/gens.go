@@ -1,0 +1,104 @@
+package pipeline
+
+import "exysim/internal/uoc"
+
+// Per-generation core configurations from Table I's execution-unit
+// details: widths, window sizes, unit mixes and FP latencies.
+
+// M1PipeConfig returns the first-generation 4-wide core.
+func M1PipeConfig() Config {
+	return Config{
+		Name:  "M1",
+		Width: 4, ROB: 96, IntPRF: 96, FPPRF: 96,
+		Units: map[UnitKind]int{
+			UnitS: 2, UnitCD: 1, UnitBR: 1,
+			UnitLoad: 1, UnitStore: 1,
+			UnitFMAC: 1, UnitFADD: 1,
+		},
+		LatALU: 1, LatMul: 4, LatDiv: 12, DivOccupancy: 8,
+		LatFMAC: 5, LatFMUL: 4, LatFADD: 3,
+		FrontDepth: 9,
+	}
+}
+
+// M2PipeConfig: same resources as M1 (Table I shows no significant
+// changes; the ROB grew 96 -> 100 and several queues deepened).
+func M2PipeConfig() Config {
+	c := M1PipeConfig()
+	c.Name = "M2"
+	c.ROB = 100
+	return c
+}
+
+// M3PipeConfig: the 6-wide redesign — 228-entry ROB, doubled PRFs, an
+// extra complex ALU, two load pipes, three FMACs, reduced FP latencies,
+// and zero-cycle integer moves.
+func M3PipeConfig() Config {
+	return Config{
+		Name:  "M3",
+		Width: 6, ROB: 228, IntPRF: 192, FPPRF: 192,
+		Units: map[UnitKind]int{
+			UnitS: 2, UnitCD: 1, UnitC: 1, UnitBR: 1,
+			UnitLoad: 2, UnitStore: 1,
+			UnitFMAC: 3,
+		},
+		LatALU: 1, LatMul: 3, LatDiv: 12, DivOccupancy: 8,
+		LatFMAC: 4, LatFMUL: 3, LatFADD: 2,
+		ZeroCycleMove: true,
+		FrontDepth:    10,
+	}
+}
+
+// M4PipeConfig: the load/store side becomes 1L + 1S + 1 generic pipe;
+// the FP PRF shrinks slightly (Table I).
+func M4PipeConfig() Config {
+	c := M3PipeConfig()
+	c.Name = "M4"
+	c.FPPRF = 176
+	c.Units = map[UnitKind]int{
+		UnitS: 2, UnitCD: 1, UnitC: 1, UnitBR: 1,
+		UnitLoad: 1, UnitStore: 1, UnitGen: 1,
+		UnitFMAC: 3,
+	}
+	return c
+}
+
+// M5PipeConfig: four simple ALUs and the micro-op cache (§VI).
+func M5PipeConfig() Config {
+	c := M4PipeConfig()
+	c.Name = "M5"
+	c.Units = map[UnitKind]int{
+		UnitS: 4, UnitCD: 1, UnitC: 1, UnitBR: 1,
+		UnitLoad: 1, UnitStore: 1, UnitGen: 1,
+		UnitFMAC: 3,
+	}
+	c.HasUOC = true
+	c.UOC = uoc.DefaultConfig()
+	return c
+}
+
+// M6PipeConfig: the 8-wide design — 256-entry ROB, 224-entry PRFs,
+// 4S+2CD+2BR integer units and four FMAC pipes.
+func M6PipeConfig() Config {
+	c := M5PipeConfig()
+	c.Name = "M6"
+	c.Width = 8
+	c.ROB = 256
+	c.IntPRF, c.FPPRF = 224, 224
+	c.Units = map[UnitKind]int{
+		UnitS: 4, UnitCD: 2, UnitBR: 2,
+		UnitLoad: 1, UnitStore: 1, UnitGen: 1,
+		UnitFMAC: 4,
+	}
+	c.UOC.CapacityUops = 512 // scaled with the 8-wide front end
+	c.UOC.Width = 8
+	return c
+}
+
+// Generations returns the six pipeline configurations in order.
+func Generations() []Config {
+	return []Config{
+		M1PipeConfig(), M2PipeConfig(), M3PipeConfig(),
+		M4PipeConfig(), M5PipeConfig(), M6PipeConfig(),
+	}
+}

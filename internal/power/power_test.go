@@ -1,0 +1,78 @@
+package power
+
+import "testing"
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	m.Charge(EvICacheAccess, 10)
+	m.Charge(EvDecode, 40)
+	m.AddInsts(1000)
+	want := 10*DefaultModel().Cost[EvICacheAccess] + 40*DefaultModel().Cost[EvDecode]
+	if m.Energy() != want {
+		t.Fatalf("energy %v want %v", m.Energy(), want)
+	}
+	if m.EPKI() != want {
+		t.Fatalf("epki %v want %v", m.EPKI(), want)
+	}
+	if m.Count(EvDecode) != 40 {
+		t.Fatalf("count %d", m.Count(EvDecode))
+	}
+}
+
+func TestEmptyMeter(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	if m.EPKI() != 0 || m.Energy() != 0 {
+		t.Fatal("empty meter should be zero")
+	}
+	if len(m.Breakdown()) != 0 {
+		t.Fatal("breakdown should be empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	m.Charge(EvSHPLookup, 5)
+	m.AddInsts(10)
+	m.Reset()
+	if m.Energy() != 0 || m.EPKI() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestGatedCostsAreCheaper(t *testing.T) {
+	// The whole point of clock gating (§IV-B) and the empty-line
+	// optimization (§IV-E): the gated event must cost far less.
+	mdl := DefaultModel()
+	if mdl.Cost[EvSHPLookupGated] >= mdl.Cost[EvSHPLookup]/4 {
+		t.Fatal("gated SHP should be much cheaper")
+	}
+	if mdl.Cost[EvMBTBLookupGated] >= mdl.Cost[EvMBTBLookup]/4 {
+		t.Fatal("gated mBTB should be much cheaper")
+	}
+	// UOC supply must undercut the decode it replaces (§VI).
+	if mdl.Cost[EvUOCSupply] >= mdl.Cost[EvDecode] {
+		t.Fatal("UOC supply must be cheaper than decode")
+	}
+}
+
+func TestBreakdownSumsToEnergy(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	m.Charge(EvICacheAccess, 3)
+	m.Charge(EvUOCSupply, 7)
+	m.Charge(EvL2BTBFill, 2)
+	var sum float64
+	for _, v := range m.Breakdown() {
+		sum += v
+	}
+	if sum != m.Energy() {
+		t.Fatalf("breakdown sum %v != energy %v", sum, m.Energy())
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for e := Event(0); e < numEvents; e++ {
+		if e.String() == "" {
+			t.Fatalf("event %d unnamed", e)
+		}
+	}
+}

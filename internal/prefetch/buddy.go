@@ -1,0 +1,73 @@
+package prefetch
+
+// Buddy is the L2 buddy-sector prefetcher added in M4 (§VIII-B): the L2
+// tags are sectored at a 128B granule over 64B data lines, so for every
+// demand miss the 64B neighbour ("buddy") of the missing line can be
+// prefetched without any tag cost or cache pollution — the buddy slot
+// would otherwise simply sit invalid. The only cost is DRAM bandwidth
+// when buddies go unused, so a filter tracks demand patterns and
+// disables buddy issue when accesses almost always skip the neighbour.
+type Buddy struct {
+	// issued/used track buddy prefetch accuracy over a sliding window
+	// via saturating credit.
+	credit   int
+	disabled bool
+
+	issuedTotal uint64
+	usedTotal   uint64
+	suppressed  uint64
+}
+
+// BuddyStats reports filter behaviour.
+type BuddyStats struct {
+	Issued     uint64
+	Used       uint64
+	Suppressed uint64
+	Disabled   bool
+}
+
+// Stats returns a snapshot.
+func (b *Buddy) Stats() BuddyStats {
+	return BuddyStats{Issued: b.issuedTotal, Used: b.usedTotal, Suppressed: b.suppressed, Disabled: b.disabled}
+}
+
+const (
+	buddyCreditMax     = 64
+	buddyCreditMin     = -64
+	buddyDisableBelow  = -32
+	buddyReenableAbove = 0
+)
+
+// OnL2DemandMiss returns the buddy prefetch for the missed line, unless
+// the filter has the prefetcher disabled.
+func (b *Buddy) OnL2DemandMiss(addr uint64) []Request {
+	if b.disabled {
+		b.suppressed++
+		// Keep sampling while disabled so a pattern change re-enables:
+		// credit drifts back up slowly.
+		b.credit++
+		if b.credit >= buddyReenableAbove {
+			b.disabled = false
+		}
+		return nil
+	}
+	b.issuedTotal++
+	return []Request{{Addr: addr ^ 64}}
+}
+
+// OnBuddyOutcome reports whether a buddy-prefetched line was demanded
+// before eviction; the filter disables issue when the demand pattern
+// almost always skips the neighbouring sector.
+func (b *Buddy) OnBuddyOutcome(used bool) {
+	if used {
+		b.usedTotal++
+		if b.credit < buddyCreditMax {
+			b.credit += 2
+		}
+	} else if b.credit > buddyCreditMin {
+		b.credit -= 3
+	}
+	if b.credit <= buddyDisableBelow {
+		b.disabled = true
+	}
+}

@@ -1,0 +1,339 @@
+// Package prefetch implements the paper's prefetch engines: the L1
+// multi-stride prefetcher with its address reorder buffer, confirmation
+// queues (plain, then integrated from M3), adaptive dynamic degree and
+// one-pass/two-pass issue (§VII); the spatial-memory-streaming engine
+// (§VII-C); the L2 buddy-sector prefetcher with its skip filter
+// (§VIII-B); and the standalone lower-level-cache prefetcher with its
+// two-level adaptive confidence scheme (§VIII-C/D).
+package prefetch
+
+// Request is one prefetch the engine wants issued.
+type Request struct {
+	// Addr is the line-aligned virtual address to prefetch.
+	Addr uint64
+	// FirstPassL2 asks for a fill into the L2 only: the first pass of
+	// the two-pass scheme (§VII-B) or a low-confidence SMS prefetch
+	// (§VII-C).
+	FirstPassL2 bool
+}
+
+// MSPConfig sizes the multi-stride prefetcher.
+type MSPConfig struct {
+	Streams      int // concurrently trained streams (per-PC entries)
+	DeltaHistory int // reorder-buffer-fed delta history per stream
+	MaxPeriod    int // longest multi-stride pattern detected
+	MinDegree    int // initial prefetch degree of a new stream
+	MaxDegree    int // degree cap ("can be very large (over 50)", §VII-B)
+	// Integrated selects the M3+ integrated confirmation scheme; false
+	// models the M1/M2 finite confirmation queue (§VII-D).
+	Integrated bool
+	// ConfQueueSize bounds the plain confirmation queue.
+	ConfQueueSize int
+	// ConfWindow is how many confirmations in a window raise the degree.
+	ConfWindow int
+}
+
+// DefaultMSPConfig returns an M1-era configuration.
+func DefaultMSPConfig() MSPConfig {
+	return MSPConfig{
+		Streams: 16, DeltaHistory: 12, MaxPeriod: 4,
+		MinDegree: 2, MaxDegree: 16,
+		Integrated: false, ConfQueueSize: 16, ConfWindow: 4,
+	}
+}
+
+// MSPStats counts engine events.
+type MSPStats struct {
+	Trains        uint64
+	Locks         uint64
+	Issued        uint64
+	Confirmations uint64
+	DegreeUps     uint64
+	DegreeDowns   uint64
+	SkipAheads    uint64
+}
+
+type stream struct {
+	pc       uint64
+	lastLine uint64
+	deltas   []int64
+	pattern  []int64 // locked multi-stride pattern (line deltas)
+	patPos   int
+	locked   bool
+
+	genLine uint64 // next line the generator will prefetch
+	ahead   int    // lines generated beyond last confirmation
+
+	// prevObserved/obsPos track the last miss position on the pattern,
+	// used both to verify pattern continuation and as the integrated
+	// confirmation scheme's "last confirmed address" (§VII-D).
+	prevObserved uint64
+	obsPos       int
+
+	degree int
+	confs  int      // confirmations within current window
+	expect []uint64 // integrated confirmation addresses
+
+	queue []uint64 // plain confirmation queue (issued prefetches)
+
+	lru uint64
+}
+
+// MultiStride is the L1 stride engine (§VII-A/B/D). It trains on cache
+// misses delivered in program order — the simulator's trace order stands
+// in for the address reorder buffer of [27][28]; a same-line filter
+// dedups entries as the real filter does.
+type MultiStride struct {
+	cfg     MSPConfig
+	streams map[uint64]*stream
+	tick    uint64
+	stats   MSPStats
+
+	lastTrainLine uint64 // same-line dedup filter
+	haveLast      bool
+}
+
+// NewMultiStride builds the engine.
+func NewMultiStride(cfg MSPConfig) *MultiStride {
+	return &MultiStride{cfg: cfg, streams: make(map[uint64]*stream, cfg.Streams)}
+}
+
+// Stats returns a snapshot.
+func (m *MultiStride) Stats() MSPStats { return m.stats }
+
+func (m *MultiStride) stream(pc uint64) *stream {
+	s, ok := m.streams[pc]
+	if !ok {
+		if len(m.streams) >= m.cfg.Streams {
+			var victim *stream
+			for _, e := range m.streams {
+				if victim == nil || e.lru < victim.lru {
+					victim = e
+				}
+			}
+			delete(m.streams, victim.pc)
+		}
+		s = &stream{pc: pc, degree: m.cfg.MinDegree}
+		m.streams[pc] = s
+	}
+	m.tick++
+	s.lru = m.tick
+	return s
+}
+
+// Confirmed reports whether pc currently has a locked stream — the
+// suppression signal that stops SMS training on covered streams
+// (§VII-C).
+func (m *MultiStride) Confirmed(pc uint64) bool {
+	s, ok := m.streams[pc]
+	return ok && s.locked && s.confs > 0
+}
+
+// OnMiss trains the engine with a demand miss (the engine trains on
+// cache misses to use load-pipe bandwidth efficiently, §VII-A) and
+// returns the prefetches to issue.
+func (m *MultiStride) OnMiss(pc, addr uint64) []Request {
+	line := addr >> 6
+	// Address filter: deallocate duplicate entries to the same line.
+	if m.haveLast && line == m.lastTrainLine {
+		return nil
+	}
+	m.lastTrainLine, m.haveLast = line, true
+
+	s := m.stream(pc)
+	m.stats.Trains++
+	// A demand miss is also a demand access: check it against the
+	// confirmation state before training advances the pattern position.
+	m.confirm(s, line)
+	if s.lastLine != 0 {
+		d := int64(line - s.lastLine)
+		if d != 0 {
+			s.deltas = append(s.deltas, d)
+			if len(s.deltas) > m.cfg.DeltaHistory {
+				s.deltas = s.deltas[1:]
+			}
+		}
+	}
+	s.lastLine = line
+
+	if !s.locked {
+		m.tryLock(s)
+		if !s.locked {
+			return nil
+		}
+		s.genLine = line
+		s.patPos = 0
+		s.ahead = 0
+		s.expect = nil
+	} else if !m.matchesPattern(s, line) {
+		// Pattern broke: drop the lock, decay the degree.
+		s.locked = false
+		s.pattern = nil
+		s.deltas = s.deltas[:0]
+		if s.degree > m.cfg.MinDegree {
+			s.degree /= 2
+			m.stats.DegreeDowns++
+		}
+		s.confs = 0
+		return nil
+	}
+
+	// Demand overtaking the generator: skip ahead past the demand
+	// stream instead of issuing redundant late prefetches (§VII-B).
+	if s.locked && seqGE(line, s.genLine) {
+		s.genLine = line
+		s.ahead = 0
+		m.stats.SkipAheads++
+	}
+	return m.generate(s)
+}
+
+// matchesPattern checks whether the miss continues the locked pattern
+// from the stream's last position, tolerating the generator being ahead.
+func (m *MultiStride) matchesPattern(s *stream, line uint64) bool {
+	// Accept if line lies on the pattern within the next few steps from
+	// the previous observed line.
+	cur := s.prevObserved
+	pos := s.obsPos
+	for i := 0; i < 2*len(s.pattern)+2; i++ {
+		cur += uint64(s.pattern[pos%len(s.pattern)])
+		pos++
+		if cur == line {
+			s.prevObserved = cur
+			s.obsPos = pos
+			return true
+		}
+	}
+	return false
+}
+
+// tryLock looks for a repeating multi-stride pattern (period <=
+// MaxPeriod) in the delta history, e.g. +2,+2,+5 (§VII-A).
+func (m *MultiStride) tryLock(s *stream) {
+	n := len(s.deltas)
+	for p := 1; p <= m.cfg.MaxPeriod; p++ {
+		if n < 2*p+1 {
+			continue
+		}
+		// The candidate period must explain the entire delta history,
+		// otherwise a +2,+2,+5 stream would false-lock period 1 on the
+		// +2,+2 prefix and thrash.
+		ok := true
+		for i := p; i < n; i++ {
+			if s.deltas[i] != s.deltas[i-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.pattern = append([]int64{}, s.deltas[n-p:]...)
+			s.locked = true
+			s.prevObserved = s.lastLine
+			s.obsPos = 0
+			m.stats.Locks++
+			return
+		}
+	}
+}
+
+// generate issues prefetches up to the current degree ahead of the
+// last confirmed position and refreshes the integrated confirmation
+// addresses (§VII-D).
+func (m *MultiStride) generate(s *stream) []Request {
+	var out []Request
+	for s.ahead < s.degree {
+		s.genLine += uint64(s.pattern[s.patPos%len(s.pattern)])
+		s.patPos++
+		s.ahead++
+		req := Request{Addr: s.genLine << 6}
+		out = append(out, req)
+		m.stats.Issued++
+		if !m.cfg.Integrated {
+			if len(s.queue) < m.cfg.ConfQueueSize {
+				s.queue = append(s.queue, s.genLine)
+			}
+		}
+	}
+	if m.cfg.Integrated {
+		// Integrated confirmation: from the last confirmed address,
+		// generate the next few expected demand addresses with the
+		// same pattern logic, independent of prefetch generation.
+		s.expect = s.expect[:0]
+		cur, pos := s.prevObserved, s.obsPos
+		for i := 0; i < 4; i++ {
+			cur += uint64(s.pattern[pos%len(s.pattern)])
+			pos++
+			s.expect = append(s.expect, cur)
+		}
+	}
+	return out
+}
+
+// OnAccess observes demand hits for confirmations and degree scaling
+// (§VII-B/D); demand misses confirm inside OnMiss. It may return more
+// prefetches when a confirmation advances the window.
+func (m *MultiStride) OnAccess(pc, addr uint64) []Request {
+	s, ok := m.streams[pc]
+	if !ok || !s.locked {
+		return nil
+	}
+	if !m.confirm(s, addr>>6) {
+		return nil
+	}
+	return m.generate(s)
+}
+
+// confirm matches a demand access against the stream's confirmation
+// state (integrated expectations or the plain queue) and applies the
+// dynamic-degree rules.
+func (m *MultiStride) confirm(s *stream, line uint64) bool {
+	if !s.locked {
+		return false
+	}
+	confirmed := false
+	if m.cfg.Integrated {
+		for i, e := range s.expect {
+			if e == line {
+				confirmed = true
+				s.expect = s.expect[i+1:]
+				break
+			}
+		}
+	} else {
+		for i, q := range s.queue {
+			if q == line {
+				confirmed = true
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	if !confirmed {
+		return false
+	}
+	m.stats.Confirmations++
+	s.confs++
+	if s.ahead > 0 {
+		s.ahead--
+	}
+	// Enough confirmations within the window: raise the degree.
+	if s.confs >= m.cfg.ConfWindow && s.degree < m.cfg.MaxDegree {
+		s.degree *= 2
+		if s.degree > m.cfg.MaxDegree {
+			s.degree = m.cfg.MaxDegree
+		}
+		s.confs = 0
+		m.stats.DegreeUps++
+	}
+	return true
+}
+
+// Degree exposes a stream's current degree (tests/ablation).
+func (m *MultiStride) Degree(pc uint64) int {
+	if s, ok := m.streams[pc]; ok {
+		return s.degree
+	}
+	return 0
+}
+
+func seqGE(a, b uint64) bool { return int64(a-b) >= 0 }

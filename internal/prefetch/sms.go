@@ -1,0 +1,183 @@
+package prefetch
+
+// SMS is the spatial memory streaming prefetcher added in M3 (§VII-C,
+// [32][33]): it tracks a "primary" load (the first miss to a spatial
+// region) and associates the other offsets touched in that region (by
+// any PC). When the primary PC misses again in a new region, the learned
+// offsets are prefetched, each gated by its own confidence; low-
+// confidence offsets issue only the first-pass (L2) prefetch.
+
+// SMSConfig sizes the engine.
+type SMSConfig struct {
+	RegionBytes  int // spatial region granule (2KB)
+	ActiveRegions int // concurrently observed regions
+	PatternEntries int // learned primary-PC patterns (LRU)
+	// HighConf is the per-offset confidence needed for an L1 prefetch;
+	// offsets at exactly HighConf-1 issue first-pass only.
+	HighConf int8
+}
+
+// DefaultSMSConfig returns the M3-era configuration.
+func DefaultSMSConfig() SMSConfig {
+	return SMSConfig{RegionBytes: 2048, ActiveRegions: 32, PatternEntries: 256, HighConf: 2}
+}
+
+// SMSStats counts engine events.
+type SMSStats struct {
+	RegionsTrained uint64
+	Predictions    uint64
+	IssuedL1       uint64
+	IssuedL2       uint64
+	Suppressed     uint64
+}
+
+type activeRegion struct {
+	region    uint64
+	primaryPC uint64
+	offsets   uint64 // touched line-offset bitmap
+	lru       uint64
+}
+
+type smsPattern struct {
+	conf [32]int8 // per line-offset confidence
+	lru  uint64
+}
+
+// SMS is the engine.
+type SMS struct {
+	cfg     SMSConfig
+	offLog  uint // line offsets per region
+	active  map[uint64]*activeRegion
+	// lastRegion tracks each primary PC's most recent region so its
+	// observation generation can close when the PC moves on.
+	lastRegion map[uint64]uint64
+	pattern map[uint64]*smsPattern
+	tick    uint64
+	stats   SMSStats
+}
+
+// NewSMS builds the engine.
+func NewSMS(cfg SMSConfig) *SMS {
+	return &SMS{
+		cfg:        cfg,
+		offLog:     6, // 64B lines
+		active:     make(map[uint64]*activeRegion, cfg.ActiveRegions),
+		lastRegion: make(map[uint64]uint64),
+		pattern:    make(map[uint64]*smsPattern, cfg.PatternEntries),
+	}
+}
+
+// Stats returns a snapshot.
+func (s *SMS) Stats() SMSStats { return s.stats }
+
+func (s *SMS) regionOf(addr uint64) (region uint64, off uint) {
+	region = addr / uint64(s.cfg.RegionBytes)
+	off = uint((addr % uint64(s.cfg.RegionBytes)) >> s.offLog)
+	return
+}
+
+// OnMiss observes a demand miss. suppressed marks accesses already
+// covered by a confirmed multi-stride stream, which must not train SMS
+// (§VII-C). Returned requests prefetch the learned associated offsets
+// when a primary load recurs.
+func (s *SMS) OnMiss(pc, addr uint64, suppressed bool) []Request {
+	if suppressed {
+		s.stats.Suppressed++
+		return nil
+	}
+	region, off := s.regionOf(addr)
+	if ar, ok := s.active[region]; ok {
+		// Associated access within an observed region.
+		ar.offsets |= 1 << off
+		s.tick++
+		ar.lru = s.tick
+		return nil
+	}
+	// First miss to the region: this PC is the primary load.
+	s.admit(region, pc, off)
+	// Predict from the learned pattern for this primary PC.
+	pat, ok := s.pattern[pc]
+	if !ok {
+		return nil
+	}
+	s.tick++
+	pat.lru = s.tick
+	s.stats.Predictions++
+	base := region * uint64(s.cfg.RegionBytes)
+	var out []Request
+	maxOff := uint(s.cfg.RegionBytes >> s.offLog)
+	for o := uint(0); o < maxOff && o < 32; o++ {
+		if o == off {
+			continue
+		}
+		switch {
+		case pat.conf[o] >= s.cfg.HighConf:
+			out = append(out, Request{Addr: base + uint64(o)<<s.offLog})
+			s.stats.IssuedL1++
+		case pat.conf[o] == s.cfg.HighConf-1:
+			// Lower confidence: only the first-pass (L2) prefetch.
+			out = append(out, Request{Addr: base + uint64(o)<<s.offLog, FirstPassL2: true})
+			s.stats.IssuedL2++
+		}
+	}
+	return out
+}
+
+// admit begins observing a region, committing the evicted observation
+// into the pattern table.
+func (s *SMS) admit(region, pc uint64, off uint) {
+	// The primary PC moving to a new region ends its previous region's
+	// observation generation.
+	if prev, ok := s.lastRegion[pc]; ok && prev != region {
+		if ar, live := s.active[prev]; live && ar.primaryPC == pc {
+			s.commit(ar)
+			delete(s.active, prev)
+		}
+	}
+	s.lastRegion[pc] = region
+	if len(s.active) >= s.cfg.ActiveRegions {
+		var victim *activeRegion
+		for _, ar := range s.active {
+			if victim == nil || ar.lru < victim.lru {
+				victim = ar
+			}
+		}
+		s.commit(victim)
+		delete(s.active, victim.region)
+	}
+	s.tick++
+	s.active[region] = &activeRegion{region: region, primaryPC: pc, offsets: 1 << off, lru: s.tick}
+}
+
+// commit trains the primary PC's pattern with the observed offsets:
+// offsets seen gain confidence, offsets predicted but unseen lose it —
+// filtering out transient associates (§VII-C).
+func (s *SMS) commit(ar *activeRegion) {
+	s.stats.RegionsTrained++
+	pat, ok := s.pattern[ar.primaryPC]
+	if !ok {
+		if len(s.pattern) >= s.cfg.PatternEntries {
+			var vk uint64
+			var victim *smsPattern
+			for k, p := range s.pattern {
+				if victim == nil || p.lru < victim.lru {
+					victim, vk = p, k
+				}
+			}
+			delete(s.pattern, vk)
+		}
+		pat = &smsPattern{}
+		s.pattern[ar.primaryPC] = pat
+	}
+	s.tick++
+	pat.lru = s.tick
+	for o := 0; o < 32; o++ {
+		if ar.offsets&(1<<uint(o)) != 0 {
+			if pat.conf[o] < 7 {
+				pat.conf[o]++
+			}
+		} else if pat.conf[o] > 0 {
+			pat.conf[o]--
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package prefetch
+
+// Standalone is the lower-level-cache prefetcher added in M5
+// (§VIII-C/D): it observes the global access stream at the L2 — demand
+// accesses and core-initiated prefetches alike — and detects stream
+// patterns in physical-address space, so each stream is bounded to a 4KB
+// page; learnings are reused across page crossings by re-seeding the new
+// page with the old page's locked stride. A two-level adaptive scheme
+// keeps accuracy high: in low-confidence mode, "phantom" prefetches go
+// only into a filter and confidence accrues as demands match them; in
+// high-confidence mode prefetches issue aggressively and accuracy is
+// tracked through cache metadata (prefetched/demand-hit bits), demoting
+// the engine when it drops.
+
+// StandaloneConfig sizes the engine.
+type StandaloneConfig struct {
+	PageEntries int // concurrently tracked pages
+	FilterSize  int // phantom-prefetch filter entries
+	Lookahead   int // lines prefetched ahead in high-confidence mode
+	// PromoteAt / DemoteAt bound the adaptive confidence counter.
+	PromoteAt int
+	DemoteAt  int
+}
+
+// DefaultStandaloneConfig returns the M5-era configuration.
+func DefaultStandaloneConfig() StandaloneConfig {
+	return StandaloneConfig{PageEntries: 32, FilterSize: 64, Lookahead: 8, PromoteAt: 8, DemoteAt: -4}
+}
+
+// StandaloneStats counts engine events.
+type StandaloneStats struct {
+	Phantoms    uint64
+	Issued      uint64
+	FilterHits  uint64
+	Promotions  uint64
+	Demotions   uint64
+	PageReseeds uint64
+}
+
+type pageStream struct {
+	page     uint64
+	lastLine int   // line offset within page (0..63)
+	stride   int   // locked stride in lines
+	run      int   // consecutive confirmations of the stride
+	lru      uint64
+}
+
+// Standalone is the engine.
+type Standalone struct {
+	cfg   StandaloneConfig
+	pages map[uint64]*pageStream
+	tick  uint64
+
+	// filter holds phantom-prefetch line addresses in low-confidence
+	// mode (§VIII-D Fig. 15).
+	filter []uint64
+
+	conf     int
+	highMode bool
+
+	// lastStride remembers the most recent locked stride for page-cross
+	// reuse (§VIII-C: "techniques to reuse learnings across 4KB physical
+	// page crossings").
+	lastStride int
+
+	stats StandaloneStats
+}
+
+// NewStandalone builds the engine.
+func NewStandalone(cfg StandaloneConfig) *Standalone {
+	return &Standalone{cfg: cfg, pages: make(map[uint64]*pageStream, cfg.PageEntries)}
+}
+
+// Stats returns a snapshot.
+func (s *Standalone) Stats() StandaloneStats { return s.stats }
+
+// HighConfidence reports the current mode.
+func (s *Standalone) HighConfidence() bool { return s.highMode }
+
+const pageLineCount = 64 // 4KB / 64B
+
+// OnL2Access observes one access (demand or core prefetch) at the lower
+// cache level and returns prefetches to issue. In low-confidence mode
+// the returned slice is empty and phantoms go to the filter instead.
+func (s *Standalone) OnL2Access(addr uint64, demand bool) []Request {
+	page := addr >> 12
+	line := int((addr >> 6) & (pageLineCount - 1))
+
+	// Demands matching the phantom filter raise confidence (§VIII-D).
+	if demand && !s.highMode {
+		lineAddr := addr >> 6
+		for i, f := range s.filter {
+			if f == lineAddr {
+				s.filter = append(s.filter[:i], s.filter[i+1:]...)
+				s.stats.FilterHits++
+				s.conf++
+				if s.conf >= s.cfg.PromoteAt {
+					s.highMode = true
+					s.conf = s.cfg.PromoteAt
+					s.stats.Promotions++
+				}
+				break
+			}
+		}
+	}
+
+	ps, ok := s.pages[page]
+	if !ok {
+		ps = s.admit(page, line)
+		// Page-crossing reuse: seed the new page with the last locked
+		// stride so the stream continues without retraining.
+		if s.lastStride != 0 {
+			ps.stride = s.lastStride
+			ps.run = 2
+			s.stats.PageReseeds++
+			return s.emit(ps, line)
+		}
+		return nil
+	}
+	s.tick++
+	ps.lru = s.tick
+	d := line - ps.lastLine
+	if d == 0 {
+		return nil
+	}
+	if ps.stride != 0 && d == ps.stride {
+		ps.run++
+	} else if ps.run > 0 && d != ps.stride {
+		// Out-of-orderness at the lower level pollutes training
+		// (§VIII-C); tolerate one mismatch before relocking.
+		ps.run--
+		ps.lastLine = line
+		return nil
+	} else {
+		ps.stride = d
+		ps.run = 1
+	}
+	ps.lastLine = line
+	if ps.run < 2 {
+		return nil
+	}
+	s.lastStride = ps.stride
+	return s.emit(ps, line)
+}
+
+// emit produces the lookahead prefetches for a locked page stream; in
+// low-confidence mode they become phantoms in the filter.
+func (s *Standalone) emit(ps *pageStream, line int) []Request {
+	var out []Request
+	cur := line
+	for i := 0; i < s.cfg.Lookahead; i++ {
+		cur += ps.stride
+		if cur < 0 || cur >= pageLineCount {
+			break // physical streams cannot cross the page (§VIII-C)
+		}
+		addr := ps.page<<12 | uint64(cur)<<6
+		if s.highMode {
+			out = append(out, Request{Addr: addr})
+			s.stats.Issued++
+		} else {
+			s.stats.Phantoms++
+			lineAddr := addr >> 6
+			dup := false
+			for _, f := range s.filter {
+				if f == lineAddr {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				if len(s.filter) >= s.cfg.FilterSize {
+					s.filter = s.filter[1:]
+				}
+				s.filter = append(s.filter, lineAddr)
+			}
+		}
+	}
+	return out
+}
+
+// OnPrefetchOutcome feeds back cache-metadata accuracy from the lower
+// levels: each standalone-prefetched line reports whether a demand hit
+// it before eviction. Sustained inaccuracy demotes to low-confidence
+// mode (§VIII-D).
+func (s *Standalone) OnPrefetchOutcome(used bool) {
+	if used {
+		if s.conf < s.cfg.PromoteAt {
+			s.conf++
+		}
+	} else {
+		s.conf--
+		if s.conf <= s.cfg.DemoteAt {
+			if s.highMode {
+				s.stats.Demotions++
+			}
+			s.highMode = false
+			s.conf = 0
+		}
+	}
+}
+
+func (s *Standalone) admit(page uint64, line int) *pageStream {
+	if len(s.pages) >= s.cfg.PageEntries {
+		var victim *pageStream
+		for _, p := range s.pages {
+			if victim == nil || p.lru < victim.lru {
+				victim = p
+			}
+		}
+		delete(s.pages, victim.page)
+	}
+	s.tick++
+	ps := &pageStream{page: page, lastLine: line, lru: s.tick}
+	s.pages[page] = ps
+	return ps
+}

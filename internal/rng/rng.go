@@ -1,0 +1,185 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by the synthetic workload generators and stochastic
+// search utilities. Determinism across Go releases matters here: every
+// experiment in the repository must be exactly reproducible from a seed,
+// so we implement the generator ourselves instead of relying on math/rand,
+// whose stream is not guaranteed stable between versions.
+//
+// The generator is xoshiro256**, seeded via splitmix64 as recommended by
+// its authors. It is not cryptographically secure and must never be used
+// for the security experiments' entropy sources in a real system; within
+// the simulator it only stands in for hardware entropy.
+package rng
+
+import "math"
+
+// SplitMix64 advances the given state and returns the next 64-bit value.
+// It is used both for seeding and as a cheap standalone hash/mixer.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns a well-mixed hash of x. It is the finalizer of
+// splitmix64 and provides strong avalanche behaviour.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RNG is a xoshiro256** generator. The zero value is not valid; use New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator deterministically seeded from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro256** requires a non-zero state; splitmix64 of any seed
+	// yields that with overwhelming probability, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, 64-bit variant reduced
+	// to 32 bits of randomness which is ample for simulator ranges.
+	v := uint64(r.Uint32()) * uint64(n)
+	return int(v >> 32)
+}
+
+// Int63n returns a uniformly distributed int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with non-positive n")
+	}
+	mask := uint64(1)<<63 - 1
+	for {
+		v := int64(r.Uint64() & mask)
+		if v < (1<<63-1)-(1<<63-1)%n || n&(n-1) == 0 {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the polar Box-Muller method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Geometric returns a geometrically distributed value with success
+// probability p (mean ~ (1-p)/p), clamped to max.
+func (r *RNG) Geometric(p float64, max int) int {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	n := 0
+	for !r.Bool(p) && n < max {
+		n++
+	}
+	return n
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with skew s >= 0.
+// s == 0 degenerates to uniform. The implementation uses the inverse-CDF
+// approximation for the bounded Zipf distribution, which is accurate
+// enough for workload modelling and allocation-free.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	if s <= 0 {
+		return r.Intn(n)
+	}
+	// Inverse transform on the continuous bounded Pareto approximation.
+	u := r.Float64()
+	if s == 1 {
+		// CDF ~ log(1+x)/log(1+n)
+		x := math.Exp(u*math.Log(float64(n))) - 1
+		i := int(x)
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	oneMinusS := 1 - s
+	max := math.Pow(float64(n), oneMinusS)
+	x := math.Pow(u*(max-1)+1, 1/oneMinusS) - 1
+	i := int(x)
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Fork returns a new generator whose stream is deterministically derived
+// from this generator's current state and the given label, without
+// perturbing this generator more than one draw. Useful to give every
+// workload slice an independent stream.
+func (r *RNG) Fork(label uint64) *RNG {
+	return New(r.Uint64() ^ Mix64(label))
+}

@@ -1,0 +1,261 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bool(%v) rate %v", p, got)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfSkewOrdersPopularity(t *testing.T) {
+	r := New(23)
+	const n = 64
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		counts[r.Zipf(n, 1.2)]++
+	}
+	// Element 0 must be much more popular than element n-1.
+	if counts[0] < counts[n-1]*4 {
+		t.Fatalf("zipf skew too flat: first=%d last=%d", counts[0], counts[n-1])
+	}
+}
+
+func TestZipfZeroSkewUniform(t *testing.T) {
+	r := New(29)
+	const n = 16
+	counts := make([]int, n)
+	const draws = 160000
+	for i := 0; i < draws; i++ {
+		counts[r.Zipf(n, 0)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-draws/n) > draws/n*0.1 {
+			t.Fatalf("uniform zipf bucket %d count %d", i, c)
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(31)
+	if err := quick.Check(func(nRaw uint8, sRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		s := float64(sRaw) / 64
+		v := r.Zipf(n, s)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(37)
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.25, 1000)
+	}
+	mean := float64(sum) / n
+	// Mean of geometric(p) counting failures before success is (1-p)/p = 3.
+	if math.Abs(mean-3) > 0.1 {
+		t.Fatalf("geometric mean %v, want ~3", mean)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(1)
+	f1 := a.Fork(10)
+	f2 := a.Fork(10) // different because parent state advanced
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forks unexpectedly identical")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	for bit := 0; bit < 64; bit += 7 {
+		x := uint64(0x0123456789abcdef)
+		d := Mix64(x) ^ Mix64(x^(1<<bit))
+		pop := 0
+		for d != 0 {
+			pop += int(d & 1)
+			d >>= 1
+		}
+		if pop < 16 || pop > 48 {
+			t.Fatalf("weak avalanche for bit %d: %d bits flipped", bit, pop)
+		}
+	}
+}
+
+func TestInt63n(t *testing.T) {
+	r := New(41)
+	for _, n := range []int64{1, 7, 1 << 40} {
+		for i := 0; i < 2000; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d)=%d", n, v)
+			}
+		}
+	}
+	// Power-of-two fast path keeps uniformity (spot-check the mean).
+	sum := 0.0
+	const n = 1 << 20
+	for i := 0; i < 100000; i++ {
+		sum += float64(r.Int63n(n))
+	}
+	mean := sum / 100000
+	if mean < n/2*0.97 || mean > n/2*1.03 {
+		t.Fatalf("Int63n mean %v", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive n")
+		}
+	}()
+	r.Int63n(0)
+}
+
+func TestGeometricDegenerateP(t *testing.T) {
+	r := New(43)
+	if r.Geometric(0, 10) != 0 || r.Geometric(1, 10) != 0 {
+		t.Fatal("degenerate p should return 0")
+	}
+	// Max clamps the tail.
+	for i := 0; i < 1000; i++ {
+		if v := r.Geometric(0.01, 5); v > 5 {
+			t.Fatalf("Geometric exceeded max: %d", v)
+		}
+	}
+}
+
+func TestZipfEdgeCases(t *testing.T) {
+	r := New(47)
+	if r.Zipf(1, 2.0) != 0 {
+		t.Fatal("n=1 must return 0")
+	}
+	if r.Zipf(0, 2.0) != 0 {
+		t.Fatal("n=0 must return 0")
+	}
+	// Skew exactly 1 uses the logarithmic CDF branch.
+	for i := 0; i < 5000; i++ {
+		if v := r.Zipf(64, 1.0); v < 0 || v >= 64 {
+			t.Fatalf("Zipf(64, 1.0)=%d", v)
+		}
+	}
+}

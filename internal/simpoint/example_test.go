@@ -1,0 +1,32 @@
+package simpoint_test
+
+import (
+	"fmt"
+
+	"exysim/internal/simpoint"
+	"exysim/internal/workload"
+)
+
+// ExampleAnalyze runs §II-style phase analysis over a synthetic slice
+// and prints the phase count and pick weights.
+func ExampleAnalyze() {
+	sl, err := workload.ByName("micro.tight/0", workload.QuickSpec)
+	if err != nil {
+		panic(err)
+	}
+	cfg := simpoint.DefaultConfig()
+	cfg.IntervalInsts = 15_000
+	res, err := simpoint.Analyze(sl, cfg)
+	if err != nil {
+		panic(err)
+	}
+	total := 0.0
+	for _, p := range res.Picks {
+		total += p.Weight
+	}
+	fmt.Printf("intervals analyzed: %d\n", res.Intervals)
+	fmt.Printf("weights sum to 1: %v\n", total > 0.999 && total < 1.001)
+	// Output:
+	// intervals analyzed: 5
+	// weights sum to 1: true
+}

@@ -1,0 +1,338 @@
+// Package simpoint implements the trace-reduction methodology the paper
+// uses (§II: "SimPoint [5] and related techniques are used to reduce the
+// simulation run time for most workloads"): a long trace is split into
+// fixed-length intervals, each summarized by a basic-block vector (BBV)
+// randomly projected to a small dimension, the interval vectors are
+// clustered with k-means (the cluster count picked by a BIC-style
+// score), and one representative interval per cluster — weighted by its
+// cluster's population — stands in for the whole trace.
+package simpoint
+
+import (
+	"errors"
+	"math"
+
+	"exysim/internal/isa"
+	"exysim/internal/rng"
+	"exysim/internal/trace"
+)
+
+// Config controls the analysis.
+type Config struct {
+	// IntervalInsts is the interval length (the paper's methodology
+	// uses 100M; scale to the trace at hand).
+	IntervalInsts int
+	// Dims is the random-projection dimensionality of the BBVs
+	// (classic SimPoint uses 15).
+	Dims int
+	// MaxK bounds the cluster search.
+	MaxK int
+	// Seed fixes projection and k-means initialization.
+	Seed uint64
+	// KMeansIters bounds Lloyd iterations per k.
+	KMeansIters int
+}
+
+// DefaultConfig returns sensible smaller-scale defaults.
+func DefaultConfig() Config {
+	return Config{IntervalInsts: 10_000, Dims: 15, MaxK: 8, Seed: 0x51A9, KMeansIters: 40}
+}
+
+// Pick is one representative interval.
+type Pick struct {
+	// Interval is the chosen interval's index.
+	Interval int
+	// Cluster is the phase it represents.
+	Cluster int
+	// Weight is the fraction of intervals in that phase.
+	Weight float64
+}
+
+// Result is the phase analysis of one trace.
+type Result struct {
+	Cfg        Config
+	Intervals  int
+	K          int
+	Assignment []int // interval -> cluster
+	Picks      []Pick
+}
+
+// Analyze builds BBVs over the slice and clusters them.
+func Analyze(sl *trace.Slice, cfg Config) (*Result, error) {
+	if cfg.IntervalInsts <= 0 || cfg.Dims <= 0 || cfg.MaxK <= 0 {
+		return nil, errors.New("simpoint: invalid config")
+	}
+	vecs := buildBBVs(sl, cfg)
+	if len(vecs) < 2 {
+		return nil, errors.New("simpoint: trace too short for phase analysis")
+	}
+	maxK := cfg.MaxK
+	if maxK > len(vecs) {
+		maxK = len(vecs)
+	}
+	bestK, bestScore := 1, math.Inf(-1)
+	var bestAssign []int
+	var bestCents [][]float64
+	for k := 1; k <= maxK; k++ {
+		assign, cents, sse := kmeans(vecs, k, cfg)
+		score := bic(len(vecs), cfg.Dims, k, sse)
+		if score > bestScore {
+			bestScore, bestK = score, k
+			bestAssign, bestCents = assign, cents
+		}
+	}
+	res := &Result{Cfg: cfg, Intervals: len(vecs), K: bestK, Assignment: bestAssign}
+	res.Picks = pickRepresentatives(vecs, bestAssign, bestCents, bestK)
+	return res, nil
+}
+
+// buildBBVs produces one projected, L2-normalized basic-block vector per
+// interval. Basic blocks are identified by their start PC (block
+// boundaries at every branch); the projection hashes each block PC into
+// ±1 per dimension.
+func buildBBVs(sl *trace.Slice, cfg Config) [][]float64 {
+	var vecs [][]float64
+	cur := make([]float64, cfg.Dims)
+	blockStart := uint64(0)
+	blockLen := 0
+	n := 0
+	flushBlock := func() {
+		if blockLen == 0 {
+			return
+		}
+		h := rng.Mix64(blockStart ^ cfg.Seed)
+		for d := 0; d < cfg.Dims; d++ {
+			bit := (h >> uint(d%64)) & 1
+			v := float64(blockLen)
+			if bit == 0 {
+				v = -v
+			}
+			cur[d] += v
+			if d%64 == 63 {
+				h = rng.Mix64(h)
+			}
+		}
+		blockLen = 0
+	}
+	endInterval := func() {
+		flushBlock()
+		norm := 0.0
+		for _, v := range cur {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		vec := make([]float64, cfg.Dims)
+		if norm > 0 {
+			for d := range cur {
+				vec[d] = cur[d] / norm
+			}
+		}
+		vecs = append(vecs, vec)
+		for d := range cur {
+			cur[d] = 0
+		}
+	}
+	for i := range sl.Insts {
+		in := &sl.Insts[i]
+		if blockLen == 0 {
+			blockStart = in.PC
+		}
+		blockLen++
+		n++
+		if in.Branch != isa.BranchNone {
+			flushBlock()
+		}
+		if n%cfg.IntervalInsts == 0 {
+			endInterval()
+		}
+	}
+	// Drop the final partial interval: it would skew the vectors.
+	return vecs
+}
+
+// kmeans runs Lloyd's algorithm with deterministic k-means++-style
+// seeding, returning assignments, centroids and the total SSE.
+func kmeans(vecs [][]float64, k int, cfg Config) ([]int, [][]float64, float64) {
+	r := rng.New(cfg.Seed ^ uint64(k)*0x9e3779b97f4a7c15)
+	dims := len(vecs[0])
+	cents := make([][]float64, 0, k)
+	// Seeding: first centroid random; subsequent ones the point
+	// farthest from its nearest centroid (deterministic ++ variant).
+	cents = append(cents, append([]float64{}, vecs[r.Intn(len(vecs))]...))
+	for len(cents) < k {
+		bestIdx, bestDist := 0, -1.0
+		for i, v := range vecs {
+			d := nearestDist(v, cents)
+			if d > bestDist {
+				bestDist, bestIdx = d, i
+			}
+		}
+		cents = append(cents, append([]float64{}, vecs[bestIdx]...))
+	}
+	assign := make([]int, len(vecs))
+	for iter := 0; iter < cfg.KMeansIters; iter++ {
+		changed := false
+		for i, v := range vecs {
+			c := nearestIdx(v, cents)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dims)
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for d := range v {
+				next[c][d] += v[d]
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the farthest point.
+				fi, fd := 0, -1.0
+				for i, v := range vecs {
+					d := nearestDist(v, cents)
+					if d > fd {
+						fd, fi = d, i
+					}
+				}
+				copy(next[c], vecs[fi])
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(counts[c])
+			}
+		}
+		cents = next
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	sse := 0.0
+	for i, v := range vecs {
+		sse += dist2(v, cents[assign[i]])
+	}
+	return assign, cents, sse
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func nearestIdx(v []float64, cents [][]float64) int {
+	best, bd := 0, math.Inf(1)
+	for c := range cents {
+		if d := dist2(v, cents[c]); d < bd {
+			bd, best = d, c
+		}
+	}
+	return best
+}
+
+func nearestDist(v []float64, cents [][]float64) float64 {
+	bd := math.Inf(1)
+	for c := range cents {
+		if d := dist2(v, cents[c]); d < bd {
+			bd = d
+		}
+	}
+	return bd
+}
+
+// bic is the SimPoint-style Bayesian information criterion: likelihood
+// under spherical Gaussians minus a complexity penalty.
+func bic(n, dims, k int, sse float64) float64 {
+	if sse <= 0 {
+		sse = 1e-12
+	}
+	variance := sse / float64(n*dims)
+	logLik := -0.5 * float64(n*dims) * (math.Log(2*math.Pi*variance) + 1)
+	params := float64(k * (dims + 1))
+	return logLik - 0.5*params*math.Log(float64(n))
+}
+
+// pickRepresentatives selects, per cluster, the interval closest to the
+// centroid, weighted by cluster population.
+func pickRepresentatives(vecs [][]float64, assign []int, cents [][]float64, k int) []Pick {
+	picks := make([]Pick, 0, k)
+	for c := 0; c < k; c++ {
+		best, bd, count := -1, math.Inf(1), 0
+		for i, v := range vecs {
+			if assign[i] != c {
+				continue
+			}
+			count++
+			if d := dist2(v, cents[c]); d < bd {
+				bd, best = d, i
+			}
+		}
+		if best >= 0 {
+			picks = append(picks, Pick{Interval: best, Cluster: c, Weight: float64(count) / float64(len(vecs))})
+		}
+	}
+	return picks
+}
+
+// Extract returns the representative interval of a pick as a standalone
+// slice, with the preceding interval (when present) as warmup — the
+// paper's 10M-warmup / 100M-detail structure in miniature.
+func Extract(sl *trace.Slice, p Pick, cfg Config) *trace.Slice {
+	start := p.Interval * cfg.IntervalInsts
+	warm := 0
+	if start >= cfg.IntervalInsts {
+		start -= cfg.IntervalInsts
+		warm = cfg.IntervalInsts
+	}
+	end := start + warm + cfg.IntervalInsts
+	if end > len(sl.Insts) {
+		end = len(sl.Insts)
+	}
+	return &trace.Slice{
+		Name:   sl.Name + "@sp" + itoa(p.Interval),
+		Suite:  sl.Suite,
+		Warmup: warm,
+		Insts:  sl.Insts[start:end],
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// WeightedEstimate combines per-pick measurements into a whole-trace
+// estimate: Σ weight_i * metric_i.
+func WeightedEstimate(picks []Pick, metrics []float64) float64 {
+	if len(picks) != len(metrics) {
+		panic("simpoint: picks/metrics length mismatch")
+	}
+	est, wsum := 0.0, 0.0
+	for i, p := range picks {
+		est += p.Weight * metrics[i]
+		wsum += p.Weight
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return est / wsum
+}

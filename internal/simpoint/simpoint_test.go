@@ -1,0 +1,168 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"exysim/internal/core"
+	"exysim/internal/isa"
+	"exysim/internal/trace"
+	"exysim/internal/workload"
+)
+
+// twoPhaseTrace builds a trace alternating between two distinct code
+// phases, each phaseLen instructions: phase A is a tight loop over one
+// block, phase B a tight loop over a different block.
+func twoPhaseTrace(phases, phaseLen int) *trace.Slice {
+	var insts []isa.Inst
+	emitLoop := func(base uint64, n int) {
+		for len(insts)%phaseLen != phaseLen-1 && n > 1 {
+			insts = append(insts, isa.Inst{PC: base, Class: isa.ALUSimple, Dst: 1, Src1: 1})
+			insts = append(insts, isa.Inst{PC: base + 4, Class: isa.Branch, Branch: isa.BranchCond, Taken: true, Target: base})
+			n -= 2
+		}
+		// Exit the loop to keep control flow consistent.
+		insts = append(insts, isa.Inst{PC: base, Class: isa.ALUSimple, Dst: 1, Src1: 1})
+	}
+	for p := 0; p < phases; p++ {
+		base := uint64(0x1000)
+		if p%2 == 1 {
+			base = 0x90000
+		}
+		start := len(insts)
+		for len(insts)-start < phaseLen-2 {
+			insts = append(insts, isa.Inst{PC: base, Class: isa.ALUSimple, Dst: 1, Src1: 1})
+			insts = append(insts, isa.Inst{PC: base + 4, Class: isa.Branch, Branch: isa.BranchCond, Taken: true, Target: base})
+		}
+		// Jump to the next phase's base.
+		next := uint64(0x90000)
+		if p%2 == 1 || p == phases-1 {
+			next = 0x1000
+		}
+		insts = append(insts, isa.Inst{PC: base, Class: isa.ALUSimple, Dst: 1, Src1: 1})
+		insts = append(insts, isa.Inst{PC: base + 4, Class: isa.Branch, Branch: isa.BranchUncond, Taken: true, Target: next})
+	}
+	_ = emitLoop
+	return &trace.Slice{Name: "twophase", Suite: "unit", Insts: insts}
+}
+
+func TestAnalyzeFindsTwoPhases(t *testing.T) {
+	sl := twoPhaseTrace(8, 10_000)
+	cfg := DefaultConfig()
+	cfg.IntervalInsts = 10_000
+	res, err := Analyze(sl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("found %d phases, want 2 (assignment %v)", res.K, res.Assignment)
+	}
+	// Alternating phases must alternate cluster assignments.
+	for i := 2; i < res.Intervals; i++ {
+		if res.Assignment[i] != res.Assignment[i-2] {
+			t.Fatalf("phase pattern broken at interval %d: %v", i, res.Assignment)
+		}
+	}
+	if len(res.Picks) != 2 {
+		t.Fatalf("picks %v", res.Picks)
+	}
+	wsum := 0.0
+	for _, p := range res.Picks {
+		wsum += p.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", wsum)
+	}
+}
+
+func TestAnalyzeUniformTraceOnePhase(t *testing.T) {
+	sl := twoPhaseTrace(1, 80_000)
+	cfg := DefaultConfig()
+	res, err := Analyze(sl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("uniform trace found %d phases", res.K)
+	}
+}
+
+func TestAnalyzeRejectsShortTrace(t *testing.T) {
+	sl := twoPhaseTrace(1, 5_000)
+	cfg := DefaultConfig()
+	if _, err := Analyze(sl, cfg); err == nil {
+		t.Fatal("expected error for single-interval trace")
+	}
+	if _, err := Analyze(sl, Config{}); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+}
+
+func TestExtractStructure(t *testing.T) {
+	sl := twoPhaseTrace(6, 10_000)
+	cfg := DefaultConfig()
+	res, err := Analyze(sl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Picks {
+		ex := Extract(sl, p, cfg)
+		if p.Interval > 0 && ex.Warmup != cfg.IntervalInsts {
+			t.Fatalf("pick %v: warmup %d", p, ex.Warmup)
+		}
+		if ex.Len() > 2*cfg.IntervalInsts {
+			t.Fatalf("extract too long: %d", ex.Len())
+		}
+	}
+}
+
+func TestWeightedEstimateApproximatesFullRun(t *testing.T) {
+	// SimPoint's promise: simulating only the representatives, weighted
+	// by phase population, approximates the full-trace metric. Use a
+	// real workload slice and IPC on M3.
+	full := workload.SpecIntFamily().Gen(0, 120_000, 0, 0xE59)
+	cfg := DefaultConfig()
+	cfg.IntervalInsts = 10_000
+	res, err := Analyze(full, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := core.GenByName("M3")
+	fullRun := core.RunSlice(gen, &trace.Slice{Name: full.Name, Suite: full.Suite, Warmup: 10_000, Insts: full.Insts})
+	metrics := make([]float64, len(res.Picks))
+	for i, p := range res.Picks {
+		ex := Extract(full, p, cfg)
+		metrics[i] = core.RunSlice(gen, ex).IPC
+	}
+	est := WeightedEstimate(res.Picks, metrics)
+	relErr := math.Abs(est-fullRun.IPC) / fullRun.IPC
+	t.Logf("full IPC %.3f, simpoint estimate %.3f (K=%d, %d picks, rel err %.1f%%)",
+		fullRun.IPC, est, res.K, len(res.Picks), relErr*100)
+	if relErr > 0.25 {
+		t.Fatalf("simpoint estimate off by %.1f%%", relErr*100)
+	}
+}
+
+func TestWeightedEstimateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	WeightedEstimate([]Pick{{Weight: 1}}, nil)
+}
+
+func TestDeterministicAnalysis(t *testing.T) {
+	sl := twoPhaseTrace(6, 10_000)
+	cfg := DefaultConfig()
+	a, _ := Analyze(sl, cfg)
+	b, _ := Analyze(sl, cfg)
+	if a.K != b.K {
+		t.Fatal("nondeterministic K")
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("nondeterministic assignment")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package stats provides the small statistical toolkit used by the
+// simulator and the experiment harness: counters, running summaries,
+// percentiles, histograms, and the "sorted population curve" series that
+// the paper's Figures 9, 16 and 17 plot (per-slice metric, slices ordered
+// by value, one curve per core generation).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of float64 observations and reports
+// count/mean/min/max/stddev without retaining the observations.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation, or 0 for n < 2.
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Population holds a full set of per-slice observations, one per workload
+// slice, so that percentile and sorted-curve queries are possible.
+type Population struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (p *Population) Add(x float64) {
+	p.xs = append(p.xs, x)
+	p.sorted = false
+}
+
+// N returns the number of observations.
+func (p *Population) N() int { return len(p.xs) }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (p *Population) Mean() float64 {
+	if len(p.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range p.xs {
+		sum += x
+	}
+	return sum / float64(len(p.xs))
+}
+
+// GeoMean returns the geometric mean of the (strictly positive)
+// observations; non-positive entries are skipped.
+func (p *Population) GeoMean() float64 {
+	sum, n := 0.0, 0
+	for _, x := range p.xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+func (p *Population) ensureSorted() {
+	if !p.sorted {
+		sort.Float64s(p.xs)
+		p.sorted = true
+	}
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) using linear
+// interpolation between closest ranks. Empty populations return 0.
+func (p *Population) Percentile(q float64) float64 {
+	if len(p.xs) == 0 {
+		return 0
+	}
+	p.ensureSorted()
+	if q <= 0 {
+		return p.xs[0]
+	}
+	if q >= 100 {
+		return p.xs[len(p.xs)-1]
+	}
+	pos := q / 100 * float64(len(p.xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(p.xs) {
+		return p.xs[lo]
+	}
+	return p.xs[lo]*(1-frac) + p.xs[lo+1]*frac
+}
+
+// Sorted returns the observations in ascending order. The returned slice
+// is owned by the Population and must not be modified.
+func (p *Population) Sorted() []float64 {
+	p.ensureSorted()
+	return p.xs
+}
+
+// Curve resamples the sorted population to exactly points entries,
+// producing the x-ordered series the paper's population figures plot.
+func (p *Population) Curve(points int) []float64 {
+	p.ensureSorted()
+	out := make([]float64, points)
+	if len(p.xs) == 0 || points == 0 {
+		return out
+	}
+	for i := range out {
+		pos := float64(i) / float64(points-1)
+		if points == 1 {
+			pos = 0
+		}
+		idx := int(math.Round(pos * float64(len(p.xs)-1)))
+		out[i] = p.xs[idx]
+	}
+	return out
+}
+
+// FractionAbove returns the fraction of observations strictly greater
+// than threshold.
+func (p *Population) FractionAbove(threshold float64) float64 {
+	if len(p.xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range p.xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.xs))
+}
+
+// Histogram is a fixed-width bucket histogram over [lo, hi); values
+// outside the range land in the first/last bucket.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	n       int
+}
+
+// NewHistogram creates a histogram with nb buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, nb int) *Histogram {
+	if nb <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, nb)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.n++
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// N returns the total number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Render draws a crude ASCII bar chart, used by the CLI tools.
+func (h *Histogram) Render(width int) string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	step := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "%8.2f |%s %d\n", h.lo+step*float64(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Ratio is a convenience counter for hit/total style rates.
+type Ratio struct {
+	Hits, Total uint64
+}
+
+// Observe records one event, which counted as a hit or not.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns hits/total, or 0 when empty.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}

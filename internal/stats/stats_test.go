@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean=%v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	// Sample stddev of that classic set is sqrt(32/7).
+	if !almostEq(s.StdDev(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev=%v", s.StdDev())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be zero-valued")
+	}
+}
+
+func TestPopulationMeanMatchesSummary(t *testing.T) {
+	if err := quick.Check(func(xs []float64) bool {
+		var s Summary
+		var p Population
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			// Clamp magnitude so naive summation stays comparable.
+			x = math.Mod(x, 1e6)
+			s.Add(x)
+			p.Add(x)
+		}
+		if len(xs) == 0 {
+			return p.Mean() == 0
+		}
+		return almostEq(s.Mean(), p.Mean(), 1e-6*(1+math.Abs(s.Mean())))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var p Population
+	for i := 1; i <= 100; i++ {
+		p.Add(float64(i))
+	}
+	if got := p.Percentile(0); got != 1 {
+		t.Fatalf("p0=%v", got)
+	}
+	if got := p.Percentile(100); got != 100 {
+		t.Fatalf("p100=%v", got)
+	}
+	if got := p.Percentile(50); !almostEq(got, 50.5, 1e-9) {
+		t.Fatalf("p50=%v", got)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	if err := quick.Check(func(xs []float64, qa, qb uint8) bool {
+		var p Population
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			p.Add(x)
+		}
+		a, b := float64(qa%101), float64(qb%101)
+		if a > b {
+			a, b = b, a
+		}
+		return p.Percentile(a) <= p.Percentile(b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	var p Population
+	for _, x := range []float64{5, 1, 3} {
+		p.Add(x)
+	}
+	c := p.Curve(3)
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("curve=%v", c)
+		}
+	}
+	// Resampling to more points keeps endpoints.
+	c10 := p.Curve(10)
+	if c10[0] != 1 || c10[9] != 5 {
+		t.Fatalf("curve10=%v", c10)
+	}
+}
+
+func TestCurveEmptyAndSinglePoint(t *testing.T) {
+	var p Population
+	if c := p.Curve(4); len(c) != 4 {
+		t.Fatalf("empty curve len=%d", len(c))
+	}
+	p.Add(2)
+	c := p.Curve(1)
+	if len(c) != 1 || c[0] != 2 {
+		t.Fatalf("single curve=%v", c)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	var p Population
+	p.Add(1)
+	p.Add(4)
+	p.Add(16)
+	if !almostEq(p.GeoMean(), 4, 1e-12) {
+		t.Fatalf("geomean=%v", p.GeoMean())
+	}
+	// Non-positive entries are skipped.
+	p.Add(0)
+	p.Add(-3)
+	if !almostEq(p.GeoMean(), 4, 1e-12) {
+		t.Fatalf("geomean with nonpositive=%v", p.GeoMean())
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	var p Population
+	for i := 1; i <= 10; i++ {
+		p.Add(float64(i))
+	}
+	if got := p.FractionAbove(7); !almostEq(got, 0.3, 1e-12) {
+		t.Fatalf("fractionAbove=%v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d", i, h.Bucket(i))
+		}
+	}
+	// Out-of-range values clamp to edge buckets.
+	h.Add(-5)
+	h.Add(50)
+	if h.Bucket(0) != 2 || h.Bucket(9) != 2 {
+		t.Fatal("edge clamping failed")
+	}
+	if h.N() != 12 {
+		t.Fatalf("N=%d", h.N())
+	}
+	if h.Render(10) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatal("empty ratio should be 0")
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(true)
+	if !almostEq(r.Value(), 0.75, 1e-12) {
+		t.Fatalf("ratio=%v", r.Value())
+	}
+}

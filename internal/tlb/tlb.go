@@ -1,0 +1,183 @@
+// Package tlb models the translation hierarchy of Table I: sectored
+// set-associative L1 instruction and data TLBs, the fast "level 1.5
+// data TLB" added in M3 to provide capacity at much lower latency than
+// the large L2 TLB (§III), the shared L2 TLB, and a fixed-cost page-table
+// walker. Geometry is expressed as the table's (entries/ways/sectors)
+// triples, where a sector groups consecutive pages under one tag.
+package tlb
+
+// PageBits is the translation granule (4KB pages).
+const PageBits = 12
+
+// Config sizes one TLB level as Table I does: total pages mapped,
+// organized as Entries tags of Ways associativity with Sectors
+// consecutive pages per tag.
+type Config struct {
+	Name    string
+	Entries int // tags
+	Ways    int
+	Sectors int // pages per tag (power of two)
+	// Latency is the added cycles when the lookup is satisfied at this
+	// level (0 for the L1s, which are probed in parallel with the
+	// cache).
+	Latency int
+}
+
+// Pages returns total pages mapped (the Table I headline number).
+func (c Config) Pages() int { return c.Entries * c.Sectors }
+
+// TLB is one translation level.
+type TLB struct {
+	cfg     Config
+	sets    int
+	ways    int
+	secLog  uint
+	tags    [][]entry
+	tick    uint64
+	hits    uint64
+	misses  uint64
+}
+
+type entry struct {
+	tag     uint64
+	present uint64 // per-sector-page valid bitmap
+	valid   bool
+	lru     uint64
+}
+
+// New builds a TLB level.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Sectors <= 0 {
+		panic("tlb: invalid geometry")
+	}
+	secLog := uint(0)
+	for 1<<secLog < cfg.Sectors {
+		secLog++
+	}
+	if 1<<secLog != cfg.Sectors || cfg.Sectors > 64 {
+		panic("tlb: sectors must be a power of two <= 64")
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets == 0 {
+		sets = 1
+	}
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	t := &TLB{cfg: cfg, sets: p, ways: cfg.Ways, secLog: secLog, tags: make([][]entry, p)}
+	for i := range t.tags {
+		t.tags[i] = make([]entry, cfg.Ways)
+	}
+	return t
+}
+
+// Config returns the level's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// HitRate returns the level's hit rate so far.
+func (t *TLB) HitRate() float64 {
+	if t.hits+t.misses == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(t.hits+t.misses)
+}
+
+func (t *TLB) index(addr uint64) (set int, tag uint64, sub uint) {
+	page := addr >> PageBits
+	granule := page >> t.secLog
+	return int(granule) & (t.sets - 1), granule, uint(page & ((1 << t.secLog) - 1))
+}
+
+// Lookup probes the level.
+func (t *TLB) Lookup(addr uint64) bool {
+	set, tag, sub := t.index(addr)
+	for w := range t.tags[set] {
+		e := &t.tags[set][w]
+		if e.valid && e.tag == tag && e.present&(1<<sub) != 0 {
+			t.tick++
+			e.lru = t.tick
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// Insert installs addr's translation, evicting LRU.
+func (t *TLB) Insert(addr uint64) {
+	set, tag, sub := t.index(addr)
+	t.tick++
+	for w := range t.tags[set] {
+		e := &t.tags[set][w]
+		if e.valid && e.tag == tag {
+			e.present |= 1 << sub
+			e.lru = t.tick
+			return
+		}
+	}
+	victim := &t.tags[set][0]
+	for w := range t.tags[set] {
+		e := &t.tags[set][w]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.lru < victim.lru {
+			victim = e
+		}
+	}
+	*victim = entry{tag: tag, present: 1 << sub, valid: true, lru: t.tick}
+}
+
+// Hierarchy is a core's translation stack: an L1 (I or D side), the
+// optional L1.5 (data side, M3+), the shared L2 TLB, and the walker.
+type Hierarchy struct {
+	L1   *TLB
+	L15  *TLB // nil before M3 / on the instruction side
+	L2   *TLB
+	// WalkLatency is the page-table walk cost on a full miss.
+	WalkLatency int
+
+	walks uint64
+}
+
+// Walks returns the number of page-table walks performed.
+func (h *Hierarchy) Walks() uint64 { return h.walks }
+
+// Translate returns the added latency for translating addr: 0 on an L1
+// hit, the inner levels' latencies on refills, or the walk cost. All
+// levels on the path learn the translation (the L1 prefetching effect of
+// the virtual-address prefetcher in §VII-A comes from calling this for
+// prefetch addresses too).
+func (h *Hierarchy) Translate(addr uint64) int {
+	if h.L1.Lookup(addr) {
+		return 0
+	}
+	if h.L15 != nil && h.L15.Lookup(addr) {
+		h.L1.Insert(addr)
+		return h.L15.cfg.Latency
+	}
+	if h.L2.Lookup(addr) {
+		if h.L15 != nil {
+			h.L15.Insert(addr)
+		}
+		h.L1.Insert(addr)
+		return h.L2.cfg.Latency
+	}
+	h.walks++
+	h.L2.Insert(addr)
+	if h.L15 != nil {
+		h.L15.Insert(addr)
+	}
+	h.L1.Insert(addr)
+	return h.WalkLatency
+}
+
+// Prefill warms the translation for a prefetch address without charging
+// latency, modelling §VII-A's observation that a virtual-address
+// prefetcher "inherently acts as a simple TLB prefetcher".
+func (h *Hierarchy) Prefill(addr uint64) {
+	_ = h.Translate(addr)
+}

@@ -1,0 +1,120 @@
+package tlb
+
+import "testing"
+
+func TestPagesAccounting(t *testing.T) {
+	// Table I: L1 I-TLB 256 pgs (64/64/4).
+	c := Config{Entries: 64, Ways: 64, Sectors: 4}
+	if c.Pages() != 256 {
+		t.Fatalf("pages=%d", c.Pages())
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	tl := New(Config{Entries: 32, Ways: 32, Sectors: 1})
+	addr := uint64(0x12345000)
+	if tl.Lookup(addr) {
+		t.Fatal("cold TLB should miss")
+	}
+	tl.Insert(addr)
+	if !tl.Lookup(addr) {
+		t.Fatal("inserted page should hit")
+	}
+	if tl.Lookup(addr + 4096) {
+		t.Fatal("neighbouring page should miss (1 sector)")
+	}
+}
+
+func TestSectoredEntryCoversNeighbours(t *testing.T) {
+	tl := New(Config{Entries: 16, Ways: 4, Sectors: 4})
+	base := uint64(0x40000000) // sector-aligned (4-page granule)
+	tl.Insert(base)
+	if tl.Lookup(base + 4096) {
+		t.Fatal("sector pages fill individually")
+	}
+	tl.Insert(base + 4096)
+	if !tl.Lookup(base) || !tl.Lookup(base+4096) {
+		t.Fatal("both pages of the sector should hit")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tl := New(Config{Entries: 4, Ways: 4, Sectors: 1})
+	for i := 0; i < 8; i++ {
+		tl.Insert(uint64(i) << 12)
+	}
+	// The four newest survive.
+	hits := 0
+	for i := 4; i < 8; i++ {
+		if tl.Lookup(uint64(i) << 12) {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("hits=%d", hits)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := Hierarchy{
+		L1:          New(Config{Entries: 4, Ways: 4, Sectors: 1, Latency: 0}),
+		L15:         New(Config{Entries: 64, Ways: 4, Sectors: 4, Latency: 2}),
+		L2:          New(Config{Entries: 512, Ways: 4, Sectors: 4, Latency: 7}),
+		WalkLatency: 40,
+	}
+	addr := uint64(0x7000_0000)
+	if got := h.Translate(addr); got != 40 {
+		t.Fatalf("cold walk cost %d", got)
+	}
+	if got := h.Translate(addr); got != 0 {
+		t.Fatalf("L1 hit cost %d", got)
+	}
+	if h.Walks() != 1 {
+		t.Fatalf("walks=%d", h.Walks())
+	}
+	// Push the page out of the tiny L1: the L1.5 catches it.
+	for i := 1; i <= 4; i++ {
+		h.Translate(addr + uint64(i)<<16)
+	}
+	if got := h.Translate(addr); got != 2 {
+		t.Fatalf("L1.5 refill cost %d", got)
+	}
+}
+
+func TestHierarchyWithoutL15(t *testing.T) {
+	h := Hierarchy{
+		L1:          New(Config{Entries: 2, Ways: 2, Sectors: 1, Latency: 0}),
+		L2:          New(Config{Entries: 256, Ways: 4, Sectors: 1, Latency: 7}),
+		WalkLatency: 40,
+	}
+	addr := uint64(0x9000_0000)
+	h.Translate(addr)
+	h.Translate(addr + 1<<16)
+	h.Translate(addr + 2<<16) // evicts addr from L1
+	if got := h.Translate(addr); got != 7 {
+		t.Fatalf("want L2 refill cost 7, got %d", got)
+	}
+}
+
+func TestPrefillWarmsTranslation(t *testing.T) {
+	h := Hierarchy{
+		L1:          New(Config{Entries: 32, Ways: 32, Sectors: 1}),
+		L2:          New(Config{Entries: 256, Ways: 4, Sectors: 1, Latency: 7}),
+		WalkLatency: 40,
+	}
+	h.Prefill(0xAB000)
+	if got := h.Translate(0xAB000); got != 0 {
+		t.Fatalf("prefilled page should be free, got %d", got)
+	}
+}
+
+func TestInsertAlwaysHitsProperty(t *testing.T) {
+	tl := New(Config{Entries: 16, Ways: 4, Sectors: 4})
+	for i := 0; i < 2000; i++ {
+		addr := uint64(i*2654435761) << 12
+		tl.Insert(addr)
+		if !tl.Lookup(addr) {
+			t.Fatalf("freshly inserted page missed at %d", i)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"testing"
+
+	"exysim/internal/isa"
+)
+
+// champ builds one synthetic input_instr record.
+type champ struct {
+	ip       uint64
+	isBranch bool
+	taken    bool
+	dst      [2]uint8
+	src      [4]uint8
+	dstMem   uint64
+	srcMem   uint64
+}
+
+func (c champ) bytes() []byte {
+	b := make([]byte, champRecordBytes)
+	binary.LittleEndian.PutUint64(b[0:], c.ip)
+	if c.isBranch {
+		b[8] = 1
+	}
+	if c.taken {
+		b[9] = 1
+	}
+	copy(b[10:12], c.dst[:])
+	copy(b[12:16], c.src[:])
+	binary.LittleEndian.PutUint64(b[16:], c.dstMem)
+	binary.LittleEndian.PutUint64(b[32:], c.srcMem)
+	return b
+}
+
+func champStream(recs ...champ) []byte {
+	var buf bytes.Buffer
+	for _, r := range recs {
+		buf.Write(r.bytes())
+	}
+	return buf.Bytes()
+}
+
+func TestChampSimBasicConversion(t *testing.T) {
+	stream := champStream(
+		champ{ip: 0x1000, dst: [2]uint8{3}, src: [4]uint8{4, 5}},                  // alu
+		champ{ip: 0x1004, srcMem: 0x8000, dst: [2]uint8{7}},                        // load
+		champ{ip: 0x1008, dstMem: 0x8008, src: [4]uint8{7}},                        // store
+		champ{ip: 0x100C, isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP, champFlags}}, // cond taken
+		champ{ip: 0x2000, dst: [2]uint8{1}},                                        // target block
+	)
+	sl, err := ReadChampSim(bytes.NewReader(stream), "champ/0", "imported", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 5 {
+		t.Fatalf("len=%d", sl.Len())
+	}
+	if sl.Insts[1].Class != isa.Load || sl.Insts[1].Addr != 0x8000 {
+		t.Fatalf("load conversion: %+v", sl.Insts[1])
+	}
+	if sl.Insts[2].Class != isa.Store || sl.Insts[2].Addr != 0x8008 {
+		t.Fatalf("store conversion: %+v", sl.Insts[2])
+	}
+	br := sl.Insts[3]
+	if br.Branch != isa.BranchCond || !br.Taken || br.Target != 0x2000 {
+		t.Fatalf("branch conversion: %+v", br)
+	}
+	for i := range sl.Insts {
+		if err := sl.Insts[i].Valid(); err != nil {
+			t.Fatalf("inst %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestChampSimBranchKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  champ
+		want isa.BranchKind
+	}{
+		{"cond", champ{isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP, champFlags}}, isa.BranchCond},
+		{"direct-jump", champ{isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP}}, isa.BranchUncond},
+		{"direct-call", champ{isBranch: true, taken: true, dst: [2]uint8{champIP, champSP}, src: [4]uint8{champIP, champSP}}, isa.BranchCall},
+		{"indirect-call", champ{isBranch: true, taken: true, dst: [2]uint8{champIP, champSP}, src: [4]uint8{champIP, champSP, 12}}, isa.BranchIndCall},
+		{"return", champ{isBranch: true, taken: true, dst: [2]uint8{champIP, champSP}, src: [4]uint8{champSP}}, isa.BranchReturn},
+		{"indirect", champ{isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{12}}, isa.BranchIndirect},
+	}
+	for _, tc := range cases {
+		rec := tc.rec
+		rec.ip = 0x4000
+		stream := champStream(rec, champ{ip: 0x5000, dst: [2]uint8{1}})
+		sl, err := ReadChampSim(bytes.NewReader(stream), "k", "imported", 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := sl.Insts[0].Branch; got != tc.want {
+			t.Fatalf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestChampSimGzipAutoDetect(t *testing.T) {
+	stream := champStream(
+		champ{ip: 0x1000, dst: [2]uint8{3}},
+		champ{ip: 0x1004, dst: [2]uint8{4}},
+	)
+	var gz bytes.Buffer
+	w := gzip.NewWriter(&gz)
+	w.Write(stream)
+	w.Close()
+	sl, err := ReadChampSim(bytes.NewReader(gz.Bytes()), "gz", "imported", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 2 {
+		t.Fatalf("len=%d", sl.Len())
+	}
+}
+
+func TestChampSimFinalTakenBranchDropped(t *testing.T) {
+	// The last record is a taken branch with no successor: no target can
+	// be inferred, so it must be dropped rather than invented.
+	stream := champStream(
+		champ{ip: 0x1000, dst: [2]uint8{3}},
+		champ{ip: 0x1004, isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP}},
+	)
+	sl, err := ReadChampSim(bytes.NewReader(stream), "tail", "imported", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 1 {
+		t.Fatalf("len=%d, tail branch should be dropped", sl.Len())
+	}
+}
+
+func TestChampSimMaxInstsAndWarmupClamp(t *testing.T) {
+	var recs []champ
+	for i := 0; i < 50; i++ {
+		recs = append(recs, champ{ip: uint64(0x1000 + i*4), dst: [2]uint8{1}})
+	}
+	sl, err := ReadChampSim(bytes.NewReader(champStream(recs...)), "cap", "imported", 20, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 20 {
+		t.Fatalf("len=%d", sl.Len())
+	}
+	if sl.Warmup >= sl.Len() {
+		t.Fatalf("warmup %d not clamped", sl.Warmup)
+	}
+}
+
+func TestChampSimRejectsEmpty(t *testing.T) {
+	if _, err := ReadChampSim(bytes.NewReader(nil), "e", "imported", 0, 0); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+}
+
+func TestChampSimRunsThroughSimulator(t *testing.T) {
+	// A small synthetic loop in ChampSim format must replay through the
+	// trace machinery (simulated indirectly via Summarize; the full
+	// simulator path is exercised in cmd tests).
+	var recs []champ
+	for it := 0; it < 50; it++ {
+		recs = append(recs,
+			champ{ip: 0x1000, srcMem: uint64(0x9000 + it*64), dst: [2]uint8{7}},
+			champ{ip: 0x1004, dst: [2]uint8{3}, src: [4]uint8{7}},
+			champ{ip: 0x1008, isBranch: true, taken: it < 49, dst: [2]uint8{champIP}, src: [4]uint8{champIP, champFlags}},
+		)
+	}
+	recs = append(recs, champ{ip: 0x100C, dst: [2]uint8{1}})
+	sl, err := ReadChampSim(bytes.NewReader(champStream(recs...)), "loop", "imported", 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sl.Summarize()
+	if st.Loads != 50 || st.CondTaken != 49 || st.CondNotTkn != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"exysim/internal/isa"
+)
+
+// Binary trace format
+//
+// Traces can be persisted so that expensive synthetic generation (or a
+// future import of real traces) is done once and replayed many times.
+// The format is a small custom encoding rather than encoding/gob because
+// trace files dominate experiment I/O and the varint delta encoding below
+// is ~6x smaller: PCs and addresses are delta-encoded against the previous
+// record, and flags are packed into one byte.
+//
+//	magic   "EXYT" u32
+//	version u16
+//	name    varint-len + bytes
+//	suite   varint-len + bytes
+//	warmup  uvarint
+//	count   uvarint
+//	count * record:
+//	  head   u8: class(4) | branchKind(3 of 4 bits) ...
+//
+// Record layout per instruction:
+//	u8  class
+//	u8  branch kind | takenBit<<7
+//	varint  ΔPC (signed, from previous record's PC)
+//	if branch&taken: varint ΔTarget (signed, from PC)
+//	if mem: varint ΔAddr (signed, from previous mem addr), u8 size
+//	u8 dst, u8 src1, u8 src2
+
+const (
+	magic   = 0x45585954 // "EXYT"
+	version = 1
+)
+
+// Write serializes the slice to w.
+func Write(w io.Writer, s *Slice) error {
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putStr := func(str string) error {
+		if err := putU(uint64(len(str))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(str)
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(magic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(version)); err != nil {
+		return err
+	}
+	if err := putStr(s.Name); err != nil {
+		return err
+	}
+	if err := putStr(s.Suite); err != nil {
+		return err
+	}
+	if err := putU(uint64(s.Warmup)); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(s.Insts))); err != nil {
+		return err
+	}
+	var prevPC, prevAddr uint64
+	for i := range s.Insts {
+		in := &s.Insts[i]
+		if err := bw.WriteByte(byte(in.Class)); err != nil {
+			return err
+		}
+		kb := byte(in.Branch)
+		if in.Taken {
+			kb |= 0x80
+		}
+		if err := bw.WriteByte(kb); err != nil {
+			return err
+		}
+		if err := putI(int64(in.PC - prevPC)); err != nil {
+			return err
+		}
+		prevPC = in.PC
+		if in.Branch.IsBranch() {
+			if err := putI(int64(in.Target - in.PC)); err != nil {
+				return err
+			}
+		}
+		if in.Class.IsMem() {
+			if err := putI(int64(in.Addr - prevAddr)); err != nil {
+				return err
+			}
+			prevAddr = in.Addr
+			if err := bw.WriteByte(in.Size); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write([]byte{in.Dst, in.Src1, in.Src2}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a slice written by Write.
+func Read(r io.Reader) (*Slice, error) {
+	br := bufio.NewReader(r)
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	var v uint16
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	getStr := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: unreasonable string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	s := &Slice{}
+	var err error
+	if s.Name, err = getStr(); err != nil {
+		return nil, err
+	}
+	if s.Suite, err = getStr(); err != nil {
+		return nil, err
+	}
+	warm, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	s.Warmup = int(warm)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("trace: unreasonable instruction count %d", count)
+	}
+	// Allocate incrementally: a forged header must not be able to demand
+	// gigabytes up front. Each record is at least 7 bytes, so a
+	// truncated stream fails fast instead.
+	initial := count
+	if initial > 1<<16 {
+		initial = 1 << 16
+	}
+	s.Insts = make([]isa.Inst, 0, initial)
+	var prevPC, prevAddr uint64
+	for i := uint64(0); i < count; i++ {
+		s.Insts = append(s.Insts, isa.Inst{})
+		in := &s.Insts[len(s.Insts)-1]
+		cls, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		in.Class = isa.Class(cls)
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		in.Branch = isa.BranchKind(kb & 0x7F)
+		in.Taken = kb&0x80 != 0
+		dpc, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		in.PC = prevPC + uint64(dpc)
+		prevPC = in.PC
+		if in.Branch.IsBranch() {
+			dt, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			in.Target = in.PC + uint64(dt)
+		}
+		if in.Class.IsMem() {
+			da, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			in.Addr = prevAddr + uint64(da)
+			prevAddr = in.Addr
+			if in.Size, err = br.ReadByte(); err != nil {
+				return nil, err
+			}
+		}
+		var ops [3]byte
+		if _, err := io.ReadFull(br, ops[:]); err != nil {
+			return nil, err
+		}
+		in.Dst, in.Src1, in.Src2 = ops[0], ops[1], ops[2]
+		if err := in.Valid(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

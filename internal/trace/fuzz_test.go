@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the native decoder against corrupt input: it must
+// return an error or a valid slice, never panic or over-allocate.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	_ = Write(&seed, sample())
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("EXYT garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sl, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := range sl.Insts {
+			if e := sl.Insts[i].Valid(); e != nil {
+				t.Fatalf("decoder accepted invalid record: %v", e)
+			}
+		}
+	})
+}
+
+// FuzzReadChampSim hardens the importer: arbitrary bytes must convert or
+// error out cleanly, and whatever converts must pass record validation.
+func FuzzReadChampSim(f *testing.F) {
+	f.Add(champStream(
+		champ{ip: 0x1000, dst: [2]uint8{3}},
+		champ{ip: 0x1004, isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP}},
+		champ{ip: 0x2000, dst: [2]uint8{1}},
+	))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sl, err := ReadChampSim(bytes.NewReader(data), "fuzz", "imported", 10_000, 0)
+		if err != nil {
+			return
+		}
+		for i := range sl.Insts {
+			if e := sl.Insts[i].Valid(); e != nil {
+				t.Fatalf("importer produced invalid record: %v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+// Package uncore models the path from the CPU cluster to main memory
+// (§IX): three voltage/frequency domains (core, interconnect, memory
+// controller) joined by four on-die asynchronous crossings plus several
+// blocks of buffering, a snoop-filter directory in the coherent
+// interconnect, and the per-generation latency features — the M4
+// dedicated data fast path (bypassing the interconnect return queuing
+// and collapsing two async crossings into one), the M5 speculative
+// cache-lookup-bypass read with directory-based cancel, and the M5 early
+// page-activate sideband.
+package uncore
+
+import (
+	"exysim/internal/dram"
+	"exysim/internal/rng"
+)
+
+// Config selects the generation's memory-path features.
+type Config struct {
+	// CrossingCycles is the cost of one asynchronous domain crossing.
+	CrossingCycles int
+	// QueueCycles is the buffering/queuing cost each way.
+	QueueCycles int
+	// SnoopFilterCycles is the directory lookup on the request path.
+	SnoopFilterCycles int
+
+	// FastPath (M4+, §IX): a dedicated DRAM→cluster data return that
+	// bypasses the interconnect return queueing and uses one direct
+	// async crossing instead of two.
+	FastPath bool
+
+	// SpecRead (M5+, §IX): latency-critical reads issue to the
+	// interconnect in parallel with the L2/L3 tag lookups; the snoop
+	// filter directory cancels the speculative read when the line is
+	// actually present in the bypassed caches.
+	SpecRead bool
+
+	// EarlyActivate (M5+, §IX): a sideband early page-activate hint to
+	// the memory controller over one crossing.
+	EarlyActivate bool
+
+	// MissPredictorEntries sizes the history-based cache-miss predictor
+	// that classifies reads for SpecRead.
+	MissPredictorEntries int
+}
+
+// DefaultConfig returns the pre-M4 path.
+func DefaultConfig() Config {
+	return Config{
+		CrossingCycles: 9, QueueCycles: 7, SnoopFilterCycles: 8,
+		MissPredictorEntries: 1024,
+	}
+}
+
+// Stats counts path events.
+type Stats struct {
+	Reads           uint64
+	SpecIssued      uint64
+	SpecCancelled   uint64
+	EarlyActivates  uint64
+	FastPathReturns uint64
+}
+
+// Uncore is the cluster-to-memory path plus the DRAM device.
+type Uncore struct {
+	cfg   Config
+	dram  *dram.DRAM
+	stats Stats
+
+	// missPred is the history-based miss predictor: a table of 2-bit
+	// counters indexed by hashed line address, trained with L2/L3
+	// hit/miss outcomes.
+	missPred []int8
+	mpMask   uint32
+}
+
+// New builds the path model.
+func New(cfg Config, d *dram.DRAM) *Uncore {
+	n := cfg.MissPredictorEntries
+	if n <= 0 {
+		n = 1024
+	}
+	if n&(n-1) != 0 {
+		panic("uncore: miss predictor entries must be a power of two")
+	}
+	return &Uncore{cfg: cfg, dram: d, missPred: make([]int8, n), mpMask: uint32(n - 1)}
+}
+
+// Stats returns a snapshot.
+func (u *Uncore) Stats() Stats { return u.stats }
+
+// DRAM exposes the device (for stats).
+func (u *Uncore) DRAM() *dram.DRAM { return u.dram }
+
+func (u *Uncore) mpIndex(addr uint64) uint32 {
+	return uint32(rng.Mix64(addr>>6)) & u.mpMask
+}
+
+// PredictMiss consults the history-based cache-miss predictor (§IX).
+func (u *Uncore) PredictMiss(addr uint64) bool {
+	return u.missPred[u.mpIndex(addr)] >= 2
+}
+
+// TrainMiss records whether addr actually missed the cache levels.
+func (u *Uncore) TrainMiss(addr uint64, missed bool) {
+	c := &u.missPred[u.mpIndex(addr)]
+	if missed {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// outboundCycles is request-path cost: two async crossings, queueing,
+// and the snoop-filter directory lookup.
+func (u *Uncore) outboundCycles() int {
+	return 2*u.cfg.CrossingCycles + u.cfg.QueueCycles + u.cfg.SnoopFilterCycles
+}
+
+// returnCycles is data-return cost; the M4 fast path collapses it.
+func (u *Uncore) returnCycles() int {
+	if u.cfg.FastPath {
+		u.stats.FastPathReturns++
+		return u.cfg.CrossingCycles // one direct crossing, no queue
+	}
+	return 2*u.cfg.CrossingCycles + u.cfg.QueueCycles
+}
+
+// Read performs a memory read issued at cycle `issue` and returns the
+// cycle the critical word reaches the cluster. If EarlyActivate is
+// enabled and the read was flagged latency-critical, the page-activate
+// hint was sent at hintAt (one crossing of lead time). prefetch marks
+// reads the memory controller may deprioritize.
+func (u *Uncore) Read(addr uint64, issue uint64, critical, prefetch bool) (doneAt uint64) {
+	u.stats.Reads++
+	if u.cfg.EarlyActivate && critical {
+		// The sideband hint bypasses two crossings with one, so it
+		// reaches the controller ahead of the request proper.
+		u.stats.EarlyActivates++
+		u.dram.Activate(addr, issue+uint64(u.cfg.CrossingCycles))
+	}
+	reqAt := issue + uint64(u.outboundCycles())
+	dataAt := u.dram.Access(addr, reqAt, prefetch)
+	return dataAt + uint64(u.returnCycles())
+}
+
+// Write sends a writeback toward memory; it occupies DRAM bank time at
+// deprioritized (write-class) priority and nothing waits on it.
+func (u *Uncore) Write(addr uint64, issue uint64) {
+	reqAt := issue + uint64(u.outboundCycles())
+	u.dram.Access(addr, reqAt, true)
+}
+
+// SpecReadStart reports whether a latency-critical read should issue
+// speculatively in parallel with the cache lookups (§IX): the feature
+// must exist and the miss predictor must predict a cache miss. The
+// directory cancel is modelled by the caller simply using the normal
+// path when the line turns out to be cached — the cancelled speculative
+// access never disturbs DRAM state here, matching the paper's "cancel
+// ... avoids penalizing memory bandwidth".
+func (u *Uncore) SpecReadStart(addr uint64, critical bool) bool {
+	if !u.cfg.SpecRead || !critical {
+		return false
+	}
+	if u.PredictMiss(addr) {
+		u.stats.SpecIssued++
+		return true
+	}
+	return false
+}
+
+// NoteSpecCancelled counts a directory-cancelled speculative read.
+func (u *Uncore) NoteSpecCancelled() { u.stats.SpecCancelled++ }

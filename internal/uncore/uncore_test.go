@@ -1,0 +1,109 @@
+package uncore
+
+import (
+	"testing"
+
+	"exysim/internal/dram"
+)
+
+func newU(mut func(*Config)) *Uncore {
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	return New(cfg, dram.New(dram.DefaultConfig()))
+}
+
+func TestFastPathShortensReturn(t *testing.T) {
+	base := newU(nil)
+	fast := newU(func(c *Config) { c.FastPath = true })
+	a := base.Read(0x1000, 100, true, false)
+	b := fast.Read(0x1000, 100, true, false)
+	if b >= a {
+		t.Fatalf("fast path (%d) should beat the queued return (%d)", b, a)
+	}
+	// The saving is one crossing plus the queue.
+	want := uint64(DefaultConfig().CrossingCycles + DefaultConfig().QueueCycles)
+	if a-b != want {
+		t.Fatalf("saving %d, want %d", a-b, want)
+	}
+}
+
+func TestMissPredictorLearns(t *testing.T) {
+	u := newU(nil)
+	addr := uint64(0x4000)
+	if u.PredictMiss(addr) {
+		t.Fatal("cold predictor should predict hit")
+	}
+	for i := 0; i < 4; i++ {
+		u.TrainMiss(addr, true)
+	}
+	if !u.PredictMiss(addr) {
+		t.Fatal("should predict miss after training")
+	}
+	for i := 0; i < 4; i++ {
+		u.TrainMiss(addr, false)
+	}
+	if u.PredictMiss(addr) {
+		t.Fatal("should flip back after hit training")
+	}
+}
+
+func TestSpecReadGating(t *testing.T) {
+	u := newU(func(c *Config) { c.SpecRead = true })
+	addr := uint64(0x8000)
+	if u.SpecReadStart(addr, true) {
+		t.Fatal("spec read without a miss prediction")
+	}
+	for i := 0; i < 4; i++ {
+		u.TrainMiss(addr, true)
+	}
+	if !u.SpecReadStart(addr, true) {
+		t.Fatal("spec read should fire on predicted miss")
+	}
+	if u.SpecReadStart(addr, false) {
+		t.Fatal("non-critical reads must not speculate")
+	}
+	noSpec := newU(nil)
+	for i := 0; i < 4; i++ {
+		noSpec.TrainMiss(addr, true)
+	}
+	if noSpec.SpecReadStart(addr, true) {
+		t.Fatal("feature disabled: no speculation")
+	}
+}
+
+func TestEarlyActivateReachesDRAM(t *testing.T) {
+	u := newU(func(c *Config) { c.EarlyActivate = true })
+	u.Read(0x1000, 0, true, false)
+	if u.Stats().EarlyActivates != 1 {
+		t.Fatal("early activate not sent")
+	}
+	hon := u.DRAM().Stats().HintsHonored + u.DRAM().Stats().HintsIgnored
+	if hon != 1 {
+		t.Fatal("hint did not reach the device")
+	}
+}
+
+func TestEarlyActivateImprovesColdRead(t *testing.T) {
+	plain := newU(nil)
+	early := newU(func(c *Config) { c.EarlyActivate = true })
+	a := plain.Read(0x2000, 500, true, false)
+	b := early.Read(0x2000, 500, true, false)
+	if b >= a {
+		t.Fatalf("early activate (%d) should beat plain (%d) on a cold row", b, a)
+	}
+}
+
+func TestReadLatencyComposition(t *testing.T) {
+	u := newU(nil)
+	cfg := DefaultConfig()
+	dcfg := dram.DefaultConfig()
+	done := u.Read(0x3000, 0, false, false)
+	want := uint64(2*cfg.CrossingCycles+cfg.QueueCycles+cfg.SnoopFilterCycles) +
+		uint64(dcfg.TRCD+dcfg.TCAS) +
+		uint64(2*cfg.CrossingCycles+cfg.QueueCycles)
+	if done != want {
+		t.Fatalf("latency %d, want %d", done, want)
+	}
+}

@@ -1,0 +1,26 @@
+package uoc_test
+
+import (
+	"fmt"
+
+	"exysim/internal/uoc"
+)
+
+// Example shows the §VI mode machine filtering, building, and finally
+// supplying a hot two-block kernel from the micro-op cache.
+func Example() {
+	u := uoc.New(uoc.DefaultConfig())
+	supplied := 0
+	for i := 0; i < 400; i++ {
+		for _, pc := range []uint64{0x1000, 0x1040} {
+			if r := u.Step(pc, 10, true); r.FromUOC {
+				supplied++
+			}
+		}
+	}
+	fmt.Println("reached FetchMode:", u.Mode() == uoc.FetchMode)
+	fmt.Println("μops supplied by the UOC:", supplied > 0)
+	// Output:
+	// reached FetchMode: true
+	// μops supplied by the UOC: true
+}

@@ -1,0 +1,257 @@
+// Package uoc implements the micro-operation cache added in M5 (§VI):
+// an alternative μop supply path that holds up to 384 μops and delivers
+// up to 6 μops per cycle, primarily to save fetch and decode power on
+// repeatable kernels. The front end operates in one of three modes
+// (Fig. 13):
+//
+//   - FilterMode: the μBTB predictor watches for a highly predictable
+//     code segment that fits within both the μBTB and the UOC.
+//   - BuildMode: basic blocks are allocated into the UOC; each μBTB
+//     branch entry carries a "built" bit that back-propagates once the
+//     target's block has been seen in the UOC. Lookups bump #BuildTimer
+//     and either #BuildEdge (bit clear) or #FetchEdge (bit set).
+//   - FetchMode: the instruction cache and decoders are disabled and the
+//     UOC supplies μops; if the built-bit ratio degrades, the front end
+//     falls back to FilterMode.
+package uoc
+
+import "fmt"
+
+// Mode is the UOC operating mode (Fig. 13).
+type Mode uint8
+
+// Operating modes.
+const (
+	FilterMode Mode = iota
+	BuildMode
+	FetchMode
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case FilterMode:
+		return "filter"
+	case BuildMode:
+		return "build"
+	case FetchMode:
+		return "fetch"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Config sizes the UOC.
+type Config struct {
+	// CapacityUops is the total μop capacity (384 on M5, §VI).
+	CapacityUops int
+	// Width is μops deliverable per cycle (6 on M5).
+	Width int
+	// FilterWindow is how many predictable block lookups FilterMode
+	// needs before switching to BuildMode.
+	FilterWindow int
+	// FetchRatio enters FetchMode when #FetchEdge >= ratio * #BuildEdge
+	// within the build window.
+	FetchRatio int
+	// BuildTimerMax bounds BuildMode: if the ratio is not reached
+	// before the timer expires, the segment is abandoned to FilterMode.
+	BuildTimerMax int
+	// RefilterRatio leaves FetchMode when #BuildEdge * ratio >=
+	// #FetchEdge (the code moved on).
+	RefilterRatio int
+}
+
+// DefaultConfig returns the M5 geometry.
+func DefaultConfig() Config {
+	return Config{
+		CapacityUops: 384, Width: 6,
+		FilterWindow: 32, FetchRatio: 4, BuildTimerMax: 512, RefilterRatio: 2,
+	}
+}
+
+// Stats counts UOC behaviour.
+type Stats struct {
+	Lookups        uint64
+	UopsFromUOC    uint64
+	UopsFromDecode uint64
+	BuildsStarted  uint64
+	FetchEntered   uint64
+	FetchExited    uint64
+	TimerAborts    uint64
+	// DecodeCyclesSaved approximates the fetch/decode power proxy: the
+	// cycles the instruction cache and decoders were gated (§VI).
+	DecodeCyclesSaved uint64
+}
+
+// UOC is the micro-operation cache with its mode state machine. It is
+// driven once per basic block entering the front end.
+type UOC struct {
+	cfg  Config
+	mode Mode
+
+	// blocks maps basic-block start PC to its μop count; used tracks
+	// occupancy against CapacityUops.
+	blocks map[uint64]int
+	used   int
+
+	// built mirrors the μBTB "built" back-propagation bits per block.
+	built map[uint64]bool
+
+	filterStreak int
+	buildEdge    int
+	fetchEdge    int
+	buildTimer   int
+
+	stats Stats
+}
+
+// New builds the UOC.
+func New(cfg Config) *UOC {
+	return &UOC{
+		cfg:    cfg,
+		blocks: make(map[uint64]int),
+		built:  make(map[uint64]bool),
+	}
+}
+
+// Mode returns the current operating mode.
+func (u *UOC) Mode() Mode { return u.mode }
+
+// Stats returns a snapshot.
+func (u *UOC) Stats() Stats { return u.stats }
+
+// Result describes one block's supply decision.
+type Result struct {
+	Mode Mode
+	// FromUOC reports the block's μops were supplied by the UOC with
+	// the icache/decoders gated.
+	FromUOC bool
+}
+
+// Step processes one basic block entering the front end: blockPC is the
+// block's start address, uops its μop count, and predictable reports
+// whether the μBTB currently covers the segment confidently (its lock
+// state is the filter's predictability signal, §VI).
+func (u *UOC) Step(blockPC uint64, uops int, predictable bool) Result {
+	u.stats.Lookups++
+	switch u.mode {
+	case FilterMode:
+		u.filter(predictable, uops)
+	case BuildMode:
+		u.build(blockPC, uops)
+	case FetchMode:
+		u.fetch(blockPC)
+	}
+	res := Result{Mode: u.mode}
+	if u.mode == FetchMode && u.built[blockPC] {
+		res.FromUOC = true
+		u.stats.UopsFromUOC += uint64(uops)
+		u.stats.DecodeCyclesSaved += uint64((uops + u.cfg.Width - 1) / u.cfg.Width)
+	} else {
+		u.stats.UopsFromDecode += uint64(uops)
+	}
+	return res
+}
+
+// filter watches for a predictable, UOC-sized segment (FilterMode is
+// designed to avoid unprofitable builds, §VI).
+func (u *UOC) filter(predictable bool, uops int) {
+	if predictable && uops <= u.cfg.CapacityUops {
+		u.filterStreak++
+		if u.filterStreak >= u.cfg.FilterWindow {
+			u.enterBuild()
+		}
+	} else {
+		u.filterStreak = 0
+	}
+}
+
+func (u *UOC) enterBuild() {
+	u.mode = BuildMode
+	u.buildEdge, u.fetchEdge, u.buildTimer = 0, 0, 0
+	u.filterStreak = 0
+	u.stats.BuildsStarted++
+}
+
+// build allocates blocks and watches the built-bit edge ratio.
+func (u *UOC) build(blockPC uint64, uops int) {
+	u.buildTimer++
+	if u.built[blockPC] {
+		u.fetchEdge++
+	} else {
+		u.buildEdge++
+		u.allocate(blockPC, uops)
+	}
+	if u.fetchEdge >= u.cfg.FetchRatio*max(1, u.buildEdge) && u.buildTimer <= u.cfg.BuildTimerMax {
+		u.mode = FetchMode
+		u.buildEdge, u.fetchEdge = 0, 0
+		u.stats.FetchEntered++
+		return
+	}
+	if u.buildTimer > u.cfg.BuildTimerMax {
+		// The segment never stabilized: give up and refilter.
+		u.mode = FilterMode
+		u.stats.TimerAborts++
+	}
+}
+
+// allocate inserts the block, evicting arbitrary blocks when over
+// capacity (block-granular FIFO-ish eviction; the real array evicts
+// UOC lines).
+func (u *UOC) allocate(blockPC uint64, uops int) {
+	if old, ok := u.blocks[blockPC]; ok {
+		u.used -= old
+	}
+	u.blocks[blockPC] = uops
+	u.used += uops
+	// The μBTB's built bit is back-propagated after the tag check —
+	// the next lookup of this block sees it set (§VI).
+	u.built[blockPC] = true
+	for u.used > u.cfg.CapacityUops {
+		for pc, n := range u.blocks {
+			if pc == blockPC {
+				continue
+			}
+			delete(u.blocks, pc)
+			delete(u.built, pc)
+			u.used -= n
+			break
+		}
+		if len(u.blocks) <= 1 {
+			break
+		}
+	}
+}
+
+// fetch monitors built bits while the UOC supplies the machine; misses
+// shift the edge ratio back toward build and eventually exit to
+// FilterMode. The counters behave as a sliding window (saturate and
+// decay) so a long stable phase cannot mask a code change.
+func (u *UOC) fetch(blockPC uint64) {
+	if u.built[blockPC] {
+		if u.fetchEdge < 64 {
+			u.fetchEdge++
+		}
+		if u.buildEdge > 0 {
+			u.buildEdge--
+		}
+		return
+	}
+	u.buildEdge++
+	u.fetchEdge -= 2
+	if u.fetchEdge < 0 {
+		u.fetchEdge = 0
+	}
+	if u.buildEdge >= 4 && u.buildEdge*u.cfg.RefilterRatio >= u.fetchEdge {
+		u.mode = FilterMode
+		u.filterStreak = 0
+		u.buildEdge, u.fetchEdge = 0, 0
+		u.stats.FetchExited++
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

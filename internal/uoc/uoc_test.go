@@ -1,0 +1,129 @@
+package uoc
+
+import "testing"
+
+// kernel simulates a loop over nBlocks basic blocks of uopsEach μops.
+func kernel(u *UOC, nBlocks, uopsEach, iters int, predictable bool) (fromUOC int) {
+	for it := 0; it < iters; it++ {
+		for b := 0; b < nBlocks; b++ {
+			r := u.Step(uint64(0x1000+b*0x40), uopsEach, predictable)
+			if r.FromUOC {
+				fromUOC++
+			}
+		}
+	}
+	return
+}
+
+func TestModeProgressionOnHotKernel(t *testing.T) {
+	u := New(DefaultConfig())
+	if u.Mode() != FilterMode {
+		t.Fatal("must start in FilterMode")
+	}
+	from := kernel(u, 4, 12, 200, true)
+	if u.Mode() != FetchMode {
+		t.Fatalf("hot predictable kernel should reach FetchMode, in %v", u.Mode())
+	}
+	if from == 0 {
+		t.Fatal("no μops supplied by the UOC")
+	}
+	st := u.Stats()
+	if st.BuildsStarted == 0 || st.FetchEntered == 0 {
+		t.Fatalf("mode stats %+v", st)
+	}
+	if st.DecodeCyclesSaved == 0 {
+		t.Fatal("no decode gating recorded")
+	}
+}
+
+func TestUnpredictableCodeStaysFiltered(t *testing.T) {
+	u := New(DefaultConfig())
+	kernel(u, 4, 12, 200, false)
+	if u.Mode() != FilterMode {
+		t.Fatalf("unpredictable code should stay in FilterMode, in %v", u.Mode())
+	}
+	if u.Stats().BuildsStarted != 0 {
+		t.Fatal("build should never start")
+	}
+}
+
+func TestOversizedSegmentDoesNotBuild(t *testing.T) {
+	cfg := DefaultConfig()
+	u := New(cfg)
+	// Single blocks each bigger than the whole UOC.
+	for i := 0; i < 200; i++ {
+		u.Step(0x9000, cfg.CapacityUops+1, true)
+	}
+	if u.Stats().BuildsStarted != 0 {
+		t.Fatal("oversized block must not trigger BuildMode")
+	}
+}
+
+func TestFetchModeExitsOnNewCode(t *testing.T) {
+	u := New(DefaultConfig())
+	kernel(u, 4, 12, 200, true)
+	if u.Mode() != FetchMode {
+		t.Fatalf("setup failed: %v", u.Mode())
+	}
+	// Jump to fresh, unbuilt code: built-bit misses must exit FetchMode.
+	for b := 0; b < 64 && u.Mode() == FetchMode; b++ {
+		u.Step(uint64(0x90000+b*0x40), 12, false)
+	}
+	if u.Mode() == FetchMode {
+		t.Fatal("FetchMode never exited on unbuilt code")
+	}
+	if u.Stats().FetchExited == 0 {
+		t.Fatal("exit not counted")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	u := New(cfg)
+	u.enterBuild()
+	// Allocate far beyond capacity.
+	for b := 0; b < 100; b++ {
+		u.allocate(uint64(0x4000+b*0x40), 12)
+	}
+	if u.used > cfg.CapacityUops {
+		t.Fatalf("occupancy %d exceeds capacity %d", u.used, cfg.CapacityUops)
+	}
+}
+
+func TestBuildTimerAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BuildTimerMax = 16
+	u := New(cfg)
+	u.enterBuild()
+	// Endless stream of brand-new blocks: #FetchEdge never rises.
+	for b := 0; b < 64 && u.Mode() == BuildMode; b++ {
+		u.Step(uint64(0x200000+b*0x1000), 6, true)
+	}
+	if u.Mode() != FilterMode {
+		t.Fatalf("build should abort to FilterMode, in %v", u.Mode())
+	}
+	if u.Stats().TimerAborts == 0 {
+		t.Fatal("abort not counted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m := FilterMode; m <= FetchMode; m++ {
+		if m.String() == "" {
+			t.Fatalf("mode %d unnamed", m)
+		}
+	}
+}
+
+func TestOccupancyInvariantUnderArbitrarySteps(t *testing.T) {
+	cfg := DefaultConfig()
+	u := New(cfg)
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x1000 + (i*2654435761)%4096*64)
+		uops := 1 + (i*7)%40
+		u.Step(pc, uops, i%5 != 0)
+		if u.used > cfg.CapacityUops {
+			t.Fatalf("occupancy %d exceeds capacity at step %d", u.used, i)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+
+	"exysim/internal/trace"
+)
+
+// SuiteSpec configures how the synthetic population stands in for the
+// paper's 4,026 slices. The same spec (and seed) always produces exactly
+// the same traces, so all six generations can be compared on identical
+// input, matching the paper's constant-workload methodology (§II).
+type SuiteSpec struct {
+	// SlicesPerFamily scales population size. The paper's suite mixes
+	// suites unevenly; we apply the per-family weights below.
+	SlicesPerFamily int
+	// InstsPerSlice is the detailed-region length of each slice.
+	InstsPerSlice int
+	// WarmupFrac is the fraction of InstsPerSlice prepended as warmup
+	// (the paper uses 10M warmup / 100M detail = 0.1).
+	WarmupFrac float64
+	// Seed makes the whole population reproducible.
+	Seed uint64
+}
+
+// Preset suite sizes. Tests use Tiny; the figure CLIs default to Standard.
+var (
+	// TinySpec is for unit/integration tests: fast, still diverse.
+	TinySpec = SuiteSpec{SlicesPerFamily: 2, InstsPerSlice: 20_000, WarmupFrac: 0.25, Seed: 0xE59}
+	// QuickSpec is for benchmarks: one to two minutes for all gens.
+	QuickSpec = SuiteSpec{SlicesPerFamily: 6, InstsPerSlice: 60_000, WarmupFrac: 0.25, Seed: 0xE59}
+	// StandardSpec is the default population for regenerating figures.
+	StandardSpec = SuiteSpec{SlicesPerFamily: 24, InstsPerSlice: 150_000, WarmupFrac: 0.2, Seed: 0xE59}
+)
+
+// familyWeight scales how many slices a family contributes relative to
+// SlicesPerFamily, echoing the paper's suite composition (SPEC and web
+// suites dominate; microkernels are a seasoning).
+type weightedFamily struct {
+	fam    Family
+	weight float64
+}
+
+func defaultFamilies() []weightedFamily {
+	return []weightedFamily{
+		{SpecIntFamily(), 1.5},
+		{SpecFPFamily(), 1.0},
+		{WebFamily(), 1.5},
+		{MobileFamily(), 1.25},
+		{GameFamily(), 1.0},
+		{TightLoopFamily(), 0.5},
+		{ChaseFamily(), 0.5},
+		{StreamFamily(), 0.5},
+		{SMSFamily(), 0.5},
+	}
+}
+
+// Suite materializes the full synthetic population for the spec.
+func Suite(spec SuiteSpec) []*trace.Slice {
+	var out []*trace.Slice
+	warm := int(float64(spec.InstsPerSlice) * spec.WarmupFrac)
+	budget := spec.InstsPerSlice + warm
+	for _, wf := range defaultFamilies() {
+		n := int(float64(spec.SlicesPerFamily) * wf.weight)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, wf.fam.Gen(i, budget, warm, spec.Seed))
+		}
+	}
+	return out
+}
+
+// CBPSuite materializes the Fig. 1 branch-stress traces: n slices whose
+// history correlations reach up to maxDist branches back.
+func CBPSuite(n, instsPerSlice, maxDist int, seed uint64) []*trace.Slice {
+	fam := CBPFamily(maxDist)
+	warm := instsPerSlice / 10
+	out := make([]*trace.Slice, n)
+	for i := range out {
+		out[i] = fam.Gen(i, instsPerSlice+warm, warm, seed)
+	}
+	return out
+}
+
+// ByName builds one slice from "family/idx" syntax, e.g. "web/003";
+// useful for CLI debugging of a single slice.
+func ByName(name string, spec SuiteSpec) (*trace.Slice, error) {
+	warm := int(float64(spec.InstsPerSlice) * spec.WarmupFrac)
+	budget := spec.InstsPerSlice + warm
+	for _, wf := range defaultFamilies() {
+		var idx int
+		if n, err := fmt.Sscanf(name, wf.fam.Name+"/%d", &idx); err == nil && n == 1 {
+			return wf.fam.Gen(idx, budget, warm, spec.Seed), nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown slice %q", name)
+}
+
+// Families lists the family names available, for CLI help.
+func Families() []string {
+	fams := defaultFamilies()
+	names := make([]string, len(fams))
+	for i, wf := range fams {
+		names[i] = wf.fam.Name
+	}
+	return names
+}
