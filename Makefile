@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: tier1 fmt-check vet build test race bench
+
+# tier1 is the gate every change must pass: formatting, vet, a full
+# build, and the test suite under the race detector.
+tier1: fmt-check vet build race
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=NONE .

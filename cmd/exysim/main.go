@@ -16,17 +16,30 @@
 //	exysim run --gen=M4 --slice=web/3 # one slice, full detail
 //
 // The --spec flag (tiny|quick|standard) sizes the synthetic population.
+//
+// Global flags (valid in any position, before or after the subcommand):
+//
+//	--pprof=ADDR        serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	--cpuprofile=FILE   write a CPU profile of the whole invocation
+//	--memprofile=FILE   write a heap profile at exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"exysim/internal/branch"
 	"exysim/internal/cluster"
 	"exysim/internal/core"
 	"exysim/internal/experiments"
+	"exysim/internal/obs"
 	"exysim/internal/trace"
 	"exysim/internal/workload"
 )
@@ -46,25 +59,118 @@ func specByName(name string) workload.SuiteSpec {
 	}
 }
 
+// profiling holds the simulator's self-profiling options, extracted
+// from anywhere on the command line so `exysim run --cpuprofile=f` and
+// `exysim --cpuprofile=f run` both work.
+type profiling struct {
+	pprofAddr  string
+	cpuProfile string
+	memProfile string
+}
+
+// extractGlobalFlags strips --pprof/--cpuprofile/--memprofile (with
+// either --flag=value or --flag value spelling) from args and returns
+// the remainder plus the collected options.
+func extractGlobalFlags(args []string) ([]string, profiling) {
+	var p profiling
+	var rest []string
+	set := func(name, val string) bool {
+		switch name {
+		case "pprof":
+			p.pprofAddr = val
+		case "cpuprofile":
+			p.cpuProfile = val
+		case "memprofile":
+			p.memProfile = val
+		default:
+			return false
+		}
+		return true
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name := strings.TrimLeft(a, "-")
+		if eq := strings.IndexByte(name, '='); eq >= 0 && strings.HasPrefix(a, "-") {
+			if set(name[:eq], name[eq+1:]) {
+				continue
+			}
+		} else if strings.HasPrefix(a, "-") && i+1 < len(args) &&
+			(name == "pprof" || name == "cpuprofile" || name == "memprofile") {
+			set(name, args[i+1])
+			i++
+			continue
+		}
+		rest = append(rest, a)
+	}
+	return rest, p
+}
+
+// start brings up the requested profilers and returns a stop function
+// for the ones that must flush at exit.
+func (p profiling) start() func() {
+	if p.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(p.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof serving on http://%s/debug/pprof/\n", p.pprofAddr)
+	}
+	var cpu *os.File
+	if p.cpuProfile != "" {
+		f, err := os.Create(p.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cpu = f
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if p.memProfile != "" {
+			f, err := os.Create(p.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}
+}
+
 func main() {
-	if len(os.Args) < 2 {
+	args, prof := extractGlobalFlags(os.Args[1:])
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	stopProf := prof.start()
+	defer stopProf()
+	cmd, args := args[0], args[1:]
 	switch cmd {
 	case "tables":
 		cmdTables(args)
 	case "fig1":
 		cmdFig1(args)
 	case "fig9":
-		cmdCurve(args, "Fig. 9 — MPKI across workload slices (sorted per generation, clipped at 20)",
+		cmdCurve(args, "fig9", "Fig. 9 — MPKI across workload slices (sorted per generation, clipped at 20)",
 			experiments.MetricMPKI, 20)
 	case "fig16":
-		cmdCurve(args, "Fig. 16 — average load latency across workload slices (sorted per generation)",
+		cmdCurve(args, "fig16", "Fig. 16 — average load latency across workload slices (sorted per generation)",
 			experiments.MetricLoadLat, 0)
 	case "fig17":
-		cmdCurve(args, "Fig. 17 — IPC across workload slices (sorted per generation)",
+		cmdCurve(args, "fig17", "Fig. 17 — IPC across workload slices (sorted per generation)",
 			experiments.MetricIPC, 0)
 	case "summary":
 		cmdSummary(args)
@@ -99,8 +205,34 @@ func usage() {
 func cmdTables(args []string) {
 	fs := flag.NewFlagSet("tables", flag.ExitOnError)
 	id := fs.Int("id", 0, "table number (1-4); 0 prints all")
-	spec := fs.String("spec", "quick", "population size for Table IV")
+	spec, progress, manifestOut := runPopulationFlags(fs)
+	format := fs.String("format", "text", "output format (text|json)")
 	_ = fs.Parse(args)
+	if *format == "json" {
+		out := struct {
+			Generations []string               `json:"generations"`
+			TableII     []branch.StorageBudget `json:"table2_storage_kb"`
+			TableIV     map[string]float64     `json:"table4_load_lat_means,omitempty"`
+		}{}
+		for _, g := range core.Generations() {
+			out.Generations = append(out.Generations, g.Name)
+		}
+		out.TableII = experiments.TableII()
+		if *id == 4 || *id == 0 {
+			p := runPopulation("tables", *spec, *progress, *manifestOut, nil)
+			out.TableIV = map[string]float64{}
+			for g, v := range p.Means(experiments.MetricLoadLat) {
+				out.TableIV[p.Gens[g].Name] = v
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *id == 1 || *id == 0 {
 		fmt.Println(experiments.RenderTableI())
 	}
@@ -111,7 +243,7 @@ func cmdTables(args []string) {
 		fmt.Println(experiments.RenderTableIII())
 	}
 	if *id == 4 || *id == 0 {
-		p := experiments.RunPopulation(specByName(*spec))
+		p := runPopulation("tables", *spec, *progress, *manifestOut, nil)
 		fmt.Println(experiments.RenderTableIV(p))
 	}
 }
@@ -125,16 +257,65 @@ func cmdFig1(args []string) {
 	fmt.Println(experiments.RenderFig1(pts))
 }
 
-func cmdCurve(args []string, title string, m experiments.Metric, clip float64) {
+// runPopulationFlags is the shared flag surface of the population
+// commands (fig9/fig16/fig17/summary/tables --id=4): sizing, progress
+// reporting, and manifest export.
+func runPopulationFlags(fs *flag.FlagSet) (spec *string, progress *bool, manifestOut *string) {
+	spec = fs.String("spec", "quick", "population size (tiny|quick|standard)")
+	progress = fs.Bool("progress", false, "report slices done / sim-MIPS / ETA on stderr")
+	manifestOut = fs.String("manifest-out", "", "write a run manifest JSON to FILE")
+	return
+}
+
+// runPopulation executes the sweep honoring the shared flags and writes
+// the manifest (if requested), recording any companion artifacts.
+func runPopulation(command string, spec string, progress bool, manifestOut string, artifacts map[string]string) *experiments.PopulationRun {
+	var prog *obs.Progress
+	sp := specByName(spec)
+	if progress {
+		total := len(workload.Suite(sp)) * 6
+		prog = obs.NewProgress(os.Stderr, command, total)
+	}
+	p := experiments.RunPopulationProgress(sp, prog)
+	if manifestOut != "" {
+		m := p.Manifest(command)
+		for k, v := range artifacts {
+			m.AddArtifact(k, v)
+		}
+		if err := m.Write(manifestOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	return p
+}
+
+func cmdCurve(args []string, name, title string, m experiments.Metric, clip float64) {
 	fs := flag.NewFlagSet("fig", flag.ExitOnError)
-	spec := fs.String("spec", "quick", "population size (tiny|quick|standard)")
+	spec, progress, manifestOut := runPopulationFlags(fs)
 	points := fs.Int("points", 12, "sampled positions along the sorted population")
 	summary := fs.Bool("summary", false, "print headline numbers too")
-	csv := fs.Bool("csv", false, "emit plot-ready CSV (one row per slice position)")
+	csv := fs.Bool("csv", false, "emit plot-ready CSV (alias for --format=csv)")
+	format := fs.String("format", "text", "output format (text|json|csv)")
+	metricsOut := fs.String("metrics-out", "", "write the per-generation curve data as JSON to FILE")
 	_ = fs.Parse(args)
-	p := experiments.RunPopulation(specByName(*spec))
 	if *csv {
-		curves := p.Curves(m, *points)
+		*format = "csv"
+	}
+	artifacts := map[string]string{}
+	if *metricsOut != "" {
+		artifacts["metrics"] = *metricsOut
+	}
+	p := runPopulation(name, *spec, *progress, *manifestOut, artifacts)
+	curves := p.Curves(m, *points)
+	if *metricsOut != "" {
+		if err := writeCurveJSONFile(*metricsOut, name, p, curves, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	switch *format {
+	case "csv":
 		fmt.Print("position")
 		for _, g := range p.Gens {
 			fmt.Printf(",%s", g.Name)
@@ -147,19 +328,87 @@ func cmdCurve(args []string, title string, m experiments.Metric, clip float64) {
 			}
 			fmt.Println()
 		}
-		return
+	case "json":
+		if err := writeCurveJSON(os.Stdout, name, p, curves, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case "text", "":
+		fmt.Println(experiments.RenderCurves(title, p.Gens, curves, clip))
+		if *summary {
+			fmt.Println(experiments.Summary(p))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (text|json|csv)\n", *format)
+		os.Exit(2)
 	}
-	fmt.Println(experiments.RenderCurves(title, p.Gens, p.Curves(m, *points), clip))
-	if *summary {
-		fmt.Println(experiments.Summary(p))
+}
+
+// curveJSON is the structured form of one population figure.
+type curveJSON struct {
+	Figure      string               `json:"figure"`
+	Generations []string             `json:"generations"`
+	Curves      map[string][]float64 `json:"curves"`
+	Means       map[string]float64   `json:"means"`
+}
+
+func curveData(name string, p *experiments.PopulationRun, curves [][]float64, m experiments.Metric) curveJSON {
+	out := curveJSON{Figure: name, Curves: map[string][]float64{}, Means: map[string]float64{}}
+	means := p.Means(m)
+	for g := range p.Gens {
+		gn := p.Gens[g].Name
+		out.Generations = append(out.Generations, gn)
+		out.Curves[gn] = curves[g]
+		out.Means[gn] = means[g]
 	}
+	return out
+}
+
+func writeCurveJSON(w *os.File, name string, p *experiments.PopulationRun, curves [][]float64, m experiments.Metric) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(curveData(name, p, curves, m))
+}
+
+func writeCurveJSONFile(path, name string, p *experiments.PopulationRun, curves [][]float64, m experiments.Metric) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeCurveJSON(f, name, p, curves, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdSummary(args []string) {
 	fs := flag.NewFlagSet("summary", flag.ExitOnError)
-	spec := fs.String("spec", "quick", "population size")
+	spec, progress, manifestOut := runPopulationFlags(fs)
+	format := fs.String("format", "text", "output format (text|json)")
 	_ = fs.Parse(args)
-	p := experiments.RunPopulation(specByName(*spec))
+	p := runPopulation("summary", *spec, *progress, *manifestOut, nil)
+	if *format == "json" {
+		out := map[string]map[string]float64{
+			"mpki": {}, "ipc": {}, "load_lat": {}, "epki": {},
+		}
+		metrics := map[string]experiments.Metric{
+			"mpki": experiments.MetricMPKI, "ipc": experiments.MetricIPC,
+			"load_lat": experiments.MetricLoadLat, "epki": experiments.MetricEPKI,
+		}
+		for key, m := range metrics {
+			for g, v := range p.Means(m) {
+				out[key][p.Gens[g].Name] = v
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 	fmt.Println(experiments.Summary(p))
 }
 
@@ -305,6 +554,11 @@ func cmdRun(args []string) {
 	sliceName := fs.String("slice", "specint/0", "workload slice, family/index")
 	traceFile := fs.String("trace", "", "run a .exyt trace file instead of a synthetic slice")
 	spec := fs.String("spec", "quick", "population sizing for the slice")
+	metricsOut := fs.String("metrics-out", "", "write the full metrics snapshot as JSON to FILE")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON to FILE (enables tracing)")
+	traceCap := fs.Int("trace-cap", 1<<16, "tracer ring capacity in events (oldest overwritten)")
+	traceSample := fs.Int("trace-sample", 1, "record every Nth traced event (deterministic sampling)")
+	manifestOut := fs.String("manifest-out", "", "write a run manifest JSON to FILE")
 	_ = fs.Parse(args)
 	g, ok := core.GenByName(*gen)
 	if !ok {
@@ -326,7 +580,46 @@ func cmdRun(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	r := core.RunSlice(g, sl)
+	var man *obs.Manifest
+	if *manifestOut != "" {
+		man = obs.NewManifest("run")
+	}
+	sim := core.NewSimulator(g)
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer(*traceCap)
+		tr.SetSampling(uint64(*traceSample))
+		sim.SetTracer(tr)
+	}
+	r := sim.Run(sl)
+	if *metricsOut != "" {
+		if err := sim.MetricsSnapshot().WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if tr != nil {
+		if err := tr.WriteJSONFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if man != nil {
+		man.Generations = []obs.GenInfo{{Name: g.Name, ConfigDigest: obs.ConfigDigest(g)}}
+		man.Workload = obs.WorkloadInfo{
+			InstsPerSlice: len(sl.Insts),
+			Seed:          specByName(*spec).Seed,
+			Slices:        []string{sl.Name},
+		}
+		man.SimInsts = r.Insts
+		man.SimCycles = r.Cycles
+		man.AddArtifact("metrics", *metricsOut)
+		man.AddArtifact("trace", *traceOut)
+		if err := man.Write(*manifestOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	fmt.Printf("slice %s on %s\n", r.Slice, r.Gen)
 	fmt.Printf("  insts %d  cycles %d  IPC %.3f\n", r.Insts, r.Cycles, r.IPC)
 	fmt.Printf("  branch: MPKI %.2f (dir %d, target %d, indirect %d, return %d, BTBmiss %d), bubbles %d\n",

@@ -23,7 +23,7 @@ type BTBEntry struct {
 
 	// Taken/not-taken observation counts drive always-taken (1AT) and
 	// often-taken (ZOT) classification.
-	TakenSeen   uint32
+	TakenSeen    uint32
 	NotTakenSeen uint32
 
 	// ZAT/ZOT replication (§IV-E): the target of the next

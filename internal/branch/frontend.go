@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"exysim/internal/isa"
+	"exysim/internal/obs"
 	"exysim/internal/power"
 )
 
@@ -172,8 +173,8 @@ type Frontend struct {
 
 	// ZAT/ZOT linkage: the previous taken branch's location so its
 	// entry can learn its successor's target (§IV-E Fig. 5).
-	prevTakenPC      uint64
-	prevTakenValid   bool
+	prevTakenPC        uint64
+	prevTakenValid     bool
 	firstAfterRedirect bool
 
 	// Dual-slot statistics state: whether the previous branch in the
@@ -231,6 +232,38 @@ func (f *Frontend) charge(e power.Event, n uint64) {
 // ResetStats clears counters (e.g. after trace warmup) while keeping all
 // learned predictor state.
 func (f *Frontend) ResetStats() { f.stats = Stats{} }
+
+// RegisterMetrics publishes the front end's counters into an
+// observability scope (e.g. "branch.mispredicts"). Per-source prediction
+// counts land under a "src" child scope ("branch.src.ubtb", ...).
+func (f *Frontend) RegisterMetrics(sc *obs.Scope) {
+	st := &f.stats
+	sc.Counter("insts", func() uint64 { return st.Insts })
+	sc.Counter("branches", func() uint64 { return st.Branches })
+	sc.Counter("cond_branches", func() uint64 { return st.CondBranches })
+	sc.Counter("taken_branches", func() uint64 { return st.TakenBranches })
+	sc.Counter("mispredicts", func() uint64 { return st.Mispredicts })
+	sc.Counter("mispred_dir", func() uint64 { return st.MispredDir })
+	sc.Counter("mispred_target", func() uint64 { return st.MispredTarget })
+	sc.Counter("mispred_btb_miss", func() uint64 { return st.MispredBTBMiss })
+	sc.Counter("mispred_indirect", func() uint64 { return st.MispredIndirect })
+	sc.Counter("mispred_return", func() uint64 { return st.MispredReturn })
+	sc.Counter("bubbles", func() uint64 { return st.Bubbles })
+	sc.Counter("l2btb_fills", func() uint64 { return st.L2Fills })
+	sc.Counter("zat_hits", func() uint64 { return st.ZATHits })
+	sc.Counter("one_at_hits", func() uint64 { return st.OneATHits })
+	sc.Counter("mrb_covered", func() uint64 { return st.MRBCovered })
+	sc.Counter("empty_lines", func() uint64 { return st.EmptyLines })
+	sc.Counter("ubtb_locked_preds", func() uint64 { return st.UBTBLockedPreds })
+	sc.Counter("vpc_walked", func() uint64 { return st.VPCWalked })
+	sc.Counter("vpc_predicts", func() uint64 { return st.VPCPredicts })
+	sc.Gauge("mpki", func() float64 { return st.MPKI() })
+	srcs := sc.Child("src")
+	for s := Source(0); s < numSources; s++ {
+		s := s
+		srcs.Counter(s.String(), func() uint64 { return st.SrcCounts[s] })
+	}
+}
 
 // SetCipher installs Spectre-v2 target encryption (§V) on the structures
 // that store instruction-address targets learned from execution: the RAS

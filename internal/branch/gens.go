@@ -48,7 +48,7 @@ func M3FrontendConfig() Config {
 	c.Name = "M3"
 	c.SHP.Rows = 2048 // "doubling of SHP rows"
 	c.SHP.BiasEntries = 8192
-	c.UBTB.UncondNodes = 64 // graph doubled, new half unconditional-only
+	c.UBTB.UncondNodes = 64         // graph doubled, new half unconditional-only
 	c.MBTBSets, c.MBTBWays = 128, 6 // wider 6-wide pipe needs more reach
 	c.VBTBSets, c.VBTBWays = 128, 6
 	c.L2Sets, c.L2Ways = 512, 6 // "doubling of L2BTB capacity"
@@ -61,8 +61,8 @@ func M3FrontendConfig() Config {
 func M4FrontendConfig() Config {
 	c := M3FrontendConfig()
 	c.Name = "M4"
-	c.L2Sets = 1024        // "doubled again ... four times as many as M1"
-	c.L2FillBubbles = 4    // "latency slightly reduced"
+	c.L2Sets = 1024         // "doubled again ... four times as many as M1"
+	c.L2FillBubbles = 4     // "latency slightly reduced"
 	c.L2FillTwoLines = true // "bandwidth improved by 2x"
 	return c
 }
@@ -102,28 +102,28 @@ func Generations() []Config {
 
 // StorageBudget is one generation's row of Table II, in kilobytes.
 type StorageBudget struct {
-	Gen    string
-	SHPKB  float64
-	L1KB   float64 // "L1BTBs": mBTB + vBTB + μBTB (+LHP) + RAS + MRB + indirect hash
-	L2KB   float64
+	Gen     string
+	SHPKB   float64
+	L1KB    float64 // "L1BTBs": mBTB + vBTB + μBTB (+LHP) + RAS + MRB + indirect hash
+	L2KB    float64
 	TotalKB float64
 }
 
 // Per-entry bit costs used by the accounting. The real arrays add ECC
 // and redundancy; these widths reproduce Table II's magnitudes.
 const (
-	mbtbLineTagBits   = 34
-	mbtbBranchBits    = 4 + 30 + 6 + 3 + 6 // offset, target, bias, type, AT counters
+	mbtbLineTagBits = 34
+	mbtbBranchBits  = 4 + 30 + 6 + 3 + 6 // offset, target, bias, type, AT counters
 	// zatExtraBits is the amortized per-slot cost of the ZAT/ZOT
 	// replicated next-target storage (M5+): the replication is carried
 	// by a fraction of entries via a compressed side structure, which
 	// is what Table II's modest M4->M5 L1 growth implies.
-	zatExtraBits = 5
-	vbtbEntryBits     = 36 + 30 + 8        // tag, target, misc
-	l2LineTagBits     = 30
-	l2BranchBits      = 4 + 28 + 2 + 1 // denser, slower macro (§IV-G)
-	rasEntryBits      = 30
-	indHashEntryBits  = 32 + 1 // + tag bits from config
+	zatExtraBits     = 5
+	vbtbEntryBits    = 36 + 30 + 8 // tag, target, misc
+	l2LineTagBits    = 30
+	l2BranchBits     = 4 + 28 + 2 + 1 // denser, slower macro (§IV-G)
+	rasEntryBits     = 30
+	indHashEntryBits = 32 + 1 // + tag bits from config
 )
 
 // Budget computes the Table II storage accounting for a configuration.

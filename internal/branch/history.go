@@ -52,13 +52,13 @@ func (h *historyRing) at(d int) uint16 {
 // standard folded-history construction from perceptron/TAGE
 // implementations generalized to k-bit groups.
 type foldedInterval struct {
-	comp    uint32
-	w       uint // fold width in bits (index width of the table)
-	k       uint // bits per pushed group (1 for GHIST, 3 for PHIST)
-	lo, hi  int  // window in pushes: groups (lo, hi] ago are in the fold
-	inRot   uint // rotation applied when a group enters the window
-	outRot  uint // rotation a group has when it leaves (k*(hi-lo-? ) mod w)
-	mask    uint32
+	comp   uint32
+	w      uint // fold width in bits (index width of the table)
+	k      uint // bits per pushed group (1 for GHIST, 3 for PHIST)
+	lo, hi int  // window in pushes: groups (lo, hi] ago are in the fold
+	inRot  uint // rotation applied when a group enters the window
+	outRot uint // rotation a group has when it leaves (k*(hi-lo-? ) mod w)
+	mask   uint32
 }
 
 // newFoldedInterval creates a fold of width w over the (lo, hi] window.

@@ -16,9 +16,9 @@ type MRB struct {
 	// pending tracks an in-flight recording: after a low-confidence
 	// mispredict we capture the next SeqLen basic-block start addresses
 	// actually executed.
-	pendingKey   uint64
-	pendingSeq   []uint64
-	pendingLive  bool
+	pendingKey  uint64
+	pendingSeq  []uint64
+	pendingLive bool
 
 	// active tracks an in-flight replay: addresses the MRB supplied
 	// that remain to be verified against the actual path.

@@ -25,12 +25,12 @@ const (
 // per level, hardware entropy per security state, and the
 // ASID/VMID/security-state/privilege tuple.
 type Context struct {
-	ASID     uint16
-	VMID     uint16
-	Secure   bool
-	Level    PrivLevel
-	SWEntropy [4]uint64 // SCXTNUM_EL0..EL3, software-visible knobs
-	HWEntropy [4]uint64 // per-level hardware entropy, never SW-visible
+	ASID         uint16
+	VMID         uint16
+	Secure       bool
+	Level        PrivLevel
+	SWEntropy    [4]uint64 // SCXTNUM_EL0..EL3, software-visible knobs
+	HWEntropy    [4]uint64 // per-level hardware entropy, never SW-visible
 	HWSecEntropy [2]uint64 // per-security-state hardware entropy
 
 	// hash is the derived CONTEXT_HASH register. It is not software

@@ -68,9 +68,9 @@ func M5SHPConfig() SHPConfig {
 }
 
 type biasEntry struct {
-	bias       int16
-	everNT     bool // branch has been observed not-taken at least once
-	seen       bool
+	bias   int16
+	everNT bool // branch has been observed not-taken at least once
+	seen   bool
 }
 
 // SHP is the Scaled Hashed Perceptron direction predictor. To predict, a

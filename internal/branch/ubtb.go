@@ -30,23 +30,23 @@ type UBTB struct {
 	// Lock heuristics: a window of recent lookups must all hit learned
 	// edges before the structure locks; any mispredict unlocks and
 	// starts a cooldown.
-	window     int
-	hitStreak  int
-	locked     bool
-	cooldown   int
-	cooldownN  int
+	window    int
+	hitStreak int
+	locked    bool
+	cooldown  int
+	cooldownN int
 
 	tick uint64
 }
 
 type ubtbNode struct {
-	pc        uint64
-	kind      isa.BranchKind
-	takenTgt  uint64
-	hasTaken  bool
-	hasNT     bool
-	uncond    bool
-	lru       uint64
+	pc       uint64
+	kind     isa.BranchKind
+	takenTgt uint64
+	hasTaken bool
+	hasNT    bool
+	uncond   bool
+	lru      uint64
 }
 
 // UBTBConfig sizes the micro-BTB.

@@ -6,6 +6,8 @@
 // counters, and insertion priorities.
 package cache
 
+import "exysim/internal/obs"
+
 // LineBytes is the data line size used throughout the hierarchy (64B;
 // the L2 tags are sectored at a 128B granule on top of this, §VIII-B).
 const LineBytes = 64
@@ -86,9 +88,9 @@ func (s *Stats) HitRate() float64 {
 
 // Config sizes a cache.
 type Config struct {
-	Name     string
-	SizeKB   int
-	Ways     int
+	Name   string
+	SizeKB int
+	Ways   int
 	// SectorLog2, when nonzero, groups 2^SectorLog2 consecutive data
 	// lines under one tag (the L2's 128B sectoring = 1, §VIII-B). A
 	// sector's lines fill independently; a missing buddy line costs no
@@ -168,6 +170,18 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats clears counters while keeping contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// RegisterMetrics publishes the level's counters into an observability
+// scope (e.g. "mem.l1d.hits").
+func (c *Cache) RegisterMetrics(sc *obs.Scope) {
+	sc.Counter("hits", func() uint64 { return c.stats.Hits })
+	sc.Counter("misses", func() uint64 { return c.stats.Misses })
+	sc.Counter("prefetch_fills", func() uint64 { return c.stats.PrefetchFills })
+	sc.Counter("demand_fills", func() uint64 { return c.stats.DemandFills })
+	sc.Counter("evictions", func() uint64 { return c.stats.Evictions })
+	sc.Counter("prefetch_unused", func() uint64 { return c.stats.PrefetchUnused })
+	sc.Gauge("hit_rate", func() float64 { return c.stats.HitRate() })
+}
 
 // Sets returns the set count (for tests).
 func (c *Cache) Sets() int { return c.sets }

@@ -49,10 +49,10 @@ func (c *Cluster) Uncore() *uncore.Uncore { return c.unc }
 func (c *Cluster) Run(slices []*trace.Slice) []core.Result {
 	n := len(c.sims)
 	type lane struct {
-		sim    *core.Simulator
-		sl     *trace.Slice
-		seen   int
-		done   bool
+		sim  *core.Simulator
+		sl   *trace.Slice
+		seen int
+		done bool
 	}
 	lanes := make([]*lane, 0, n)
 	for i := 0; i < n && i < len(slices); i++ {

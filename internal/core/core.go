@@ -9,6 +9,7 @@ package core
 import (
 	"exysim/internal/branch"
 	"exysim/internal/mem"
+	"exysim/internal/obs"
 	"exysim/internal/pipeline"
 	"exysim/internal/power"
 	"exysim/internal/trace"
@@ -91,6 +92,11 @@ type Simulator struct {
 	cfg   GenConfig
 	core  *pipeline.Core
 	meter *power.Meter
+
+	// reg is built lazily on the first Registry call so that callers who
+	// never ask for metrics (tight benchmark loops constructing a fresh
+	// simulator per iteration) pay nothing for the observability layer.
+	reg *obs.Registry
 }
 
 // NewSimulator builds a fresh, cold simulator for the generation.
@@ -105,6 +111,38 @@ func NewSimulator(cfg GenConfig) *Simulator {
 
 // Core exposes the pipeline (for ablations and deep stats).
 func (s *Simulator) Core() *pipeline.Core { return s.core }
+
+// Registry returns the simulator's metrics registry, building it on
+// first use. Every subsystem publishes under its own scope: "pipe",
+// "branch" (with "branch.src" per predictor source), "mem" (caches,
+// TLBs, prefetchers, uncore, DRAM), "uoc", and "power".
+func (s *Simulator) Registry() *obs.Registry {
+	if s.reg == nil {
+		r := obs.NewRegistry()
+		root := r.Scope("")
+		s.core.RegisterMetrics(root.Child("pipe"))
+		s.core.Frontend().RegisterMetrics(root.Child("branch"))
+		s.core.Mem().RegisterMetrics(root.Child("mem"))
+		if u := s.core.UOC(); u != nil {
+			u.RegisterMetrics(root.Child("uoc"))
+		}
+		s.meter.RegisterMetrics(root.Child("power"))
+		s.reg = r
+	}
+	return s.reg
+}
+
+// MetricsSnapshot materializes every registered metric (building the
+// registry if needed). Counters reflect the last stats reset.
+func (s *Simulator) MetricsSnapshot() obs.Snapshot {
+	return s.Registry().Snapshot()
+}
+
+// SetTracer installs a cycle-event tracer across the pipeline, memory
+// system, and DRAM (nil disables tracing everywhere).
+func (s *Simulator) SetTracer(t *obs.Tracer) {
+	s.core.SetTracer(t)
+}
 
 // Config returns the generation this simulator instantiates.
 func (s *Simulator) Config() GenConfig { return s.cfg }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"exysim/internal/obs"
+	"exysim/internal/workload"
+)
+
+// TestMetricsSnapshotMatchesResult runs a slice and checks that the
+// registry view agrees with the Result fields every experiment already
+// consumes — the registry is a view over the same counters, not a
+// second accounting.
+func TestMetricsSnapshotMatchesResult(t *testing.T) {
+	sl := sliceOf(t, workload.SpecIntFamily(), 0, 40000)
+	sim := NewSimulator(mustGen(t, "M6"))
+	sim.Registry() // build before the run so closures observe the reset
+	r := sim.Run(sl)
+	snap := sim.MetricsSnapshot()
+
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{"pipe.insts", float64(r.Insts)},
+		{"pipe.cycles", float64(r.Cycles)},
+		{"branch.mispredicts", float64(r.Front.Mispredicts)},
+		{"mem.loads", float64(r.Mem.Loads)},
+		{"mem.l1d_hits", float64(r.Mem.L1DHits)},
+	}
+	for _, c := range checks {
+		if got := snap.Get(c.name); got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got, want := snap.Get("pipe.ipc"), r.IPC; got != want {
+		t.Errorf("pipe.ipc = %v, want %v", got, want)
+	}
+}
+
+// TestMetricsSnapshotScopes asserts every acceptance-critical subsystem
+// scope is populated after a run: branch, cache, prefetch, DRAM.
+func TestMetricsSnapshotScopes(t *testing.T) {
+	sl := sliceOf(t, workload.SpecIntFamily(), 1, 30000)
+	sim := NewSimulator(mustGen(t, "M5"))
+	sim.Run(sl)
+	snap := sim.MetricsSnapshot()
+
+	wantKeys := []string{
+		"branch.insts",
+		"branch.src.ubtb",
+		"mem.l1d.hits",
+		"mem.l2.misses",
+		"mem.prefetch.msp.issued",
+		"mem.dram.accesses",
+		"mem.tlb.d.l1.hits",
+		"uoc.lookups",
+		"power.epki",
+	}
+	for _, k := range wantKeys {
+		if _, ok := snap.Values[k]; !ok {
+			t.Errorf("snapshot missing %q", k)
+		}
+	}
+	if snap.Get("pipe.insts") == 0 {
+		t.Error("pipe.insts is zero after a run")
+	}
+}
+
+// TestTracerCapturesPipelineEvents runs a slice with tracing enabled and
+// checks events from multiple lanes arrive.
+func TestTracerCapturesPipelineEvents(t *testing.T) {
+	sl := sliceOf(t, workload.SpecIntFamily(), 2, 30000)
+	sim := NewSimulator(mustGen(t, "M6"))
+	tr := obs.NewTracer(1 << 14)
+	sim.SetTracer(tr)
+	sim.Run(sl)
+	if tr.Len() == 0 {
+		t.Fatal("tracer captured no events")
+	}
+}

@@ -6,6 +6,8 @@
 // load (§IX).
 package dram
 
+import "exysim/internal/obs"
+
 // Config sizes the device, with timings in core cycles.
 type Config struct {
 	Banks    int
@@ -46,9 +48,9 @@ type bank struct {
 
 // Stats counts device events.
 type Stats struct {
-	Accesses    uint64
-	RowHits     uint64
-	RowMisses   uint64
+	Accesses     uint64
+	RowHits      uint64
+	RowMisses    uint64
 	RowConflicts uint64
 	HintsHonored uint64
 	HintsIgnored uint64
@@ -56,9 +58,10 @@ type Stats struct {
 
 // DRAM is the device model.
 type DRAM struct {
-	cfg   Config
-	banks []bank
-	stats Stats
+	cfg    Config
+	banks  []bank
+	stats  Stats
+	tracer *obs.Tracer
 }
 
 // New builds the device.
@@ -71,6 +74,21 @@ func New(cfg Config) *DRAM {
 
 // Stats returns a snapshot.
 func (d *DRAM) Stats() Stats { return d.stats }
+
+// SetTracer installs a cycle-event tracer for row activate/precharge
+// events (nil disables).
+func (d *DRAM) SetTracer(t *obs.Tracer) { d.tracer = t }
+
+// RegisterMetrics publishes the device counters into an observability
+// scope (e.g. "mem.dram.row_hits").
+func (d *DRAM) RegisterMetrics(sc *obs.Scope) {
+	sc.Counter("accesses", func() uint64 { return d.stats.Accesses })
+	sc.Counter("row_hits", func() uint64 { return d.stats.RowHits })
+	sc.Counter("row_misses", func() uint64 { return d.stats.RowMisses })
+	sc.Counter("row_conflicts", func() uint64 { return d.stats.RowConflicts })
+	sc.Counter("hints_honored", func() uint64 { return d.stats.HintsHonored })
+	sc.Counter("hints_ignored", func() uint64 { return d.stats.HintsIgnored })
+}
 
 func (d *DRAM) decode(addr uint64) (bankIdx int, row uint64) {
 	rowAddr := addr / d.cfg.RowBytes
@@ -97,6 +115,9 @@ func (d *DRAM) Activate(addr uint64, now uint64) {
 	}
 	b.hintRow, b.hintAt, b.hasHint = row, now, true
 	d.stats.HintsHonored++
+	if d.tracer != nil {
+		d.tracer.Instant("dram", "early-activate", now, obs.LaneDRAM+int32(bi))
+	}
 }
 
 // Access performs a read at cycle now and returns the cycle data is
@@ -145,9 +166,17 @@ func (d *DRAM) Access(addr uint64, now uint64, prefetch bool) (doneAt uint64) {
 	case b.hasOpen:
 		d.stats.RowConflicts++
 		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		if d.tracer != nil {
+			tid := obs.LaneDRAM + int32(bi)
+			d.tracer.Span("dram", "precharge", start, uint64(d.cfg.TRP), tid)
+			d.tracer.Span("dram", "activate", start+uint64(d.cfg.TRP), uint64(d.cfg.TRCD), tid)
+		}
 	default:
 		d.stats.RowMisses++
 		lat = d.cfg.TRCD + d.cfg.TCAS
+		if d.tracer != nil {
+			d.tracer.Span("dram", "activate", start, uint64(d.cfg.TRCD), obs.LaneDRAM+int32(bi))
+		}
 	}
 	b.openRow, b.hasOpen = row, true
 	end := start + uint64(lat) + uint64(d.cfg.TBurst)

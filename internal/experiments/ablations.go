@@ -47,17 +47,17 @@ func Ablations() []Ablation {
 		},
 		{
 			Name: "zatzot", Gen: "M5", Suites: []string{"spec", "web", "mobile"},
-			Doc: "§IV-E: zero-bubble always/often-taken replication",
+			Doc:     "§IV-E: zero-bubble always/often-taken replication",
 			Disable: func(g *core.GenConfig) { g.Branch.HasZATZOT = false },
 		},
 		{
 			Name: "mrb", Gen: "M5", Suites: []string{"web", "spec"},
-			Doc: "§IV-E: mispredict recovery buffer hides refill delay",
+			Doc:     "§IV-E: mispredict recovery buffer hides refill delay",
 			Disable: func(g *core.GenConfig) { g.Branch.MRBEntries = 0 },
 		},
 		{
 			Name: "intconf", Gen: "M3", Suites: []string{"micro", "spec"},
-			Doc: "§VII-D: integrated confirmation queue vs the plain finite queue",
+			Doc:     "§VII-D: integrated confirmation queue vs the plain finite queue",
 			Disable: func(g *core.GenConfig) { g.Mem.MSP.Integrated = false },
 		},
 		{
@@ -70,17 +70,17 @@ func Ablations() []Ablation {
 		},
 		{
 			Name: "sms", Gen: "M3", Suites: []string{"micro"},
-			Doc: "§VII-C: spatial memory streaming engine",
+			Doc:     "§VII-C: spatial memory streaming engine",
 			Disable: func(g *core.GenConfig) { g.Mem.HasSMS = false },
 		},
 		{
 			Name: "buddy", Gen: "M4", Suites: []string{"spec", "mobile"},
-			Doc: "§VIII-B: L2 buddy sector prefetcher",
+			Doc:     "§VIII-B: L2 buddy sector prefetcher",
 			Disable: func(g *core.GenConfig) { g.Mem.HasBuddy = false },
 		},
 		{
 			Name: "standalone", Gen: "M5", Suites: []string{"micro", "game"},
-			Doc: "§VIII-C/D: standalone lower-level-cache prefetcher",
+			Doc:     "§VIII-C/D: standalone lower-level-cache prefetcher",
 			Disable: func(g *core.GenConfig) { g.Mem.HasStandalone = false },
 		},
 		{
@@ -94,17 +94,17 @@ func Ablations() []Ablation {
 		},
 		{
 			Name: "uoc", Gen: "M5", Suites: []string{"micro"},
-			Doc: "§VI: micro-op cache supply path (performance-neutral by design; its payoff is fetch/decode power)",
+			Doc:     "§VI: micro-op cache supply path (performance-neutral by design; its payoff is fetch/decode power)",
 			Disable: func(g *core.GenConfig) { g.Pipe.HasUOC = false },
 		},
 		{
 			Name: "elo", Gen: "M5", Suites: []string{"spec", "web"},
-			Doc: "§IV-E: empty-line optimization — a pure power feature; watch the EPKI column",
+			Doc:     "§IV-E: empty-line optimization — a pure power feature; watch the EPKI column",
 			Disable: func(g *core.GenConfig) { g.Branch.HasEmptyLineOpt = false },
 		},
 		{
 			Name: "cascade", Gen: "M4", Suites: []string{"micro", "game"},
-			Doc: "§III: 3-cycle load-load cascading",
+			Doc:     "§III: 3-cycle load-load cascading",
 			Disable: func(g *core.GenConfig) { g.Mem.HasCascade = false },
 		},
 	}

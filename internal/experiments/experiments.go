@@ -13,10 +13,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"exysim/internal/branch"
 	"exysim/internal/core"
 	"exysim/internal/isa"
+	"exysim/internal/obs"
 	"exysim/internal/pipeline"
 	"exysim/internal/stats"
 	"exysim/internal/trace"
@@ -30,12 +32,27 @@ type PopulationRun struct {
 	Gens    []core.GenConfig
 	Slices  []*trace.Slice
 	Results [][]core.Result // [gen][slice]
+
+	// TotalInsts and TotalCycles aggregate the simulated work across
+	// every (gen, slice) pair; with WallSeconds they give the
+	// simulator's own throughput for the run manifest.
+	TotalInsts  uint64
+	TotalCycles uint64
+	WallSeconds float64
 }
 
 // RunPopulation replays the whole suite through all six generations,
 // fanning slices out across CPUs. Each (gen, slice) pair gets a fresh
 // simulator, so runs are order-independent and deterministic.
 func RunPopulation(spec workload.SuiteSpec) *PopulationRun {
+	return RunPopulationProgress(spec, nil)
+}
+
+// RunPopulationProgress is RunPopulation with a progress reporter; prog
+// may be nil (no reporting). Each finished (gen, slice) pair steps the
+// reporter with its simulated instruction count.
+func RunPopulationProgress(spec workload.SuiteSpec, prog *obs.Progress) *PopulationRun {
+	start := time.Now()
 	slices := workload.Suite(spec)
 	gens := core.Generations()
 	p := &PopulationRun{Spec: spec, Gens: gens, Slices: slices}
@@ -56,7 +73,9 @@ func RunPopulation(spec workload.SuiteSpec) *PopulationRun {
 				// regenerate the slice to keep workers independent.
 				sl := p.Slices[j.s]
 				clone := &trace.Slice{Name: sl.Name, Suite: sl.Suite, Warmup: sl.Warmup, Insts: sl.Insts}
-				p.Results[j.g][j.s] = core.RunSlice(gens[j.g], clone)
+				r := core.RunSlice(gens[j.g], clone)
+				p.Results[j.g][j.s] = r
+				prog.Step(r.Insts)
 			}
 		}()
 	}
@@ -67,7 +86,38 @@ func RunPopulation(spec workload.SuiteSpec) *PopulationRun {
 	}
 	close(jobs)
 	wg.Wait()
+	prog.Finish()
+	for g := range p.Results {
+		for s := range p.Results[g] {
+			p.TotalInsts += p.Results[g][s].Insts
+			p.TotalCycles += p.Results[g][s].Cycles
+		}
+	}
+	p.WallSeconds = time.Since(start).Seconds()
 	return p
+}
+
+// Manifest builds a run manifest describing this population run: the
+// command that produced it, every generation with its config digest, the
+// workload spec, and the simulator's own throughput.
+func (p *PopulationRun) Manifest(command string) *obs.Manifest {
+	m := obs.NewManifest(command)
+	m.StartTime = m.StartTime.Add(-time.Duration(p.WallSeconds * float64(time.Second)))
+	for _, g := range p.Gens {
+		m.Generations = append(m.Generations, obs.GenInfo{Name: g.Name, ConfigDigest: obs.ConfigDigest(g)})
+	}
+	m.Workload = obs.WorkloadInfo{
+		SlicesPerFamily: p.Spec.SlicesPerFamily,
+		InstsPerSlice:   p.Spec.InstsPerSlice,
+		WarmupFrac:      p.Spec.WarmupFrac,
+		Seed:            p.Spec.Seed,
+	}
+	for _, sl := range p.Slices {
+		m.Workload.Slices = append(m.Workload.Slices, sl.Name)
+	}
+	m.SimInsts = p.TotalInsts
+	m.SimCycles = p.TotalCycles
+	return m
 }
 
 // Metric extracts one number from a result.

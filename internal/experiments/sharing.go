@@ -56,8 +56,8 @@ func SharingStudy(spec workload.SuiteSpec, loads []float64) []SharingRow {
 			}
 			rows = append(rows, SharingRow{
 				Gen: genName, Load: load,
-				MeanIPC: sumIPC / float64(len(slices)),
-				LoadLat: sumLat / float64(len(slices)),
+				MeanIPC:    sumIPC / float64(len(slices)),
+				LoadLat:    sumLat / float64(len(slices)),
 				L2Polluted: l2p, L3Polluted: l3p,
 			})
 		}

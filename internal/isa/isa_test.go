@@ -79,12 +79,12 @@ func TestValid(t *testing.T) {
 		t.Fatalf("valid branch rejected: %v", err)
 	}
 	cases := []Inst{
-		{PC: 1, Class: Class(200)},                                     // bad class
-		{PC: 1, Class: Load, Branch: BranchCond},                       // branch kind on load
-		{PC: 1, Class: Branch},                                         // class br without kind
-		{PC: 1, Class: Load, Size: 0},                                  // mem without size
-		{PC: 1, Class: Branch, Branch: BranchUncond, Taken: false},     // uncond not taken
-		{PC: 1, Class: Branch, Branch: BranchReturn, Taken: false},     // ret not taken
+		{PC: 1, Class: Class(200)},                                 // bad class
+		{PC: 1, Class: Load, Branch: BranchCond},                   // branch kind on load
+		{PC: 1, Class: Branch},                                     // class br without kind
+		{PC: 1, Class: Load, Size: 0},                              // mem without size
+		{PC: 1, Class: Branch, Branch: BranchUncond, Taken: false}, // uncond not taken
+		{PC: 1, Class: Branch, Branch: BranchReturn, Taken: false}, // ret not taken
 	}
 	for i, in := range cases {
 		if err := in.Valid(); err == nil {

@@ -16,16 +16,16 @@ import (
 // M1MemConfig returns the first-generation memory system.
 func M1MemConfig() Config {
 	return Config{
-		Name: "M1",
-		L1I:  cache.Config{Name: "l1i", SizeKB: 64, Ways: 4, Latency: 4},
-		L1D:  cache.Config{Name: "l1d", SizeKB: 32, Ways: 8, Latency: 4},
-		L2:   cache.Config{Name: "l2", SizeKB: 2048, Ways: 16, SectorLog2: 1, Latency: 22, BytesPerCycle: 16},
-		MABs: 8,
+		Name:    "M1",
+		L1I:     cache.Config{Name: "l1i", SizeKB: 64, Ways: 4, Latency: 4},
+		L1D:     cache.Config{Name: "l1d", SizeKB: 32, Ways: 8, Latency: 4},
+		L2:      cache.Config{Name: "l2", SizeKB: 2048, Ways: 16, SectorLog2: 1, Latency: 22, BytesPerCycle: 16},
+		MABs:    8,
 		Sharers: 4, ClusterCores: 4, // L2 shared by the 4-core cluster (Table I)
 
-		DTLB:  tlb.Config{Name: "dtlb", Entries: 32, Ways: 32, Sectors: 1, Latency: 0},
-		ITLB:  tlb.Config{Name: "itlb", Entries: 64, Ways: 64, Sectors: 4, Latency: 0},
-		L2TLB: tlb.Config{Name: "l2tlb", Entries: 1024, Ways: 4, Sectors: 1, Latency: 7},
+		DTLB:        tlb.Config{Name: "dtlb", Entries: 32, Ways: 32, Sectors: 1, Latency: 0},
+		ITLB:        tlb.Config{Name: "itlb", Entries: 64, Ways: 64, Sectors: 4, Latency: 0},
+		L2TLB:       tlb.Config{Name: "l2tlb", Entries: 1024, Ways: 4, Sectors: 1, Latency: 7},
 		WalkLatency: 40,
 
 		MSP: prefetch.MSPConfig{

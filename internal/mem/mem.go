@@ -11,6 +11,7 @@ package mem
 import (
 	"exysim/internal/cache"
 	"exysim/internal/dram"
+	"exysim/internal/obs"
 	"exysim/internal/prefetch"
 	"exysim/internal/rng"
 	"exysim/internal/stats"
@@ -35,19 +36,19 @@ type Config struct {
 	// data-less memory address buffers from M4 on, §VII).
 	MABs int
 
-	DTLB  tlb.Config
-	D15   tlb.Config // zero Entries = absent (pre-M3)
-	ITLB  tlb.Config
-	L2TLB tlb.Config
+	DTLB        tlb.Config
+	D15         tlb.Config // zero Entries = absent (pre-M3)
+	ITLB        tlb.Config
+	L2TLB       tlb.Config
 	WalkLatency int
 
 	// Prefetch engines; Enabled flags follow the generations.
-	MSP        prefetch.MSPConfig
-	HasSMS     bool // M3+
-	SMS        prefetch.SMSConfig
-	HasBuddy   bool // M4+
+	MSP           prefetch.MSPConfig
+	HasSMS        bool // M3+
+	SMS           prefetch.SMSConfig
+	HasBuddy      bool // M4+
 	HasStandalone bool // M5+
-	Standalone prefetch.StandaloneConfig
+	Standalone    prefetch.StandaloneConfig
 	// OnePassWatermark is how many first-pass L2 hits flip the MSP
 	// issue into one-pass mode (§VII-B).
 	OnePassWatermark int
@@ -77,13 +78,13 @@ type Stats struct {
 	Loads, Stores uint64
 	LoadLat       stats.Summary
 
-	L1DHits, L2Hits, L3Hits, MemHits uint64
-	StoreForwards                    uint64
-	Writebacks                       uint64
-	InFlightHits                     uint64 // demand caught an in-flight prefetch
-	MABStallCycles                   uint64
-	TwoPassIssues, OnePassIssues     uint64
-	SpecReadSavings                  uint64
+	L1DHits, L2Hits, L3Hits, MemHits                    uint64
+	StoreForwards                                       uint64
+	Writebacks                                          uint64
+	InFlightHits                                        uint64 // demand caught an in-flight prefetch
+	MABStallCycles                                      uint64
+	TwoPassIssues, OnePassIssues                        uint64
+	SpecReadSavings                                     uint64
 	CastoutsElevated, CastoutsOrdinary, CastoutsDropped uint64
 	CoRunnerL2Fills, CoRunnerL3Fills                    uint64
 }
@@ -127,6 +128,9 @@ type System struct {
 	// bandwidth, so a degree-40 ramp cannot slam forty DRAM reads into
 	// one cycle ahead of younger demands.
 	pfSlot uint64
+
+	// tracer, when non-nil, records demand-miss and prefetch lifetimes.
+	tracer *obs.Tracer
 
 	st Stats
 }
@@ -234,6 +238,116 @@ func (s *System) ResetStats() {
 // Uncore exposes the memory path (stats, ablations).
 func (s *System) Uncore() *uncore.Uncore { return s.unc }
 
+// SetTracer installs a cycle-event tracer on the memory system and its
+// DRAM device (nil disables).
+func (s *System) SetTracer(t *obs.Tracer) {
+	s.tracer = t
+	s.unc.DRAM().SetTracer(t)
+}
+
+// RegisterMetrics publishes the whole memory system into an
+// observability scope: its own demand/castout counters, each cache
+// level, the TLB stacks, every prefetch engine, the uncore path, and
+// the DRAM device.
+func (s *System) RegisterMetrics(sc *obs.Scope) {
+	st := &s.st
+	sc.Counter("loads", func() uint64 { return st.Loads })
+	sc.Counter("stores", func() uint64 { return st.Stores })
+	sc.Counter("l1d_hits", func() uint64 { return st.L1DHits })
+	sc.Counter("l2_hits", func() uint64 { return st.L2Hits })
+	sc.Counter("l3_hits", func() uint64 { return st.L3Hits })
+	sc.Counter("dram_hits", func() uint64 { return st.MemHits })
+	sc.Counter("store_forwards", func() uint64 { return st.StoreForwards })
+	sc.Counter("writebacks", func() uint64 { return st.Writebacks })
+	sc.Counter("inflight_hits", func() uint64 { return st.InFlightHits })
+	sc.Counter("mab_stall_cycles", func() uint64 { return st.MABStallCycles })
+	sc.Counter("two_pass_issues", func() uint64 { return st.TwoPassIssues })
+	sc.Counter("one_pass_issues", func() uint64 { return st.OnePassIssues })
+	sc.Counter("spec_read_savings", func() uint64 { return st.SpecReadSavings })
+	sc.Counter("castouts_elevated", func() uint64 { return st.CastoutsElevated })
+	sc.Counter("castouts_ordinary", func() uint64 { return st.CastoutsOrdinary })
+	sc.Counter("castouts_dropped", func() uint64 { return st.CastoutsDropped })
+	sc.Counter("corunner_l2_fills", func() uint64 { return st.CoRunnerL2Fills })
+	sc.Counter("corunner_l3_fills", func() uint64 { return st.CoRunnerL3Fills })
+	sc.Gauge("load_lat_mean", func() float64 { return st.LoadLat.Mean() })
+	sc.Gauge("load_lat_max", func() float64 { return st.LoadLat.Max() })
+
+	s.l1i.RegisterMetrics(sc.Child("l1i"))
+	s.l1d.RegisterMetrics(sc.Child("l1d"))
+	s.l2.RegisterMetrics(sc.Child("l2"))
+	if s.l3 != nil {
+		s.l3.RegisterMetrics(sc.Child("l3"))
+	}
+	tlbs := sc.Child("tlb")
+	s.dtlbs.RegisterMetrics(tlbs.Child("d"))
+	s.itlbs.RegisterMetrics(tlbs.Child("i"))
+
+	pf := sc.Child("prefetch")
+	msp := pf.Child("msp")
+	msp.Counter("trains", func() uint64 { return s.msp.Stats().Trains })
+	msp.Counter("locks", func() uint64 { return s.msp.Stats().Locks })
+	msp.Counter("issued", func() uint64 { return s.msp.Stats().Issued })
+	msp.Counter("confirmations", func() uint64 { return s.msp.Stats().Confirmations })
+	msp.Counter("degree_ups", func() uint64 { return s.msp.Stats().DegreeUps })
+	msp.Counter("degree_downs", func() uint64 { return s.msp.Stats().DegreeDowns })
+	msp.Counter("skip_aheads", func() uint64 { return s.msp.Stats().SkipAheads })
+	if s.sms != nil {
+		sms := pf.Child("sms")
+		sms.Counter("regions_trained", func() uint64 { return s.sms.Stats().RegionsTrained })
+		sms.Counter("predictions", func() uint64 { return s.sms.Stats().Predictions })
+		sms.Counter("issued_l1", func() uint64 { return s.sms.Stats().IssuedL1 })
+		sms.Counter("issued_l2", func() uint64 { return s.sms.Stats().IssuedL2 })
+		sms.Counter("suppressed", func() uint64 { return s.sms.Stats().Suppressed })
+	}
+	if s.buddy != nil {
+		buddy := pf.Child("buddy")
+		buddy.Counter("issued", func() uint64 { return s.buddy.Stats().Issued })
+		buddy.Counter("used", func() uint64 { return s.buddy.Stats().Used })
+		buddy.Counter("suppressed", func() uint64 { return s.buddy.Stats().Suppressed })
+	}
+	if s.standalone != nil {
+		sa := pf.Child("standalone")
+		sa.Counter("phantoms", func() uint64 { return s.standalone.Stats().Phantoms })
+		sa.Counter("issued", func() uint64 { return s.standalone.Stats().Issued })
+		sa.Counter("filter_hits", func() uint64 { return s.standalone.Stats().FilterHits })
+		sa.Counter("promotions", func() uint64 { return s.standalone.Stats().Promotions })
+		sa.Counter("demotions", func() uint64 { return s.standalone.Stats().Demotions })
+		sa.Counter("page_reseeds", func() uint64 { return s.standalone.Stats().PageReseeds })
+	}
+
+	// Uncore and DRAM are read through the accessor so metrics follow a
+	// ShareUncore replacement (the cluster arrangement of §I).
+	unc := sc.Child("uncore")
+	unc.Counter("reads", func() uint64 { return s.unc.Stats().Reads })
+	unc.Counter("spec_issued", func() uint64 { return s.unc.Stats().SpecIssued })
+	unc.Counter("spec_cancelled", func() uint64 { return s.unc.Stats().SpecCancelled })
+	unc.Counter("early_activates", func() uint64 { return s.unc.Stats().EarlyActivates })
+	unc.Counter("fastpath_returns", func() uint64 { return s.unc.Stats().FastPathReturns })
+	dr := sc.Child("dram")
+	dr.Counter("accesses", func() uint64 { return s.unc.DRAM().Stats().Accesses })
+	dr.Counter("row_hits", func() uint64 { return s.unc.DRAM().Stats().RowHits })
+	dr.Counter("row_misses", func() uint64 { return s.unc.DRAM().Stats().RowMisses })
+	dr.Counter("row_conflicts", func() uint64 { return s.unc.DRAM().Stats().RowConflicts })
+	dr.Counter("hints_honored", func() uint64 { return s.unc.DRAM().Stats().HintsHonored })
+	dr.Counter("hints_ignored", func() uint64 { return s.unc.DRAM().Stats().HintsIgnored })
+}
+
+// originTraceName maps a prefetch origin to a static event name so
+// tracing never allocates.
+func originTraceName(origin uint8) string {
+	switch origin {
+	case cache.OriginMSP:
+		return "pf-msp"
+	case cache.OriginSMS:
+		return "pf-sms"
+	case cache.OriginBuddy:
+		return "pf-buddy"
+	case cache.OriginStandalone:
+		return "pf-standalone"
+	}
+	return "pf-demand"
+}
+
 // ShareUncore replaces this system's memory path with a shared one, so
 // several cores contend for the same DRAM banks and controller — the
 // cluster arrangement of §I. Call before simulation starts.
@@ -286,6 +400,9 @@ func (s *System) mabAdmit(now uint64) (uint64, int) {
 		stall = 0
 	}
 	s.st.MABStallCycles += uint64(stall)
+	if s.tracer != nil && stall > 0 {
+		s.tracer.Span("mem", "mab-stall", now, uint64(stall), obs.LaneMem)
+	}
 	return earliest, stall
 }
 
@@ -485,6 +602,10 @@ func (s *System) issueToL2(addr uint64, now uint64, origin uint8) {
 		at += uint64(d)
 	}
 	dataAt, _ := s.memRead(addr, at, origin, false)
+	if s.tracer != nil {
+		// Prefetch lifetime: issue at `at`, line ready at dataAt.
+		s.tracer.Span("prefetch", originTraceName(origin), at, dataAt-at, obs.LanePrefetch)
+	}
 	// Prefetch fills insert at MRU like demand fills: consecutive
 	// ordinary-priority fills into one set would evict each other
 	// before the demand arrives. Accuracy is policed by the engines'
@@ -573,6 +694,9 @@ func (s *System) corePrefetch(req prefetch.Request, now uint64, origin uint8) {
 		}
 	} else {
 		dataAt, _ = s.l2Read(req.Addr, now, origin, false, false)
+	}
+	if s.tracer != nil {
+		s.tracer.Span("prefetch", originTraceName(origin), now, dataAt-now, obs.LanePrefetch)
 	}
 	s.inflight = append(s.inflight, dataAt)
 	v := s.l1d.Fill(req.Addr, now, dataAt, origin, cache.InsertElevated)
@@ -665,6 +789,16 @@ func (s *System) access(pc, addr uint64, now uint64, store, cascade bool) (int, 
 		s.st.L3Hits++
 	default:
 		s.st.MemHits++
+	}
+	if s.tracer != nil {
+		name := "demand-miss-dram"
+		switch level {
+		case 2:
+			name = "demand-miss-l2"
+		case 3:
+			name = "demand-miss-l3"
+		}
+		s.tracer.Span("mem", name, start, dataAt-start, obs.LaneMem)
 	}
 	s.inflight = append(s.inflight, dataAt)
 	v := s.l1d.Fill(addr, start, dataAt, cache.OriginDemand, cache.InsertElevated)

@@ -1,0 +1,78 @@
+package obs
+
+import "testing"
+
+// sink defeats dead-code elimination in the guard below.
+var sink uint64
+
+// hotPath mirrors exactly how instrumented subsystems call the tracer on
+// their per-instruction paths: a nil guard, then an emit with static
+// strings and integer arguments.
+func hotPath(tr *Tracer, cycle uint64) {
+	if tr != nil {
+		tr.Span("fetch", "bubble", cycle, 2, LaneFetch)
+	}
+	sink += cycle
+}
+
+// TestDisabledTracerNoAllocs is the benchmark guard ISSUE.md asks for:
+// with tracing disabled (nil tracer), the instrumentation pattern must
+// add zero allocations, so throughput benchmarks cannot regress through
+// the garbage collector.
+func TestDisabledTracerNoAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(10_000, func() {
+		hotPath(tr, 123)
+		tr.Instant("mem", "row-activate", 456, LaneDRAM)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer hot path allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestEnabledTracerSteadyStateNoAllocs verifies the ring buffer itself
+// is allocation-free once warm: recording overwrites in place.
+func TestEnabledTracerSteadyStateNoAllocs(t *testing.T) {
+	tr := NewTracer(1024)
+	for i := 0; i < 2048; i++ { // fill the ring so appends become overwrites
+		tr.Span("fetch", "bubble", uint64(i), 1, LaneFetch)
+	}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		tr.Span("fetch", "bubble", 1, 2, LaneFetch)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm tracer ring allocates %v per event, want 0", allocs)
+	}
+}
+
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hotPath(tr, uint64(i))
+	}
+}
+
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := NewTracer(1 << 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hotPath(tr, uint64(i))
+	}
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	var c uint64
+	for _, scope := range []string{"branch", "mem.l1d", "mem.l2", "dram"} {
+		s := r.Scope(scope)
+		for _, name := range []string{"a", "b", "c", "d", "e"} {
+			s.Counter(name, func() uint64 { return c })
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c++
+		_ = r.Snapshot()
+	}
+}

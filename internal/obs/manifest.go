@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+)
+
+// ManifestSchema versions the manifest format.
+const ManifestSchema = "exysim-manifest/v1"
+
+// GenInfo identifies one simulated generation by name and configuration
+// digest, so a manifest pins down exactly which machine was modelled
+// even as the config structs evolve between commits.
+type GenInfo struct {
+	Name         string `json:"name"`
+	ConfigDigest string `json:"config_digest"`
+}
+
+// WorkloadInfo records the workload population a run replayed.
+type WorkloadInfo struct {
+	SlicesPerFamily int      `json:"slices_per_family,omitempty"`
+	InstsPerSlice   int      `json:"insts_per_slice,omitempty"`
+	WarmupFrac      float64  `json:"warmup_frac,omitempty"`
+	Seed            uint64   `json:"seed"`
+	Slices          []string `json:"slices,omitempty"`
+}
+
+// Manifest describes one simulator invocation end to end: what ran, on
+// which configurations, over which workload, how long it took, and how
+// fast the simulator itself was.
+type Manifest struct {
+	Schema      string       `json:"schema"`
+	Command     string       `json:"command"`
+	StartTime   time.Time    `json:"start_time"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Generations []GenInfo    `json:"generations"`
+	Workload    WorkloadInfo `json:"workload"`
+
+	SimInsts  uint64 `json:"simulated_insts"`
+	SimCycles uint64 `json:"simulated_cycles"`
+	// SimMIPS is simulated instructions per wall-clock microsecond —
+	// the simulator's own throughput, not the modelled core's.
+	SimMIPS float64 `json:"sim_mips"`
+	// CyclesPerSec is simulated cycles per wall-clock second.
+	CyclesPerSec float64 `json:"sim_cycles_per_sec"`
+
+	// Artifacts lists companion files this run wrote (metrics, traces).
+	Artifacts map[string]string `json:"artifacts,omitempty"`
+}
+
+// NewManifest starts a manifest for command at the current wall time.
+func NewManifest(command string) *Manifest {
+	return &Manifest{Schema: ManifestSchema, Command: command, StartTime: time.Now()}
+}
+
+// Finish computes the wall-clock and throughput fields from the recorded
+// totals and the elapsed time since StartTime.
+func (m *Manifest) Finish() {
+	m.WallSeconds = time.Since(m.StartTime).Seconds()
+	if m.WallSeconds > 0 {
+		m.SimMIPS = float64(m.SimInsts) / m.WallSeconds / 1e6
+		m.CyclesPerSec = float64(m.SimCycles) / m.WallSeconds
+	}
+}
+
+// AddArtifact records a companion output file.
+func (m *Manifest) AddArtifact(kind, path string) {
+	if path == "" {
+		return
+	}
+	if m.Artifacts == nil {
+		m.Artifacts = make(map[string]string)
+	}
+	m.Artifacts[kind] = path
+}
+
+// Write finishes the manifest and writes it to path as indented JSON.
+func (m *Manifest) Write(path string) error {
+	m.Finish()
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ConfigDigest fingerprints any configuration value: a 64-bit FNV-1a
+// over its canonical %+v rendering. Stable within a build, and cheap —
+// the goal is "did the config change since that manifest", not
+// cryptographic integrity.
+func ConfigDigest(v any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", v)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

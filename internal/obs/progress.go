@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports slices-done / ETA / sim-MIPS for long sweeps. It is
+// safe for concurrent Step calls from worker goroutines and throttles
+// terminal output. A nil *Progress is a no-op, so harness code can
+// thread one unconditionally.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+
+	done      int
+	insts     uint64
+	start     time.Time
+	lastPrint time.Time
+	now       func() time.Time // injectable clock for tests
+}
+
+// NewProgress builds a reporter writing to w (typically os.Stderr) for a
+// sweep of total units of work.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	return &Progress{w: w, label: label, total: total, start: time.Now(), now: time.Now}
+}
+
+// Step records one finished unit covering insts simulated instructions.
+func (p *Progress) Step(insts uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.insts += insts
+	now := p.now()
+	if now.Sub(p.lastPrint) < 200*time.Millisecond && p.done != p.total {
+		return
+	}
+	p.lastPrint = now
+	p.print(now)
+}
+
+// Finish prints the final line and a newline terminator.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.print(p.now())
+	fmt.Fprintln(p.w)
+}
+
+func (p *Progress) print(now time.Time) {
+	elapsed := now.Sub(p.start).Seconds()
+	mips := 0.0
+	if elapsed > 0 {
+		mips = float64(p.insts) / elapsed / 1e6
+	}
+	eta := "--"
+	if p.done > 0 && p.done < p.total {
+		remain := elapsed / float64(p.done) * float64(p.total-p.done)
+		eta = (time.Duration(remain*1000) * time.Millisecond).Round(time.Second).String()
+	}
+	pct := 0
+	if p.total > 0 {
+		pct = p.done * 100 / p.total
+	}
+	fmt.Fprintf(p.w, "\r%s: %d/%d (%d%%) | %.2f sim-MIPS | ETA %s   ",
+		p.label, p.done, p.total, pct, mips, eta)
+}

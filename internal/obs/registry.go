@@ -1,0 +1,212 @@
+// Package obs is the simulator-wide observability layer: a pull-based
+// metrics registry with hierarchical scopes (every subsystem publishes
+// its counters under a dotted name like "mem.l1d.hits"), a ring-buffered
+// cycle-event tracer emitting Chrome trace-event / Perfetto-compatible
+// JSON, run manifests that make every simulation reproducible and
+// auditable, and a progress reporter for long suite sweeps.
+//
+// The registry is deliberately pull-based: subsystems keep incrementing
+// their plain struct fields on the hot path (no interface calls, no
+// atomics), and registered closures read those fields only when a
+// snapshot is taken. Instrumentation therefore costs nothing until
+// someone asks for the numbers.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a metric.
+type Kind uint8
+
+// Metric kinds.
+const (
+	// KindCounter is a monotonically increasing count; Reset rebases it
+	// so subsequent snapshots report the delta since the reset.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value (a rate, a mean, an occupancy);
+	// Reset does not touch it.
+	KindGauge
+)
+
+type metric struct {
+	name string
+	kind Kind
+	read func() float64
+}
+
+// Registry holds named metrics. It is safe for concurrent registration
+// and snapshotting, but the registered read closures themselves must not
+// race with the simulation (snapshot while the core is stepping is the
+// caller's responsibility to avoid).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]int
+	base    map[string]float64 // counter rebase values from Reset
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// Scope returns a scope rooted at name ("" for the root).
+func (r *Registry) Scope(name string) *Scope {
+	return &Scope{r: r, prefix: name}
+}
+
+func (r *Registry) register(name string, kind Kind, read func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		// Re-registration replaces the reader (e.g. a rebuilt subsystem).
+		r.metrics[i] = metric{name: name, kind: kind, read: read}
+		return
+	}
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, kind: kind, read: read})
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.metrics)
+}
+
+// Snapshot materializes every metric. Counters are reported relative to
+// the last Reset.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Values: make(map[string]float64, len(r.metrics)), kinds: make(map[string]Kind, len(r.metrics))}
+	for _, m := range r.metrics {
+		v := m.read()
+		if m.kind == KindCounter && r.base != nil {
+			v -= r.base[m.name]
+		}
+		s.Values[m.name] = v
+		s.kinds[m.name] = m.kind
+	}
+	return s
+}
+
+// Reset rebases every counter at its current raw value, so the next
+// Snapshot reports deltas from this point. Gauges are unaffected.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.base == nil {
+		r.base = make(map[string]float64, len(r.metrics))
+	}
+	for _, m := range r.metrics {
+		if m.kind == KindCounter {
+			r.base[m.name] = m.read()
+		}
+	}
+}
+
+// Scope is a named prefix into a registry; metrics registered through it
+// are joined with dots ("branch" + "mispredicts" -> "branch.mispredicts").
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Child returns a sub-scope.
+func (s *Scope) Child(name string) *Scope {
+	return &Scope{r: s.r, prefix: s.join(name)}
+}
+
+func (s *Scope) join(name string) string {
+	if s.prefix == "" {
+		return name
+	}
+	return s.prefix + "." + name
+}
+
+// Counter registers a monotonically-increasing metric read via fn.
+func (s *Scope) Counter(name string, fn func() uint64) {
+	s.r.register(s.join(name), KindCounter, func() float64 { return float64(fn()) })
+}
+
+// Gauge registers an instantaneous metric read via fn.
+func (s *Scope) Gauge(name string, fn func() float64) {
+	s.r.register(s.join(name), KindGauge, fn)
+}
+
+// Snapshot is a materialized view of a registry at one instant.
+type Snapshot struct {
+	Values map[string]float64
+	kinds  map[string]Kind
+}
+
+// Get returns a metric's value (0 if absent).
+func (s Snapshot) Get(name string) float64 { return s.Values[name] }
+
+// Names returns the metric names in sorted order.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Values))
+	for k := range s.Values {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Diff returns this snapshot minus prev: counters subtract, gauges keep
+// their current value. Metrics absent from prev pass through unchanged.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{Values: make(map[string]float64, len(s.Values)), kinds: s.kinds}
+	for k, v := range s.Values {
+		if s.kinds[k] == KindCounter {
+			v -= prev.Values[k]
+		}
+		out.Values[k] = v
+	}
+	return out
+}
+
+// WriteJSON emits the snapshot as a single sorted JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	names := s.Names()
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, k := range names {
+		sep := ","
+		if i == len(names)-1 {
+			sep = ""
+		}
+		kb, _ := json.Marshal(k)
+		vb, err := json.Marshal(s.Values[k])
+		if err != nil {
+			// NaN/Inf are not valid JSON; encode as null.
+			vb = []byte("null")
+		}
+		if _, err := fmt.Fprintf(w, "  %s: %s%s\n", kb, vb, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// WriteJSONFile writes the snapshot to path.
+func (s Snapshot) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Phase is a Chrome trace-event phase character.
+const (
+	PhaseComplete = 'X' // span with a duration
+	PhaseInstant  = 'i' // point event
+)
+
+// Event is one cycle-stamped trace event. Name and Cat must be static
+// (or at least long-lived) strings so that recording never allocates.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   byte
+	TS   uint64 // cycle the event starts
+	Dur  uint64 // span length in cycles (PhaseComplete only)
+	Tid  int32  // lane: one per structure, so Perfetto draws parallel tracks
+	Arg  int64  // one optional numeric payload, emitted as args.v
+}
+
+// Tracer is a fixed-capacity ring buffer of cycle events with optional
+// 1-in-N sampling. A nil *Tracer is the disabled tracer: every method is
+// nil-safe, and call sites guard hot paths with `if t != nil` so the
+// disabled cost is a single predictable branch and zero allocations.
+type Tracer struct {
+	events []Event
+	pos    int
+	n      uint64 // total events offered (post-sampling drops excluded)
+	seen   uint64 // total events offered (pre-sampling)
+	every  uint64 // keep 1 in every; 0/1 = keep all
+}
+
+// NewTracer builds a tracer holding up to capacity events; older events
+// are overwritten once the ring wraps.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Tracer{events: make([]Event, 0, capacity)}
+}
+
+// SetSampling keeps only one in every n offered events (n <= 1 keeps
+// all). Sampling is deterministic — a modulus, not a coin flip — so runs
+// stay reproducible.
+func (t *Tracer) SetSampling(n uint64) {
+	if t == nil {
+		return
+	}
+	t.every = n
+}
+
+// Enabled reports whether events will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many recorded events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.n - uint64(len(t.events))
+}
+
+func (t *Tracer) admit() bool {
+	t.seen++
+	if t.every > 1 && t.seen%t.every != 0 {
+		return false
+	}
+	t.n++
+	return true
+}
+
+func (t *Tracer) record(e Event) {
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.pos] = e
+	t.pos = (t.pos + 1) % len(t.events)
+}
+
+// Span records a complete event covering [ts, ts+dur) cycles.
+func (t *Tracer) Span(cat, name string, ts, dur uint64, tid int32) {
+	if t == nil || !t.admit() {
+		return
+	}
+	t.record(Event{Name: name, Cat: cat, Ph: PhaseComplete, TS: ts, Dur: dur, Tid: tid})
+}
+
+// SpanArg records a complete event with one numeric argument.
+func (t *Tracer) SpanArg(cat, name string, ts, dur uint64, tid int32, arg int64) {
+	if t == nil || !t.admit() {
+		return
+	}
+	t.record(Event{Name: name, Cat: cat, Ph: PhaseComplete, TS: ts, Dur: dur, Tid: tid, Arg: arg})
+}
+
+// Instant records a point event at cycle ts.
+func (t *Tracer) Instant(cat, name string, ts uint64, tid int32) {
+	if t == nil || !t.admit() {
+		return
+	}
+	t.record(Event{Name: name, Cat: cat, Ph: PhaseInstant, TS: ts, Tid: tid})
+}
+
+// Lane numbers: one Perfetto track per simulated structure.
+const (
+	LaneFetch    int32 = 0
+	LaneBranch   int32 = 1
+	LaneUOC      int32 = 2
+	LaneMem      int32 = 3
+	LanePrefetch int32 = 4
+	LaneDRAM     int32 = 5 // +bank index
+)
+
+// laneNames labels the fixed lanes in trace metadata.
+var laneNames = map[int32]string{
+	LaneFetch:    "fetch",
+	LaneBranch:   "branch",
+	LaneUOC:      "uoc",
+	LaneMem:      "mem",
+	LanePrefetch: "prefetch",
+	LaneDRAM:     "dram",
+}
+
+// jsonEvent is the Chrome trace-event wire format. Timestamps are
+// microseconds by convention; we write one simulated cycle per
+// microsecond, so Perfetto's "us" readout is really "cycles".
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON emits the buffered events in Chrome trace-event JSON
+// (object form with a traceEvents array), loadable by chrome://tracing
+// and https://ui.perfetto.dev.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	first := true
+	emit := func(e any) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder appends a newline after each value, which keeps the
+		// file diffable without building the whole array in memory.
+		return enc.Encode(e)
+	}
+	// Thread-name metadata so lanes are labelled in the UI.
+	for tid, name := range laneNames {
+		meta := jsonEvent{Name: "thread_name", Ph: "M", TID: tid, Args: map[string]any{"name": name}}
+		if err := emit(meta); err != nil {
+			return err
+		}
+	}
+	write := func(e *Event) error {
+		je := jsonEvent{Name: e.Name, Cat: e.Cat, Ph: string(rune(e.Ph)), TS: e.TS, TID: e.Tid}
+		if e.Ph == PhaseComplete {
+			d := e.Dur
+			je.Dur = &d
+		}
+		if e.Ph == PhaseInstant {
+			je.S = "t"
+		}
+		if e.Arg != 0 {
+			je.Args = map[string]any{"v": e.Arg}
+		}
+		return emit(je)
+	}
+	if t != nil {
+		// Replay in arrival order: the ring's oldest entry is at pos.
+		for i := t.pos; i < len(t.events); i++ {
+			if err := write(&t.events[i]); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < t.pos; i++ {
+			if err := write(&t.events[i]); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// WriteJSONFile writes the trace to path.
+func (t *Tracer) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "trace: ring wrapped, oldest %d events overwritten (raise capacity or sample)\n", d)
+	}
+	return nil
+}

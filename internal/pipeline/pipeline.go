@@ -18,6 +18,7 @@ import (
 	"exysim/internal/branch"
 	"exysim/internal/isa"
 	"exysim/internal/mem"
+	"exysim/internal/obs"
 	"exysim/internal/power"
 	"exysim/internal/uoc"
 )
@@ -27,15 +28,15 @@ type UnitKind uint8
 
 // Unit kinds.
 const (
-	UnitS    UnitKind = iota // simple ALU: add/shift/logical
-	UnitC                    // complex: simple + mul + indirect-branch
-	UnitCD                   // complex + divide
-	UnitBR                   // direct branch
-	UnitLoad                 // load pipe
-	UnitStore                // store pipe
-	UnitGen                  // generic load-or-store pipe
-	UnitFMAC                 // FP multiply-accumulate pipe
-	UnitFADD                 // FP add pipe
+	UnitS     UnitKind = iota // simple ALU: add/shift/logical
+	UnitC                     // complex: simple + mul + indirect-branch
+	UnitCD                    // complex + divide
+	UnitBR                    // direct branch
+	UnitLoad                  // load pipe
+	UnitStore                 // store pipe
+	UnitGen                   // generic load-or-store pipe
+	UnitFMAC                  // FP multiply-accumulate pipe
+	UnitFADD                  // FP add pipe
 	numUnitKinds
 )
 
@@ -56,8 +57,8 @@ type Config struct {
 	Units map[UnitKind]int
 
 	// Latencies per class.
-	LatALU, LatMul, LatDiv       int
-	LatFMAC, LatFMUL, LatFADD    int
+	LatALU, LatMul, LatDiv    int
+	LatFMAC, LatFMUL, LatFADD int
 	// DivOccupancy is how long a divide blocks its unit (iterative).
 	DivOccupancy int
 
@@ -88,9 +89,9 @@ type Result struct {
 
 // Core couples the pipeline with a front end and a memory system.
 type Core struct {
-	cfg   Config
-	front *branch.Frontend
-	memsy *mem.System
+	cfg    Config
+	front  *branch.Frontend
+	memsy  *mem.System
 	ucache *uoc.UOC
 
 	// Execution-unit next-free cycles, per kind.
@@ -98,8 +99,8 @@ type Core struct {
 
 	// Architectural register scoreboard: completion cycle and producer
 	// class of the last writer.
-	intReady [isa.NumArchRegs]uint64
-	fpReady  [isa.NumArchRegs]uint64
+	intReady        [isa.NumArchRegs]uint64
+	fpReady         [isa.NumArchRegs]uint64
 	intProducerLoad [isa.NumArchRegs]bool
 
 	// Retirement history ring for the ROB constraint.
@@ -135,6 +136,10 @@ type Core struct {
 
 	// meter, when set, charges the front-end power proxy.
 	meter *power.Meter
+
+	// tracer, when non-nil, records fetch bubbles, mispredict recovery
+	// windows and UOC mode transitions.
+	tracer *obs.Tracer
 
 	res Result
 }
@@ -176,6 +181,13 @@ func (c *Core) SetMeter(m *power.Meter) {
 	c.front.SetMeter(m)
 }
 
+// SetTracer installs a cycle-event tracer on the pipeline and its
+// memory system (nil disables; disabled tracing costs one branch).
+func (c *Core) SetTracer(t *obs.Tracer) {
+	c.tracer = t
+	c.memsy.SetTracer(t)
+}
+
 func (c *Core) charge(e power.Event, n uint64) {
 	if c.meter != nil {
 		c.meter.Charge(e, n)
@@ -184,6 +196,18 @@ func (c *Core) charge(e power.Event, n uint64) {
 
 // Now returns the pipeline's current fetch cycle (cluster scheduling).
 func (c *Core) Now() uint64 { return c.fetchCycle }
+
+// RegisterMetrics publishes the pipeline's own counters into an
+// observability scope (e.g. "pipe.cycles"). Subsystems (front end,
+// memory, UOC) register under their own scopes via the owning core.
+func (c *Core) RegisterMetrics(sc *obs.Scope) {
+	sc.Counter("insts", func() uint64 { return c.res.Insts })
+	sc.Counter("uops", func() uint64 { return c.res.Uops })
+	sc.Counter("cycles", func() uint64 { return c.res.Cycles })
+	sc.Counter("fetch_stall_cycles", func() uint64 { return c.res.FetchStallCycles })
+	sc.Counter("uoc_supplied_uops", func() uint64 { return c.res.UOCSupplied })
+	sc.Gauge("ipc", func() float64 { return c.Result().IPC })
+}
 
 // Result returns the accumulated run result.
 func (c *Core) Result() Result {
@@ -320,6 +344,9 @@ func (c *Core) Step(in *isa.Inst) {
 		if !c.inUOCFetch {
 			c.charge(power.EvICacheAccess, 1)
 			if stall := c.memsy.FetchInst(in.PC, c.fetchCycle); stall > 0 {
+				if c.tracer != nil {
+					c.tracer.Span("fetch", "icache-miss", c.fetchCycle, uint64(stall), obs.LaneFetch)
+				}
 				c.fetchCycle += uint64(stall)
 				c.fetchSlots = 0
 				c.res.FetchStallCycles += uint64(stall)
@@ -405,12 +432,21 @@ func (c *Core) Step(in *isa.Inst) {
 			// front-end refill portion of the penalty follows.
 			refill := cfg.FrontDepth / 2
 			redirect := done + uint64(refill)
+			if c.tracer != nil && redirect > fetchAt {
+				// Recovery window: wrong-path fetch from this branch's
+				// fetch until the corrected redirect arrives.
+				c.tracer.Span("branch", "mispredict-recovery", fetchAt, redirect-fetchAt, obs.LaneBranch)
+			}
 			if redirect > c.fetchCycle {
 				c.fetchCycle = redirect
 				c.fetchSlots = 0
 			}
 			c.inUOCFetch = false
 		} else if r.Bubbles > 0 {
+			if c.tracer != nil {
+				// Taken-redirect bubble, named by the predicting source.
+				c.tracer.Span("fetch-bubble", r.Source.String(), c.fetchCycle, uint64(r.Bubbles), obs.LaneFetch)
+			}
 			c.fetchCycle += uint64(r.Bubbles)
 			c.fetchSlots = 0
 		}
@@ -465,7 +501,11 @@ func (c *Core) Step(in *isa.Inst) {
 func (c *Core) endBlock(nextPC uint64) {
 	fromUOC := false
 	if c.ucache != nil && c.blockUops > 0 {
+		prevMode := c.ucache.Mode()
 		r := c.ucache.Step(c.blockStart, c.blockUops, c.front.UBTBLocked())
+		if c.tracer != nil && r.Mode != prevMode {
+			c.tracer.Instant("uoc", r.Mode.String(), c.fetchCycle, obs.LaneUOC)
+		}
 		c.inUOCFetch = r.FromUOC
 		fromUOC = r.FromUOC
 		if r.FromUOC {

@@ -16,22 +16,26 @@
 // conclusions to draw are ratios between configurations, not joules.
 package power
 
-import "fmt"
+import (
+	"fmt"
+
+	"exysim/internal/obs"
+)
 
 // Event identifies a charged front-end activity.
 type Event uint8
 
 // Front-end energy events.
 const (
-	EvICacheAccess Event = iota // one L1I line fetch
-	EvDecode                    // one μop through the decoders
-	EvUOCSupply                 // one μop supplied by the UOC
-	EvSHPLookup                 // one SHP prediction (all tables)
-	EvSHPLookupGated            // SHP gated by a locked μBTB
-	EvMBTBLookup                // one mBTB line lookup
-	EvMBTBLookupGated           // mBTB gated (locked μBTB / empty line)
-	EvUBTBLookup                // one μBTB lookup
-	EvL2BTBFill                 // one L2BTB fill burst
+	EvICacheAccess    Event = iota // one L1I line fetch
+	EvDecode                       // one μop through the decoders
+	EvUOCSupply                    // one μop supplied by the UOC
+	EvSHPLookup                    // one SHP prediction (all tables)
+	EvSHPLookupGated               // SHP gated by a locked μBTB
+	EvMBTBLookup                   // one mBTB line lookup
+	EvMBTBLookupGated              // mBTB gated (locked μBTB / empty line)
+	EvUBTBLookup                   // one μBTB lookup
+	EvL2BTBFill                    // one L2BTB fill burst
 	numEvents
 )
 
@@ -129,6 +133,16 @@ func (mt *Meter) Breakdown() map[string]float64 {
 		}
 	}
 	return out
+}
+
+// RegisterMetrics publishes per-event counts and the EPKI gauge into an
+// observability scope (e.g. "power.shp", "power.epki").
+func (mt *Meter) RegisterMetrics(sc *obs.Scope) {
+	for e := Event(0); e < numEvents; e++ {
+		e := e
+		sc.Counter(e.String(), func() uint64 { return mt.counts[e] })
+	}
+	sc.Gauge("epki", func() float64 { return mt.EPKI() })
 }
 
 // Reset clears counters (after trace warmup).

@@ -33,8 +33,8 @@ func ExampleSMS() {
 	primary, associate := uint64(0x500), uint64(0x504)
 	for r := 0; r < 6; r++ {
 		base := uint64(0x100000 + r*2048)
-		s.OnMiss(primary, base, false)         // first miss: primary
-		s.OnMiss(associate, base+512, false)   // recurring associate
+		s.OnMiss(primary, base, false)       // first miss: primary
+		s.OnMiss(associate, base+512, false) // recurring associate
 	}
 	reqs := s.OnMiss(primary, 0x900000, false) // new region
 	for _, r := range reqs {

@@ -9,8 +9,8 @@ package prefetch
 
 // SMSConfig sizes the engine.
 type SMSConfig struct {
-	RegionBytes  int // spatial region granule (2KB)
-	ActiveRegions int // concurrently observed regions
+	RegionBytes    int // spatial region granule (2KB)
+	ActiveRegions  int // concurrently observed regions
 	PatternEntries int // learned primary-PC patterns (LRU)
 	// HighConf is the per-offset confidence needed for an L1 prefetch;
 	// offsets at exactly HighConf-1 issue first-pass only.
@@ -45,15 +45,15 @@ type smsPattern struct {
 
 // SMS is the engine.
 type SMS struct {
-	cfg     SMSConfig
-	offLog  uint // line offsets per region
-	active  map[uint64]*activeRegion
+	cfg    SMSConfig
+	offLog uint // line offsets per region
+	active map[uint64]*activeRegion
 	// lastRegion tracks each primary PC's most recent region so its
 	// observation generation can close when the PC moves on.
 	lastRegion map[uint64]uint64
-	pattern map[uint64]*smsPattern
-	tick    uint64
-	stats   SMSStats
+	pattern    map[uint64]*smsPattern
+	tick       uint64
+	stats      SMSStats
 }
 
 // NewSMS builds the engine.

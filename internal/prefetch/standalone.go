@@ -39,9 +39,9 @@ type StandaloneStats struct {
 
 type pageStream struct {
 	page     uint64
-	lastLine int   // line offset within page (0..63)
-	stride   int   // locked stride in lines
-	run      int   // consecutive confirmations of the stride
+	lastLine int // line offset within page (0..63)
+	stride   int // locked stride in lines
+	run      int // consecutive confirmations of the stride
 	lru      uint64
 }
 

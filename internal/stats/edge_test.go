@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPercentileEmpty covers the degenerate population: every percentile
+// query on zero observations must return 0, not panic.
+func TestPercentileEmpty(t *testing.T) {
+	var p Population
+	for _, q := range []float64{-5, 0, 50, 100, 200} {
+		if got := p.Percentile(q); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := p.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+}
+
+// TestSingleObservation checks that one sample fully determines every
+// summary statistic and percentile.
+func TestSingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(7.5)
+	if s.N() != 1 || s.Mean() != 7.5 || s.Min() != 7.5 || s.Max() != 7.5 {
+		t.Errorf("single-obs summary: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if s.StdDev() != 0 {
+		t.Errorf("single-obs StdDev = %v, want 0", s.StdDev())
+	}
+	var p Population
+	p.Add(7.5)
+	for _, q := range []float64{0, 25, 50, 100} {
+		if got := p.Percentile(q); got != 7.5 {
+			t.Errorf("single-obs Percentile(%v) = %v, want 7.5", q, got)
+		}
+	}
+}
+
+// TestNonFiniteRejected proves NaN and ±Inf observations are dropped by
+// all three accumulators instead of poisoning downstream statistics.
+func TestNonFiniteRejected(t *testing.T) {
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+
+	var s Summary
+	s.Add(2)
+	for _, x := range bad {
+		s.Add(x)
+	}
+	s.Add(4)
+	if s.N() != 2 {
+		t.Errorf("Summary.N = %d, want 2 (non-finite must be ignored)", s.N())
+	}
+	if s.Mean() != 3 || s.Min() != 2 || s.Max() != 4 {
+		t.Errorf("Summary after non-finite: mean=%v min=%v max=%v", s.Mean(), s.Min(), s.Max())
+	}
+
+	var p Population
+	for _, x := range bad {
+		p.Add(x)
+	}
+	p.Add(1)
+	if p.N() != 1 || p.Mean() != 1 || p.Percentile(50) != 1 {
+		t.Errorf("Population after non-finite: n=%d mean=%v p50=%v", p.N(), p.Mean(), p.Percentile(50))
+	}
+
+	h := NewHistogram(0, 10, 5)
+	for _, x := range bad {
+		h.Add(x)
+	}
+	h.Add(5)
+	if h.N() != 1 {
+		t.Errorf("Histogram.N = %d, want 1 (non-finite must be ignored)", h.N())
+	}
+}
+
+// TestNonFiniteFirstObservation checks the empty-then-NaN ordering: a
+// rejected first observation must not corrupt min/max initialization.
+func TestNonFiniteFirstObservation(t *testing.T) {
+	var s Summary
+	s.Add(math.NaN())
+	s.Add(-3)
+	if s.N() != 1 || s.Min() != -3 || s.Max() != -3 {
+		t.Errorf("NaN-first summary: n=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+}

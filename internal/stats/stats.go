@@ -20,8 +20,14 @@ type Summary struct {
 	min, max float64
 }
 
-// Add records one observation.
+// Add records one observation. Non-finite observations (NaN, ±Inf) are
+// ignored: they arise from degenerate slices (0-cycle intervals, empty
+// denominators) and would otherwise poison the running mean and
+// variance for the rest of the stream.
 func (s *Summary) Add(x float64) {
+	if !isFinite(x) {
+		return
+	}
 	if s.n == 0 {
 		s.min, s.max = x, x
 	} else {
@@ -65,8 +71,12 @@ type Population struct {
 	sorted bool
 }
 
-// Add appends one observation.
+// Add appends one observation. Non-finite observations (NaN, ±Inf) are
+// ignored — see Summary.Add.
 func (p *Population) Add(x float64) {
+	if !isFinite(x) {
+		return
+	}
 	p.xs = append(p.xs, x)
 	p.sorted = false
 }
@@ -188,8 +198,12 @@ func NewHistogram(lo, hi float64, nb int) *Histogram {
 	return &Histogram{lo: lo, hi: hi, buckets: make([]int, nb)}
 }
 
-// Add records one observation.
+// Add records one observation. Non-finite observations (NaN, ±Inf) are
+// ignored — see Summary.Add.
 func (h *Histogram) Add(x float64) {
+	if !isFinite(x) {
+		return
+	}
 	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
 	if i < 0 {
 		i = 0
@@ -228,6 +242,11 @@ func (h *Histogram) Render(width int) string {
 		fmt.Fprintf(&b, "%8.2f |%s %d\n", h.lo+step*float64(i), strings.Repeat("#", bar), c)
 	}
 	return b.String()
+}
+
+// isFinite reports whether x is a usable observation.
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }
 
 // Ratio is a convenience counter for hit/total style rates.

@@ -6,6 +6,8 @@
 // triples, where a sector groups consecutive pages under one tag.
 package tlb
 
+import "exysim/internal/obs"
+
 // PageBits is the translation granule (4KB pages).
 const PageBits = 12
 
@@ -28,14 +30,14 @@ func (c Config) Pages() int { return c.Entries * c.Sectors }
 
 // TLB is one translation level.
 type TLB struct {
-	cfg     Config
-	sets    int
-	ways    int
-	secLog  uint
-	tags    [][]entry
-	tick    uint64
-	hits    uint64
-	misses  uint64
+	cfg    Config
+	sets   int
+	ways   int
+	secLog uint
+	tags   [][]entry
+	tick   uint64
+	hits   uint64
+	misses uint64
 }
 
 type entry struct {
@@ -74,6 +76,12 @@ func New(cfg Config) *TLB {
 
 // Config returns the level's configuration.
 func (t *TLB) Config() Config { return t.cfg }
+
+// Hits returns the level's lookup hits so far.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the level's lookup misses so far.
+func (t *TLB) Misses() uint64 { return t.misses }
 
 // HitRate returns the level's hit rate so far.
 func (t *TLB) HitRate() float64 {
@@ -134,9 +142,9 @@ func (t *TLB) Insert(addr uint64) {
 // Hierarchy is a core's translation stack: an L1 (I or D side), the
 // optional L1.5 (data side, M3+), the shared L2 TLB, and the walker.
 type Hierarchy struct {
-	L1   *TLB
-	L15  *TLB // nil before M3 / on the instruction side
-	L2   *TLB
+	L1  *TLB
+	L15 *TLB // nil before M3 / on the instruction side
+	L2  *TLB
 	// WalkLatency is the page-table walk cost on a full miss.
 	WalkLatency int
 
@@ -173,6 +181,23 @@ func (h *Hierarchy) Translate(addr uint64) int {
 	}
 	h.L1.Insert(addr)
 	return h.WalkLatency
+}
+
+// RegisterMetrics publishes the stack's per-level hit/miss counters and
+// walk count into an observability scope (e.g. "mem.tlb.d").
+func (h *Hierarchy) RegisterMetrics(sc *obs.Scope) {
+	level := func(name string, t *TLB) {
+		if t == nil {
+			return
+		}
+		c := sc.Child(name)
+		c.Counter("hits", func() uint64 { return t.hits })
+		c.Counter("misses", func() uint64 { return t.misses })
+	}
+	level("l1", h.L1)
+	level("l15", h.L15)
+	level("l2", h.L2)
+	sc.Counter("walks", func() uint64 { return h.walks })
 }
 
 // Prefill warms the translation for a prefetch address without charging

@@ -45,13 +45,13 @@ const (
 const champRecordBytes = 64
 
 type champRecord struct {
-	ip        uint64
-	isBranch  bool
-	taken     bool
-	dstRegs   [2]uint8
-	srcRegs   [4]uint8
-	dstMem    [2]uint64
-	srcMem    [4]uint64
+	ip       uint64
+	isBranch bool
+	taken    bool
+	dstRegs  [2]uint8
+	srcRegs  [4]uint8
+	dstMem   [2]uint64
+	srcMem   [4]uint64
 }
 
 func parseChampRecord(b []byte) champRecord {

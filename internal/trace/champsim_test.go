@@ -46,11 +46,11 @@ func champStream(recs ...champ) []byte {
 
 func TestChampSimBasicConversion(t *testing.T) {
 	stream := champStream(
-		champ{ip: 0x1000, dst: [2]uint8{3}, src: [4]uint8{4, 5}},                  // alu
-		champ{ip: 0x1004, srcMem: 0x8000, dst: [2]uint8{7}},                        // load
-		champ{ip: 0x1008, dstMem: 0x8008, src: [4]uint8{7}},                        // store
+		champ{ip: 0x1000, dst: [2]uint8{3}, src: [4]uint8{4, 5}},                                                   // alu
+		champ{ip: 0x1004, srcMem: 0x8000, dst: [2]uint8{7}},                                                        // load
+		champ{ip: 0x1008, dstMem: 0x8008, src: [4]uint8{7}},                                                        // store
 		champ{ip: 0x100C, isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP, champFlags}}, // cond taken
-		champ{ip: 0x2000, dst: [2]uint8{1}},                                        // target block
+		champ{ip: 0x2000, dst: [2]uint8{1}},                                                                        // target block
 	)
 	sl, err := ReadChampSim(bytes.NewReader(stream), "champ/0", "imported", 0, 1)
 	if err != nil {

@@ -11,6 +11,7 @@ package uncore
 
 import (
 	"exysim/internal/dram"
+	"exysim/internal/obs"
 	"exysim/internal/rng"
 )
 
@@ -90,6 +91,17 @@ func (u *Uncore) Stats() Stats { return u.stats }
 
 // DRAM exposes the device (for stats).
 func (u *Uncore) DRAM() *dram.DRAM { return u.dram }
+
+// RegisterMetrics publishes the memory-path counters into an
+// observability scope (e.g. "mem.uncore.spec_issued"). The attached
+// DRAM device registers separately (mem threads it under "mem.dram").
+func (u *Uncore) RegisterMetrics(sc *obs.Scope) {
+	sc.Counter("reads", func() uint64 { return u.stats.Reads })
+	sc.Counter("spec_issued", func() uint64 { return u.stats.SpecIssued })
+	sc.Counter("spec_cancelled", func() uint64 { return u.stats.SpecCancelled })
+	sc.Counter("early_activates", func() uint64 { return u.stats.EarlyActivates })
+	sc.Counter("fastpath_returns", func() uint64 { return u.stats.FastPathReturns })
+}
 
 func (u *Uncore) mpIndex(addr uint64) uint32 {
 	return uint32(rng.Mix64(addr>>6)) & u.mpMask

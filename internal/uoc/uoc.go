@@ -15,7 +15,11 @@
 //     falls back to FilterMode.
 package uoc
 
-import "fmt"
+import (
+	"fmt"
+
+	"exysim/internal/obs"
+)
 
 // Mode is the UOC operating mode (Fig. 13).
 type Mode uint8
@@ -118,6 +122,20 @@ func (u *UOC) Mode() Mode { return u.mode }
 
 // Stats returns a snapshot.
 func (u *UOC) Stats() Stats { return u.stats }
+
+// RegisterMetrics publishes the UOC's counters and current occupancy
+// into an observability scope (e.g. "uoc.uops_from_uoc").
+func (u *UOC) RegisterMetrics(sc *obs.Scope) {
+	sc.Counter("lookups", func() uint64 { return u.stats.Lookups })
+	sc.Counter("uops_from_uoc", func() uint64 { return u.stats.UopsFromUOC })
+	sc.Counter("uops_from_decode", func() uint64 { return u.stats.UopsFromDecode })
+	sc.Counter("builds_started", func() uint64 { return u.stats.BuildsStarted })
+	sc.Counter("fetch_entered", func() uint64 { return u.stats.FetchEntered })
+	sc.Counter("fetch_exited", func() uint64 { return u.stats.FetchExited })
+	sc.Counter("timer_aborts", func() uint64 { return u.stats.TimerAborts })
+	sc.Counter("decode_cycles_saved", func() uint64 { return u.stats.DecodeCyclesSaved })
+	sc.Gauge("occupancy_uops", func() float64 { return float64(u.used) })
+}
 
 // Result describes one block's supply decision.
 type Result struct {

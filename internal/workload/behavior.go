@@ -305,7 +305,7 @@ type chaseMem struct {
 	base uint64
 	perm []uint32 // next index for each node
 	cur  uint32
-	node uint64   // node size in bytes
+	node uint64 // node size in bytes
 }
 
 func newChaseMem(r *rng.RNG, base uint64, nodes int, nodeBytes uint64) *chaseMem {

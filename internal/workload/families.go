@@ -242,7 +242,6 @@ func (m *condMix) draw(r *rng.RNG, inLoop bool) condGen {
 	}
 }
 
-
 // hardMass draws a slice's share of near-50/50 branches: most slices
 // have almost none, a minority are genuinely hard — producing the
 // clipped right-hand tail of Fig. 9.
