@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: tier1 fmt-check vet build test race bench
+.PHONY: tier1 fmt-check vet build test race bench bench-smoke bench-compare bench-go
 
 # tier1 is the gate every change must pass: formatting, vet, a full
-# build, and the test suite under the race detector.
-tier1: fmt-check vet build race
+# build, the test suite under the race detector, and a benchmark smoke
+# run proving the throughput harness still executes every generation.
+tier1: fmt-check vet build race bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -24,5 +25,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench measures per-generation simulator throughput (min-of-5 batches)
+# and rewrites the committed baseline.
 bench:
+	$(GO) run ./cmd/exybench run --out=BENCH_throughput.json
+
+# bench-smoke is the tier1 variant: one tiny batch per generation, no
+# baseline rewrite. It proves the harness runs, not how fast.
+bench-smoke:
+	$(GO) run ./cmd/exybench run --smoke --out=""
+
+# bench-compare re-measures the current build and fails on a >30%
+# throughput regression against the committed baseline (the margin
+# absorbs shared-machine noise; real hot-path regressions are larger).
+bench-compare:
+	$(GO) run ./cmd/exybench compare --base=BENCH_throughput.json
+
+# bench-go runs the full Go benchmark suite (figures + throughput).
+bench-go:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .

@@ -172,13 +172,15 @@ func BenchmarkSharing(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (instructions simulated per wall-clock second on M6, the heaviest
-// configuration).
+// configuration). The per-generation sub-benchmarks cover all six
+// configurations; `make bench` turns them into BENCH_throughput.json.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	g, _ := core.GenByName("M6")
 	sl, err := workload.ByName("specint/0", benchSpec)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var insts uint64
 	for i := 0; i < b.N; i++ {
@@ -187,4 +189,26 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		insts += r.Insts
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSimulatorThroughputGens runs the same throughput measurement
+// for every generation, M1 through M6.
+func BenchmarkSimulatorThroughputGens(b *testing.B) {
+	for _, g := range core.Generations() {
+		b.Run(g.Name, func(b *testing.B) {
+			sl, err := workload.ByName("specint/0", benchSpec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				sl.Reset()
+				r := core.RunSlice(g, sl)
+				insts += r.Insts
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+		})
+	}
 }

@@ -1,0 +1,255 @@
+// Command exybench is the performance gate for the simulator's hot
+// path. It measures raw simulation throughput (instructions per
+// wall-clock second) for every generation on the same workload slice
+// the Go benchmarks use, writes the results as machine-readable JSON,
+// and compares two such reports to flag regressions.
+//
+// Usage:
+//
+//	exybench run [--out=BENCH_throughput.json] [--reps=5] [--smoke]
+//	exybench compare --base=BENCH_throughput.json [--new=FILE] [--tolerance=0.7]
+//
+// `run` records the best (minimum time) of --reps measurement batches
+// per generation; min-of-N is robust against scheduler noise, which on
+// shared machines dwarfs the true variance of this workload. --smoke
+// runs a single tiny batch per generation — enough to prove the
+// pipeline executes and the step loop does not allocate, cheap enough
+// for the tier-1 gate.
+//
+// `compare` re-measures the current build when --new is omitted, and
+// exits nonzero if any generation's throughput falls below
+// tolerance × baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"exysim/internal/core"
+	"exysim/internal/trace"
+	"exysim/internal/workload"
+)
+
+// benchSpec mirrors the population spec in bench_test.go so JSON
+// baselines and `go test -bench` numbers are directly comparable.
+var benchSpec = workload.SuiteSpec{SlicesPerFamily: 2, InstsPerSlice: 40_000, WarmupFrac: 0.25, Seed: 0xE59}
+
+const benchSlice = "specint/0"
+
+// GenResult is one generation's throughput measurement.
+type GenResult struct {
+	Gen         string  `json:"gen"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	InstsPerSec float64 `json:"insts_per_sec"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+	Reps        int     `json:"reps"`
+}
+
+// Report is the BENCH_throughput.json schema.
+type Report struct {
+	Slice     string      `json:"slice"`
+	Insts     uint64      `json:"insts_per_op"`
+	GoVersion string      `json:"go_version"`
+	NumCPU    int         `json:"num_cpu"`
+	Results   []GenResult `json:"results"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: exybench run|compare [flags]")
+	os.Exit(2)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	out := fs.String("out", "BENCH_throughput.json", "output JSON path (empty: stdout table only)")
+	reps := fs.Int("reps", 5, "measurement batches per generation; the minimum time is reported")
+	smoke := fs.Bool("smoke", false, "single tiny batch per generation (tier-1 gate mode)")
+	fs.Parse(args)
+
+	rep := measure(*reps, *smoke)
+	printTable(rep)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("base", "BENCH_throughput.json", "baseline JSON")
+	newPath := fs.String("new", "", "candidate JSON (empty: measure the current build)")
+	// Even min-of-5 batches swing ~20% on shared machines, so the
+	// default margin is generous; it still catches the >1.5x class of
+	// regression this gate exists for.
+	tol := fs.Float64("tolerance", 0.70, "fail if any generation drops below tolerance x baseline")
+	reps := fs.Int("reps", 5, "measurement batches when re-measuring")
+	fs.Parse(args)
+
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var cand *Report
+	if *newPath != "" {
+		if cand, err = load(*newPath); err != nil {
+			fatal(err)
+		}
+	} else {
+		cand = measure(*reps, false)
+	}
+
+	baseBy := map[string]GenResult{}
+	for _, r := range base.Results {
+		baseBy[r.Gen] = r
+	}
+	fail := false
+	fmt.Printf("%-4s  %14s  %14s  %7s\n", "gen", "base insts/s", "new insts/s", "ratio")
+	for _, n := range cand.Results {
+		b, ok := baseBy[n.Gen]
+		if !ok {
+			fmt.Printf("%-4s  %14s  %14.0f  %7s\n", n.Gen, "-", n.InstsPerSec, "new")
+			continue
+		}
+		ratio := n.InstsPerSec / b.InstsPerSec
+		mark := ""
+		if ratio < *tol {
+			mark = "  REGRESSION"
+			fail = true
+		}
+		fmt.Printf("%-4s  %14.0f  %14.0f  %6.2fx%s\n", n.Gen, b.InstsPerSec, n.InstsPerSec, ratio, mark)
+	}
+	if fail {
+		fmt.Fprintf(os.Stderr, "exybench: throughput regression beyond tolerance %.2f\n", *tol)
+		os.Exit(1)
+	}
+}
+
+// measure times RunSlice per generation. Each of reps batches runs the
+// slice `iters` times; the fastest batch defines the reported numbers.
+// Allocation counts come from runtime.MemStats deltas across all
+// batches — steady-state runs allocate only per-simulator construction,
+// so the per-op figures stay near the construction footprint.
+func measure(reps int, smoke bool) *Report {
+	sl, err := workload.ByName(benchSlice, benchSpec)
+	if err != nil {
+		fatal(err)
+	}
+	rep := &Report{
+		Slice:     benchSlice,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, g := range core.Generations() {
+		// Warm (and measure instruction count) outside the timed region.
+		sl.Reset()
+		r := core.RunSlice(g, sl)
+		rep.Insts = r.Insts
+
+		iters := calibrate(g, sl)
+		if smoke {
+			reps, iters = 1, 1
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		best := time.Duration(1<<63 - 1)
+		for rI := 0; rI < reps; rI++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				sl.Reset()
+				core.RunSlice(g, sl)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		ops := float64(reps * iters)
+		nsPerOp := float64(best.Nanoseconds()) / float64(iters)
+		rep.Results = append(rep.Results, GenResult{
+			Gen:         g.Name,
+			NsPerOp:     nsPerOp,
+			InstsPerSec: float64(rep.Insts) / (nsPerOp / 1e9),
+			BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / ops,
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / ops,
+			Iterations:  iters,
+			Reps:        reps,
+		})
+	}
+	return rep
+}
+
+// calibrate picks an iteration count so one batch takes roughly 200ms —
+// long enough to average out timer granularity, short enough that five
+// batches per generation stay interactive.
+func calibrate(g core.GenConfig, sl *trace.Slice) int {
+	const target = 200 * time.Millisecond
+	sl.Reset()
+	start := time.Now()
+	core.RunSlice(g, sl)
+	per := time.Since(start)
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	iters := int(target / per)
+	if iters < 1 {
+		iters = 1
+	}
+	if iters > 500 {
+		iters = 500
+	}
+	return iters
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func printTable(rep *Report) {
+	fmt.Printf("slice %s, %d insts/op, %s, %d cpus\n", rep.Slice, rep.Insts, rep.GoVersion, rep.NumCPU)
+	fmt.Printf("%-4s  %12s  %14s  %12s  %10s\n", "gen", "ms/op", "insts/s", "B/op", "allocs/op")
+	for _, r := range rep.Results {
+		fmt.Printf("%-4s  %12.2f  %14.0f  %12.0f  %10.1f\n",
+			r.Gen, r.NsPerOp/1e6, r.InstsPerSec, r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exybench:", err)
+	os.Exit(1)
+}

@@ -18,19 +18,21 @@ const BranchesPerLine = 8
 // cipher produced and is decrypted on the way out.
 type BTBEntry struct {
 	PC     uint64
-	Kind   isa.BranchKind
 	Target uint64 // stored (possibly encrypted) primary target
-
-	// Taken/not-taken observation counts drive always-taken (1AT) and
-	// often-taken (ZOT) classification.
-	TakenSeen    uint32
-	NotTakenSeen uint32
 
 	// ZAT/ZOT replication (§IV-E): the target of the next
 	// always/often-taken branch located at this branch's target,
 	// letting the predecessor announce both redirects in one lookup.
 	NextTarget uint64
-	NextValid  bool
+
+	// Taken/not-taken observation counts drive always-taken (1AT) and
+	// often-taken (ZOT) classification; they saturate at 65535, which
+	// preserves 1AT exactly and ZOT up to counter exhaustion.
+	TakenSeen    uint16
+	NotTakenSeen uint16
+
+	Kind      isa.BranchKind
+	NextValid bool
 
 	// Built is the UOC back-propagated "built" bit (§VI).
 	Built bool
@@ -49,24 +51,25 @@ func (e *BTBEntry) OftenTaken() bool {
 	if !e.Valid {
 		return false
 	}
-	tot := e.TakenSeen + e.NotTakenSeen
-	return tot >= 8 && e.TakenSeen*10 >= tot*9
+	tot := uint32(e.TakenSeen) + uint32(e.NotTakenSeen)
+	return tot >= 8 && uint32(e.TakenSeen)*10 >= tot*9
 }
 
 // btbLine is the mBTB's unit of allocation: a tag over a 128B code line
 // plus eight branch slots.
 type btbLine struct {
 	tag      uint64
+	lruTick  uint64
 	valid    bool
 	branches [BranchesPerLine]BTBEntry
-	lruTick  uint64
 }
 
 // MBTB is the main BTB: a set-associative array of 128B-line entries.
 type MBTB struct {
-	sets  int
-	ways  int
-	lines [][]btbLine
+	sets int
+	ways int
+	// lines is a flat sets*ways array; set s occupies [s*ways, (s+1)*ways).
+	lines []btbLine
 	tick  uint64
 
 	// spill receives branches beyond the eighth in a line (§IV-A).
@@ -79,11 +82,7 @@ func NewMBTB(sets, ways int, spill *VBTB) *MBTB {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("branch: mBTB sets must be a power of two")
 	}
-	m := &MBTB{sets: sets, ways: ways, spill: spill, lines: make([][]btbLine, sets)}
-	for i := range m.lines {
-		m.lines[i] = make([]btbLine, ways)
-	}
-	return m
+	return &MBTB{sets: sets, ways: ways, spill: spill, lines: make([]btbLine, sets*ways)}
 }
 
 func (m *MBTB) lineOf(pc uint64) (set int, tag uint64) {
@@ -94,8 +93,9 @@ func (m *MBTB) lineOf(pc uint64) (set int, tag uint64) {
 // LookupLine returns the resident line for pc's 128B granule, or nil.
 func (m *MBTB) LookupLine(pc uint64) *btbLine {
 	set, tag := m.lineOf(pc)
-	for w := range m.lines[set] {
-		l := &m.lines[set][w]
+	base := set * m.ways
+	for w := 0; w < m.ways; w++ {
+		l := &m.lines[base+w]
 		if l.valid && l.tag == tag {
 			m.tick++
 			l.lruTick = m.tick
@@ -128,9 +128,10 @@ func (m *MBTB) Lookup(pc uint64) (*BTBEntry, bool) {
 // contents are returned so the caller can write them back to the L2BTB.
 func (m *MBTB) allocLine(pc uint64) (*btbLine, *btbLine) {
 	set, tag := m.lineOf(pc)
+	base := set * m.ways
 	var victim *btbLine
-	for w := range m.lines[set] {
-		l := &m.lines[set][w]
+	for w := 0; w < m.ways; w++ {
+		l := &m.lines[base+w]
 		if l.valid && l.tag == tag {
 			return l, nil
 		}
@@ -141,10 +142,10 @@ func (m *MBTB) allocLine(pc uint64) (*btbLine, *btbLine) {
 	var evicted *btbLine
 	if victim == nil {
 		// Evict true-LRU within the set.
-		victim = &m.lines[set][0]
+		victim = &m.lines[base]
 		for w := 1; w < m.ways; w++ {
-			if m.lines[set][w].lruTick < victim.lruTick {
-				victim = &m.lines[set][w]
+			if m.lines[base+w].lruTick < victim.lruTick {
+				victim = &m.lines[base+w]
 			}
 		}
 		ev := *victim
@@ -195,10 +196,11 @@ func (m *MBTB) Lines() int { return m.sets * m.ways }
 // plain set-associative structure keyed by branch PC with an extra cycle
 // of access latency.
 type VBTB struct {
-	sets    int
-	ways    int
-	entries [][]BTBEntry
-	lru     [][]uint64
+	sets int
+	ways int
+	// entries/lru are flat sets*ways arrays.
+	entries []BTBEntry
+	lru     []uint64
 	tick    uint64
 }
 
@@ -207,13 +209,8 @@ func NewVBTB(sets, ways int) *VBTB {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("branch: vBTB sets must be a power of two")
 	}
-	v := &VBTB{sets: sets, ways: ways,
-		entries: make([][]BTBEntry, sets), lru: make([][]uint64, sets)}
-	for i := range v.entries {
-		v.entries[i] = make([]BTBEntry, ways)
-		v.lru[i] = make([]uint64, ways)
-	}
-	return v
+	return &VBTB{sets: sets, ways: ways,
+		entries: make([]BTBEntry, sets*ways), lru: make([]uint64, sets*ways)}
 }
 
 func (v *VBTB) set(pc uint64) int {
@@ -222,12 +219,12 @@ func (v *VBTB) set(pc uint64) int {
 
 // Lookup returns the entry for pc or nil.
 func (v *VBTB) Lookup(pc uint64) *BTBEntry {
-	s := v.set(pc)
-	for w := range v.entries[s] {
-		e := &v.entries[s][w]
+	base := v.set(pc) * v.ways
+	for w := 0; w < v.ways; w++ {
+		e := &v.entries[base+w]
 		if e.Valid && e.PC == pc {
 			v.tick++
-			v.lru[s][w] = v.tick
+			v.lru[base+w] = v.tick
 			return e
 		}
 	}
@@ -236,25 +233,25 @@ func (v *VBTB) Lookup(pc uint64) *BTBEntry {
 
 // Insert allocates (or refreshes) the entry for pc, evicting LRU.
 func (v *VBTB) Insert(pc uint64, kind isa.BranchKind, target uint64) *BTBEntry {
-	s := v.set(pc)
+	base := v.set(pc) * v.ways
 	victim, vw := -1, uint64(^uint64(0))
-	for w := range v.entries[s] {
-		e := &v.entries[s][w]
+	for w := 0; w < v.ways; w++ {
+		e := &v.entries[base+w]
 		if e.Valid && e.PC == pc {
 			return e
 		}
 		if !e.Valid {
-			victim, vw = w, 0
+			victim, vw = base+w, 0
 			break
 		}
-		if v.lru[s][w] < vw {
-			victim, vw = w, v.lru[s][w]
+		if v.lru[base+w] < vw {
+			victim, vw = base+w, v.lru[base+w]
 		}
 	}
 	v.tick++
-	v.entries[s][victim] = BTBEntry{PC: pc, Kind: kind, Target: target, Valid: true}
-	v.lru[s][victim] = v.tick
-	return &v.entries[s][victim]
+	v.entries[victim] = BTBEntry{PC: pc, Kind: kind, Target: target, Valid: true}
+	v.lru[victim] = v.tick
+	return &v.entries[victim]
 }
 
 // Capacity returns total entries (for storage accounting).
@@ -265,9 +262,10 @@ func (v *VBTB) Capacity() int { return v.sets * v.ways }
 // mBTB misses that hit here refill with a small bubble cost whose latency
 // and bandwidth improved in M4 (§IV-D).
 type L2BTB struct {
-	sets  int
-	ways  int
-	lines [][]btbLine
+	sets int
+	ways int
+	// lines is a flat sets*ways array.
+	lines []btbLine
 	tick  uint64
 }
 
@@ -276,11 +274,7 @@ func NewL2BTB(sets, ways int) *L2BTB {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("branch: L2BTB sets must be a power of two")
 	}
-	l := &L2BTB{sets: sets, ways: ways, lines: make([][]btbLine, sets)}
-	for i := range l.lines {
-		l.lines[i] = make([]btbLine, ways)
-	}
-	return l
+	return &L2BTB{sets: sets, ways: ways, lines: make([]btbLine, sets*ways)}
 }
 
 func (l *L2BTB) setOf(tag uint64) int { return int(rng.Mix64(tag)) & (l.sets - 1) }
@@ -288,9 +282,9 @@ func (l *L2BTB) setOf(tag uint64) int { return int(rng.Mix64(tag)) & (l.sets - 1
 // Lookup returns the stored line for pc's granule, or nil.
 func (l *L2BTB) Lookup(pc uint64) *btbLine {
 	tag := pc / BTBLineBytes
-	s := l.setOf(tag)
-	for w := range l.lines[s] {
-		e := &l.lines[s][w]
+	base := l.setOf(tag) * l.ways
+	for w := 0; w < l.ways; w++ {
+		e := &l.lines[base+w]
 		if e.valid && e.tag == tag {
 			l.tick++
 			e.lruTick = l.tick
@@ -302,10 +296,10 @@ func (l *L2BTB) Lookup(pc uint64) *btbLine {
 
 // Install writes a (victim) line into the L2BTB, evicting LRU.
 func (l *L2BTB) Install(line *btbLine) {
-	s := l.setOf(line.tag)
-	victim := &l.lines[s][0]
-	for w := range l.lines[s] {
-		e := &l.lines[s][w]
+	base := l.setOf(line.tag) * l.ways
+	victim := &l.lines[base]
+	for w := 0; w < l.ways; w++ {
+		e := &l.lines[base+w]
 		if e.valid && e.tag == line.tag {
 			victim = e
 			break

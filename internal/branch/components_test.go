@@ -244,7 +244,7 @@ func TestUBTBCapacityEviction(t *testing.T) {
 		u.Predict(in.PC)
 		u.Train(&in, true)
 	}
-	if got := len(u.nodes); got > 8 {
+	if got := u.Size(); got > 8 {
 		t.Fatalf("graph grew to %d nodes", got)
 	}
 }

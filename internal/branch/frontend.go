@@ -6,6 +6,7 @@ import (
 	"exysim/internal/isa"
 	"exysim/internal/obs"
 	"exysim/internal/power"
+	"exysim/internal/satable"
 )
 
 // Source identifies which mechanism supplied a prediction, for the
@@ -87,6 +88,9 @@ type Config struct {
 	HasZATZOT       bool // M5+ (§IV-E)
 	HasEmptyLineOpt bool // M5+ (§IV-E)
 	MRBEntries      int  // M5+ (§IV-E); 0 disables
+	// ELOSets/ELOWays size the empty-line tracker (one entry per 128B
+	// code line). Zero selects the 512x4 default when HasEmptyLineOpt.
+	ELOSets, ELOWays int
 
 	// MispredictPenalty is the full redirect cost (Table I: 14 for
 	// M1/M2, 16 for M3+).
@@ -154,6 +158,13 @@ type Result struct {
 	Source  Source
 }
 
+// eloLine is one tracked 128B code line for the empty-line optimization:
+// presence in the table means the line has been fetched before; hasBranch
+// records whether a branch was ever discovered in it.
+type eloLine struct {
+	hasBranch bool
+}
+
 // Frontend glues the branch-prediction stack together and models the
 // per-branch redirect costs of one core generation.
 type Frontend struct {
@@ -181,10 +192,10 @@ type Frontend struct {
 	// stream was a not-taken "lead".
 	pairLeadOpen bool
 
-	// Empty-line tracking (§IV-E): lines seen before with no branches.
-	lineSeen   map[uint64]bool
-	lineBranch map[uint64]bool
-	curLine    uint64
+	// Empty-line tracking (§IV-E): lines seen before with no branches,
+	// in a fixed set-associative array keyed by 128B line number.
+	elo     *satable.Table[eloLine]
+	curLine uint64
 
 	// meter, when set, charges the front-end power proxy (§IV-B's SHP
 	// clock gating, §IV-E's empty-line optimization).
@@ -207,8 +218,11 @@ func NewFrontend(cfg Config) *Frontend {
 		f.mrb = NewMRB(cfg.MRBEntries)
 	}
 	if cfg.HasEmptyLineOpt {
-		f.lineSeen = make(map[uint64]bool)
-		f.lineBranch = make(map[uint64]bool)
+		sets, ways := cfg.ELOSets, cfg.ELOWays
+		if sets <= 0 {
+			sets, ways = 512, 4
+		}
+		f.elo = satable.New[eloLine](sets, ways)
 	}
 	f.curLine = ^uint64(0)
 	return f
@@ -309,17 +323,21 @@ func (f *Frontend) trackLine(pc uint64) {
 		return
 	}
 	f.curLine = line
+	var known *eloLine
+	if f.elo != nil {
+		known = f.elo.Lookup(line)
+	}
 	switch {
 	case f.ubtb.Locked():
 		f.charge(power.EvMBTBLookupGated, 1)
-	case f.cfg.HasEmptyLineOpt && f.lineSeen[line] && !f.lineBranch[line]:
+	case known != nil && !known.hasBranch:
 		f.stats.EmptyLines++
 		f.charge(power.EvMBTBLookupGated, 1)
 	default:
 		f.charge(power.EvMBTBLookup, 1)
 	}
-	if f.cfg.HasEmptyLineOpt {
-		f.lineSeen[line] = true
+	if f.elo != nil && known == nil {
+		f.elo.Insert(line)
 	}
 }
 
@@ -335,8 +353,12 @@ func (f *Frontend) stepBranch(in *isa.Inst) Result {
 		st.TakenBranches++
 	}
 	f.pairStats(in.Taken)
-	if f.cfg.HasEmptyLineOpt {
-		f.lineBranch[in.PC/BTBLineBytes] = true
+	if f.elo != nil {
+		e := f.elo.Lookup(in.PC / BTBLineBytes)
+		if e == nil {
+			e, _, _ = f.elo.Insert(in.PC / BTBLineBytes)
+		}
+		e.hasBranch = true
 	}
 
 	// --- Lookup phase ---
@@ -548,11 +570,13 @@ func (f *Frontend) update(in *isa.Inst, entry *BTBEntry, known, correct bool) {
 	}
 	if entry != nil {
 		if in.Taken {
-			entry.TakenSeen++
+			if entry.TakenSeen < ^uint16(0) {
+				entry.TakenSeen++
+			}
 			if !in.Branch.IsIndirect() {
 				entry.Target = in.Target
 			}
-		} else {
+		} else if entry.NotTakenSeen < ^uint16(0) {
 			entry.NotTakenSeen++
 		}
 	}

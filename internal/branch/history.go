@@ -50,46 +50,54 @@ func (h *historyRing) at(d int) uint16 {
 // (§IV-A). Each pushed group carries k bits. The fold is the XOR of all
 // groups in the window, each rotated by k·(age_within_window) mod W, the
 // standard folded-history construction from perceptron/TAGE
-// implementations generalized to k-bit groups.
+// implementations generalized to k-bit groups. A zero value (mask == 0)
+// means "no fold" — GlobalHistory stores folds flat and marks absent
+// entries that way instead of with nil pointers. The struct is packed
+// to 24 bytes so the per-branch push loop over all tables' folds stays
+// within a few cache lines.
 type foldedInterval struct {
-	comp   uint32
-	w      uint // fold width in bits (index width of the table)
-	k      uint // bits per pushed group (1 for GHIST, 3 for PHIST)
-	lo, hi int  // window in pushes: groups (lo, hi] ago are in the fold
-	inRot  uint // rotation applied when a group enters the window
-	outRot uint // rotation a group has when it leaves (k*(hi-lo-? ) mod w)
-	mask   uint32
+	comp  uint32
+	mask  uint32
+	kMask uint32 // (1<<k)-1, the group mask
+	// Rotation amounts (precomputed): a fold rotates left by inRot per
+	// push, and the leaving group carries outRot. wmIn/wmOut hold
+	// w-inRot / w-outRot for the complementary right shifts.
+	inRot, wmIn   uint8
+	outRot, wmOut uint8
+	lo, hi        int32 // window in pushes: groups (lo, hi] ago are in the fold
 }
 
 // newFoldedInterval creates a fold of width w over the (lo, hi] window.
-func newFoldedInterval(w, k uint, lo, hi int) *foldedInterval {
+func newFoldedInterval(w, k uint, lo, hi int) foldedInterval {
 	if w == 0 || w > 30 || k == 0 || hi <= lo {
 		panic("branch: invalid folded interval shape")
 	}
-	f := &foldedInterval{w: w, k: k, lo: lo, hi: hi, mask: (1 << w) - 1}
+	f := foldedInterval{lo: int32(lo), hi: int32(hi), mask: (1 << w) - 1, kMask: (1 << k) - 1}
 	// A group enters the fold with rotation 0 and is rotated k bits per
 	// subsequent push; after (hi-lo) more pushes it leaves with rotation
 	// k*(hi-lo) mod w.
-	f.outRot = uint((int(k) * (hi - lo)) % int(w))
+	inRot := k % w
+	outRot := uint((int(k) * (hi - lo)) % int(w))
+	f.inRot, f.wmIn = uint8(inRot), uint8(w-inRot)
+	f.outRot, f.wmOut = uint8(outRot), uint8(w-outRot)
 	return f
-}
-
-func (f *foldedInterval) rotl(x uint32, r uint) uint32 {
-	r %= f.w
-	if r == 0 {
-		return x & f.mask
-	}
-	return ((x << r) | (x >> (f.w - r))) & f.mask
 }
 
 // push advances the fold by one group: entering is the group that is now
 // lo+1 pushes old (just crossed into the window), leaving is the group
-// that is now hi+1 pushes old (just crossed out).
+// that is now hi+1 pushes old (just crossed out). Rotation amounts are
+// precomputed at construction; the final mask keeps comp in range.
 func (f *foldedInterval) push(entering, leaving uint16) {
-	f.comp = f.rotl(f.comp, f.k)
-	f.comp ^= uint32(entering) & ((1 << f.k) - 1)
-	f.comp ^= f.rotl(uint32(leaving)&((1<<f.k)-1), f.outRot)
-	f.comp &= f.mask
+	c := f.comp
+	if f.inRot != 0 {
+		c = (c << f.inRot) | (c >> f.wmIn)
+	}
+	c ^= uint32(entering) & f.kMask
+	l := uint32(leaving) & f.kMask
+	if f.outRot != 0 {
+		l = (l << f.outRot) | (l >> f.wmOut)
+	}
+	f.comp = (c ^ l) & f.mask
 }
 
 // value returns the current W-bit fold.
@@ -99,11 +107,13 @@ func (f *foldedInterval) value() uint32 { return f.comp }
 // (PHIST, §IV-A item 2: bits two through four of each branch address)
 // streams with a set of per-table folded intervals.
 type GlobalHistory struct {
-	ghist *historyRing
-	phist *historyRing
+	ghist historyRing
+	phist historyRing
 
-	gFolds []*foldedInterval
-	pFolds []*foldedInterval
+	// Folds are stored flat (one entry per table, zero value = no fold)
+	// so the per-branch push loop walks contiguous memory.
+	gFolds []foldedInterval
+	pFolds []foldedInterval
 }
 
 // Interval is one table's history window: it hashes GHIST groups
@@ -126,11 +136,11 @@ func NewGlobalHistory(indexBits uint, intervals []Interval) *GlobalHistory {
 		}
 	}
 	g := &GlobalHistory{
-		ghist: newHistoryRing(maxG + 2),
-		phist: newHistoryRing(maxP + 2),
+		ghist: *newHistoryRing(maxG + 2),
+		phist: *newHistoryRing(maxP + 2),
 	}
 	for _, iv := range intervals {
-		var gf, pf *foldedInterval
+		var gf, pf foldedInterval
 		if iv.GHi > iv.GLo {
 			gf = newFoldedInterval(indexBits, 1, iv.GLo, iv.GHi)
 		}
@@ -152,53 +162,72 @@ func (g *GlobalHistory) PushOutcome(taken bool) {
 	// Update folds before the ring advances: after this push, the group
 	// entering table t's window (gLo, gHi] is the one currently gLo
 	// pushes old (it becomes gLo+1 old); the leaving group is currently
-	// gHi old.
-	for _, f := range g.gFolds {
-		if f == nil {
+	// gHi old. The ring is sized past every window at construction, so
+	// the at() lookups reduce to a masked index once pos covers them.
+	vals := g.ghist.vals
+	mask := len(vals) - 1
+	pos := g.ghist.pos
+	for i := range g.gFolds {
+		f := &g.gFolds[i]
+		if f.mask == 0 {
 			continue
 		}
-		var entering uint16
-		if f.lo == 0 {
-			entering = b
-		} else {
-			entering = g.ghist.at(f.lo)
+		entering := b
+		if lo := int(f.lo); lo != 0 {
+			entering = 0
+			if lo <= pos {
+				entering = vals[(pos-lo)&mask]
+			}
 		}
-		leaving := g.ghist.at(f.hi)
+		var leaving uint16
+		if hi := int(f.hi); hi <= pos {
+			leaving = vals[(pos-hi)&mask]
+		}
 		f.push(entering, leaving)
 	}
-	g.ghist.push(b)
+	vals[pos&mask] = b
+	g.ghist.pos = pos + 1
 }
 
 // PushPath records a branch's path chunk (address bits 2..4, §IV-A) into
 // PHIST. The paper pushes path history for branches encountered.
 func (g *GlobalHistory) PushPath(pc uint64) {
 	chunk := uint16((pc >> 2) & 0x7)
-	for _, f := range g.pFolds {
-		if f == nil {
+	vals := g.phist.vals
+	mask := len(vals) - 1
+	pos := g.phist.pos
+	for i := range g.pFolds {
+		f := &g.pFolds[i]
+		if f.mask == 0 {
 			continue
 		}
-		var entering uint16
-		if f.lo == 0 {
-			entering = chunk
-		} else {
-			entering = g.phist.at(f.lo)
+		entering := chunk
+		if lo := int(f.lo); lo != 0 {
+			entering = 0
+			if lo <= pos {
+				entering = vals[(pos-lo)&mask]
+			}
 		}
-		leaving := g.phist.at(f.hi)
+		var leaving uint16
+		if hi := int(f.hi); hi <= pos {
+			leaving = vals[(pos-hi)&mask]
+		}
 		f.push(entering, leaving)
 	}
-	g.phist.push(chunk)
+	vals[pos&mask] = chunk
+	g.phist.pos = pos + 1
 }
 
 // TableHash returns the folded GHIST^PHIST contribution for table t.
 func (g *GlobalHistory) TableHash(t int) uint32 {
 	var v uint32
-	if f := g.gFolds[t]; f != nil {
-		v ^= f.value()
+	if f := &g.gFolds[t]; f.mask != 0 {
+		v ^= f.comp
 	}
-	if f := g.pFolds[t]; f != nil {
+	if f := &g.pFolds[t]; f.mask != 0 {
 		// Decorrelate the path fold from the outcome fold so tables
 		// whose intervals coincide don't cancel.
-		v ^= bits.RotateLeft32(f.value(), 7) & f.mask
+		v ^= bits.RotateLeft32(f.comp, 7) & f.mask
 	}
 	return v
 }

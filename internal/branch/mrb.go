@@ -17,12 +17,17 @@ type MRB struct {
 	// mispredict we capture the next SeqLen basic-block start addresses
 	// actually executed.
 	pendingKey  uint64
-	pendingSeq  []uint64
+	pendingSeq  [mrbSeqLen]uint64
+	pendingN    int
 	pendingLive bool
 
 	// active tracks an in-flight replay: addresses the MRB supplied
-	// that remain to be verified against the actual path.
-	activeSeq  []uint64
+	// that remain to be verified against the actual path. activePos is
+	// the cursor into the fixed buffer; a slice would lose front
+	// capacity on each replayed block and reallocate per mispredict.
+	activeSeq  [mrbSeqLen]uint64
+	activeN    int
+	activePos  int
 	activeLive bool
 }
 
@@ -66,12 +71,14 @@ func (m *MRB) OnMispredict(pc uint64, taken bool) int {
 	k := m.key(pc, taken)
 	// Arm recording of the actual upcoming path.
 	m.pendingKey = k
-	m.pendingSeq = m.pendingSeq[:0]
+	m.pendingN = 0
 	m.pendingLive = true
 
 	e := &m.entries[m.idx(k)]
 	if e.valid && e.key == k && e.conf > 0 && e.n > 0 {
-		m.activeSeq = append(m.activeSeq[:0], e.seq[:e.n]...)
+		m.activeSeq = e.seq
+		m.activeN = e.n
+		m.activePos = 0
 		m.activeLive = true
 		return e.n
 	}
@@ -85,19 +92,20 @@ func (m *MRB) OnMispredict(pc uint64, taken bool) int {
 // branch-prediction delay for this block is hidden).
 func (m *MRB) OnBlockStart(addr uint64) bool {
 	hit := false
-	if m.activeLive && len(m.activeSeq) > 0 {
-		if m.activeSeq[0] == addr {
+	if m.activeLive && m.activePos < m.activeN {
+		if m.activeSeq[m.activePos] == addr {
 			hit = true
-			m.activeSeq = m.activeSeq[1:]
+			m.activePos++
 		} else {
 			// Verification failed: squash the remaining replay.
 			m.activeLive = false
-			m.activeSeq = m.activeSeq[:0]
+			m.activePos = m.activeN
 		}
 	}
 	if m.pendingLive {
-		m.pendingSeq = append(m.pendingSeq, addr)
-		if len(m.pendingSeq) >= mrbSeqLen {
+		m.pendingSeq[m.pendingN] = addr
+		m.pendingN++
+		if m.pendingN >= mrbSeqLen {
 			m.commit()
 		}
 	}
@@ -108,9 +116,9 @@ func (m *MRB) OnBlockStart(addr uint64) bool {
 // hysteresis: a sequence must repeat to gain confidence.
 func (m *MRB) commit() {
 	e := &m.entries[m.idx(m.pendingKey)]
-	same := e.valid && e.key == m.pendingKey && e.n == len(m.pendingSeq)
+	same := e.valid && e.key == m.pendingKey && e.n == m.pendingN
 	if same {
-		for i := range m.pendingSeq {
+		for i := 0; i < m.pendingN; i++ {
 			if e.seq[i] != m.pendingSeq[i] {
 				same = false
 				break
@@ -123,7 +131,7 @@ func (m *MRB) commit() {
 		}
 	} else {
 		ne := mrbEntry{key: m.pendingKey, valid: true, conf: 1}
-		ne.n = copy(ne.seq[:], m.pendingSeq)
+		ne.n = copy(ne.seq[:], m.pendingSeq[:m.pendingN])
 		if e.valid && e.key == m.pendingKey {
 			// Replacing the sequence of an existing key: start at
 			// zero confidence so an unstable path does not replay.
@@ -132,7 +140,7 @@ func (m *MRB) commit() {
 		*e = ne
 	}
 	m.pendingLive = false
-	m.pendingSeq = m.pendingSeq[:0]
+	m.pendingN = 0
 }
 
 // StorageBits: key tag (~24b) + 3 addresses (~32b each) + conf.

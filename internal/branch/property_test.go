@@ -19,11 +19,9 @@ func TestSHPWeightsBounded(t *testing.T) {
 		s.Predict(pc)
 		s.Train(pc, taken)
 		s.OnBranch(pc, true, taken)
-		for _, tab := range s.weights {
-			for _, w := range tab {
-				if int(w) > cfg.WeightMax || int(w) < -cfg.WeightMax {
-					return false
-				}
+		for _, w := range s.weights {
+			if int(w) > cfg.WeightMax || int(w) < -cfg.WeightMax {
+				return false
 			}
 		}
 		for _, be := range s.bias {
@@ -46,8 +44,8 @@ func TestVPCChainInvariants(t *testing.T) {
 		tgt := uint64(0x8000 + int(tgtSel)*64)
 		p := v.Predict(pc)
 		v.Train(pc, tgt, p)
-		c := v.chains[pc]
-		if len(c.targets) > v.cfg.MaxChain {
+		c := v.chains.Peek(pc)
+		if c == nil || c.n > v.cfg.MaxChain {
 			return false
 		}
 		return v.load(c.targets[0]) == tgt
@@ -132,9 +130,9 @@ func TestFoldedWidthBounded(t *testing.T) {
 		if f.lo == 0 {
 			entering = v
 		} else {
-			entering = ring.at(f.lo)
+			entering = ring.at(int(f.lo))
 		}
-		f.push(entering, ring.at(f.hi))
+		f.push(entering, ring.at(int(f.hi)))
 		ring.push(v)
 		return f.value() < 1<<11
 	}, &quick.Config{MaxCount: 5000}); err != nil {

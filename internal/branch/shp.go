@@ -82,7 +82,7 @@ type biasEntry struct {
 type SHP struct {
 	cfg       SHPConfig
 	hist      *GlobalHistory
-	weights   [][]int8
+	weights   []int8 // cfg.Tables x cfg.Rows, flattened row-major
 	bias      []biasEntry
 	indexBits uint
 	rowMask   uint32
@@ -118,12 +118,9 @@ func NewSHP(cfg SHPConfig) *SHP {
 		indexBits: bitsFor(cfg.Rows),
 		rowMask:   uint32(cfg.Rows - 1),
 		biasMask:  uint32(cfg.BiasEntries - 1),
-		weights:   make([][]int8, cfg.Tables),
+		weights:   make([]int8, cfg.Tables*cfg.Rows),
 		bias:      make([]biasEntry, cfg.BiasEntries),
 		lastIdx:   make([]uint32, cfg.Tables),
-	}
-	for t := range s.weights {
-		s.weights[t] = make([]int8, cfg.Rows)
 	}
 	s.hist = NewGlobalHistory(s.indexBits, GeometricIntervals(cfg.Tables, cfg.GHISTLen, cfg.PHISTLen))
 	if cfg.InitialTheta > 0 {
@@ -161,7 +158,7 @@ func (s *SHP) Predict(pc uint64) Prediction {
 	for t := 0; t < s.cfg.Tables; t++ {
 		idx := (s.hist.TableHash(t) ^ s.pcHash(pc, t)) & s.rowMask
 		s.lastIdx[t] = idx
-		sum += int(s.weights[t][idx])
+		sum += int(s.weights[t*s.cfg.Rows+int(idx)])
 	}
 	s.lastPC, s.lastSum, s.lastValid = pc, sum, true
 	abs := sum
@@ -249,7 +246,7 @@ func (s *SHP) Train(pc uint64, taken bool) {
 		return
 	}
 	for t := 0; t < s.cfg.Tables; t++ {
-		w := &s.weights[t][s.lastIdx[t]]
+		w := &s.weights[t*s.cfg.Rows+int(s.lastIdx[t])]
 		*w = satAdd8(*w, taken, s.cfg.WeightMax)
 	}
 }

@@ -183,11 +183,9 @@ func TestAlwaysTakenFilterKeepsWeightsClean(t *testing.T) {
 		s.OnBranch(0x700, true, true)
 	}
 	sum := 0
-	for _, tab := range s.weights {
-		for _, w := range tab {
-			if w != 0 {
-				sum++
-			}
+	for _, w := range s.weights {
+		if w != 0 {
+			sum++
 		}
 	}
 	if sum != 0 {
@@ -200,11 +198,9 @@ func TestAlwaysTakenFilterKeepsWeightsClean(t *testing.T) {
 	s.Predict(0x700)
 	s.Train(0x700, false)
 	dirty := 0
-	for _, tab := range s.weights {
-		for _, w := range tab {
-			if w != 0 {
-				dirty++
-			}
+	for _, w := range s.weights {
+		if w != 0 {
+			dirty++
 		}
 	}
 	if dirty == 0 {

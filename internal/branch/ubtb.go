@@ -2,7 +2,7 @@ package branch
 
 import (
 	"exysim/internal/isa"
-	"exysim/internal/rng"
+	"exysim/internal/satable"
 )
 
 // UBTB is the micro-BTB (§IV-B): a small graph-based predictor that
@@ -16,14 +16,15 @@ import (
 // capacity-limited edge learning, a seed/confirmation filter, lock with
 // zero bubbles, unlock + cooldown on mispredict (after a mispredict the
 // μBTB is disabled until the next seed, §IV-E Fig. 6 note).
+//
+// Nodes live in fixed set-associative arrays: a main graph that may hold
+// any branch, plus — from M3 — a second array whose entries hold only
+// unconditional branches, the paper's cheap size doubling (§IV-C).
 type UBTB struct {
-	nodes    map[uint64]*ubtbNode
-	capacity int
-	// uncondOnly reserves a fraction of capacity for entries that may
-	// hold only unconditional branches — M3's cheap size doubling
-	// (§IV-C).
-	uncondCap int
-	uncondCnt int
+	nodes  *satable.Table[ubtbNode]
+	uncond *satable.Table[ubtbNode] // nil before M3
+
+	capacity int // total nodes, for storage accounting
 
 	lhp *LHP
 
@@ -35,18 +36,13 @@ type UBTB struct {
 	locked    bool
 	cooldown  int
 	cooldownN int
-
-	tick uint64
 }
 
 type ubtbNode struct {
-	pc       uint64
 	kind     isa.BranchKind
 	takenTgt uint64
 	hasTaken bool
 	hasNT    bool
-	uncond   bool
-	lru      uint64
 }
 
 // UBTBConfig sizes the micro-BTB.
@@ -72,29 +68,61 @@ func DefaultUBTBConfig() UBTBConfig {
 
 // NewUBTB builds the predictor.
 func NewUBTB(cfg UBTBConfig) *UBTB {
-	return &UBTB{
-		nodes:     make(map[uint64]*ubtbNode, cfg.Nodes+cfg.UncondNodes),
+	u := &UBTB{
 		capacity:  cfg.Nodes + cfg.UncondNodes,
-		uncondCap: cfg.UncondNodes,
 		lhp:       NewLHP(cfg.LHPTables, cfg.LHPRows, cfg.LHPHists, cfg.LHPBits),
 		window:    cfg.Window,
 		cooldownN: cfg.Cooldown,
 	}
+	if cfg.Nodes > 0 {
+		sets, ways := satable.Geometry(cfg.Nodes, 4)
+		u.nodes = satable.New[ubtbNode](sets, ways)
+	}
+	if cfg.UncondNodes > 0 {
+		us, uw := satable.Geometry(cfg.UncondNodes, 4)
+		u.uncond = satable.New[ubtbNode](us, uw)
+	}
+	return u
 }
 
 // Locked reports whether the μBTB currently drives the pipe.
 func (u *UBTB) Locked() bool { return u.locked }
 
+// Size returns the current node count across both arrays (tests).
+func (u *UBTB) Size() int {
+	n := 0
+	if u.nodes != nil {
+		n = u.nodes.Len()
+	}
+	if u.uncond != nil {
+		n += u.uncond.Len()
+	}
+	return n
+}
+
+func (u *UBTB) find(pc uint64) *ubtbNode {
+	if u.nodes != nil {
+		if n := u.nodes.Lookup(pc); n != nil {
+			return n
+		}
+	}
+	if u.uncond != nil {
+		return u.uncond.Lookup(pc)
+	}
+	return nil
+}
+
 // Predict consults the graph for the branch at pc. It returns whether
 // the μBTB covers this branch (hit), and if so the predicted direction
 // and target. Zero-bubble delivery applies only while locked.
 func (u *UBTB) Predict(pc uint64) (hit bool, taken bool, target uint64) {
-	n, ok := u.nodes[pc]
-	if !ok || u.cooldown > 0 {
+	if u.cooldown > 0 {
 		return false, false, 0
 	}
-	u.tick++
-	n.lru = u.tick
+	n := u.find(pc)
+	if n == nil {
+		return false, false, 0
+	}
 	switch {
 	case n.kind == isa.BranchCond && n.hasTaken && n.hasNT:
 		// Difficult node: consult the LHP.
@@ -117,7 +145,8 @@ func (u *UBTB) Train(in *isa.Inst, correct bool) {
 	if u.cooldown > 0 {
 		u.cooldown--
 	}
-	n, ok := u.nodes[in.PC]
+	n := u.find(in.PC)
+	ok := n != nil
 	if !ok {
 		n = u.alloc(in)
 	}
@@ -151,49 +180,27 @@ func (u *UBTB) Train(in *isa.Inst, correct bool) {
 	}
 }
 
-// alloc admits a branch into the graph, evicting LRU; unconditional
-// branches prefer the unconditional-only pool (M3, §IV-C).
+// alloc admits a branch into the graph, evicting within the indexed set;
+// unconditional branches prefer the unconditional-only array (M3,
+// §IV-C). Displacing a learned node breaks any resident-kernel lock.
 func (u *UBTB) alloc(in *isa.Inst) *ubtbNode {
-	uncond := in.Branch.IsUnconditional()
-	if len(u.nodes) >= u.capacity {
-		// Evict the LRU node, respecting the unconditional-only pool:
-		// if the newcomer is conditional it cannot displace into
-		// unconditional-only space when that is all that's left.
-		var victim *ubtbNode
-		for _, n := range u.nodes {
-			if victim == nil || n.lru < victim.lru {
-				victim = n
-			}
-		}
-		if victim == nil {
-			return nil
-		}
-		if !uncond && victim.uncond && u.condCount() >= u.capacity-u.uncondCap {
-			return nil // conditional pool full; do not thrash
-		}
-		if victim.uncond {
-			u.uncondCnt--
-		}
-		delete(u.nodes, victim.pc)
+	tbl := u.nodes
+	if u.uncond != nil && in.Branch.IsUnconditional() {
+		tbl = u.uncond
+	}
+	if tbl == nil {
+		return nil
+	}
+	n, _, ev := tbl.Insert(in.PC)
+	if ev.OK {
 		u.locked = false
 	}
-	n := &ubtbNode{pc: in.PC, kind: in.Branch}
-	if uncond && u.uncondCnt < u.uncondCap {
-		n.uncond = true
-		u.uncondCnt++
-	}
-	u.tick++
-	n.lru = u.tick
-	u.nodes[in.PC] = n
+	n.kind = in.Branch
 	return n
 }
-
-func (u *UBTB) condCount() int { return len(u.nodes) - u.uncondCnt }
 
 // StorageBits approximates the structure cost: per node a tag (~20b),
 // target (~32b), kind/flags (~6b), plus the LHP.
 func (u *UBTB) StorageBits() int {
 	return u.capacity*(20+32+6) + u.lhp.StorageBits()
 }
-
-var _ = rng.Mix64 // hashing reserved for future set-assoc variant

@@ -1,6 +1,9 @@
 package branch
 
-import "exysim/internal/rng"
+import (
+	"exysim/internal/rng"
+	"exysim/internal/satable"
+)
 
 // Indirect-branch prediction (§IV-A Fig. 3, §IV-F Fig. 8).
 //
@@ -33,6 +36,11 @@ type VPCConfig struct {
 	// hash index (§IV-F: the standard SHP hash did not perform well; a
 	// hash based on the history of recent indirect targets is used).
 	TargetHistLen int
+	// ChainSets/ChainWays size the set-associative chain table (the
+	// chains conceptually live in the vBTB; the table bounds how many
+	// indirect branches hold live chains at once). Zero selects the
+	// 64x4 default.
+	ChainSets, ChainWays int
 }
 
 // M1VPCConfig is the first-generation pure-VPC arrangement.
@@ -45,9 +53,13 @@ func M6VPCConfig() VPCConfig {
 	return VPCConfig{MaxChain: 16, WalkLimit: 5, HashEntries: 2048, HashTagBits: 10, HashLatency: 3, TargetHistLen: 2}
 }
 
+// vpcChainCap bounds per-chain target storage; MaxChain must fit.
+const vpcChainCap = 16
+
 type vpcChain struct {
-	targets []uint64 // stored (possibly encrypted) targets, MRU-ordered
-	tgtHist uint64   // folded history of this branch's recent targets
+	targets [vpcChainCap]uint64 // stored (possibly encrypted) targets, MRU-ordered
+	n       int
+	tgtHist uint64 // folded history of this branch's recent targets
 }
 
 type indHashEntry struct {
@@ -61,7 +73,7 @@ type indHashEntry struct {
 // front end.
 type VPC struct {
 	cfg    VPCConfig
-	chains map[uint64]*vpcChain
+	chains *satable.Table[vpcChain]
 	shp    *SHP
 
 	hash     []indHashEntry
@@ -77,7 +89,13 @@ func NewVPC(cfg VPCConfig, shp *SHP) *VPC {
 	if cfg.WalkLimit <= 0 || cfg.WalkLimit > cfg.MaxChain {
 		cfg.WalkLimit = cfg.MaxChain
 	}
-	v := &VPC{cfg: cfg, chains: make(map[uint64]*vpcChain), shp: shp}
+	if cfg.MaxChain > vpcChainCap {
+		panic("branch: VPC MaxChain exceeds fixed chain storage")
+	}
+	if cfg.ChainSets <= 0 {
+		cfg.ChainSets, cfg.ChainWays = 64, 4
+	}
+	v := &VPC{cfg: cfg, chains: satable.New[vpcChain](cfg.ChainSets, cfg.ChainWays), shp: shp}
 	if cfg.HashEntries > 0 {
 		if cfg.HashEntries&(cfg.HashEntries-1) != 0 {
 			panic("branch: indirect hash entries must be a power of two")
@@ -145,7 +163,7 @@ type IndPrediction struct {
 // Predict runs the (limited) VPC walk and, if enabled, the parallel hash
 // lookup (Fig. 8).
 func (v *VPC) Predict(pc uint64) IndPrediction {
-	chain := v.chains[pc]
+	chain := v.chains.Lookup(pc)
 	var hashTgt uint64
 	hashHit := false
 	if v.hash != nil {
@@ -155,7 +173,7 @@ func (v *VPC) Predict(pc uint64) IndPrediction {
 		}
 	}
 	if chain != nil {
-		limit := len(chain.targets)
+		limit := chain.n
 		fullyWalked := limit <= v.cfg.WalkLimit
 		if limit > v.cfg.WalkLimit {
 			limit = v.cfg.WalkLimit
@@ -193,15 +211,14 @@ func (v *VPC) Predict(pc uint64) IndPrediction {
 // were consulted, pushing their outcomes into global history, and
 // updating the hash table and target history.
 func (v *VPC) Train(pc, target uint64, pred IndPrediction) {
-	chain := v.chains[pc]
+	chain := v.chains.Lookup(pc)
 	if chain == nil {
-		chain = &vpcChain{}
-		v.chains[pc] = chain
+		chain, _, _ = v.chains.Insert(pc)
 	}
 	// Locate the target in the chain.
 	pos := -1
-	for i, t := range chain.targets {
-		if v.load(t) == target {
+	for i := 0; i < chain.n; i++ {
+		if v.load(chain.targets[i]) == target {
 			pos = i
 			break
 		}
@@ -214,9 +231,9 @@ func (v *VPC) Train(pc, target uint64, pred IndPrediction) {
 	if v.shp != nil {
 		limit := pos
 		if limit < 0 || limit > v.cfg.WalkLimit {
-			limit = min(len(chain.targets), v.cfg.WalkLimit)
+			limit = min(chain.n, v.cfg.WalkLimit)
 		}
-		for i := 0; i <= limit && i < len(chain.targets); i++ {
+		for i := 0; i <= limit && i < chain.n; i++ {
 			vpc := virtualPC(pc, i)
 			taken := i == pos
 			v.shp.Predict(vpc)
@@ -234,10 +251,12 @@ func (v *VPC) Train(pc, target uint64, pred IndPrediction) {
 		chain.targets[0] = t
 	default:
 		// New target: insert at MRU, evicting the LRU tail at capacity.
-		if len(chain.targets) >= v.cfg.MaxChain {
-			chain.targets = chain.targets[:v.cfg.MaxChain-1]
+		if chain.n >= v.cfg.MaxChain {
+			chain.n = v.cfg.MaxChain - 1
 		}
-		chain.targets = append([]uint64{v.store(target)}, chain.targets...)
+		copy(chain.targets[1:chain.n+1], chain.targets[:chain.n])
+		chain.targets[0] = v.store(target)
+		chain.n++
 	}
 	if v.hash != nil {
 		idx, tag := v.hashIndex(pc, chain)
@@ -252,8 +271,8 @@ func (v *VPC) Train(pc, target uint64, pred IndPrediction) {
 
 // ChainLen reports the learned target count for pc (vBTB occupancy).
 func (v *VPC) ChainLen(pc uint64) int {
-	if c := v.chains[pc]; c != nil {
-		return len(c.targets)
+	if c := v.chains.Peek(pc); c != nil {
+		return c.n
 	}
 	return 0
 }

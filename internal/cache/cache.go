@@ -31,11 +31,6 @@ type Line struct {
 	Valid bool
 	Dirty bool
 
-	// ReadyAt is the cycle the data actually arrives; a demand hit on
-	// an in-flight (prefetched) line waits out the remainder. This is
-	// how prefetch timeliness is modelled.
-	ReadyAt uint64
-
 	// Prefetched marks lines brought in by a prefetcher and not yet
 	// demanded; DemandHit marks a prefetched line that was used. The
 	// standalone prefetcher's high-confidence mode tracks accuracy with
@@ -112,8 +107,12 @@ type Cache struct {
 	ways     int
 	lineLog  uint
 	tagShift uint // lineLog + SectorLog2: address bits above tag granule
-	lines    [][]entry
-	tick     uint64
+	// lines is a flat sets*ways array; set s occupies [s*ways, (s+1)*ways).
+	lines []entry
+	// tags shadows lines' (Tag, Valid) as tag<<1|valid so the hit scan
+	// walks one packed word per way instead of a whole entry.
+	tags []uint64
+	tick uint64
 
 	// portBusyUntil models fill bandwidth (Config.BytesPerCycle).
 	portBusyUntil uint64
@@ -148,18 +147,15 @@ func New(cfg Config) *Cache {
 		p *= 2
 	}
 	sets = p
-	c := &Cache{
+	return &Cache{
 		cfg:      cfg,
 		sets:     sets,
 		ways:     cfg.Ways,
 		lineLog:  6,
 		tagShift: 6 + cfg.SectorLog2,
-		lines:    make([][]entry, sets),
+		lines:    make([]entry, sets*cfg.Ways),
+		tags:     make([]uint64, sets*cfg.Ways),
 	}
-	for i := range c.lines {
-		c.lines[i] = make([]entry, cfg.Ways)
-	}
-	return c
 }
 
 // Config returns the cache's configuration.
@@ -198,10 +194,11 @@ func (c *Cache) index(addr uint64) (set int, tag uint64, sub uint) {
 
 func (c *Cache) find(addr uint64) (*entry, uint) {
 	set, tag, sub := c.index(addr)
-	for w := range c.lines[set] {
-		e := &c.lines[set][w]
-		if e.Valid && e.Tag == tag {
-			return e, sub
+	base := set * c.ways
+	want := tag<<1 | 1
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == want {
+			return &c.lines[base+w], sub
 		}
 	}
 	return nil, sub
@@ -291,11 +288,13 @@ func (c *Cache) PortDelay(now uint64) int {
 func (c *Cache) Fill(addr uint64, now, readyAt uint64, origin uint8, prio InsertPriority) Victim {
 	prefetch := origin != OriginDemand
 	set, tag, sub := c.index(addr)
+	base := set * c.ways
 	c.tick++
 	// Sector hit: another line under the same tag.
-	for w := range c.lines[set] {
-		e := &c.lines[set][w]
-		if e.Valid && e.Tag == tag {
+	want := tag<<1 | 1
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == want {
+			e := &c.lines[base+w]
 			e.present |= 1 << sub
 			e.ready[sub] = readyAt
 			if prefetch {
@@ -308,15 +307,16 @@ func (c *Cache) Fill(addr uint64, now, readyAt uint64, origin uint8, prio Insert
 		}
 	}
 	// Choose a victim way: invalid first, else LRU.
-	victim := &c.lines[set][0]
-	for w := range c.lines[set] {
-		e := &c.lines[set][w]
+	vw := 0
+	victim := &c.lines[base]
+	for w := 0; w < c.ways; w++ {
+		e := &c.lines[base+w]
 		if !e.Valid {
-			victim = e
+			vw, victim = w, e
 			break
 		}
 		if e.lru < victim.lru {
-			victim = e
+			vw, victim = w, e
 		}
 	}
 	var out Victim
@@ -335,13 +335,13 @@ func (c *Cache) Fill(addr uint64, now, readyAt uint64, origin uint8, prio Insert
 		Line: Line{
 			Tag:        tag,
 			Valid:      true,
-			ReadyAt:    readyAt,
 			Prefetched: prefetch,
 			Origin:     origin,
 		},
 		present: 1 << sub,
 	}
 	victim.ready[sub] = readyAt
+	c.tags[base+vw] = tag<<1 | 1
 	switch prio {
 	case InsertElevated:
 		victim.lru = c.tick
@@ -349,8 +349,8 @@ func (c *Cache) Fill(addr uint64, now, readyAt uint64, origin uint8, prio Insert
 		// Ordinary: insert strictly below the set's current LRU so an
 		// untouched line is the next victim.
 		oldest := c.tick
-		for w := range c.lines[set] {
-			if e := &c.lines[set][w]; e.Valid && e != victim && e.lru < oldest {
+		for w := 0; w < c.ways; w++ {
+			if e := &c.lines[base+w]; e.Valid && e != victim && e.lru < oldest {
 				oldest = e.lru
 			}
 		}
@@ -377,16 +377,26 @@ func (c *Cache) Touch(addr uint64, dirty bool) {
 // Invalidate removes addr's line (used by the exclusive L3 when a line
 // moves back up, §VIII-A). It returns the line's metadata.
 func (c *Cache) Invalidate(addr uint64) *Line {
-	e, sub := c.find(addr)
-	if e == nil || e.present&(1<<sub) == 0 {
-		return nil
+	set, tag, sub := c.index(addr)
+	base := set * c.ways
+	want := tag<<1 | 1
+	for w, t := range c.tags[base : base+c.ways] {
+		if t != want {
+			continue
+		}
+		e := &c.lines[base+w]
+		if e.present&(1<<sub) == 0 {
+			return nil
+		}
+		cp := e.Line
+		e.present &^= 1 << sub
+		if e.present == 0 {
+			e.Valid = false
+			c.tags[base+w] = 0
+		}
+		return &cp
 	}
-	cp := e.Line
-	e.present &^= 1 << sub
-	if e.present == 0 {
-		e.Valid = false
-	}
-	return &cp
+	return nil
 }
 
 // SetRealloc marks a line as re-allocated from the outer level.

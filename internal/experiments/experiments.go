@@ -68,12 +68,15 @@ func RunPopulationProgress(spec workload.SuiteSpec, prog *obs.Progress) *Populat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker drives one private cursor struct, reused across
+			// jobs. The clone shares the slice's read-only Insts backing
+			// array — only the cursor position is per-worker state, so
+			// workers stay independent without copying instructions.
+			var cursor trace.Slice
 			for j := range jobs {
-				// Each worker needs its own copy of the slice cursor;
-				// regenerate the slice to keep workers independent.
 				sl := p.Slices[j.s]
-				clone := &trace.Slice{Name: sl.Name, Suite: sl.Suite, Warmup: sl.Warmup, Insts: sl.Insts}
-				r := core.RunSlice(gens[j.g], clone)
+				cursor = trace.Slice{Name: sl.Name, Suite: sl.Suite, Warmup: sl.Warmup, Insts: sl.Insts}
+				r := core.RunSlice(gens[j.g], &cursor)
 				p.Results[j.g][j.s] = r
 				prog.Step(r.Insts)
 			}

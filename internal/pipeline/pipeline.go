@@ -94,8 +94,11 @@ type Core struct {
 	memsy  *mem.System
 	ucache *uoc.UOC
 
-	// Execution-unit next-free cycles, per kind.
-	units [numUnitKinds][]uint64
+	// Execution-unit next-free cycles: one flat pool over all kinds,
+	// with per-class index lists precomputed from classUnits so the
+	// scheduler scans exactly the units that can serve each class.
+	unitPool  []uint64
+	classIdxs [isa.NumClasses][]int32
 
 	// Architectural register scoreboard: completion cycle and producer
 	// class of the last writer.
@@ -147,8 +150,19 @@ type Core struct {
 // New builds a core from its three subsystem configurations.
 func New(cfg Config, front *branch.Frontend, m *mem.System) *Core {
 	c := &Core{cfg: cfg, front: front, memsy: m}
+	var kindBase [numUnitKinds]int32
+	total := 0
 	for k := UnitKind(0); k < numUnitKinds; k++ {
-		c.units[k] = make([]uint64, cfg.Units[k])
+		kindBase[k] = int32(total)
+		total += cfg.Units[k]
+	}
+	c.unitPool = make([]uint64, total)
+	for cls := range classUnits {
+		for _, k := range classUnits[cls] {
+			for i := 0; i < cfg.Units[k]; i++ {
+				c.classIdxs[cls] = append(c.classIdxs[cls], kindBase[k]+int32(i))
+			}
+		}
 	}
 	c.retireRing = make([]uint64, cfg.ROB)
 	if n := cfg.IntPRF - isa.NumArchRegs; n > 0 {
@@ -234,31 +248,37 @@ func (c *Core) ResetStats() {
 // earliestUnit schedules on the earliest-free unit among kinds, not
 // before lb, and returns the issue cycle. occupy is how long the unit
 // stays busy (1 for pipelined ops).
-func (c *Core) earliestUnit(kinds []UnitKind, lb uint64, occupy uint64) uint64 {
-	var best *uint64
+func (c *Core) earliestUnit(cls isa.Class, lb uint64, occupy uint64) uint64 {
+	best := -1
 	bestAt := ^uint64(0)
-	for _, k := range kinds {
-		for i := range c.units[k] {
-			at := c.units[k][i]
-			if at < lb {
-				at = lb
-			}
-			if at < bestAt {
-				bestAt = at
-				best = &c.units[k][i]
+	for _, i := range c.classIdxs[cls] {
+		at := c.unitPool[i]
+		if at < lb {
+			at = lb
+		}
+		if at < bestAt {
+			bestAt = at
+			best = int(i)
+			if at == lb {
+				// Nothing can issue before the lower bound, and under
+				// the strict-< tie-break the first unit reaching it
+				// wins either way.
+				break
 			}
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		// No unit of this kind on this generation (should not happen
 		// with well-formed configs): issue unconstrained.
 		return lb
 	}
-	*best = bestAt + occupy
+	c.unitPool[best] = bestAt + occupy
 	return bestAt
 }
 
-var classUnits = map[isa.Class][]UnitKind{
+// classUnits maps each instruction class to the unit kinds that can
+// serve it, indexed directly by isa.Class (hot-path lookup, no map).
+var classUnits = [isa.NumClasses][]UnitKind{
 	isa.ALUSimple:  {UnitS, UnitC, UnitCD},
 	isa.Move:       {UnitS, UnitC, UnitCD},
 	isa.ALUComplex: {UnitC, UnitCD},
@@ -407,19 +427,19 @@ func (c *Core) Step(in *isa.Inst) {
 			done = renameAt
 		}
 	case in.Class == isa.Load:
-		issue := c.earliestUnit(classUnits[isa.Load], lb, 1)
+		issue := c.earliestUnit(isa.Load, lb, 1)
 		cascade := in.Src1 != isa.RegNone && int(in.Src1) < isa.NumArchRegs && c.intProducerLoad[in.Src1]
 		lat := c.memsy.Load(in.PC, in.Addr, issue, cascade)
 		done = issue + uint64(lat)
 	case in.Class == isa.Store:
-		issue := c.earliestUnit(classUnits[isa.Store], lb, 1)
+		issue := c.earliestUnit(isa.Store, lb, 1)
 		c.memsy.Store(in.PC, in.Addr, issue)
 		done = issue + 1 // commits from the store buffer
 	case in.Class == isa.ALUDiv:
-		issue := c.earliestUnit(classUnits[isa.ALUDiv], lb, uint64(cfg.DivOccupancy))
+		issue := c.earliestUnit(isa.ALUDiv, lb, uint64(cfg.DivOccupancy))
 		done = issue + uint64(cfg.LatDiv)
 	default:
-		issue := c.earliestUnit(classUnits[in.Class], lb, 1)
+		issue := c.earliestUnit(in.Class, lb, 1)
 		done = issue + uint64(c.latency(in.Class))
 	}
 	c.writeDst(in, done)

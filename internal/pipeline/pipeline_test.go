@@ -191,7 +191,8 @@ func TestUnitKindCoverage(t *testing.T) {
 	// Every class must map to at least one unit kind present in every
 	// generation (otherwise earliestUnit silently unconstrains).
 	for _, cfg := range Generations() {
-		for cls, kinds := range classUnits {
+		for i, kinds := range classUnits {
+			cls := isa.Class(i)
 			found := false
 			for _, k := range kinds {
 				if cfg.Units[k] > 0 {

@@ -16,6 +16,10 @@ type Buddy struct {
 	issuedTotal uint64
 	usedTotal   uint64
 	suppressed  uint64
+
+	// reqBuf backs the slice returned by OnL2DemandMiss; its contents
+	// are valid until the next call on this engine.
+	reqBuf [1]Request
 }
 
 // BuddyStats reports filter behaviour.
@@ -52,7 +56,8 @@ func (b *Buddy) OnL2DemandMiss(addr uint64) []Request {
 		return nil
 	}
 	b.issuedTotal++
-	return []Request{{Addr: addr ^ 64}}
+	b.reqBuf[0] = Request{Addr: addr ^ 64}
+	return b.reqBuf[:]
 }
 
 // OnBuddyOutcome reports whether a buddy-prefetched line was demanded

@@ -7,6 +7,8 @@
 // two-level adaptive confidence scheme (§VIII-C/D).
 package prefetch
 
+import "exysim/internal/satable"
+
 // Request is one prefetch the engine wants issued.
 type Request struct {
 	// Addr is the line-aligned virtual address to prefetch.
@@ -53,13 +55,25 @@ type MSPStats struct {
 	SkipAheads    uint64
 }
 
+// Fixed per-stream storage bounds; configs must fit inside them so a
+// stream entry is one flat table slot with no per-field heap slices.
+const (
+	mspDeltaCap   = 16
+	mspPatternCap = 8
+	mspExpectCap  = 4
+	mspQueueCap   = 32
+)
+
 type stream struct {
-	pc       uint64
 	lastLine uint64
-	deltas   []int64
-	pattern  []int64 // locked multi-stride pattern (line deltas)
-	patPos   int
-	locked   bool
+
+	deltas  [mspDeltaCap]int64
+	nDeltas int
+
+	pattern [mspPatternCap]int64 // locked multi-stride pattern (line deltas)
+	patLen  int
+	patPos  int
+	locked  bool
 
 	genLine uint64 // next line the generator will prefetch
 	ahead   int    // lines generated beyond last confirmation
@@ -71,53 +85,55 @@ type stream struct {
 	obsPos       int
 
 	degree int
-	confs  int      // confirmations within current window
-	expect []uint64 // integrated confirmation addresses
+	confs  int                  // confirmations within current window
+	expect [mspExpectCap]uint64 // integrated confirmation addresses
+	nExp   int
 
-	queue []uint64 // plain confirmation queue (issued prefetches)
-
-	lru uint64
+	queue  [mspQueueCap]uint64 // plain confirmation queue (issued prefetches)
+	nQueue int
 }
 
 // MultiStride is the L1 stride engine (§VII-A/B/D). It trains on cache
 // misses delivered in program order — the simulator's trace order stands
 // in for the address reorder buffer of [27][28]; a same-line filter
-// dedups entries as the real filter does.
+// dedups entries as the real filter does. Streams live in a fixed
+// set-associative table keyed by load PC.
 type MultiStride struct {
 	cfg     MSPConfig
-	streams map[uint64]*stream
-	tick    uint64
+	streams *satable.Table[stream]
 	stats   MSPStats
 
 	lastTrainLine uint64 // same-line dedup filter
 	haveLast      bool
+
+	// reqBuf is the reused request buffer returned by OnMiss/OnAccess;
+	// its contents are valid until the next call on this engine.
+	reqBuf []Request
 }
 
 // NewMultiStride builds the engine.
 func NewMultiStride(cfg MSPConfig) *MultiStride {
-	return &MultiStride{cfg: cfg, streams: make(map[uint64]*stream, cfg.Streams)}
+	if cfg.DeltaHistory > mspDeltaCap || cfg.MaxPeriod > mspPatternCap || cfg.ConfQueueSize > mspQueueCap {
+		panic("prefetch: MSP config exceeds fixed stream storage")
+	}
+	// The stream table is small enough to be a fully associative CAM in
+	// hardware; one set with Streams ways reproduces its global LRU.
+	return &MultiStride{
+		cfg:     cfg,
+		streams: satable.New[stream](1, cfg.Streams),
+		reqBuf:  make([]Request, 0, cfg.MaxDegree),
+	}
 }
 
 // Stats returns a snapshot.
 func (m *MultiStride) Stats() MSPStats { return m.stats }
 
 func (m *MultiStride) stream(pc uint64) *stream {
-	s, ok := m.streams[pc]
-	if !ok {
-		if len(m.streams) >= m.cfg.Streams {
-			var victim *stream
-			for _, e := range m.streams {
-				if victim == nil || e.lru < victim.lru {
-					victim = e
-				}
-			}
-			delete(m.streams, victim.pc)
-		}
-		s = &stream{pc: pc, degree: m.cfg.MinDegree}
-		m.streams[pc] = s
+	if s := m.streams.Lookup(pc); s != nil {
+		return s
 	}
-	m.tick++
-	s.lru = m.tick
+	s, _, _ := m.streams.Insert(pc)
+	s.degree = m.cfg.MinDegree
 	return s
 }
 
@@ -125,13 +141,14 @@ func (m *MultiStride) stream(pc uint64) *stream {
 // suppression signal that stops SMS training on covered streams
 // (§VII-C).
 func (m *MultiStride) Confirmed(pc uint64) bool {
-	s, ok := m.streams[pc]
-	return ok && s.locked && s.confs > 0
+	s := m.streams.Peek(pc)
+	return s != nil && s.locked && s.confs > 0
 }
 
 // OnMiss trains the engine with a demand miss (the engine trains on
 // cache misses to use load-pipe bandwidth efficiently, §VII-A) and
-// returns the prefetches to issue.
+// returns the prefetches to issue. The returned slice is reused across
+// calls.
 func (m *MultiStride) OnMiss(pc, addr uint64) []Request {
 	line := addr >> 6
 	// Address filter: deallocate duplicate entries to the same line.
@@ -148,10 +165,12 @@ func (m *MultiStride) OnMiss(pc, addr uint64) []Request {
 	if s.lastLine != 0 {
 		d := int64(line - s.lastLine)
 		if d != 0 {
-			s.deltas = append(s.deltas, d)
-			if len(s.deltas) > m.cfg.DeltaHistory {
-				s.deltas = s.deltas[1:]
+			if s.nDeltas == m.cfg.DeltaHistory {
+				copy(s.deltas[:], s.deltas[1:s.nDeltas])
+				s.nDeltas--
 			}
+			s.deltas[s.nDeltas] = d
+			s.nDeltas++
 		}
 	}
 	s.lastLine = line
@@ -164,12 +183,12 @@ func (m *MultiStride) OnMiss(pc, addr uint64) []Request {
 		s.genLine = line
 		s.patPos = 0
 		s.ahead = 0
-		s.expect = nil
+		s.nExp = 0
 	} else if !m.matchesPattern(s, line) {
 		// Pattern broke: drop the lock, decay the degree.
 		s.locked = false
-		s.pattern = nil
-		s.deltas = s.deltas[:0]
+		s.patLen = 0
+		s.nDeltas = 0
 		if s.degree > m.cfg.MinDegree {
 			s.degree /= 2
 			m.stats.DegreeDowns++
@@ -195,8 +214,8 @@ func (m *MultiStride) matchesPattern(s *stream, line uint64) bool {
 	// the previous observed line.
 	cur := s.prevObserved
 	pos := s.obsPos
-	for i := 0; i < 2*len(s.pattern)+2; i++ {
-		cur += uint64(s.pattern[pos%len(s.pattern)])
+	for i := 0; i < 2*s.patLen+2; i++ {
+		cur += uint64(s.pattern[pos%s.patLen])
 		pos++
 		if cur == line {
 			s.prevObserved = cur
@@ -210,7 +229,7 @@ func (m *MultiStride) matchesPattern(s *stream, line uint64) bool {
 // tryLock looks for a repeating multi-stride pattern (period <=
 // MaxPeriod) in the delta history, e.g. +2,+2,+5 (§VII-A).
 func (m *MultiStride) tryLock(s *stream) {
-	n := len(s.deltas)
+	n := s.nDeltas
 	for p := 1; p <= m.cfg.MaxPeriod; p++ {
 		if n < 2*p+1 {
 			continue
@@ -226,7 +245,8 @@ func (m *MultiStride) tryLock(s *stream) {
 			}
 		}
 		if ok {
-			s.pattern = append([]int64{}, s.deltas[n-p:]...)
+			copy(s.pattern[:p], s.deltas[n-p:n])
+			s.patLen = p
 			s.locked = true
 			s.prevObserved = s.lastLine
 			s.obsPos = 0
@@ -240,17 +260,17 @@ func (m *MultiStride) tryLock(s *stream) {
 // last confirmed position and refreshes the integrated confirmation
 // addresses (§VII-D).
 func (m *MultiStride) generate(s *stream) []Request {
-	var out []Request
+	m.reqBuf = m.reqBuf[:0]
 	for s.ahead < s.degree {
-		s.genLine += uint64(s.pattern[s.patPos%len(s.pattern)])
+		s.genLine += uint64(s.pattern[s.patPos%s.patLen])
 		s.patPos++
 		s.ahead++
-		req := Request{Addr: s.genLine << 6}
-		out = append(out, req)
+		m.reqBuf = append(m.reqBuf, Request{Addr: s.genLine << 6})
 		m.stats.Issued++
 		if !m.cfg.Integrated {
-			if len(s.queue) < m.cfg.ConfQueueSize {
-				s.queue = append(s.queue, s.genLine)
+			if s.nQueue < m.cfg.ConfQueueSize {
+				s.queue[s.nQueue] = s.genLine
+				s.nQueue++
 			}
 		}
 	}
@@ -258,23 +278,24 @@ func (m *MultiStride) generate(s *stream) []Request {
 		// Integrated confirmation: from the last confirmed address,
 		// generate the next few expected demand addresses with the
 		// same pattern logic, independent of prefetch generation.
-		s.expect = s.expect[:0]
 		cur, pos := s.prevObserved, s.obsPos
-		for i := 0; i < 4; i++ {
-			cur += uint64(s.pattern[pos%len(s.pattern)])
+		for i := 0; i < mspExpectCap; i++ {
+			cur += uint64(s.pattern[pos%s.patLen])
 			pos++
-			s.expect = append(s.expect, cur)
+			s.expect[i] = cur
 		}
+		s.nExp = mspExpectCap
 	}
-	return out
+	return m.reqBuf
 }
 
 // OnAccess observes demand hits for confirmations and degree scaling
 // (§VII-B/D); demand misses confirm inside OnMiss. It may return more
-// prefetches when a confirmation advances the window.
+// prefetches when a confirmation advances the window. The returned
+// slice is reused across calls.
 func (m *MultiStride) OnAccess(pc, addr uint64) []Request {
-	s, ok := m.streams[pc]
-	if !ok || !s.locked {
+	s := m.streams.Lookup(pc)
+	if s == nil || !s.locked {
 		return nil
 	}
 	if !m.confirm(s, addr>>6) {
@@ -292,18 +313,21 @@ func (m *MultiStride) confirm(s *stream, line uint64) bool {
 	}
 	confirmed := false
 	if m.cfg.Integrated {
-		for i, e := range s.expect {
-			if e == line {
+		for i := 0; i < s.nExp; i++ {
+			if s.expect[i] == line {
 				confirmed = true
-				s.expect = s.expect[i+1:]
+				// Drop the matched expectation and everything before it.
+				copy(s.expect[:], s.expect[i+1:s.nExp])
+				s.nExp -= i + 1
 				break
 			}
 		}
 	} else {
-		for i, q := range s.queue {
-			if q == line {
+		for i := 0; i < s.nQueue; i++ {
+			if s.queue[i] == line {
 				confirmed = true
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				copy(s.queue[i:], s.queue[i+1:s.nQueue])
+				s.nQueue--
 				break
 			}
 		}
@@ -330,7 +354,7 @@ func (m *MultiStride) confirm(s *stream, line uint64) bool {
 
 // Degree exposes a stream's current degree (tests/ablation).
 func (m *MultiStride) Degree(pc uint64) int {
-	if s, ok := m.streams[pc]; ok {
+	if s := m.streams.Peek(pc); s != nil {
 		return s.degree
 	}
 	return 0

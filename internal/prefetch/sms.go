@@ -1,5 +1,7 @@
 package prefetch
 
+import "exysim/internal/satable"
+
 // SMS is the spatial memory streaming prefetcher added in M3 (§VII-C,
 // [32][33]): it tracks a "primary" load (the first miss to a spatial
 // region) and associates the other offsets touched in that region (by
@@ -31,39 +33,50 @@ type SMSStats struct {
 	Suppressed     uint64
 }
 
+// activeRegion is one observed region; the region address is the table
+// key, recency lives in the table.
 type activeRegion struct {
-	region    uint64
 	primaryPC uint64
 	offsets   uint64 // touched line-offset bitmap
-	lru       uint64
 }
 
+// smsPattern is a learned per-primary-PC offset pattern.
 type smsPattern struct {
 	conf [32]int8 // per line-offset confidence
-	lru  uint64
 }
 
-// SMS is the engine.
+// SMS is the engine. The three tables — active regions, each primary
+// PC's last region, and the learned patterns — are fixed set-associative
+// arrays (the real accumulation/pattern tables are SRAM, not unbounded
+// maps).
 type SMS struct {
 	cfg    SMSConfig
 	offLog uint // line offsets per region
-	active map[uint64]*activeRegion
+	active *satable.Table[activeRegion]
 	// lastRegion tracks each primary PC's most recent region so its
 	// observation generation can close when the PC moves on.
-	lastRegion map[uint64]uint64
-	pattern    map[uint64]*smsPattern
-	tick       uint64
+	lastRegion *satable.Table[uint64]
+	pattern    *satable.Table[smsPattern]
 	stats      SMSStats
+
+	// reqBuf is the reused request buffer returned by OnMiss; its
+	// contents are valid until the next call on this engine.
+	reqBuf []Request
 }
 
 // NewSMS builds the engine.
 func NewSMS(cfg SMSConfig) *SMS {
+	patSets, patWays := satable.Geometry(cfg.PatternEntries, 4)
 	return &SMS{
-		cfg:        cfg,
-		offLog:     6, // 64B lines
-		active:     make(map[uint64]*activeRegion, cfg.ActiveRegions),
-		lastRegion: make(map[uint64]uint64),
-		pattern:    make(map[uint64]*smsPattern, cfg.PatternEntries),
+		cfg:    cfg,
+		offLog: 6, // 64B lines
+		// The accumulation table is small enough to be a fully
+		// associative CAM in hardware; one set with ActiveRegions ways
+		// reproduces its global LRU.
+		active:     satable.New[activeRegion](1, cfg.ActiveRegions),
+		lastRegion: satable.New[uint64](patSets, patWays),
+		pattern:    satable.New[smsPattern](patSets, patWays),
+		reqBuf:     make([]Request, 0, 32),
 	}
 }
 
@@ -79,32 +92,28 @@ func (s *SMS) regionOf(addr uint64) (region uint64, off uint) {
 // OnMiss observes a demand miss. suppressed marks accesses already
 // covered by a confirmed multi-stride stream, which must not train SMS
 // (§VII-C). Returned requests prefetch the learned associated offsets
-// when a primary load recurs.
+// when a primary load recurs; the slice is reused across calls.
 func (s *SMS) OnMiss(pc, addr uint64, suppressed bool) []Request {
 	if suppressed {
 		s.stats.Suppressed++
 		return nil
 	}
 	region, off := s.regionOf(addr)
-	if ar, ok := s.active[region]; ok {
+	if ar := s.active.Lookup(region); ar != nil {
 		// Associated access within an observed region.
 		ar.offsets |= 1 << off
-		s.tick++
-		ar.lru = s.tick
 		return nil
 	}
 	// First miss to the region: this PC is the primary load.
 	s.admit(region, pc, off)
 	// Predict from the learned pattern for this primary PC.
-	pat, ok := s.pattern[pc]
-	if !ok {
+	pat := s.pattern.Lookup(pc)
+	if pat == nil {
 		return nil
 	}
-	s.tick++
-	pat.lru = s.tick
 	s.stats.Predictions++
 	base := region * uint64(s.cfg.RegionBytes)
-	var out []Request
+	s.reqBuf = s.reqBuf[:0]
 	maxOff := uint(s.cfg.RegionBytes >> s.offLog)
 	for o := uint(0); o < maxOff && o < 32; o++ {
 		if o == off {
@@ -112,41 +121,38 @@ func (s *SMS) OnMiss(pc, addr uint64, suppressed bool) []Request {
 		}
 		switch {
 		case pat.conf[o] >= s.cfg.HighConf:
-			out = append(out, Request{Addr: base + uint64(o)<<s.offLog})
+			s.reqBuf = append(s.reqBuf, Request{Addr: base + uint64(o)<<s.offLog})
 			s.stats.IssuedL1++
 		case pat.conf[o] == s.cfg.HighConf-1:
 			// Lower confidence: only the first-pass (L2) prefetch.
-			out = append(out, Request{Addr: base + uint64(o)<<s.offLog, FirstPassL2: true})
+			s.reqBuf = append(s.reqBuf, Request{Addr: base + uint64(o)<<s.offLog, FirstPassL2: true})
 			s.stats.IssuedL2++
 		}
 	}
-	return out
+	return s.reqBuf
 }
 
-// admit begins observing a region, committing the evicted observation
+// admit begins observing a region, committing any displaced observation
 // into the pattern table.
 func (s *SMS) admit(region, pc uint64, off uint) {
 	// The primary PC moving to a new region ends its previous region's
 	// observation generation.
-	if prev, ok := s.lastRegion[pc]; ok && prev != region {
-		if ar, live := s.active[prev]; live && ar.primaryPC == pc {
+	if prev := s.lastRegion.Lookup(pc); prev != nil && *prev != region {
+		if ar := s.active.Peek(*prev); ar != nil && ar.primaryPC == pc {
 			s.commit(ar)
-			delete(s.active, prev)
+			s.active.Remove(*prev)
 		}
 	}
-	s.lastRegion[pc] = region
-	if len(s.active) >= s.cfg.ActiveRegions {
-		var victim *activeRegion
-		for _, ar := range s.active {
-			if victim == nil || ar.lru < victim.lru {
-				victim = ar
-			}
-		}
-		s.commit(victim)
-		delete(s.active, victim.region)
+	lr, _, _ := s.lastRegion.Insert(pc)
+	*lr = region
+	// Inserting into a full set displaces the set's LRU observation,
+	// which commits just as the explicit close does.
+	ar, _, ev := s.active.Insert(region)
+	if ev.OK {
+		s.commit(&ev.Val)
 	}
-	s.tick++
-	s.active[region] = &activeRegion{region: region, primaryPC: pc, offsets: 1 << off, lru: s.tick}
+	ar.primaryPC = pc
+	ar.offsets = 1 << off
 }
 
 // commit trains the primary PC's pattern with the observed offsets:
@@ -154,23 +160,10 @@ func (s *SMS) admit(region, pc uint64, off uint) {
 // filtering out transient associates (§VII-C).
 func (s *SMS) commit(ar *activeRegion) {
 	s.stats.RegionsTrained++
-	pat, ok := s.pattern[ar.primaryPC]
-	if !ok {
-		if len(s.pattern) >= s.cfg.PatternEntries {
-			var vk uint64
-			var victim *smsPattern
-			for k, p := range s.pattern {
-				if victim == nil || p.lru < victim.lru {
-					victim, vk = p, k
-				}
-			}
-			delete(s.pattern, vk)
-		}
-		pat = &smsPattern{}
-		s.pattern[ar.primaryPC] = pat
+	pat := s.pattern.Lookup(ar.primaryPC)
+	if pat == nil {
+		pat, _, _ = s.pattern.Insert(ar.primaryPC)
 	}
-	s.tick++
-	pat.lru = s.tick
 	for o := 0; o < 32; o++ {
 		if ar.offsets&(1<<uint(o)) != 0 {
 			if pat.conf[o] < 7 {

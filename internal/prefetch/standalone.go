@@ -1,5 +1,7 @@
 package prefetch
 
+import "exysim/internal/satable"
+
 // Standalone is the lower-level-cache prefetcher added in M5
 // (§VIII-C/D): it observes the global access stream at the L2 — demand
 // accesses and core-initiated prefetches alike — and detects stream
@@ -37,22 +39,23 @@ type StandaloneStats struct {
 	PageReseeds uint64
 }
 
+// pageStream is one tracked page; the page number is the table key and
+// recency lives in the table.
 type pageStream struct {
-	page     uint64
 	lastLine int // line offset within page (0..63)
 	stride   int // locked stride in lines
 	run      int // consecutive confirmations of the stride
-	lru      uint64
 }
 
-// Standalone is the engine.
+// Standalone is the engine. Page streams live in a fixed set-associative
+// table keyed by physical page number.
 type Standalone struct {
 	cfg   StandaloneConfig
-	pages map[uint64]*pageStream
-	tick  uint64
+	pages *satable.Table[pageStream]
 
 	// filter holds phantom-prefetch line addresses in low-confidence
-	// mode (§VIII-D Fig. 15).
+	// mode (§VIII-D Fig. 15); it is a FIFO over a preallocated backing
+	// array, so steady-state operation never reallocates.
 	filter []uint64
 
 	conf     int
@@ -64,11 +67,22 @@ type Standalone struct {
 	lastStride int
 
 	stats StandaloneStats
+
+	// reqBuf is the reused request buffer returned by OnL2Access; its
+	// contents are valid until the next call on this engine.
+	reqBuf []Request
 }
 
 // NewStandalone builds the engine.
 func NewStandalone(cfg StandaloneConfig) *Standalone {
-	return &Standalone{cfg: cfg, pages: make(map[uint64]*pageStream, cfg.PageEntries)}
+	// The page table is small enough to be a fully associative CAM in
+	// hardware; one set with PageEntries ways reproduces its global LRU.
+	return &Standalone{
+		cfg:    cfg,
+		pages:  satable.New[pageStream](1, cfg.PageEntries),
+		filter: make([]uint64, 0, cfg.FilterSize),
+		reqBuf: make([]Request, 0, cfg.Lookahead),
+	}
 }
 
 // Stats returns a snapshot.
@@ -82,6 +96,7 @@ const pageLineCount = 64 // 4KB / 64B
 // OnL2Access observes one access (demand or core prefetch) at the lower
 // cache level and returns prefetches to issue. In low-confidence mode
 // the returned slice is empty and phantoms go to the filter instead.
+// The returned slice is reused across calls.
 func (s *Standalone) OnL2Access(addr uint64, demand bool) []Request {
 	page := addr >> 12
 	line := int((addr >> 6) & (pageLineCount - 1))
@@ -104,8 +119,8 @@ func (s *Standalone) OnL2Access(addr uint64, demand bool) []Request {
 		}
 	}
 
-	ps, ok := s.pages[page]
-	if !ok {
+	ps := s.pages.Lookup(page)
+	if ps == nil {
 		ps = s.admit(page, line)
 		// Page-crossing reuse: seed the new page with the last locked
 		// stride so the stream continues without retraining.
@@ -113,12 +128,10 @@ func (s *Standalone) OnL2Access(addr uint64, demand bool) []Request {
 			ps.stride = s.lastStride
 			ps.run = 2
 			s.stats.PageReseeds++
-			return s.emit(ps, line)
+			return s.emit(ps, page, line)
 		}
 		return nil
 	}
-	s.tick++
-	ps.lru = s.tick
 	d := line - ps.lastLine
 	if d == 0 {
 		return nil
@@ -140,22 +153,22 @@ func (s *Standalone) OnL2Access(addr uint64, demand bool) []Request {
 		return nil
 	}
 	s.lastStride = ps.stride
-	return s.emit(ps, line)
+	return s.emit(ps, page, line)
 }
 
 // emit produces the lookahead prefetches for a locked page stream; in
 // low-confidence mode they become phantoms in the filter.
-func (s *Standalone) emit(ps *pageStream, line int) []Request {
-	var out []Request
+func (s *Standalone) emit(ps *pageStream, page uint64, line int) []Request {
+	s.reqBuf = s.reqBuf[:0]
 	cur := line
 	for i := 0; i < s.cfg.Lookahead; i++ {
 		cur += ps.stride
 		if cur < 0 || cur >= pageLineCount {
 			break // physical streams cannot cross the page (§VIII-C)
 		}
-		addr := ps.page<<12 | uint64(cur)<<6
+		addr := page<<12 | uint64(cur)<<6
 		if s.highMode {
-			out = append(out, Request{Addr: addr})
+			s.reqBuf = append(s.reqBuf, Request{Addr: addr})
 			s.stats.Issued++
 		} else {
 			s.stats.Phantoms++
@@ -169,13 +182,16 @@ func (s *Standalone) emit(ps *pageStream, line int) []Request {
 			}
 			if !dup {
 				if len(s.filter) >= s.cfg.FilterSize {
-					s.filter = s.filter[1:]
+					// FIFO: shift down in place rather than reslicing,
+					// keeping the backing array forever.
+					copy(s.filter, s.filter[1:])
+					s.filter = s.filter[:s.cfg.FilterSize-1]
 				}
 				s.filter = append(s.filter, lineAddr)
 			}
 		}
 	}
-	return out
+	return s.reqBuf
 }
 
 // OnPrefetchOutcome feeds back cache-metadata accuracy from the lower
@@ -200,17 +216,7 @@ func (s *Standalone) OnPrefetchOutcome(used bool) {
 }
 
 func (s *Standalone) admit(page uint64, line int) *pageStream {
-	if len(s.pages) >= s.cfg.PageEntries {
-		var victim *pageStream
-		for _, p := range s.pages {
-			if victim == nil || p.lru < victim.lru {
-				victim = p
-			}
-		}
-		delete(s.pages, victim.page)
-	}
-	s.tick++
-	ps := &pageStream{page: page, lastLine: line, lru: s.tick}
-	s.pages[page] = ps
+	ps, _, _ := s.pages.Insert(page)
+	ps.lastLine = line
 	return ps
 }

@@ -1,0 +1,206 @@
+// Package satable provides a fixed-geometry set-associative table used
+// by the microarchitectural models that were previously map-backed
+// (μBTB nodes, VPC chains, UOC blocks, prefetcher stream tables, the
+// frontend empty-line tracker). Real hardware versions of these
+// structures are set-indexed, way-limited SRAM arrays; a Go map models
+// neither the capacity conflicts nor the replacement behaviour, and it
+// dominates the simulator's per-instruction cost with hashing and
+// pointer chasing. The table here is a single preallocated flat array
+// with explicit sets×ways geometry, per-set true-LRU replacement, and
+// zero steady-state allocation.
+package satable
+
+import "exysim/internal/rng"
+
+// Table is a set-associative array of V keyed by uint64. Sets are
+// indexed by a mixed hash of the key; within a set the full key serves
+// as the tag. All storage is allocated in New; no operation allocates.
+type Table[V any] struct {
+	sets, ways int
+	mask       uint64
+
+	// Flat backing arrays, slot index = set*ways + way.
+	keys  []uint64
+	valid []bool
+	lru   []uint64
+	vals  []V
+
+	tick uint64
+	n    int
+}
+
+// Evicted describes a victim displaced by Insert. Val is a copy of the
+// victim's value taken before the slot was reused.
+type Evicted[V any] struct {
+	Key uint64
+	Val V
+	OK  bool
+}
+
+// New builds a sets×ways table. Sets must be a power of two.
+func New[V any](sets, ways int) *Table[V] {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("satable: sets must be a power of two")
+	}
+	if ways <= 0 {
+		panic("satable: ways must be positive")
+	}
+	cap := sets * ways
+	return &Table[V]{
+		sets: sets, ways: ways, mask: uint64(sets - 1),
+		keys:  make([]uint64, cap),
+		valid: make([]bool, cap),
+		lru:   make([]uint64, cap),
+		vals:  make([]V, cap),
+	}
+}
+
+// Geometry derives a sets×ways shape for a structure specified only by
+// total capacity: sets is the largest power of two with sets*targetWays
+// <= capacity, and ways divides the remaining capacity across each set
+// (so capacity 64 at target 4 ways gives 16×4, capacity 48 gives 8×6).
+// The effective capacity is sets*ways, which may round capacity down
+// when it is not divisible.
+func Geometry(capacity, targetWays int) (sets, ways int) {
+	if capacity <= 0 {
+		return 0, 0
+	}
+	if targetWays <= 0 {
+		targetWays = 1
+	}
+	sets = 1
+	for sets*2*targetWays <= capacity {
+		sets *= 2
+	}
+	ways = capacity / sets
+	return sets, ways
+}
+
+func (t *Table[V]) setOf(key uint64) int {
+	return int(rng.Mix64(key)&t.mask) * t.ways
+}
+
+// Lookup returns the value for key and refreshes its recency, or nil.
+func (t *Table[V]) Lookup(key uint64) *V {
+	base := t.setOf(key)
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			t.tick++
+			t.lru[i] = t.tick
+			return &t.vals[i]
+		}
+	}
+	return nil
+}
+
+// Peek returns the value for key without touching recency, or nil.
+func (t *Table[V]) Peek(key uint64) *V {
+	base := t.setOf(key)
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			return &t.vals[i]
+		}
+	}
+	return nil
+}
+
+// Insert returns the slot for key, allocating it if absent. When key was
+// already present, existed is true and the stored value is returned
+// untouched; otherwise the set's LRU way (or an invalid way) is claimed,
+// the displaced victim — if any — is reported in ev, and the returned
+// slot is zeroed for the caller to fill. Recency is refreshed either way.
+func (t *Table[V]) Insert(key uint64) (slot *V, existed bool, ev Evicted[V]) {
+	base := t.setOf(key)
+	victim := -1
+	var victimLRU uint64
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			t.tick++
+			t.lru[i] = t.tick
+			return &t.vals[i], true, ev
+		}
+		if !t.valid[i] {
+			if victim < 0 || t.valid[victim] {
+				victim = i
+			}
+		} else if victim < 0 || (t.valid[victim] && t.lru[i] < victimLRU) {
+			victim, victimLRU = i, t.lru[i]
+		}
+	}
+	if t.valid[victim] {
+		ev = Evicted[V]{Key: t.keys[victim], Val: t.vals[victim], OK: true}
+	} else {
+		t.n++
+	}
+	var zero V
+	t.keys[victim] = key
+	t.valid[victim] = true
+	t.vals[victim] = zero
+	t.tick++
+	t.lru[victim] = t.tick
+	return &t.vals[victim], false, ev
+}
+
+// Remove invalidates key's slot, returning a copy of its value.
+func (t *Table[V]) Remove(key uint64) (V, bool) {
+	base := t.setOf(key)
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.keys[i] == key {
+			v := t.vals[i]
+			var zero V
+			t.vals[i] = zero
+			t.valid[i] = false
+			t.n--
+			return v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// At exposes slot i (0 <= i < Cap) for round-robin/clock scans.
+func (t *Table[V]) At(i int) (key uint64, val *V, ok bool) {
+	if !t.valid[i] {
+		return 0, nil, false
+	}
+	return t.keys[i], &t.vals[i], true
+}
+
+// EvictAt invalidates slot i regardless of key.
+func (t *Table[V]) EvictAt(i int) {
+	if t.valid[i] {
+		var zero V
+		t.vals[i] = zero
+		t.valid[i] = false
+		t.n--
+	}
+}
+
+// Len returns the number of valid entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Cap returns sets*ways.
+func (t *Table[V]) Cap() int { return t.sets * t.ways }
+
+// Sets returns the set count.
+func (t *Table[V]) Sets() int { return t.sets }
+
+// Ways returns the associativity.
+func (t *Table[V]) Ways() int { return t.ways }
+
+// Reset invalidates every entry, keeping the allocated storage.
+func (t *Table[V]) Reset() {
+	var zero V
+	for i := range t.valid {
+		t.valid[i] = false
+		t.vals[i] = zero
+		t.lru[i] = 0
+		t.keys[i] = 0
+	}
+	t.tick = 0
+	t.n = 0
+}

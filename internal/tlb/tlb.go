@@ -34,7 +34,11 @@ type TLB struct {
 	sets   int
 	ways   int
 	secLog uint
-	tags   [][]entry
+	// tags is a flat sets*ways array; set s occupies [s*ways, (s+1)*ways).
+	tags []entry
+	// tagw shadows tags' (tag, valid) as tag<<1|valid so the hit scan
+	// walks one packed word per way.
+	tagw   []uint64
 	tick   uint64
 	hits   uint64
 	misses uint64
@@ -67,11 +71,11 @@ func New(cfg Config) *TLB {
 	for p*2 <= sets {
 		p *= 2
 	}
-	t := &TLB{cfg: cfg, sets: p, ways: cfg.Ways, secLog: secLog, tags: make([][]entry, p)}
-	for i := range t.tags {
-		t.tags[i] = make([]entry, cfg.Ways)
+	return &TLB{
+		cfg: cfg, sets: p, ways: cfg.Ways, secLog: secLog,
+		tags: make([]entry, p*cfg.Ways),
+		tagw: make([]uint64, p*cfg.Ways),
 	}
-	return t
 }
 
 // Config returns the level's configuration.
@@ -100,14 +104,21 @@ func (t *TLB) index(addr uint64) (set int, tag uint64, sub uint) {
 // Lookup probes the level.
 func (t *TLB) Lookup(addr uint64) bool {
 	set, tag, sub := t.index(addr)
-	for w := range t.tags[set] {
-		e := &t.tags[set][w]
-		if e.valid && e.tag == tag && e.present&(1<<sub) != 0 {
-			t.tick++
-			e.lru = t.tick
-			t.hits++
-			return true
+	base := set * t.ways
+	want := tag<<1 | 1
+	for w, tw := range t.tagw[base : base+t.ways] {
+		if tw != want {
+			continue
 		}
+		// Tags are unique within a set, so this is the only candidate.
+		e := &t.tags[base+w]
+		if e.present&(1<<sub) == 0 {
+			break
+		}
+		t.tick++
+		e.lru = t.tick
+		t.hits++
+		return true
 	}
 	t.misses++
 	return false
@@ -116,27 +127,30 @@ func (t *TLB) Lookup(addr uint64) bool {
 // Insert installs addr's translation, evicting LRU.
 func (t *TLB) Insert(addr uint64) {
 	set, tag, sub := t.index(addr)
+	base := set * t.ways
 	t.tick++
-	for w := range t.tags[set] {
-		e := &t.tags[set][w]
+	for w := 0; w < t.ways; w++ {
+		e := &t.tags[base+w]
 		if e.valid && e.tag == tag {
 			e.present |= 1 << sub
 			e.lru = t.tick
 			return
 		}
 	}
-	victim := &t.tags[set][0]
-	for w := range t.tags[set] {
-		e := &t.tags[set][w]
+	vw := 0
+	victim := &t.tags[base]
+	for w := 0; w < t.ways; w++ {
+		e := &t.tags[base+w]
 		if !e.valid {
-			victim = e
+			vw, victim = w, e
 			break
 		}
 		if e.lru < victim.lru {
-			victim = e
+			vw, victim = w, e
 		}
 	}
 	*victim = entry{tag: tag, present: 1 << sub, valid: true, lru: t.tick}
+	t.tagw[base+vw] = tag<<1 | 1
 }
 
 // Hierarchy is a core's translation stack: an L1 (I or D side), the

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"exysim/internal/obs"
+	"exysim/internal/satable"
 )
 
 // Mode is the UOC operating mode (Fig. 13).
@@ -62,6 +63,9 @@ type Config struct {
 	// RefilterRatio leaves FetchMode when #BuildEdge * ratio >=
 	// #FetchEdge (the code moved on).
 	RefilterRatio int
+	// BlockSets/BlockWays size the set-associative block directory.
+	// Zero selects the 32x4 default.
+	BlockSets, BlockWays int
 }
 
 // DefaultConfig returns the M5 geometry.
@@ -92,13 +96,14 @@ type UOC struct {
 	cfg  Config
 	mode Mode
 
-	// blocks maps basic-block start PC to its μop count; used tracks
-	// occupancy against CapacityUops.
-	blocks map[uint64]int
+	// blocks is the set-associative block directory, keyed by
+	// basic-block start PC; presence of a block is the μBTB "built"
+	// back-propagation bit (allocation sets it, eviction clears it).
+	// used tracks μop occupancy against CapacityUops, and hand is the
+	// round-robin clock position for capacity eviction.
+	blocks *satable.Table[uocBlock]
 	used   int
-
-	// built mirrors the μBTB "built" back-propagation bits per block.
-	built map[uint64]bool
+	hand   int
 
 	filterStreak int
 	buildEdge    int
@@ -108,12 +113,20 @@ type UOC struct {
 	stats Stats
 }
 
+// uocBlock is one allocated basic block.
+type uocBlock struct {
+	uops int32
+}
+
 // New builds the UOC.
 func New(cfg Config) *UOC {
+	sets, ways := cfg.BlockSets, cfg.BlockWays
+	if sets <= 0 {
+		sets, ways = 32, 4
+	}
 	return &UOC{
 		cfg:    cfg,
-		blocks: make(map[uint64]int),
-		built:  make(map[uint64]bool),
+		blocks: satable.New[uocBlock](sets, ways),
 	}
 }
 
@@ -160,7 +173,7 @@ func (u *UOC) Step(blockPC uint64, uops int, predictable bool) Result {
 		u.fetch(blockPC)
 	}
 	res := Result{Mode: u.mode}
-	if u.mode == FetchMode && u.built[blockPC] {
+	if u.mode == FetchMode && u.blocks.Peek(blockPC) != nil {
 		res.FromUOC = true
 		u.stats.UopsFromUOC += uint64(uops)
 		u.stats.DecodeCyclesSaved += uint64((uops + u.cfg.Width - 1) / u.cfg.Width)
@@ -193,7 +206,7 @@ func (u *UOC) enterBuild() {
 // build allocates blocks and watches the built-bit edge ratio.
 func (u *UOC) build(blockPC uint64, uops int) {
 	u.buildTimer++
-	if u.built[blockPC] {
+	if u.blocks.Lookup(blockPC) != nil {
 		u.fetchEdge++
 	} else {
 		u.buildEdge++
@@ -212,29 +225,37 @@ func (u *UOC) build(blockPC uint64, uops int) {
 	}
 }
 
-// allocate inserts the block, evicting arbitrary blocks when over
-// capacity (block-granular FIFO-ish eviction; the real array evicts
-// UOC lines).
+// allocate inserts the block, evicting blocks round-robin (a clock
+// hand over the flat directory) while over capacity — the real array
+// evicts UOC lines.
 func (u *UOC) allocate(blockPC uint64, uops int) {
-	if old, ok := u.blocks[blockPC]; ok {
-		u.used -= old
+	slot, existed, ev := u.blocks.Insert(blockPC)
+	if existed {
+		u.used -= int(slot.uops)
 	}
-	u.blocks[blockPC] = uops
-	u.used += uops
+	if ev.OK {
+		u.used -= int(ev.Val.uops)
+	}
 	// The μBTB's built bit is back-propagated after the tag check —
 	// the next lookup of this block sees it set (§VI).
-	u.built[blockPC] = true
-	for u.used > u.cfg.CapacityUops {
-		for pc, n := range u.blocks {
-			if pc == blockPC {
-				continue
+	slot.uops = int32(uops)
+	u.used += uops
+	for u.used > u.cfg.CapacityUops && u.blocks.Len() > 1 {
+		evictedOne := false
+		for scanned := 0; scanned < u.blocks.Cap(); scanned++ {
+			u.hand++
+			if u.hand >= u.blocks.Cap() {
+				u.hand = 0
 			}
-			delete(u.blocks, pc)
-			delete(u.built, pc)
-			u.used -= n
-			break
+			pc, b, ok := u.blocks.At(u.hand)
+			if ok && pc != blockPC {
+				u.used -= int(b.uops)
+				u.blocks.EvictAt(u.hand)
+				evictedOne = true
+				break
+			}
 		}
-		if len(u.blocks) <= 1 {
+		if !evictedOne {
 			break
 		}
 	}
@@ -245,7 +266,7 @@ func (u *UOC) allocate(blockPC uint64, uops int) {
 // FilterMode. The counters behave as a sliding window (saturate and
 // decay) so a long stable phase cannot mask a code change.
 func (u *UOC) fetch(blockPC uint64) {
-	if u.built[blockPC] {
+	if u.blocks.Lookup(blockPC) != nil {
 		if u.fetchEdge < 64 {
 			u.fetchEdge++
 		}

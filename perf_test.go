@@ -1,0 +1,79 @@
+// Guard tests for the hot-path performance properties: the steady-state
+// step loop must not allocate, and population runs must be bit-identical
+// regardless of worker scheduling.
+package exysim
+
+import (
+	"reflect"
+	"testing"
+
+	"exysim/internal/core"
+	"exysim/internal/experiments"
+	"exysim/internal/workload"
+)
+
+// TestStepLoopDoesNotAllocate pins the zero-allocation property of the
+// measured region: after warmup, stepping instructions through the
+// heaviest configuration (M6) performs no heap allocations. Every
+// microarchitectural table is preallocated at construction and every
+// prefetch engine returns requests through a reused buffer, so a
+// regression here means a new allocation crept into the per-instruction
+// path.
+func TestStepLoopDoesNotAllocate(t *testing.T) {
+	g, ok := core.GenByName("M6")
+	if !ok {
+		t.Fatal("M6 missing")
+	}
+	sl, err := workload.ByName("specint/0", benchSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.NewSimulator(g)
+	c := sim.Core()
+	// Warm every table, ring and reused buffer with the first half of
+	// the slice.
+	half := len(sl.Insts) / 2
+	for i := 0; i < half; i++ {
+		in := sl.Insts[i]
+		c.Step(&in)
+	}
+	rest := sl.Insts[half:]
+	pos := 0
+	avg := testing.AllocsPerRun(20, func() {
+		// Step a window of instructions per run so the measurement
+		// covers branches, loads, stores and prefetch trains.
+		for i := 0; i < 512; i++ {
+			in := rest[pos]
+			c.Step(&in)
+			pos++
+			if pos == len(rest) {
+				pos = 0
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state step loop allocates: %.1f allocs per 512-inst window, want 0", avg)
+	}
+}
+
+// TestPopulationRunsDeterministic checks that two full population runs
+// with the same spec produce bit-identical results even though slices
+// fan out across worker goroutines in nondeterministic order. Under
+// `go test -race` this also proves the workers share no mutable state.
+func TestPopulationRunsDeterministic(t *testing.T) {
+	spec := workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 12_000, WarmupFrac: 0.25, Seed: 0xE59}
+	a := experiments.RunPopulation(spec)
+	b := experiments.RunPopulation(spec)
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("generation counts differ: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for g := range a.Results {
+		for s := range a.Results[g] {
+			ra, rb := a.Results[g][s], b.Results[g][s]
+			if !reflect.DeepEqual(ra, rb) {
+				t.Errorf("gen %s slice %s: results differ between identical runs:\n  first:  %+v\n  second: %+v",
+					a.Gens[g].Name, a.Slices[s].Name, ra, rb)
+			}
+		}
+	}
+}
