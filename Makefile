@@ -26,18 +26,21 @@ race:
 	$(GO) test -race ./...
 
 # bench measures per-generation simulator throughput (min-of-5 batches)
-# and rewrites the committed baseline.
+# plus the population-scale RunPopulation sweep, and rewrites the
+# committed baseline.
 bench:
 	$(GO) run ./cmd/exybench run --out=BENCH_throughput.json
 
-# bench-smoke is the tier1 variant: one tiny batch per generation, no
-# baseline rewrite. It proves the harness runs, not how fast.
+# bench-smoke is the tier1 variant: one tiny batch per generation plus a
+# tiny-spec population sweep, no baseline rewrite. It proves the harness
+# (including the worker pools and simulator recycling) runs, not how fast.
 bench-smoke:
 	$(GO) run ./cmd/exybench run --smoke --out=""
 
 # bench-compare re-measures the current build and fails on a >30%
-# throughput regression against the committed baseline (the margin
-# absorbs shared-machine noise; real hot-path regressions are larger).
+# throughput regression against the committed baseline — both the
+# per-generation rows and the population entry (the margin absorbs
+# shared-machine noise; real hot-path regressions are larger).
 bench-compare:
 	$(GO) run ./cmd/exybench compare --base=BENCH_throughput.json
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"exysim/internal/core"
+	"exysim/internal/experiments"
 	"exysim/internal/trace"
 	"exysim/internal/workload"
 )
@@ -37,6 +38,11 @@ import (
 // benchSpec mirrors the population spec in bench_test.go so JSON
 // baselines and `go test -bench` numbers are directly comparable.
 var benchSpec = workload.SuiteSpec{SlicesPerFamily: 2, InstsPerSlice: 40_000, WarmupFrac: 0.25, Seed: 0xE59}
+
+// popSmokeSpec is the tiny population the tier-1 smoke gate runs: large
+// enough to exercise the worker pools and simulator recycling, small
+// enough to finish in a couple of seconds.
+var popSmokeSpec = workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 8_000, WarmupFrac: 0.25, Seed: 0xE59}
 
 const benchSlice = "specint/0"
 
@@ -51,13 +57,30 @@ type GenResult struct {
 	Reps        int     `json:"reps"`
 }
 
+// PopResult is the population-scale measurement: one RunPopulation
+// (every generation × the whole benchSpec suite, fanned across CPUs with
+// per-worker simulator pools), best of N runs. Unlike the per-generation
+// rows, which time the single-threaded step loop, this times the
+// orchestration the figure CLIs actually execute — suite generation,
+// worker fan-out, and simulator recycling included.
+type PopResult struct {
+	SlicesPerFamily int     `json:"slices_per_family"`
+	InstsPerSlice   int     `json:"insts_per_slice"`
+	Slices          int     `json:"slices"`
+	TotalInsts      uint64  `json:"total_insts"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	InstsPerSec     float64 `json:"insts_per_sec"`
+	Reps            int     `json:"reps"`
+}
+
 // Report is the BENCH_throughput.json schema.
 type Report struct {
-	Slice     string      `json:"slice"`
-	Insts     uint64      `json:"insts_per_op"`
-	GoVersion string      `json:"go_version"`
-	NumCPU    int         `json:"num_cpu"`
-	Results   []GenResult `json:"results"`
+	Slice      string      `json:"slice"`
+	Insts      uint64      `json:"insts_per_op"`
+	GoVersion  string      `json:"go_version"`
+	NumCPU     int         `json:"num_cpu"`
+	Results    []GenResult `json:"results"`
+	Population *PopResult  `json:"population,omitempty"`
 }
 
 func main() {
@@ -145,6 +168,22 @@ func cmdCompare(args []string) {
 		}
 		fmt.Printf("%-4s  %14.0f  %14.0f  %6.2fx%s\n", n.Gen, b.InstsPerSec, n.InstsPerSec, ratio, mark)
 	}
+	if n := cand.Population; n != nil {
+		if b := base.Population; b == nil {
+			// Baseline predates the population benchmark: report, don't gate.
+			fmt.Printf("%-4s  %14s  %14.0f  %7s\n", "pop", "-", n.InstsPerSec, "new")
+		} else if b.SlicesPerFamily != n.SlicesPerFamily || b.InstsPerSlice != n.InstsPerSlice {
+			fmt.Printf("%-4s  %14s  %14.0f  %7s\n", "pop", "spec?", n.InstsPerSec, "skip")
+		} else {
+			ratio := n.InstsPerSec / b.InstsPerSec
+			mark := ""
+			if ratio < *tol {
+				mark = "  REGRESSION"
+				fail = true
+			}
+			fmt.Printf("%-4s  %14.0f  %14.0f  %6.2fx%s\n", "pop", b.InstsPerSec, n.InstsPerSec, ratio, mark)
+		}
+	}
 	if fail {
 		fmt.Fprintf(os.Stderr, "exybench: throughput regression beyond tolerance %.2f\n", *tol)
 		os.Exit(1)
@@ -203,7 +242,37 @@ func measure(reps int, smoke bool) *Report {
 			Reps:        reps,
 		})
 	}
+	rep.Population = measurePopulation(reps, smoke)
 	return rep
+}
+
+// measurePopulation times full RunPopulation sweeps (min-of-reps wall
+// seconds). Smoke mode runs one tiny-spec sweep, still covering suite
+// generation, the worker pool, and Reset-based simulator reuse.
+func measurePopulation(reps int, smoke bool) *PopResult {
+	spec := benchSpec
+	if smoke {
+		spec, reps = popSmokeSpec, 1
+	}
+	best := float64(0)
+	var p = experiments.RunPopulation(spec) // warm (and count) outside the scored reps
+	slices := len(p.Slices)
+	insts := p.TotalInsts
+	for r := 0; r < reps; r++ {
+		p = experiments.RunPopulation(spec)
+		if best == 0 || p.WallSeconds < best {
+			best = p.WallSeconds
+		}
+	}
+	return &PopResult{
+		SlicesPerFamily: spec.SlicesPerFamily,
+		InstsPerSlice:   spec.InstsPerSlice,
+		Slices:          slices,
+		TotalInsts:      insts,
+		WallSeconds:     best,
+		InstsPerSec:     float64(insts) / best,
+		Reps:            reps,
+	}
 }
 
 // calibrate picks an iteration count so one batch takes roughly 200ms —
@@ -246,6 +315,10 @@ func printTable(rep *Report) {
 	for _, r := range rep.Results {
 		fmt.Printf("%-4s  %12.2f  %14.0f  %12.0f  %10.1f\n",
 			r.Gen, r.NsPerOp/1e6, r.InstsPerSec, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if p := rep.Population; p != nil {
+		fmt.Printf("population: %d slices x %d insts x 6 gens, %.2fs wall, %.0f insts/s (best of %d)\n",
+			p.Slices, p.InstsPerSlice, p.WallSeconds, p.InstsPerSec, p.Reps)
 	}
 }
 

@@ -152,6 +152,20 @@ func NewLHP(tables, rows, histEntries int, localLen uint) *LHP {
 	return l
 }
 
+// Reset restores the predictor to its post-New cold state in place:
+// zeroed weights, empty local histories, and cleared Predict scratch.
+// Theta is fixed at construction and stays.
+func (l *LHP) Reset() {
+	for t := range l.weights {
+		clear(l.weights[t])
+	}
+	clear(l.local)
+	clear(l.lastIdx)
+	l.lastSum = 0
+	l.lastPC = 0
+	l.lastOK = false
+}
+
 func (l *LHP) lidx(pc uint64) uint32 { return uint32(rng.Mix64(pc>>2)) & l.lmask }
 
 func (l *LHP) index(pc uint64, t int) uint32 {

@@ -191,6 +191,13 @@ func (m *MBTB) InstallLine(src *btbLine) (*btbLine, *btbLine) {
 // Lines returns total line capacity (for storage accounting).
 func (m *MBTB) Lines() int { return m.sets * m.ways }
 
+// Reset invalidates every line in place, keeping the backing array and
+// the spill pointer (the spill BTB resets separately).
+func (m *MBTB) Reset() {
+	clear(m.lines)
+	m.tick = 0
+}
+
 // VBTB is the virtual-address-indexed spill BTB holding dense-line
 // overflow branches and VPC virtual branches (§IV-A, Figs. 2-3). It is a
 // plain set-associative structure keyed by branch PC with an extra cycle
@@ -256,6 +263,13 @@ func (v *VBTB) Insert(pc uint64, kind isa.BranchKind, target uint64) *BTBEntry {
 
 // Capacity returns total entries (for storage accounting).
 func (v *VBTB) Capacity() int { return v.sets * v.ways }
+
+// Reset invalidates every entry in place, keeping the backing arrays.
+func (v *VBTB) Reset() {
+	clear(v.entries)
+	clear(v.lru)
+	v.tick = 0
+}
 
 // L2BTB is the level-2 BTB (§IV-A): a larger, denser, slower backing
 // store of whole mBTB lines. Victim lines from the mBTB are written here;
@@ -326,6 +340,12 @@ func (l *L2BTB) NextLine(pc uint64) *btbLine {
 // Lines returns total line capacity (for storage accounting).
 func (l *L2BTB) Lines() int { return l.sets * l.ways }
 
+// Reset invalidates every line in place, keeping the backing array.
+func (l *L2BTB) Reset() {
+	clear(l.lines)
+	l.tick = 0
+}
+
 // RAS is the return-address stack with standard push/pop plus wrap-around
 // on overflow (§IV: "standard mechanisms to repair multiple speculative
 // pushes and pops"; in this trace-driven model history repair is implicit
@@ -376,6 +396,13 @@ func (r *RAS) Pop() (uint64, bool) {
 
 // Depth returns the number of live entries.
 func (r *RAS) Depth() int { return r.depth }
+
+// Reset empties the stack in place; the installed cipher is kept.
+func (r *RAS) Reset() {
+	clear(r.stack)
+	r.top = 0
+	r.depth = 0
+}
 
 // Size returns the configured capacity.
 func (r *RAS) Size() int { return len(r.stack) }

@@ -247,6 +247,33 @@ func (f *Frontend) charge(e power.Event, n uint64) {
 // learned predictor state.
 func (f *Frontend) ResetStats() { f.stats = Stats{} }
 
+// Reset restores the whole front end to its post-NewFrontend cold state
+// in place: every predictor structure empties, the linkage/scratch state
+// rewinds, and the counters clear. Backing arrays, the installed cipher,
+// and the power meter are kept, so a pooled front end behaves
+// bit-identically to a freshly constructed one.
+func (f *Frontend) Reset() {
+	f.shp.Reset()
+	f.ubtb.Reset()
+	f.vpc.Reset()
+	f.mbtb.Reset()
+	f.vbtb.Reset()
+	f.l2.Reset()
+	f.ras.Reset()
+	if f.mrb != nil {
+		f.mrb.Reset()
+	}
+	f.prevTakenPC = 0
+	f.prevTakenValid = false
+	f.firstAfterRedirect = false
+	f.pairLeadOpen = false
+	if f.elo != nil {
+		f.elo.Reset()
+	}
+	f.curLine = ^uint64(0)
+	f.stats = Stats{}
+}
+
 // RegisterMetrics publishes the front end's counters into an
 // observability scope (e.g. "branch.mispredicts"). Per-source prediction
 // counts land under a "src" child scope ("branch.src.ubtb", ...).

@@ -153,6 +153,22 @@ func NewGlobalHistory(indexBits uint, intervals []Interval) *GlobalHistory {
 	return g
 }
 
+// Reset rewinds both streams and every fold to cold state in place.
+// Only the running fold values are dynamic; window geometry and rotation
+// amounts are config-derived and stay.
+func (g *GlobalHistory) Reset() {
+	clear(g.ghist.vals)
+	g.ghist.pos = 0
+	clear(g.phist.vals)
+	g.phist.pos = 0
+	for i := range g.gFolds {
+		g.gFolds[i].comp = 0
+	}
+	for i := range g.pFolds {
+		g.pFolds[i].comp = 0
+	}
+}
+
 // PushOutcome records a conditional branch outcome into GHIST.
 func (g *GlobalHistory) PushOutcome(taken bool) {
 	var b uint16

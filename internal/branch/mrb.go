@@ -51,6 +51,20 @@ func NewMRB(entries int) *MRB {
 	return &MRB{entries: make([]mrbEntry, entries), mask: uint32(entries - 1)}
 }
 
+// Reset restores the buffer to its post-New cold state in place:
+// every entry invalid and the recording/replay cursors rewound.
+func (m *MRB) Reset() {
+	clear(m.entries)
+	m.pendingKey = 0
+	m.pendingSeq = [mrbSeqLen]uint64{}
+	m.pendingN = 0
+	m.pendingLive = false
+	m.activeSeq = [mrbSeqLen]uint64{}
+	m.activeN = 0
+	m.activePos = 0
+	m.activeLive = false
+}
+
 // key identifies a redirect: the mispredicted branch and the direction
 // it actually resolved to.
 func (m *MRB) key(pc uint64, taken bool) uint64 {

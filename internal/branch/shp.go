@@ -133,6 +133,26 @@ func NewSHP(cfg SHPConfig) *SHP {
 	return s
 }
 
+// Reset restores the predictor to its post-New cold state in place:
+// zeroed weights and bias store, cleared history folds, and theta
+// re-seeded exactly as the constructor seeds it. Backing arrays and
+// config-derived geometry are kept.
+func (s *SHP) Reset() {
+	clear(s.weights)
+	clear(s.bias)
+	s.hist.Reset()
+	if s.cfg.InitialTheta > 0 {
+		s.theta = s.cfg.InitialTheta
+	} else {
+		s.theta = 2*s.cfg.Tables + 14
+	}
+	s.thetaTC = 0
+	s.lastPC = 0
+	clear(s.lastIdx)
+	s.lastSum = 0
+	s.lastValid = false
+}
+
 // Name implements DirectionPredictor.
 func (s *SHP) Name() string { return "shp" }
 

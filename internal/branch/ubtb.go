@@ -88,6 +88,21 @@ func NewUBTB(cfg UBTBConfig) *UBTB {
 // Locked reports whether the μBTB currently drives the pipe.
 func (u *UBTB) Locked() bool { return u.locked }
 
+// Reset restores the predictor to its post-New cold state in place:
+// empty graphs, a cleared LHP, and the lock state machine rewound.
+func (u *UBTB) Reset() {
+	if u.nodes != nil {
+		u.nodes.Reset()
+	}
+	if u.uncond != nil {
+		u.uncond.Reset()
+	}
+	u.lhp.Reset()
+	u.hitStreak = 0
+	u.locked = false
+	u.cooldown = 0
+}
+
 // Size returns the current node count across both arrays (tests).
 func (u *UBTB) Size() int {
 	n := 0

@@ -109,6 +109,13 @@ func NewVPC(cfg VPCConfig, shp *SHP) *VPC {
 // SetCipher installs target encryption for stored indirect targets (§V).
 func (v *VPC) SetCipher(c TargetCipher, ctx *Context) { v.cipher, v.ctx = c, ctx }
 
+// Reset empties the chain table and the hash table in place, keeping
+// the installed cipher and the shared SHP handle (which resets itself).
+func (v *VPC) Reset() {
+	v.chains.Reset()
+	clear(v.hash)
+}
+
 func (v *VPC) store(t uint64) uint64 {
 	if v.cipher != nil {
 		return v.cipher.Encrypt(v.ctx, t)

@@ -167,6 +167,17 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears counters while keeping contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset restores the cache to its post-New cold state in place: every
+// line invalid, recency and port state rewound, counters cleared. The
+// backing arrays are kept so pooled simulators reuse their allocations.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	clear(c.tags)
+	c.tick = 0
+	c.portBusyUntil = 0
+	c.stats = Stats{}
+}
+
 // RegisterMetrics publishes the level's counters into an observability
 // scope (e.g. "mem.l1d.hits").
 func (c *Cache) RegisterMetrics(sc *obs.Scope) {

@@ -112,6 +112,15 @@ func NewSimulator(cfg GenConfig) *Simulator {
 // Core exposes the pipeline (for ablations and deep stats).
 func (s *Simulator) Core() *pipeline.Core { return s.core }
 
+// Reset restores the simulator to the cold state NewSimulator returns,
+// reusing every backing allocation: a subsequent Run over the same slice
+// produces a bit-identical Result to a fresh simulator's. Registered
+// metrics closures read live subsystem pointers, so a lazily built
+// Registry stays valid across Reset.
+func (s *Simulator) Reset() {
+	s.core.Reset()
+}
+
 // Registry returns the simulator's metrics registry, building it on
 // first use. Every subsystem publishes under its own scope: "pipe",
 // "branch" (with "branch.src" per predictor source), "mem" (caches,

@@ -75,6 +75,13 @@ func New(cfg Config) *DRAM {
 // Stats returns a snapshot.
 func (d *DRAM) Stats() Stats { return d.stats }
 
+// Reset closes every bank's row state and clears the counters, restoring
+// the post-New cold device in place. The installed tracer is kept.
+func (d *DRAM) Reset() {
+	clear(d.banks)
+	d.stats = Stats{}
+}
+
 // SetTracer installs a cycle-event tracer for row activate/precharge
 // events (nil disables).
 func (d *DRAM) SetTracer(t *obs.Tracer) { d.tracer = t }

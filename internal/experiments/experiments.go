@@ -42,8 +42,10 @@ type PopulationRun struct {
 }
 
 // RunPopulation replays the whole suite through all six generations,
-// fanning slices out across CPUs. Each (gen, slice) pair gets a fresh
-// simulator, so runs are order-independent and deterministic.
+// fanning slices out across CPUs. Results are bit-identical to running
+// each (gen, slice) pair on a fresh simulator, so runs stay
+// order-independent and deterministic; see RunPopulationProgress for how
+// simulators are actually recycled.
 func RunPopulation(spec workload.SuiteSpec) *PopulationRun {
 	return RunPopulationProgress(spec, nil)
 }
@@ -51,6 +53,16 @@ func RunPopulation(spec workload.SuiteSpec) *PopulationRun {
 // RunPopulationProgress is RunPopulation with a progress reporter; prog
 // may be nil (no reporting). Each finished (gen, slice) pair steps the
 // reporter with its simulated instruction count.
+//
+// Each worker keeps a private pool of at most one simulator per
+// generation, built on first use and recycled with Reset() for every
+// later job of that generation. Constructing an M6 simulator allocates
+// hundreds of tables; at population scale the construction and the GC
+// pressure it feeds dominate small-slice runs, while Reset() only zeroes
+// the existing arrays. The Reset() protocol guarantees bit-identical
+// results to a fresh simulator (reuse_test.go), so determinism is
+// unaffected. Jobs are enqueued generation-major, which keeps each
+// worker's pool hot on one generation at a time.
 func RunPopulationProgress(spec workload.SuiteSpec, prog *obs.Progress) *PopulationRun {
 	start := time.Now()
 	slices := workload.Suite(spec)
@@ -73,10 +85,18 @@ func RunPopulationProgress(spec workload.SuiteSpec, prog *obs.Progress) *Populat
 			// array — only the cursor position is per-worker state, so
 			// workers stay independent without copying instructions.
 			var cursor trace.Slice
+			sims := make([]*core.Simulator, len(gens))
 			for j := range jobs {
 				sl := p.Slices[j.s]
 				cursor = trace.Slice{Name: sl.Name, Suite: sl.Suite, Warmup: sl.Warmup, Insts: sl.Insts}
-				r := core.RunSlice(gens[j.g], &cursor)
+				sim := sims[j.g]
+				if sim == nil {
+					sim = core.NewSimulator(gens[j.g])
+					sims[j.g] = sim
+				} else {
+					sim.Reset()
+				}
+				r := sim.Run(&cursor)
 				p.Results[j.g][j.s] = r
 				prog.Step(r.Insts)
 			}
@@ -218,13 +238,6 @@ func RenderCurves(title string, gens []core.GenConfig, curves [][]float64, clip 
 	return b.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Fig1Point is one sample of the GHIST-length sweep.
 type Fig1Point struct {
 	GHISTBits int
@@ -238,50 +251,66 @@ func Fig1(slices, instsPerSlice int, lengths []int, seed uint64) []Fig1Point {
 		lengths = []int{1, 8, 16, 32, 48, 64, 96, 128, 165, 200, 240, 300}
 	}
 	suite := workload.CBPSuite(slices, instsPerSlice, 256, seed)
-	out := make([]Fig1Point, 0, len(lengths))
-	var mu sync.Mutex
+	out := make([]Fig1Point, len(lengths))
+	// A bounded worker pool (one goroutine per length fanned out over
+	// GOMAXPROCS workers) instead of one goroutine per length: sweeps with
+	// many lengths would otherwise oversubscribe the scheduler, and each
+	// worker can recycle one SHP across the suite's sources. The fold
+	// geometry depends on GHISTLen, so the predictor is rebuilt per
+	// length, but within a length Reset() restores cold state without
+	// reallocating the weight tables.
+	idxs := make(chan int)
 	var wg sync.WaitGroup
-	for _, gl := range lengths {
-		gl := gl
+	workers := min(runtime.GOMAXPROCS(0), len(lengths))
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var mis, insts uint64
-			for _, src := range suite {
-				sl := &trace.Slice{Name: src.Name, Suite: src.Suite, Warmup: src.Warmup, Insts: src.Insts}
+			var cursor trace.Slice
+			for li := range idxs {
+				gl := lengths[li]
 				cfg := branch.M1SHPConfig()
 				cfg.GHISTLen = gl
 				if cfg.PHISTLen > gl {
 					cfg.PHISTLen = gl
 				}
 				p := branch.NewSHP(cfg)
-				n := 0
-				for {
-					in, err := sl.Next()
-					if err != nil {
-						break
+				var mis, insts uint64
+				for si, src := range suite {
+					if si > 0 {
+						p.Reset()
 					}
-					n++
-					if in.Branch == isa.BranchCond {
-						pred := p.Predict(in.PC)
-						if n > sl.Warmup && pred.Taken != in.Taken {
-							mis++
+					cursor = trace.Slice{Name: src.Name, Suite: src.Suite, Warmup: src.Warmup, Insts: src.Insts}
+					n := 0
+					for {
+						in, err := cursor.Next()
+						if err != nil {
+							break
 						}
-						p.Train(in.PC, in.Taken)
-					}
-					if in.Branch.IsBranch() {
-						p.OnBranch(in.PC, in.Branch == isa.BranchCond, in.Taken)
-					}
-					if n > sl.Warmup {
-						insts++
+						n++
+						if in.Branch == isa.BranchCond {
+							pred := p.Predict(in.PC)
+							if n > cursor.Warmup && pred.Taken != in.Taken {
+								mis++
+							}
+							p.Train(in.PC, in.Taken)
+						}
+						if in.Branch.IsBranch() {
+							p.OnBranch(in.PC, in.Branch == isa.BranchCond, in.Taken)
+						}
+						if n > cursor.Warmup {
+							insts++
+						}
 					}
 				}
+				out[li] = Fig1Point{GHISTBits: gl, MPKI: float64(mis) / float64(insts) * 1000}
 			}
-			mu.Lock()
-			out = append(out, Fig1Point{GHISTBits: gl, MPKI: float64(mis) / float64(insts) * 1000})
-			mu.Unlock()
 		}()
 	}
+	for i := range lengths {
+		idxs <- i
+	}
+	close(idxs)
 	wg.Wait()
 	sort.Slice(out, func(i, j int) bool { return out[i].GHISTBits < out[j].GHISTBits })
 	return out

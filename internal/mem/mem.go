@@ -235,6 +235,43 @@ func (s *System) ResetStats() {
 	}
 }
 
+// Reset restores the whole memory system to its post-New cold state in
+// place — caches, TLBs, prefetch engines, uncore/DRAM, the MAB list, the
+// one-pass state, the co-runner RNG, and the store buffer — without
+// reallocating any backing storage. The tracer and a ShareUncore
+// replacement stay installed (the shared path is reset through whatever
+// s.unc points to).
+func (s *System) Reset() {
+	s.l1i.Reset()
+	s.l1d.Reset()
+	s.l2.Reset()
+	if s.l3 != nil {
+		s.l3.Reset()
+	}
+	s.dtlbs.Reset()
+	s.itlbs.Reset()
+	s.msp.Reset()
+	if s.sms != nil {
+		s.sms.Reset()
+	}
+	if s.buddy != nil {
+		s.buddy.Reset()
+	}
+	if s.standalone != nil {
+		s.standalone.Reset()
+	}
+	s.unc.Reset()
+	s.inflight = s.inflight[:0]
+	s.onePass = false
+	s.fpL2Hits = 0
+	s.coRng.Reseed(0xC0F0EE ^ uint64(len(s.cfg.Name)))
+	s.coPattern = 0
+	s.stb = [stbEntries]uint64{}
+	s.stbPos = 0
+	s.pfSlot = 0
+	s.st = Stats{}
+}
+
 // Uncore exposes the memory path (stats, ablations).
 func (s *System) Uncore() *uncore.Uncore { return s.unc }
 

@@ -245,6 +245,42 @@ func (c *Core) ResetStats() {
 	c.statsBase = c.fetchCycle
 }
 
+// Reset restores the core — and, through it, the front end, memory
+// system, micro-op cache, and power meter — to the cold state a freshly
+// built Core starts from, reusing every backing allocation. After Reset
+// a run over the same trace produces bit-identical results to a run on a
+// new Core.
+func (c *Core) Reset() {
+	clear(c.unitPool)
+	c.intReady = [isa.NumArchRegs]uint64{}
+	c.fpReady = [isa.NumArchRegs]uint64{}
+	c.intProducerLoad = [isa.NumArchRegs]bool{}
+	clear(c.retireRing)
+	c.ringPos = 0
+	clear(c.intPRFRing) // clear of a nil ring (PRF ≤ arch regs) is a no-op
+	c.intPRFPos = 0
+	clear(c.fpPRFRing)
+	c.fpPRFPos = 0
+	c.lastRetireCycle = 0
+	c.retiredInCycle = 0
+	c.fetchCycle = 1
+	c.fetchSlots = 0
+	c.curFetchLine = ^uint64(0)
+	c.blockStart = 0
+	c.blockUops = 0
+	c.inUOCFetch = false
+	c.statsBase = 0
+	c.res = Result{}
+	c.front.Reset()
+	c.memsy.Reset()
+	if c.ucache != nil {
+		c.ucache.Reset()
+	}
+	if c.meter != nil {
+		c.meter.Reset()
+	}
+}
+
 // earliestUnit schedules on the earliest-free unit among kinds, not
 // before lb, and returns the issue cycle. occupy is how long the unit
 // stays busy (1 for pipelined ops).

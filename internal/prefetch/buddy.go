@@ -35,6 +35,11 @@ func (b *Buddy) Stats() BuddyStats {
 	return BuddyStats{Issued: b.issuedTotal, Used: b.usedTotal, Suppressed: b.suppressed, Disabled: b.disabled}
 }
 
+// Reset restores the filter to its zero-value cold state.
+func (b *Buddy) Reset() {
+	*b = Buddy{}
+}
+
 const (
 	buddyCreditMax     = 64
 	buddyCreditMin     = -64

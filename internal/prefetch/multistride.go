@@ -128,6 +128,18 @@ func NewMultiStride(cfg MSPConfig) *MultiStride {
 // Stats returns a snapshot.
 func (m *MultiStride) Stats() MSPStats { return m.stats }
 
+// Reset restores the engine to its post-New cold state in place: the
+// stream table empties (per-stream degree is re-seeded on insert), the
+// dedup filter and counters clear, and the request buffer keeps its
+// capacity.
+func (m *MultiStride) Reset() {
+	m.streams.Reset()
+	m.stats = MSPStats{}
+	m.lastTrainLine = 0
+	m.haveLast = false
+	m.reqBuf = m.reqBuf[:0]
+}
+
 func (m *MultiStride) stream(pc uint64) *stream {
 	if s := m.streams.Lookup(pc); s != nil {
 		return s

@@ -83,6 +83,16 @@ func NewSMS(cfg SMSConfig) *SMS {
 // Stats returns a snapshot.
 func (s *SMS) Stats() SMSStats { return s.stats }
 
+// Reset restores the engine to its post-New cold state in place, keeping
+// every table's backing array and the request buffer's capacity.
+func (s *SMS) Reset() {
+	s.active.Reset()
+	s.lastRegion.Reset()
+	s.pattern.Reset()
+	s.stats = SMSStats{}
+	s.reqBuf = s.reqBuf[:0]
+}
+
 func (s *SMS) regionOf(addr uint64) (region uint64, off uint) {
 	region = addr / uint64(s.cfg.RegionBytes)
 	off = uint((addr % uint64(s.cfg.RegionBytes)) >> s.offLog)

@@ -88,6 +88,19 @@ func NewStandalone(cfg StandaloneConfig) *Standalone {
 // Stats returns a snapshot.
 func (s *Standalone) Stats() StandaloneStats { return s.stats }
 
+// Reset restores the engine to its post-New cold state in place: the
+// page table empties and the filter and request buffer rewind to length
+// zero over their preallocated backing arrays.
+func (s *Standalone) Reset() {
+	s.pages.Reset()
+	s.filter = s.filter[:0]
+	s.conf = 0
+	s.highMode = false
+	s.lastStride = 0
+	s.stats = StandaloneStats{}
+	s.reqBuf = s.reqBuf[:0]
+}
+
 // HighConfidence reports the current mode.
 func (s *Standalone) HighConfidence() bool { return s.highMode }
 

@@ -39,6 +39,13 @@ type RNG struct {
 // New returns a generator deterministically seeded from seed.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed rewinds the generator in place to the exact state New(seed)
+// produces, so pooled owners can reset their stream without allocating.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = SplitMix64(&sm)
@@ -48,7 +55,6 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

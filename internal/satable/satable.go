@@ -192,15 +192,14 @@ func (t *Table[V]) Sets() int { return t.sets }
 // Ways returns the associativity.
 func (t *Table[V]) Ways() int { return t.ways }
 
-// Reset invalidates every entry, keeping the allocated storage.
+// Reset invalidates every entry, keeping the allocated storage. The
+// resulting state is indistinguishable from a freshly built table, so
+// simulators pooled across runs stay bit-identical to cold ones.
 func (t *Table[V]) Reset() {
-	var zero V
-	for i := range t.valid {
-		t.valid[i] = false
-		t.vals[i] = zero
-		t.lru[i] = 0
-		t.keys[i] = 0
-	}
+	clear(t.keys)
+	clear(t.valid)
+	clear(t.lru)
+	clear(t.vals)
 	t.tick = 0
 	t.n = 0
 }

@@ -95,6 +95,16 @@ func (t *TLB) HitRate() float64 {
 	return float64(t.hits) / float64(t.hits+t.misses)
 }
 
+// Reset restores the level to its post-New cold state in place,
+// keeping the backing arrays.
+func (t *TLB) Reset() {
+	clear(t.tags)
+	clear(t.tagw)
+	t.tick = 0
+	t.hits = 0
+	t.misses = 0
+}
+
 func (t *TLB) index(addr uint64) (set int, tag uint64, sub uint) {
 	page := addr >> PageBits
 	granule := page >> t.secLog
@@ -167,6 +177,16 @@ type Hierarchy struct {
 
 // Walks returns the number of page-table walks performed.
 func (h *Hierarchy) Walks() uint64 { return h.walks }
+
+// Reset restores every level to cold state and clears the walk count.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	if h.L15 != nil {
+		h.L15.Reset()
+	}
+	h.L2.Reset()
+	h.walks = 0
+}
 
 // Translate returns the added latency for translating addr: 0 on an L1
 // hit, the inner levels' latencies on refills, or the walk cost. All

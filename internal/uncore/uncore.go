@@ -89,6 +89,14 @@ func New(cfg Config, d *dram.DRAM) *Uncore {
 // Stats returns a snapshot.
 func (u *Uncore) Stats() Stats { return u.stats }
 
+// Reset clears the miss predictor, the counters, and the attached DRAM
+// device, restoring the post-New cold path in place.
+func (u *Uncore) Reset() {
+	u.stats = Stats{}
+	clear(u.missPred)
+	u.dram.Reset()
+}
+
 // DRAM exposes the device (for stats).
 func (u *Uncore) DRAM() *dram.DRAM { return u.dram }
 

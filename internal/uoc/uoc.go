@@ -136,6 +136,21 @@ func (u *UOC) Mode() Mode { return u.mode }
 // Stats returns a snapshot.
 func (u *UOC) Stats() Stats { return u.stats }
 
+// Reset restores the UOC to its post-New cold state in place: back to
+// FilterMode with an empty block directory, the clock hand rewound, and
+// the counters cleared. The directory keeps its backing arrays.
+func (u *UOC) Reset() {
+	u.mode = FilterMode
+	u.blocks.Reset()
+	u.used = 0
+	u.hand = 0
+	u.filterStreak = 0
+	u.buildEdge = 0
+	u.fetchEdge = 0
+	u.buildTimer = 0
+	u.stats = Stats{}
+}
+
 // RegisterMetrics publishes the UOC's counters and current occupancy
 // into an observability scope (e.g. "uoc.uops_from_uoc").
 func (u *UOC) RegisterMetrics(sc *obs.Scope) {
@@ -286,11 +301,4 @@ func (u *UOC) fetch(blockPC uint64) {
 		u.buildEdge, u.fetchEdge = 0, 0
 		u.stats.FetchExited++
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

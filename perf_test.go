@@ -56,6 +56,38 @@ func TestStepLoopDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestResetAndRerunDoesNotAllocate pins the reuse protocol's performance
+// property: once a pooled simulator has run its first slice, recycling it
+// with Reset() and replaying a whole slice performs no heap allocations.
+// Reset must therefore clear every table, ring and reused buffer in
+// place — a regression here means some subsystem reallocates its backing
+// storage (or the co-runner RNG re-seed escapes to the heap).
+func TestResetAndRerunDoesNotAllocate(t *testing.T) {
+	g, ok := core.GenByName("M6")
+	if !ok {
+		t.Fatal("M6 missing")
+	}
+	sl, err := workload.ByName("specint/0", benchSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.NewSimulator(g)
+	// First slice on the fresh simulator: grows append-managed buffers
+	// (MAB list, prefetch request buffers) to their steady capacity.
+	sim.Run(sl)
+	c := sim.Core()
+	insts := sl.Insts
+	avg := testing.AllocsPerRun(5, func() {
+		sim.Reset()
+		for i := range insts {
+			c.Step(&insts[i])
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Reset+rerun allocates: %.1f allocs per slice, want 0", avg)
+	}
+}
+
 // TestPopulationRunsDeterministic checks that two full population runs
 // with the same spec produce bit-identical results even though slices
 // fan out across worker goroutines in nondeterministic order. Under

@@ -1,0 +1,56 @@
+// Tests for the simulator reuse protocol: after Reset() a recycled
+// simulator must be indistinguishable from one NewSimulator just built.
+// The population harness leans on this to run a whole generation's slice
+// population through one simulator per worker instead of constructing
+// (and garbage-collecting) thousands of them.
+package exysim
+
+import (
+	"reflect"
+	"testing"
+
+	"exysim/internal/core"
+	"exysim/internal/workload"
+)
+
+// TestResetReuseMatchesFreshSimulator checks, for every generation, that
+// a simulator recycled with Reset() produces bit-identical Results to
+// fresh simulators: the full Result struct is compared, including the
+// nested branch/mem/pipe stats and the PowerBreakdown map. Two
+// dissimilar slices run back to back so leftover learned state (tables,
+// histories, prefetch confidence, power counts) from the first slice
+// would corrupt the second run if Reset missed anything; the first slice
+// then runs again to prove the third run is as cold as the first.
+// Subtests are parallel, so `go test -race` also proves reused
+// simulators share no mutable state across goroutines.
+func TestResetReuseMatchesFreshSimulator(t *testing.T) {
+	spec := workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 12_000, WarmupFrac: 0.25, Seed: 0xE59}
+	for _, g := range core.Generations() {
+		t.Run(g.Name, func(t *testing.T) {
+			t.Parallel()
+			// Slices are stateful cursors; build a private population per
+			// subtest so parallel generations never share one.
+			slices := workload.Suite(spec)
+			if len(slices) < 2 {
+				t.Fatal("tiny suite produced fewer than two slices")
+			}
+			a, b := slices[0], slices[len(slices)-1]
+
+			freshA := core.RunSlice(g, a)
+			freshB := core.RunSlice(g, b)
+
+			sim := core.NewSimulator(g)
+			if got := sim.Run(a); !reflect.DeepEqual(got, freshA) {
+				t.Errorf("first run on pooled simulator differs from fresh:\n  fresh:  %+v\n  pooled: %+v", freshA, got)
+			}
+			sim.Reset()
+			if got := sim.Run(b); !reflect.DeepEqual(got, freshB) {
+				t.Errorf("run after Reset differs from fresh simulator:\n  fresh:  %+v\n  reused: %+v", freshB, got)
+			}
+			sim.Reset()
+			if got := sim.Run(a); !reflect.DeepEqual(got, freshA) {
+				t.Errorf("second reuse differs from fresh simulator:\n  fresh:  %+v\n  reused: %+v", freshA, got)
+			}
+		})
+	}
+}
