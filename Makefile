@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 fmt-check vet build test race bench bench-smoke bench-compare bench-go
+.PHONY: tier1 fmt-check vet build test race robust-smoke bench bench-smoke bench-compare bench-go
 
 # tier1 is the gate every change must pass: formatting, vet, a full
-# build, the test suite under the race detector, and a benchmark smoke
-# run proving the throughput harness still executes every generation.
-tier1: fmt-check vet build race bench-smoke
+# build, the test suite under the race detector, the fault-injection
+# smoke, and a benchmark smoke run proving the throughput harness still
+# executes every generation.
+tier1: fmt-check vet build race robust-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -24,6 +25,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# robust-smoke drives the sweep-robustness layer's fault-injection tests
+# under the race detector: injected panics, livelocks, and corrupted
+# results must quarantine cleanly even when workers race.
+robust-smoke:
+	$(GO) test -race ./internal/robust/...
 
 # bench measures per-generation simulator throughput (min-of-5 batches)
 # plus the population-scale RunPopulation sweep, and rewrites the

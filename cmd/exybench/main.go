@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"exysim/internal/core"
@@ -148,46 +149,98 @@ func cmdCompare(args []string) {
 		cand = measure(*reps, false)
 	}
 
+	out := compareReports(base, cand, *tol)
+	for _, line := range out.lines {
+		fmt.Println(line)
+	}
+	if len(out.added) > 0 {
+		fmt.Printf("entries only in the new run (reported, not gated): %s\n", strings.Join(out.added, ", "))
+	}
+	if len(out.removed) > 0 {
+		fmt.Printf("entries only in the baseline (reported, not gated): %s\n", strings.Join(out.removed, ", "))
+	}
+	if out.fail {
+		fmt.Fprintf(os.Stderr, "exybench: throughput regression beyond tolerance %.2f\n", *tol)
+		os.Exit(1)
+	}
+}
+
+// compareOutcome is the result of comparing a candidate report against a
+// baseline: formatted table lines, the entries present in only one of
+// the two reports, and whether any shared entry regressed past
+// tolerance.
+type compareOutcome struct {
+	lines   []string
+	added   []string // in candidate, not in baseline
+	removed []string // in baseline, not in candidate
+	fail    bool
+}
+
+// compareReports gates only on entries present in both reports. Entries
+// that appear on just one side (a generation added or retired since the
+// baseline was committed, a baseline predating the population benchmark)
+// are reported as added/removed instead of failing the comparison — a
+// stale baseline should prompt a `make bench` refresh, not block the
+// gate on unrelated work.
+func compareReports(base, cand *Report, tol float64) compareOutcome {
+	var out compareOutcome
 	baseBy := map[string]GenResult{}
 	for _, r := range base.Results {
 		baseBy[r.Gen] = r
 	}
-	fail := false
-	fmt.Printf("%-4s  %14s  %14s  %7s\n", "gen", "base insts/s", "new insts/s", "ratio")
+	candSeen := map[string]bool{}
+	out.lines = append(out.lines, fmt.Sprintf("%-4s  %14s  %14s  %7s", "gen", "base insts/s", "new insts/s", "ratio"))
 	for _, n := range cand.Results {
+		candSeen[n.Gen] = true
 		b, ok := baseBy[n.Gen]
 		if !ok {
-			fmt.Printf("%-4s  %14s  %14.0f  %7s\n", n.Gen, "-", n.InstsPerSec, "new")
+			out.lines = append(out.lines, fmt.Sprintf("%-4s  %14s  %14.0f  %7s", n.Gen, "-", n.InstsPerSec, "new"))
+			out.added = append(out.added, n.Gen)
+			continue
+		}
+		if b.InstsPerSec <= 0 {
+			// A zero/negative baseline can only come from a damaged file;
+			// gating on it would divide by zero. Report and move on.
+			out.lines = append(out.lines, fmt.Sprintf("%-4s  %14s  %14.0f  %7s", n.Gen, "bad", n.InstsPerSec, "skip"))
 			continue
 		}
 		ratio := n.InstsPerSec / b.InstsPerSec
 		mark := ""
-		if ratio < *tol {
+		if ratio < tol {
 			mark = "  REGRESSION"
-			fail = true
+			out.fail = true
 		}
-		fmt.Printf("%-4s  %14.0f  %14.0f  %6.2fx%s\n", n.Gen, b.InstsPerSec, n.InstsPerSec, ratio, mark)
+		out.lines = append(out.lines, fmt.Sprintf("%-4s  %14.0f  %14.0f  %6.2fx%s", n.Gen, b.InstsPerSec, n.InstsPerSec, ratio, mark))
 	}
-	if n := cand.Population; n != nil {
-		if b := base.Population; b == nil {
-			// Baseline predates the population benchmark: report, don't gate.
-			fmt.Printf("%-4s  %14s  %14.0f  %7s\n", "pop", "-", n.InstsPerSec, "new")
-		} else if b.SlicesPerFamily != n.SlicesPerFamily || b.InstsPerSlice != n.InstsPerSlice {
-			fmt.Printf("%-4s  %14s  %14.0f  %7s\n", "pop", "spec?", n.InstsPerSec, "skip")
-		} else {
-			ratio := n.InstsPerSec / b.InstsPerSec
-			mark := ""
-			if ratio < *tol {
-				mark = "  REGRESSION"
-				fail = true
-			}
-			fmt.Printf("%-4s  %14.0f  %14.0f  %6.2fx%s\n", "pop", b.InstsPerSec, n.InstsPerSec, ratio, mark)
+	for _, b := range base.Results {
+		if !candSeen[b.Gen] {
+			out.lines = append(out.lines, fmt.Sprintf("%-4s  %14.0f  %14s  %7s", b.Gen, b.InstsPerSec, "-", "removed"))
+			out.removed = append(out.removed, b.Gen)
 		}
 	}
-	if fail {
-		fmt.Fprintf(os.Stderr, "exybench: throughput regression beyond tolerance %.2f\n", *tol)
-		os.Exit(1)
+	switch n, b := cand.Population, base.Population; {
+	case n == nil && b == nil:
+	case n == nil:
+		out.lines = append(out.lines, fmt.Sprintf("%-4s  %14.0f  %14s  %7s", "pop", b.InstsPerSec, "-", "removed"))
+		out.removed = append(out.removed, "pop")
+	case b == nil:
+		// Baseline predates the population benchmark: report, don't gate.
+		out.lines = append(out.lines, fmt.Sprintf("%-4s  %14s  %14.0f  %7s", "pop", "-", n.InstsPerSec, "new"))
+		out.added = append(out.added, "pop")
+	case b.SlicesPerFamily != n.SlicesPerFamily || b.InstsPerSlice != n.InstsPerSlice:
+		out.lines = append(out.lines, fmt.Sprintf("%-4s  %14s  %14.0f  %7s", "pop", "spec?", n.InstsPerSec, "skip"))
+	case b.InstsPerSec <= 0:
+		out.lines = append(out.lines, fmt.Sprintf("%-4s  %14s  %14.0f  %7s", "pop", "bad", n.InstsPerSec, "skip"))
+	default:
+		ratio := n.InstsPerSec / b.InstsPerSec
+		mark := ""
+		if ratio < tol {
+			mark = "  REGRESSION"
+			out.fail = true
+		}
+		out.lines = append(out.lines, fmt.Sprintf("%-4s  %14.0f  %14.0f  %6.2fx%s", "pop", b.InstsPerSec, n.InstsPerSec, ratio, mark))
 	}
+	return out
 }
 
 // measure times RunSlice per generation. Each of reps batches runs the

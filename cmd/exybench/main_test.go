@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(pop *PopResult, gens ...GenResult) *Report {
+	return &Report{Results: gens, Population: pop}
+}
+
+func gen(name string, ips float64) GenResult {
+	return GenResult{Gen: name, InstsPerSec: ips}
+}
+
+func TestCompareGatesOnCommonEntries(t *testing.T) {
+	base := report(nil, gen("M1", 100), gen("M2", 100))
+	cand := report(nil, gen("M1", 95), gen("M2", 90))
+	out := compareReports(base, cand, 0.7)
+	if out.fail {
+		t.Fatalf("within tolerance should pass: %v", out.lines)
+	}
+	out = compareReports(base, cand, 0.96)
+	if !out.fail {
+		t.Fatal("M2 at 0.90x must fail a 0.96 tolerance")
+	}
+}
+
+func TestCompareReportsAddedEntriesWithoutGating(t *testing.T) {
+	// Baseline predates generation M6: its absence must be reported, not
+	// fail the gate — the common entries still gate normally.
+	base := report(nil, gen("M1", 100))
+	cand := report(nil, gen("M1", 99), gen("M6", 1))
+	out := compareReports(base, cand, 0.7)
+	if out.fail {
+		t.Fatalf("new entry must not fail the gate: %v", out.lines)
+	}
+	if len(out.added) != 1 || out.added[0] != "M6" {
+		t.Fatalf("added = %v, want [M6]", out.added)
+	}
+}
+
+func TestCompareReportsRemovedEntriesWithoutGating(t *testing.T) {
+	// A generation retired since the baseline: report it, gate the rest.
+	base := report(nil, gen("M1", 100), gen("M9", 500))
+	cand := report(nil, gen("M1", 99))
+	out := compareReports(base, cand, 0.7)
+	if out.fail {
+		t.Fatalf("removed entry must not fail the gate: %v", out.lines)
+	}
+	if len(out.removed) != 1 || out.removed[0] != "M9" {
+		t.Fatalf("removed = %v, want [M9]", out.removed)
+	}
+	joined := strings.Join(out.lines, "\n")
+	if !strings.Contains(joined, "removed") {
+		t.Fatalf("table should mark the removed row:\n%s", joined)
+	}
+}
+
+func TestComparePopulationEntry(t *testing.T) {
+	pop := func(ips float64) *PopResult {
+		return &PopResult{SlicesPerFamily: 2, InstsPerSlice: 1000, InstsPerSec: ips}
+	}
+
+	// Both sides: gated.
+	out := compareReports(report(pop(100)), report(pop(50)), 0.7)
+	if !out.fail {
+		t.Fatal("population regression must gate when both sides have it")
+	}
+
+	// Baseline predates the population benchmark: new, not gated.
+	out = compareReports(report(nil), report(pop(50)), 0.7)
+	if out.fail || len(out.added) != 1 || out.added[0] != "pop" {
+		t.Fatalf("population-only-in-candidate should report added: fail=%v added=%v", out.fail, out.added)
+	}
+
+	// Candidate dropped it: removed, not gated.
+	out = compareReports(report(pop(100)), report(nil), 0.7)
+	if out.fail || len(out.removed) != 1 || out.removed[0] != "pop" {
+		t.Fatalf("population-only-in-base should report removed: fail=%v removed=%v", out.fail, out.removed)
+	}
+
+	// Different spec: skipped, not compared.
+	other := &PopResult{SlicesPerFamily: 9, InstsPerSlice: 9, InstsPerSec: 1}
+	out = compareReports(report(other), report(pop(50)), 0.7)
+	if out.fail {
+		t.Fatal("mismatched population specs must not gate")
+	}
+}
+
+func TestCompareDamagedBaselineSkipped(t *testing.T) {
+	// A zero-throughput baseline row is a damaged file, not a regression;
+	// gating on it would divide by zero.
+	base := report(nil, gen("M1", 0), gen("M2", 100))
+	cand := report(nil, gen("M1", 50), gen("M2", 99))
+	out := compareReports(base, cand, 0.7)
+	if out.fail {
+		t.Fatalf("damaged baseline row must be skipped: %v", out.lines)
+	}
+	joined := strings.Join(out.lines, "\n")
+	if !strings.Contains(joined, "skip") {
+		t.Fatalf("damaged row should be marked skipped:\n%s", joined)
+	}
+	if compareReports(report(&PopResult{SlicesPerFamily: 2, InstsPerSlice: 1000}),
+		report(&PopResult{SlicesPerFamily: 2, InstsPerSlice: 1000, InstsPerSec: 5}), 0.7).fail {
+		t.Fatal("damaged population baseline must be skipped too")
+	}
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	r := report(&PopResult{SlicesPerFamily: 2, InstsPerSlice: 1000, InstsPerSec: 7},
+		gen("M1", 100), gen("M2", 200))
+	out := compareReports(r, r, 0.99)
+	if out.fail || len(out.added) != 0 || len(out.removed) != 0 {
+		t.Fatalf("identical reports must pass cleanly: %+v", out)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"exysim/internal/branch"
 	"exysim/internal/cluster"
@@ -205,7 +206,7 @@ func usage() {
 func cmdTables(args []string) {
 	fs := flag.NewFlagSet("tables", flag.ExitOnError)
 	id := fs.Int("id", 0, "table number (1-4); 0 prints all")
-	spec, progress, manifestOut := runPopulationFlags(fs)
+	pf := runPopulationFlags(fs)
 	format := fs.String("format", "text", "output format (text|json)")
 	_ = fs.Parse(args)
 	if *format == "json" {
@@ -219,7 +220,7 @@ func cmdTables(args []string) {
 		}
 		out.TableII = experiments.TableII()
 		if *id == 4 || *id == 0 {
-			p := runPopulation("tables", *spec, *progress, *manifestOut, nil)
+			p := runPopulation("tables", pf, nil)
 			out.TableIV = map[string]float64{}
 			for g, v := range p.Means(experiments.MetricLoadLat) {
 				out.TableIV[p.Gens[g].Name] = v
@@ -243,7 +244,7 @@ func cmdTables(args []string) {
 		fmt.Println(experiments.RenderTableIII())
 	}
 	if *id == 4 || *id == 0 {
-		p := runPopulation("tables", *spec, *progress, *manifestOut, nil)
+		p := runPopulation("tables", pf, nil)
 		fmt.Println(experiments.RenderTableIV(p))
 	}
 }
@@ -257,32 +258,66 @@ func cmdFig1(args []string) {
 	fmt.Println(experiments.RenderFig1(pts))
 }
 
-// runPopulationFlags is the shared flag surface of the population
-// commands (fig9/fig16/fig17/summary/tables --id=4): sizing, progress
-// reporting, and manifest export.
-func runPopulationFlags(fs *flag.FlagSet) (spec *string, progress *bool, manifestOut *string) {
-	spec = fs.String("spec", "quick", "population size (tiny|quick|standard)")
-	progress = fs.Bool("progress", false, "report slices done / sim-MIPS / ETA on stderr")
-	manifestOut = fs.String("manifest-out", "", "write a run manifest JSON to FILE")
-	return
+// popFlags is the shared flag surface of the population commands
+// (fig9/fig16/fig17/summary/tables --id=4): sizing, progress reporting,
+// manifest export, and the sweep-robustness knobs.
+type popFlags struct {
+	spec          *string
+	progress      *bool
+	manifestOut   *string
+	checkpoint    *string
+	resume        *bool
+	sliceDeadline *time.Duration
+	retries       *int
+}
+
+func runPopulationFlags(fs *flag.FlagSet) *popFlags {
+	return &popFlags{
+		spec:          fs.String("spec", "quick", "population size (tiny|quick|standard)"),
+		progress:      fs.Bool("progress", false, "report slices done / sim-MIPS / ETA on stderr"),
+		manifestOut:   fs.String("manifest-out", "", "write a run manifest JSON to FILE"),
+		checkpoint:    fs.String("checkpoint", "", "append completed (gen,slice) results to FILE as JSONL"),
+		resume:        fs.Bool("resume", false, "skip slices already recorded in --checkpoint"),
+		sliceDeadline: fs.Duration("slice-deadline", 0, "per-slice wall-clock budget (0 = none)"),
+		retries:       fs.Int("retries", 0, "retry a failed slice up to N times on a fresh simulator"),
+	}
 }
 
 // runPopulation executes the sweep honoring the shared flags and writes
-// the manifest (if requested), recording any companion artifacts.
-func runPopulation(command string, spec string, progress bool, manifestOut string, artifacts map[string]string) *experiments.PopulationRun {
+// the manifest (if requested), recording any companion artifacts. A
+// sweep with quarantined slices still succeeds — partial results are
+// the point of the robustness layer — but the failure report goes to
+// stderr so the quarantine is never silent.
+func runPopulation(command string, pf *popFlags, artifacts map[string]string) *experiments.PopulationRun {
 	var prog *obs.Progress
-	sp := specByName(spec)
-	if progress {
+	sp := specByName(*pf.spec)
+	if *pf.progress {
 		total := len(workload.Suite(sp)) * 6
 		prog = obs.NewProgress(os.Stderr, command, total)
 	}
-	p := experiments.RunPopulationProgress(sp, prog)
-	if manifestOut != "" {
+	p, err := experiments.RunPopulationOpts(sp, experiments.PopulationOptions{
+		Progress:       prog,
+		SliceDeadline:  *pf.sliceDeadline,
+		Retries:        *pf.retries,
+		CheckpointPath: *pf.checkpoint,
+		Resume:         *pf.resume,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exysim:", err)
+		os.Exit(2)
+	}
+	if rep := p.FailureReport(); rep != "" {
+		fmt.Fprint(os.Stderr, rep)
+	}
+	if *pf.manifestOut != "" {
 		m := p.Manifest(command)
+		if *pf.checkpoint != "" {
+			m.AddArtifact("checkpoint", *pf.checkpoint)
+		}
 		for k, v := range artifacts {
 			m.AddArtifact(k, v)
 		}
-		if err := m.Write(manifestOut); err != nil {
+		if err := m.Write(*pf.manifestOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -292,7 +327,7 @@ func runPopulation(command string, spec string, progress bool, manifestOut strin
 
 func cmdCurve(args []string, name, title string, m experiments.Metric, clip float64) {
 	fs := flag.NewFlagSet("fig", flag.ExitOnError)
-	spec, progress, manifestOut := runPopulationFlags(fs)
+	pf := runPopulationFlags(fs)
 	points := fs.Int("points", 12, "sampled positions along the sorted population")
 	summary := fs.Bool("summary", false, "print headline numbers too")
 	csv := fs.Bool("csv", false, "emit plot-ready CSV (alias for --format=csv)")
@@ -306,7 +341,7 @@ func cmdCurve(args []string, name, title string, m experiments.Metric, clip floa
 	if *metricsOut != "" {
 		artifacts["metrics"] = *metricsOut
 	}
-	p := runPopulation(name, *spec, *progress, *manifestOut, artifacts)
+	p := runPopulation(name, pf, artifacts)
 	curves := p.Curves(m, *points)
 	if *metricsOut != "" {
 		if err := writeCurveJSONFile(*metricsOut, name, p, curves, m); err != nil {
@@ -384,10 +419,10 @@ func writeCurveJSONFile(path, name string, p *experiments.PopulationRun, curves 
 
 func cmdSummary(args []string) {
 	fs := flag.NewFlagSet("summary", flag.ExitOnError)
-	spec, progress, manifestOut := runPopulationFlags(fs)
+	pf := runPopulationFlags(fs)
 	format := fs.String("format", "text", "output format (text|json)")
 	_ = fs.Parse(args)
-	p := runPopulation("summary", *spec, *progress, *manifestOut, nil)
+	p := runPopulation("summary", pf, nil)
 	if *format == "json" {
 		out := map[string]map[string]float64{
 			"mpki": {}, "ipc": {}, "load_lat": {}, "epki": {},

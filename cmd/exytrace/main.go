@@ -98,15 +98,23 @@ func cmdInfo(args []string) {
 		fmt.Fprintln(os.Stderr, "exytrace info FILE...")
 		os.Exit(2)
 	}
+	// A corrupt or truncated file must not abort the whole listing: each
+	// failure is reported (with the decoder's record/byte-offset detail)
+	// and the command exits non-zero after covering every file.
+	failed := false
 	for _, path := range args {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "exytrace:", err)
+			failed = true
+			continue
 		}
 		sl, err := trace.Read(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			fmt.Fprintf(os.Stderr, "exytrace: %s: %v\n", path, err)
+			failed = true
+			continue
 		}
 		st := sl.Summarize()
 		fmt.Printf("%s: %s (suite %s)\n", path, sl.Name, sl.Suite)
@@ -117,9 +125,13 @@ func cmdInfo(args []string) {
 		fmt.Printf("  loads %d, stores %d\n", st.Loads, st.Stores)
 		if err := sl.Validate(); err != nil {
 			fmt.Printf("  VALIDATION FAILED: %v\n", err)
+			failed = true
 		} else {
 			fmt.Printf("  control flow validated\n")
 		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

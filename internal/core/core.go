@@ -97,6 +97,9 @@ type Simulator struct {
 	// never ask for metrics (tight benchmark loops constructing a fresh
 	// simulator per iteration) pay nothing for the observability layer.
 	reg *obs.Registry
+	// tracer is the installed cycle-event tracer (nil when disabled),
+	// remembered so Reset can clear its ring along with the core.
+	tracer *obs.Tracer
 }
 
 // NewSimulator builds a fresh, cold simulator for the generation.
@@ -116,9 +119,19 @@ func (s *Simulator) Core() *pipeline.Core { return s.core }
 // reusing every backing allocation: a subsequent Run over the same slice
 // produces a bit-identical Result to a fresh simulator's. Registered
 // metrics closures read live subsystem pointers, so a lazily built
-// Registry stays valid across Reset.
+// Registry stays valid across Reset; the registry is rebased and the
+// tracer ring cleared so a recycled simulator's observability output
+// (metric snapshots, cycle traces) covers exactly the next slice, not
+// the pool lifetime.
 func (s *Simulator) Reset() {
 	s.core.Reset()
+	if s.reg != nil {
+		// The subsystems' raw counters were just zeroed; rebasing here
+		// pins every registered counter at its post-Reset value so the
+		// next Snapshot is indistinguishable from a fresh simulator's.
+		s.reg.Reset()
+	}
+	s.tracer.Reset()
 }
 
 // Registry returns the simulator's metrics registry, building it on
@@ -150,6 +163,7 @@ func (s *Simulator) MetricsSnapshot() obs.Snapshot {
 // SetTracer installs a cycle-event tracer across the pipeline, memory
 // system, and DRAM (nil disables tracing everywhere).
 func (s *Simulator) SetTracer(t *obs.Tracer) {
+	s.tracer = t
 	s.core.SetTracer(t)
 }
 

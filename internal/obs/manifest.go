@@ -28,6 +28,21 @@ type WorkloadInfo struct {
 	Slices          []string `json:"slices,omitempty"`
 }
 
+// RobustnessInfo summarizes the fault-handling activity of a sweep: how
+// many slices were quarantined (by kind), how many attempts were
+// retried, and how much of the run was restored from a checkpoint. A
+// manifest with a nil Robustness block describes a clean, uninterrupted
+// run.
+type RobustnessInfo struct {
+	Failures            int    `json:"failures"`
+	Panics              int    `json:"panics,omitempty"`
+	Timeouts            int    `json:"timeouts,omitempty"`
+	InvariantViolations int    `json:"invariant_violations,omitempty"`
+	Retries             int    `json:"retries,omitempty"`
+	ResumedSlices       int    `json:"resumed_slices,omitempty"`
+	CheckpointPath      string `json:"checkpoint_path,omitempty"`
+}
+
 // Manifest describes one simulator invocation end to end: what ran, on
 // which configurations, over which workload, how long it took, and how
 // fast the simulator itself was.
@@ -46,6 +61,10 @@ type Manifest struct {
 	SimMIPS float64 `json:"sim_mips"`
 	// CyclesPerSec is simulated cycles per wall-clock second.
 	CyclesPerSec float64 `json:"sim_cycles_per_sec"`
+
+	// Robustness summarizes quarantined slices, retries, and checkpoint
+	// resume activity; nil for a clean run.
+	Robustness *RobustnessInfo `json:"robustness,omitempty"`
 
 	// Artifacts lists companion files this run wrote (metrics, traces).
 	Artifacts map[string]string `json:"artifacts,omitempty"`

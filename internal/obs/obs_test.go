@@ -215,3 +215,79 @@ func TestProgressReports(t *testing.T) {
 	np.Step(1)
 	np.Finish()
 }
+
+func TestTracerResetClearsRingKeepsConfig(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetSampling(2)
+	for i := 0; i < 10; i++ {
+		tr.Span("fetch", "bubble", uint64(i), 1, LaneFetch)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("setup: nothing recorded")
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("Reset left %d events, %d dropped", tr.Len(), tr.Dropped())
+	}
+	// Sampling survives Reset; the modulus phase restarts from zero, so a
+	// recycled tracer samples exactly like a fresh one with the same config.
+	fresh := NewTracer(4)
+	fresh.SetSampling(2)
+	for i := 0; i < 10; i++ {
+		tr.Span("fetch", "bubble", uint64(i), 1, LaneFetch)
+		fresh.Span("fetch", "bubble", uint64(i), 1, LaneFetch)
+	}
+	var a, b bytes.Buffer
+	if err := tr.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("recycled tracer output differs from fresh:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// Nil tracer: Reset must be a no-op, not a crash.
+	var nilTr *Tracer
+	nilTr.Reset()
+}
+
+func TestTracerWriteJSONDeterministic(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Span("fetch", "bubble", 1, 2, LaneFetch)
+	tr.Instant("mem", "fill", 3, LaneMem)
+	var a, b bytes.Buffer
+	if err := tr.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same ring produced different bytes")
+	}
+}
+
+func TestManifestRobustnessBlock(t *testing.T) {
+	m := NewManifest("run")
+	m.Robustness = &RobustnessInfo{Failures: 2, Panics: 1, Timeouts: 1, Retries: 3, ResumedSlices: 5}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"failures":2`, `"panics":1`, `"timeouts":1`, `"retries":3`, `"resumed_slices":5`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("manifest JSON missing %s:\n%s", want, s)
+		}
+	}
+	// A clean run omits the block entirely.
+	clean := NewManifest("run")
+	buf.Reset()
+	if err := json.NewEncoder(&buf).Encode(clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "robustness") {
+		t.Fatal("clean manifest should omit the robustness block")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // Phase is a Chrome trace-event phase character.
@@ -58,6 +59,21 @@ func (t *Tracer) SetSampling(n uint64) {
 
 // Enabled reports whether events will be recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Reset discards every buffered event and rewinds the event counters,
+// keeping the ring's capacity and the sampling configuration. Pooled
+// simulators call this when they are recycled between slices so a reused
+// instance's trace covers exactly one slice, like a fresh simulator's,
+// instead of accumulating pool-lifetime history.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.events = t.events[:0]
+	t.pos = 0
+	t.n = 0
+	t.seen = 0
+}
 
 // Len returns the number of buffered events.
 func (t *Tracer) Len() int {
@@ -172,9 +188,15 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		// file diffable without building the whole array in memory.
 		return enc.Encode(e)
 	}
-	// Thread-name metadata so lanes are labelled in the UI.
-	for tid, name := range laneNames {
-		meta := jsonEvent{Name: "thread_name", Ph: "M", TID: tid, Args: map[string]any{"name": name}}
+	// Thread-name metadata so lanes are labelled in the UI, in tid order
+	// so two writes of the same ring produce byte-identical files.
+	tids := make([]int32, 0, len(laneNames))
+	for tid := range laneNames {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		meta := jsonEvent{Name: "thread_name", Ph: "M", TID: tid, Args: map[string]any{"name": laneNames[tid]}}
 		if err := emit(meta); err != nil {
 			return err
 		}

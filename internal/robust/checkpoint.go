@@ -1,0 +1,182 @@
+package robust
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"exysim/internal/core"
+)
+
+// CheckpointSchema versions the checkpoint file format.
+const CheckpointSchema = "exysim-checkpoint/v1"
+
+// Checkpoint file format: JSONL, one header line followed by one line
+// per completed (generation, slice) result. Appends are line-atomic in
+// practice and the loader tolerates a torn final line, so a run killed
+// mid-write loses at most the entry being written. Results round-trip
+// bit-identically (Go's float64 JSON encoding is shortest-exact), which
+// is what lets a resumed sweep report population means bit-identical to
+// an uninterrupted one.
+
+// checkpointHeader is the first line of every checkpoint file. The spec
+// digest pins the workload population and simulator configuration set,
+// so a checkpoint can never be resumed against a different campaign.
+type checkpointHeader struct {
+	Schema     string `json:"schema"`
+	SpecDigest string `json:"spec_digest"`
+}
+
+// CheckpointEntry records one completed (generation, slice) result.
+type CheckpointEntry struct {
+	Gen    int         `json:"g"`
+	Slice  int         `json:"s"`
+	Result core.Result `json:"result"`
+}
+
+// CheckpointWriter appends completed results to a JSONL checkpoint.
+// It is safe for concurrent Append calls from sweep workers.
+type CheckpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// CreateCheckpoint starts a fresh checkpoint at path (truncating any
+// existing file) with a header pinning specDigest.
+func CreateCheckpoint(path, specDigest string) (*CheckpointWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	w := &CheckpointWriter{f: f, w: bufio.NewWriter(f)}
+	hdr, _ := json.Marshal(checkpointHeader{Schema: CheckpointSchema, SpecDigest: specDigest})
+	if err := w.writeLine(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// OpenCheckpoint opens path for appending after a resume; if the file
+// does not exist (or is empty) it becomes a fresh checkpoint with a
+// header for specDigest.
+func OpenCheckpoint(path, specDigest string) (*CheckpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	w := &CheckpointWriter{f: f, w: bufio.NewWriter(f)}
+	if st.Size() == 0 {
+		hdr, _ := json.Marshal(checkpointHeader{Schema: CheckpointSchema, SpecDigest: specDigest})
+		if err := w.writeLine(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func (w *CheckpointWriter) writeLine(b []byte) error {
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Flush every line: crash-safety is the point of the file, and at
+	// population scale the per-slice write is noise next to simulation.
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Append records one completed result.
+func (w *CheckpointWriter) Append(e CheckpointEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// A result that cannot serialize (NaN that slipped past the
+		// invariant checker) must not tear the file.
+		return fmt.Errorf("checkpoint: entry gen=%d slice=%d: %w", e.Gen, e.Slice, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeLine(b)
+}
+
+// Close flushes and closes the checkpoint file.
+func (w *CheckpointWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return w.f.Close()
+}
+
+// ErrCheckpointMismatch reports a checkpoint whose header does not match
+// the campaign being resumed (different schema or spec digest).
+var ErrCheckpointMismatch = errors.New("checkpoint does not match this run's spec")
+
+// LoadCheckpoint reads the completed entries from path. A missing file
+// is an empty checkpoint (nil, nil). A header from a different spec or
+// schema returns ErrCheckpointMismatch — resuming someone else's
+// campaign would silently mix incompatible results. A torn final line
+// (the run was killed mid-append) is dropped; everything before it
+// loads.
+func LoadCheckpoint(path, specDigest string) ([]CheckpointEntry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		return nil, nil // empty file: nothing completed
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: bad header: %w", path, err)
+	}
+	if hdr.Schema != CheckpointSchema || hdr.SpecDigest != specDigest {
+		return nil, fmt.Errorf("checkpoint %s (schema %s, digest %s): %w",
+			path, hdr.Schema, hdr.SpecDigest, ErrCheckpointMismatch)
+	}
+	var out []CheckpointEntry
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e CheckpointEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn trailing line from a killed run: keep what we have.
+			break
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package robust
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"exysim/internal/core"
+	"exysim/internal/workload"
+)
+
+// realEntries produces checkpoint entries from actual simulation so the
+// round-trip test covers every Result field with live values (including
+// the stats.Summary inside Mem, which needs custom JSON marshalling).
+func realEntries(t *testing.T) []CheckpointEntry {
+	t.Helper()
+	slices := workload.Suite(tinySpec)
+	gens := core.Generations()
+	var out []CheckpointEntry
+	for g := 0; g < 2; g++ {
+		for s := 0; s < 2; s++ {
+			out = append(out, CheckpointEntry{Gen: g, Slice: s, Result: core.RunSlice(gens[g], slices[s])})
+		}
+	}
+	return out
+}
+
+func TestCheckpointRoundTripBitIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	entries := realEntries(t)
+
+	w, err := CreateCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatalf("round trip not bit-identical:\n  wrote: %+v\n  read:  %+v", entries, got)
+	}
+}
+
+func TestCheckpointDigestMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := CreateCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, "digest-2"); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("want ErrCheckpointMismatch, got %v", err)
+	}
+}
+
+func TestCheckpointMissingFileIsEmpty(t *testing.T) {
+	got, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.jsonl"), "digest-1")
+	if err != nil || got != nil {
+		t.Fatalf("missing file should load as empty, got %v, %v", got, err)
+	}
+}
+
+func TestCheckpointTornFinalLineDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	entries := realEntries(t)
+	w, err := CreateCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the run mid-append: chop the file mid-way through the last line.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries[:len(entries)-1]) {
+		t.Fatalf("torn line should drop only the final entry: got %d entries, want %d", len(got), len(entries)-1)
+	}
+}
+
+func TestOpenCheckpointAppendsAfterResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	entries := realEntries(t)
+
+	w, err := CreateCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: reopen and append the rest; the header must not duplicate.
+	w, err = OpenCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries[1:] {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatalf("resumed checkpoint lost entries: got %d, want %d", len(got), len(entries))
+	}
+}
+
+func TestOpenCheckpointOnEmptyFileWritesHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := OpenCheckpoint(path, "digest-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, "digest-1"); err != nil {
+		t.Fatalf("fresh OpenCheckpoint file should load cleanly: %v", err)
+	}
+	if _, err := LoadCheckpoint(path, "other"); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatal("header missing after OpenCheckpoint on empty file")
+	}
+}

@@ -1,0 +1,129 @@
+package robust
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"exysim/internal/core"
+)
+
+// Invariant bounds. The simulator models cores at most 6-wide and
+// synthetic slices are tens of thousands of instructions, so these are
+// generous physical envelopes, not tuning targets: a healthy result
+// clears them by an order of magnitude, and anything outside them is
+// simulator corruption, not a slow workload.
+const (
+	// MaxIPC bounds retired instructions per cycle (widest core is
+	// 6-wide; 16 leaves room for future configs).
+	MaxIPC = 16.0
+	// MinIPC bounds the slow side: a slice that retires less than one
+	// instruction per million cycles has livelocked in all but name.
+	MinIPC = 1e-6
+	// MaxLoadLat bounds the average load-to-use latency in cycles; DRAM
+	// plus full queueing is hundreds of cycles, not tens of thousands.
+	MaxLoadLat = 1e5
+)
+
+// violations accumulates invariant breaches for one result.
+type violations struct{ list []string }
+
+func (v *violations) addf(format string, args ...any) {
+	v.list = append(v.list, fmt.Sprintf(format, args...))
+}
+
+func (v *violations) err() error {
+	if len(v.list) == 0 {
+		return nil
+	}
+	return fmt.Errorf("result invariants violated: %s", strings.Join(v.list, "; "))
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Check validates a completed slice result against physical invariants:
+// work was done, derived metrics are finite and non-negative, rates stay
+// in [0,1], cycle counts are consistent with instruction counts, and the
+// power breakdown carries no poison values. It returns nil for a healthy
+// result and a single error listing every violation otherwise — the
+// sweep harness converts that into a KindInvariant quarantine, so silent
+// nonsense can never flow into a population mean.
+func Check(r *core.Result) error {
+	var v violations
+
+	if r.Insts == 0 {
+		v.addf("no instructions retired")
+	}
+	if r.Cycles == 0 {
+		v.addf("no cycles elapsed")
+	}
+
+	// Derived metrics: finite, non-negative, physically bounded.
+	switch {
+	case !finite(r.IPC):
+		v.addf("IPC %v not finite", r.IPC)
+	case r.IPC <= 0 && r.Insts > 0:
+		v.addf("IPC %v not positive", r.IPC)
+	case r.IPC > MaxIPC:
+		v.addf("IPC %v above bound %v", r.IPC, MaxIPC)
+	case r.IPC < MinIPC && r.Insts > 0:
+		v.addf("IPC %v below bound %v (livelock?)", r.IPC, MinIPC)
+	}
+	if r.Insts > 0 && r.Cycles > 0 && finite(r.IPC) {
+		want := float64(r.Insts) / float64(r.Cycles)
+		if diff := math.Abs(r.IPC - want); diff > 1e-9*math.Max(1, want) {
+			v.addf("IPC %v inconsistent with insts/cycles %v", r.IPC, want)
+		}
+	}
+	switch {
+	case !finite(r.MPKI):
+		v.addf("MPKI %v not finite", r.MPKI)
+	case r.MPKI < 0:
+		v.addf("MPKI %v negative", r.MPKI)
+	case r.MPKI > 1000:
+		v.addf("MPKI %v exceeds 1000 (more mispredicts than instructions)", r.MPKI)
+	}
+	switch {
+	case !finite(r.AvgLoadLat):
+		v.addf("avg load latency %v not finite", r.AvgLoadLat)
+	case r.AvgLoadLat < 0:
+		v.addf("avg load latency %v negative", r.AvgLoadLat)
+	case r.AvgLoadLat > MaxLoadLat:
+		v.addf("avg load latency %v above bound %v", r.AvgLoadLat, MaxLoadLat)
+	}
+	if !finite(r.FetchEPKI) || r.FetchEPKI < 0 {
+		v.addf("fetch EPKI %v not finite/non-negative", r.FetchEPKI)
+	}
+	for k, x := range r.PowerBreakdown {
+		if !finite(x) || x < 0 {
+			v.addf("power breakdown %q = %v not finite/non-negative", k, x)
+		}
+	}
+
+	// Counter consistency: every rate that should live in [0,1].
+	fr := &r.Front
+	if fr.Mispredicts > fr.Branches {
+		v.addf("mispredicts %d exceed branches %d", fr.Mispredicts, fr.Branches)
+	}
+	if fr.CondBranches > fr.Branches {
+		v.addf("conditional branches %d exceed branches %d", fr.CondBranches, fr.Branches)
+	}
+	if fr.TakenBranches > fr.Branches {
+		v.addf("taken branches %d exceed branches %d", fr.TakenBranches, fr.Branches)
+	}
+	if fr.Insts > 0 && fr.Branches > fr.Insts {
+		v.addf("branches %d exceed instructions %d", fr.Branches, fr.Insts)
+	}
+	ms := &r.Mem
+	if ms.L1DHits > ms.Loads+ms.Stores {
+		v.addf("L1D hits %d exceed loads+stores %d", ms.L1DHits, ms.Loads+ms.Stores)
+	}
+
+	// Cycle/instruction consistency: the pipeline cannot retire wider
+	// than MaxIPC, so cycles bound instructions from below.
+	if r.Cycles > 0 && float64(r.Insts) > MaxIPC*float64(r.Cycles) {
+		v.addf("%d instructions in %d cycles exceeds %v-wide retire", r.Insts, r.Cycles, MaxIPC)
+	}
+
+	return v.err()
+}

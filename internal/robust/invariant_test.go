@@ -1,0 +1,82 @@
+package robust
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"exysim/internal/core"
+	"exysim/internal/workload"
+)
+
+// healthyResult simulates one real slice so the checker is exercised
+// against genuine counter relationships, not hand-built structs.
+func healthyResult(t *testing.T) core.Result {
+	t.Helper()
+	sl := workload.Suite(tinySpec)[0]
+	return core.RunSlice(core.Generations()[0], sl)
+}
+
+func TestCheckAcceptsEveryGeneration(t *testing.T) {
+	slices := workload.Suite(tinySpec)
+	for _, g := range core.Generations() {
+		for _, sl := range slices {
+			r := core.RunSlice(g, sl)
+			if err := Check(&r); err != nil {
+				t.Errorf("%s/%s: healthy result rejected: %v", g.Name, sl.Name, err)
+			}
+		}
+	}
+}
+
+func TestCheckRejectsCorruption(t *testing.T) {
+	cases := map[string]func(r *core.Result){
+		"nan ipc":          func(r *core.Result) { r.IPC = math.NaN() },
+		"inf ipc":          func(r *core.Result) { r.IPC = math.Inf(1) },
+		"ipc too high":     func(r *core.Result) { r.IPC = MaxIPC + 1 },
+		"ipc inconsistent": func(r *core.Result) { r.IPC *= 2 },
+		"negative mpki":    func(r *core.Result) { r.MPKI = -0.5 },
+		"mpki over 1000":   func(r *core.Result) { r.MPKI = 1500 },
+		"negative loadlat": func(r *core.Result) { r.AvgLoadLat = -1 },
+		"huge loadlat":     func(r *core.Result) { r.AvgLoadLat = MaxLoadLat * 2 },
+		"nan epki":         func(r *core.Result) { r.FetchEPKI = math.NaN() },
+		"nan power":        func(r *core.Result) { r.PowerBreakdown["shp"] = math.NaN() },
+		"mispredict overflow": func(r *core.Result) {
+			r.Front.Mispredicts = r.Front.Branches + 1
+		},
+		"taken over branches": func(r *core.Result) {
+			r.Front.TakenBranches = r.Front.Branches + 1
+		},
+		"branches over insts": func(r *core.Result) {
+			r.Front.Branches = r.Front.Insts + 1
+		},
+		"l1d hits overflow": func(r *core.Result) {
+			r.Mem.L1DHits = r.Mem.Loads + r.Mem.Stores + 1
+		},
+		"retire wider than core": func(r *core.Result) {
+			r.Insts = uint64(MaxIPC)*r.Cycles + 1
+			r.IPC = float64(r.Insts) / float64(r.Cycles)
+		},
+		"no work": func(r *core.Result) { *r = core.Result{} },
+	}
+	for name, corrupt := range cases {
+		r := healthyResult(t)
+		corrupt(&r)
+		if err := Check(&r); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+func TestCheckReportsEveryViolation(t *testing.T) {
+	r := healthyResult(t)
+	r.IPC = math.NaN()
+	r.AvgLoadLat = -1
+	err := Check(&r)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "IPC") || !strings.Contains(err.Error(), "load latency") {
+		t.Fatalf("error should list both violations: %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package robust is the fault-isolation layer for population sweeps:
+// guarded slice execution that converts panics, livelocks, and
+// silently-nonsensical results into structured, quarantinable failures
+// instead of taking down (or tainting) a whole campaign. The paper's
+// headline numbers come from a 4,026-slice sweep (§II); at that scale a
+// run must survive one bad slice, one hung subsystem, or one corrupted
+// pooled simulator and still report everything else.
+//
+// The package deliberately sits above internal/core and below
+// internal/experiments: it knows how to run one slice safely, while the
+// experiment harness decides pooling, retries, checkpointing, and
+// reporting policy.
+package robust
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"exysim/internal/core"
+	"exysim/internal/isa"
+	"exysim/internal/obs"
+	"exysim/internal/trace"
+)
+
+// FailureKind classifies why a slice was quarantined.
+type FailureKind string
+
+// Failure kinds.
+const (
+	// KindPanic: the step loop panicked; the simulator's internal state
+	// is suspect and the instance must be discarded, not recycled.
+	KindPanic FailureKind = "panic"
+	// KindTimeout: the slice exceeded its deadline (livelock, stall, or
+	// pathological slowdown) and was abandoned mid-run.
+	KindTimeout FailureKind = "timeout"
+	// KindInvariant: the slice completed but its result violates a
+	// physical invariant (NaN IPC, negative latency, rate outside [0,1]).
+	KindInvariant FailureKind = "invariant"
+)
+
+// SliceFailure is the structured quarantine record for one failed
+// (generation, slice) attempt: enough to reproduce (config digest, slice
+// id), diagnose (kind, error, stack), and account (attempts).
+type SliceFailure struct {
+	Gen        string      `json:"gen"`
+	Slice      string      `json:"slice"`
+	GenIndex   int         `json:"gen_index"`
+	SliceIndex int         `json:"slice_index"`
+	Kind       FailureKind `json:"kind"`
+	Err        string      `json:"error"`
+	// Stack is the goroutine stack at recovery time (panics only).
+	Stack string `json:"stack,omitempty"`
+	// ConfigDigest pins the generation configuration that failed.
+	ConfigDigest string `json:"config_digest,omitempty"`
+	// Attempts is how many runs (initial + retries) were made before the
+	// slice was quarantined.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+func (f *SliceFailure) String() string {
+	return fmt.Sprintf("%s/%s: %s: %s", f.Gen, f.Slice, f.Kind, f.Err)
+}
+
+// StepHook observes (or perturbs) every instruction of a guarded run;
+// n is the zero-based dynamic instruction index. Production runs leave
+// it nil — the fault-injection harness uses it to panic, stall, or
+// corrupt state at a chosen point.
+type StepHook func(n int, in *isa.Inst)
+
+// ResultHook runs over the completed Result before the invariant check —
+// the fault-injection seam for NaN/negative-counter corruption, and an
+// extension point for custom per-slice validation.
+type ResultHook func(r *core.Result)
+
+// DefaultHeartbeat is the instruction interval between deadline checks.
+// It is a power of two so the check compiles to a mask, keeping the
+// watchdog off the critical path: one predictable branch per
+// instruction, one clock read per heartbeat, zero allocations.
+const DefaultHeartbeat = 4096
+
+// Options configures one guarded slice run.
+type Options struct {
+	// Deadline bounds the wall-clock time of one slice; 0 disables the
+	// watchdog. The check is cooperative — it fires at the next
+	// heartbeat, so a slice can overshoot by up to HeartbeatEvery
+	// instructions' worth of work.
+	Deadline time.Duration
+	// HeartbeatEvery is the instruction interval between deadline
+	// checks; it is rounded up to a power of two. 0 means
+	// DefaultHeartbeat.
+	HeartbeatEvery int
+	// CheckInvariants runs Check over the completed result and converts
+	// violations into KindInvariant failures.
+	CheckInvariants bool
+	// StepHook / ResultHook are fault-injection and extension seams;
+	// both are nil in production runs.
+	StepHook   StepHook
+	ResultHook ResultHook
+}
+
+func (o *Options) heartbeatMask() int {
+	hb := o.HeartbeatEvery
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	// Round up to a power of two so the loop tests n&mask instead of n%hb.
+	p := 1
+	for p < hb {
+		p <<= 1
+	}
+	return p - 1
+}
+
+// RunGuarded replays sl on sim under opts, reproducing exactly the
+// warmup/measure protocol of core.Simulator.Run: for a healthy slice the
+// returned Result is bit-identical to sim.Run(sl). On failure it returns
+// a SliceFailure (with Gen/Slice/ConfigDigest filled in) and the
+// simulator must be treated as corrupted: Reset() is not enough after a
+// panic or timeout, because internal state may have been torn mid-update
+// — discard the instance.
+func RunGuarded(sim *core.Simulator, sl *trace.Slice, opts Options) (res core.Result, fail *SliceFailure) {
+	cfg := sim.Config()
+	mkFail := func(kind FailureKind, err string, stack string) *SliceFailure {
+		return &SliceFailure{
+			Gen: cfg.Name, Slice: sl.Name,
+			Kind: kind, Err: err, Stack: stack,
+			ConfigDigest: obs.ConfigDigest(cfg),
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res = core.Result{}
+			fail = mkFail(KindPanic, fmt.Sprint(p), string(debug.Stack()))
+		}
+	}()
+
+	start := time.Now()
+	mask := opts.heartbeatMask()
+	deadline := opts.Deadline
+
+	sl.Reset()
+	c := sim.Core()
+	n := 0
+	for {
+		in, err := sl.Next()
+		if err != nil {
+			break
+		}
+		if opts.StepHook != nil {
+			opts.StepHook(n, &in)
+		}
+		c.Step(&in)
+		n++
+		if n == sl.Warmup {
+			c.ResetStats()
+		}
+		if deadline > 0 && n&mask == 0 && time.Since(start) > deadline {
+			return core.Result{}, mkFail(KindTimeout,
+				fmt.Sprintf("slice exceeded %v deadline after %d instructions", deadline, n), "")
+		}
+	}
+	res = sim.Snapshot(sl)
+	if opts.ResultHook != nil {
+		opts.ResultHook(&res)
+	}
+	if opts.CheckInvariants {
+		if err := Check(&res); err != nil {
+			return core.Result{}, mkFail(KindInvariant, err.Error(), "")
+		}
+	}
+	return res, nil
+}
+
+// Backoff returns the sleep before retry attempt (1-based): 1ms doubling
+// per attempt, capped at 50ms. Bounded so a burst of failures cannot
+// stall a worker for long, nonzero so retries after transient resource
+// pressure (OS-level, not simulator-level) are not immediate.
+func Backoff(attempt int) time.Duration {
+	// 2^6 ms already exceeds the cap; clamping the shift keeps large
+	// attempt counts from overflowing the duration to zero or negative.
+	if attempt > 6 {
+		return 50 * time.Millisecond
+	}
+	d := time.Millisecond << uint(attempt-1)
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// RunWithRetry runs sl guarded, retrying with a fresh simulator (bounded
+// backoff between attempts) up to retries extra times. The first attempt
+// uses sim if non-nil (a pooled instance the caller already Reset); every
+// retry builds a fresh one via build, because the dominant cause of a
+// retryable failure is exactly a corrupted pooled instance.
+//
+// Returns the result, the simulator that produced it (safe to keep
+// pooling; nil if every attempt failed), the per-attempt failures
+// (empty on first-attempt success; the last entry carries the final
+// Attempts count), and whether the slice ultimately succeeded.
+func RunWithRetry(sim *core.Simulator, build func() *core.Simulator, sl *trace.Slice, opts Options, retries int) (core.Result, *core.Simulator, []SliceFailure, bool) {
+	var failures []SliceFailure
+	for attempt := 1; ; attempt++ {
+		if sim == nil {
+			sim = build()
+		}
+		res, fail := RunGuarded(sim, sl, opts)
+		if fail == nil {
+			return res, sim, failures, true
+		}
+		fail.Attempts = attempt
+		failures = append(failures, *fail)
+		sim = nil // discard: possibly corrupted
+		if attempt > retries {
+			return core.Result{}, nil, failures, false
+		}
+		time.Sleep(Backoff(attempt))
+	}
+}

@@ -1,0 +1,175 @@
+package robust
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"exysim/internal/core"
+	"exysim/internal/isa"
+	"exysim/internal/workload"
+)
+
+var tinySpec = workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 8_000, WarmupFrac: 0.25, Seed: 0xE59}
+
+func TestRunGuardedMatchesRunBitIdentical(t *testing.T) {
+	slices := workload.Suite(tinySpec)
+	for _, g := range core.Generations() {
+		ref := core.RunSlice(g, slices[0])
+		got, fail := RunGuarded(core.NewSimulator(g), slices[0], Options{CheckInvariants: true})
+		if fail != nil {
+			t.Fatalf("%s: healthy slice failed: %v", g.Name, fail)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%s: guarded result differs from Run:\n  run:     %+v\n  guarded: %+v", g.Name, ref, got)
+		}
+	}
+}
+
+func TestRunGuardedRecoversPanic(t *testing.T) {
+	g := core.Generations()[0]
+	sl := workload.Suite(tinySpec)[0]
+	opts := Options{StepHook: func(n int, _ *isa.Inst) {
+		if n == 100 {
+			panic("boom at 100")
+		}
+	}}
+	res, fail := RunGuarded(core.NewSimulator(g), sl, opts)
+	if fail == nil {
+		t.Fatal("injected panic not reported")
+	}
+	if fail.Kind != KindPanic {
+		t.Fatalf("kind = %s, want %s", fail.Kind, KindPanic)
+	}
+	if !strings.Contains(fail.Err, "boom at 100") {
+		t.Fatalf("error lost the panic value: %q", fail.Err)
+	}
+	if fail.Stack == "" {
+		t.Fatal("panic failure missing stack trace")
+	}
+	if fail.Gen != g.Name || fail.Slice != sl.Name || fail.ConfigDigest == "" {
+		t.Fatalf("failure not fully identified: %+v", fail)
+	}
+	if !reflect.DeepEqual(res, core.Result{}) {
+		t.Fatal("failed run should return a zero result")
+	}
+}
+
+func TestRunGuardedDeadline(t *testing.T) {
+	g := core.Generations()[0]
+	sl := workload.Suite(tinySpec)[0]
+	opts := Options{
+		Deadline:       5 * time.Millisecond,
+		HeartbeatEvery: 64,
+		StepHook: func(n int, _ *isa.Inst) {
+			time.Sleep(200 * time.Microsecond) // 64 insts/heartbeat × 200µs ≫ 5ms
+		},
+	}
+	_, fail := RunGuarded(core.NewSimulator(g), sl, opts)
+	if fail == nil || fail.Kind != KindTimeout {
+		t.Fatalf("stalled slice should trip the deadline, got %+v", fail)
+	}
+	if !strings.Contains(fail.Err, "deadline") {
+		t.Fatalf("timeout error should name the deadline: %q", fail.Err)
+	}
+}
+
+func TestRunGuardedInvariantQuarantine(t *testing.T) {
+	g := core.Generations()[0]
+	sl := workload.Suite(tinySpec)[0]
+	opts := Options{
+		CheckInvariants: true,
+		ResultHook:      func(r *core.Result) { r.IPC = math.NaN() },
+	}
+	_, fail := RunGuarded(core.NewSimulator(g), sl, opts)
+	if fail == nil || fail.Kind != KindInvariant {
+		t.Fatalf("NaN IPC should quarantine as invariant violation, got %+v", fail)
+	}
+}
+
+func TestHeartbeatMaskRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ in, mask int }{
+		{0, DefaultHeartbeat - 1},
+		{1, 0},
+		{2, 1},
+		{3, 3},
+		{64, 63},
+		{100, 127},
+	} {
+		o := Options{HeartbeatEvery: tc.in}
+		if got := o.heartbeatMask(); got != tc.mask {
+			t.Errorf("heartbeatMask(%d) = %d, want %d", tc.in, got, tc.mask)
+		}
+	}
+}
+
+func TestBackoffBounded(t *testing.T) {
+	if Backoff(1) != time.Millisecond {
+		t.Fatalf("first backoff = %v", Backoff(1))
+	}
+	prev := time.Duration(0)
+	for attempt := 1; attempt < 100; attempt++ {
+		d := Backoff(attempt)
+		if d <= 0 || d > 50*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v outside (0, 50ms]", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("Backoff(%d) = %v shrank from %v", attempt, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRunWithRetryTransientFault(t *testing.T) {
+	g := core.Generations()[0]
+	sl := workload.Suite(tinySpec)[0]
+	ref := core.RunSlice(g, sl)
+
+	fired := false
+	opts := Options{CheckInvariants: true, StepHook: func(n int, _ *isa.Inst) {
+		if n == 50 && !fired {
+			fired = true
+			panic("transient")
+		}
+	}}
+	build := func() *core.Simulator { return core.NewSimulator(g) }
+	res, sim, fails, ok := RunWithRetry(core.NewSimulator(g), build, sl, opts, 2)
+	if !ok {
+		t.Fatalf("transient fault should recover on retry: %+v", fails)
+	}
+	if sim == nil {
+		t.Fatal("successful retry should return a pool-safe simulator")
+	}
+	if len(fails) != 1 || fails[0].Attempts != 1 {
+		t.Fatalf("want one failure record for attempt 1, got %+v", fails)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("retried result differs from a clean run")
+	}
+}
+
+func TestRunWithRetryPersistentFaultQuarantines(t *testing.T) {
+	g := core.Generations()[0]
+	sl := workload.Suite(tinySpec)[0]
+	opts := Options{StepHook: func(n int, _ *isa.Inst) {
+		if n == 50 {
+			panic("persistent")
+		}
+	}}
+	build := func() *core.Simulator { return core.NewSimulator(g) }
+	_, sim, fails, ok := RunWithRetry(nil, build, sl, opts, 2)
+	if ok {
+		t.Fatal("persistent fault must not succeed")
+	}
+	if sim != nil {
+		t.Fatal("no simulator should survive a quarantine")
+	}
+	if len(fails) != 3 { // initial + 2 retries
+		t.Fatalf("attempts = %d, want 3", len(fails))
+	}
+	if last := fails[len(fails)-1]; last.Attempts != 3 || last.Kind != KindPanic {
+		t.Fatalf("final record should carry the attempt count: %+v", last)
+	}
+}

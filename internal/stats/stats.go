@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -62,6 +63,33 @@ func (s *Summary) StdDev() float64 {
 		return 0
 	}
 	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// summaryJSON is the wire form of Summary. The fields are unexported in
+// the struct (callers go through the accessors), but results containing
+// summaries must survive a checkpoint round-trip bit-identically, so the
+// JSON form carries the full accumulator state, not just the mean.
+type summaryJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON encodes the full accumulator state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores the accumulator state written by MarshalJSON.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	s.n, s.mean, s.m2, s.min, s.max = w.N, w.Mean, w.M2, w.Min, w.Max
+	return nil
 }
 
 // Population holds a full set of per-slice observations, one per workload

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSummaryJSONRoundTripBitIdentical pins the checkpoint contract:
+// a Summary must survive JSON encode/decode with every accumulator
+// field exactly equal, so results restored from a sweep checkpoint are
+// bit-identical to the ones that were simulated.
+func TestSummaryJSONRoundTripBitIdentical(t *testing.T) {
+	var s Summary
+	// Irrational-ish values exercise the shortest-exact float encoding.
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i) * 1.0000000000001 / 3.0)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip not bit-identical:\n  in:  %+v\n  out: %+v", s, got)
+	}
+	// A second hop must be byte-stable too.
+	b2, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-encode drifted: %s vs %s", b, b2)
+	}
+}
+
+func TestSummaryJSONEmpty(t *testing.T) {
+	var s, got Summary
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatal("empty summary round trip")
+	}
+}

@@ -40,6 +40,49 @@ const (
 	version = 1
 )
 
+// FormatError describes a corrupt or truncated trace stream: which field
+// of which record failed to decode, at which byte offset of the input.
+// It wraps the underlying cause (errors.Is(err, io.ErrUnexpectedEOF)
+// distinguishes truncation from corruption), so tools can both print an
+// actionable message and branch on the failure class.
+type FormatError struct {
+	Offset int64  // byte offset where decoding failed
+	Record int64  // zero-based record index, -1 while in the header
+	Field  string // the field being decoded ("pc", "target", "count", ...)
+	Err    error
+}
+
+func (e *FormatError) Error() string {
+	where := "header"
+	if e.Record >= 0 {
+		where = fmt.Sprintf("record %d", e.Record)
+	}
+	return fmt.Sprintf("trace: %s field %q at byte offset %d: %v", where, e.Field, e.Offset, e.Err)
+}
+
+func (e *FormatError) Unwrap() error { return e.Err }
+
+// countReader tracks the number of bytes consumed from the underlying
+// buffered reader so decode errors can report where the stream broke.
+type countReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Write serializes the slice to w.
 func Write(w io.Writer, s *Slice) error {
 	bw := bufio.NewWriter(w)
@@ -117,56 +160,65 @@ func Write(w io.Writer, s *Slice) error {
 	return bw.Flush()
 }
 
-// Read deserializes a slice written by Write.
+// Read deserializes a slice written by Write. Corrupt or truncated input
+// returns a *FormatError carrying the byte offset, record index, and
+// field where decoding broke — never a panic, and never a bare "EOF"
+// with no location.
 func Read(r io.Reader) (*Slice, error) {
-	br := bufio.NewReader(r)
-	var m uint32
-	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return nil, err
+	cr := &countReader{br: bufio.NewReader(r)}
+	rec := int64(-1) // -1 while decoding the header
+	// fail wraps err with the current location. A clean EOF mid-stream is
+	// really a truncation: anything after the magic has a known remaining
+	// length, so running out of bytes is always unexpected.
+	fail := func(field string, err error) error {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return &FormatError{Offset: cr.n, Record: rec, Field: field, Err: err}
 	}
-	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	var hdr [6]byte // u32 magic + u16 version
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return nil, fail("magic", err)
 	}
-	var v uint16
-	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-		return nil, err
+	if m := binary.LittleEndian.Uint32(hdr[:4]); m != magic {
+		return nil, fail("magic", fmt.Errorf("bad magic %#x", m))
 	}
-	if v != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != version {
+		return nil, fail("version", fmt.Errorf("unsupported version %d", v))
 	}
-	getStr := func() (string, error) {
-		n, err := binary.ReadUvarint(br)
+	getStr := func(field string) (string, error) {
+		n, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return "", err
+			return "", fail(field, err)
 		}
 		if n > 1<<20 {
-			return "", fmt.Errorf("trace: unreasonable string length %d", n)
+			return "", fail(field, fmt.Errorf("unreasonable string length %d", n))
 		}
 		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
+		if _, err := io.ReadFull(cr, b); err != nil {
+			return "", fail(field, err)
 		}
 		return string(b), nil
 	}
 	s := &Slice{}
 	var err error
-	if s.Name, err = getStr(); err != nil {
+	if s.Name, err = getStr("name"); err != nil {
 		return nil, err
 	}
-	if s.Suite, err = getStr(); err != nil {
+	if s.Suite, err = getStr("suite"); err != nil {
 		return nil, err
 	}
-	warm, err := binary.ReadUvarint(br)
+	warm, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, err
+		return nil, fail("warmup", err)
 	}
 	s.Warmup = int(warm)
-	count, err := binary.ReadUvarint(br)
+	count, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, err
+		return nil, fail("count", err)
 	}
 	if count > 1<<32 {
-		return nil, fmt.Errorf("trace: unreasonable instruction count %d", count)
+		return nil, fail("count", fmt.Errorf("unreasonable instruction count %d", count))
 	}
 	// Allocate incrementally: a forged header must not be able to demand
 	// gigabytes up front. Each record is at least 7 bytes, so a
@@ -178,50 +230,51 @@ func Read(r io.Reader) (*Slice, error) {
 	s.Insts = make([]isa.Inst, 0, initial)
 	var prevPC, prevAddr uint64
 	for i := uint64(0); i < count; i++ {
+		rec = int64(i)
 		s.Insts = append(s.Insts, isa.Inst{})
 		in := &s.Insts[len(s.Insts)-1]
-		cls, err := br.ReadByte()
+		cls, err := cr.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, fail("class", err)
 		}
 		in.Class = isa.Class(cls)
-		kb, err := br.ReadByte()
+		kb, err := cr.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, fail("branch", err)
 		}
 		in.Branch = isa.BranchKind(kb & 0x7F)
 		in.Taken = kb&0x80 != 0
-		dpc, err := binary.ReadVarint(br)
+		dpc, err := binary.ReadVarint(cr)
 		if err != nil {
-			return nil, err
+			return nil, fail("pc", err)
 		}
 		in.PC = prevPC + uint64(dpc)
 		prevPC = in.PC
 		if in.Branch.IsBranch() {
-			dt, err := binary.ReadVarint(br)
+			dt, err := binary.ReadVarint(cr)
 			if err != nil {
-				return nil, err
+				return nil, fail("target", err)
 			}
 			in.Target = in.PC + uint64(dt)
 		}
 		if in.Class.IsMem() {
-			da, err := binary.ReadVarint(br)
+			da, err := binary.ReadVarint(cr)
 			if err != nil {
-				return nil, err
+				return nil, fail("addr", err)
 			}
 			in.Addr = prevAddr + uint64(da)
 			prevAddr = in.Addr
-			if in.Size, err = br.ReadByte(); err != nil {
-				return nil, err
+			if in.Size, err = cr.ReadByte(); err != nil {
+				return nil, fail("size", err)
 			}
 		}
 		var ops [3]byte
-		if _, err := io.ReadFull(br, ops[:]); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(cr, ops[:]); err != nil {
+			return nil, fail("operands", err)
 		}
 		in.Dst, in.Src1, in.Src2 = ops[0], ops[1], ops[2]
 		if err := in.Valid(); err != nil {
-			return nil, err
+			return nil, fail("record", err)
 		}
 	}
 	return s, nil

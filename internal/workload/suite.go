@@ -24,6 +24,27 @@ type SuiteSpec struct {
 	Seed uint64
 }
 
+// Normalize clamps a spec to sane bounds so degenerate input (zero or
+// negative sizes from a miswired CLI flag, a warmup fraction outside
+// [0,1)) produces a small valid population instead of an empty or
+// pathological one. Valid specs pass through unchanged, so normalizing
+// is free for every existing caller.
+func (s SuiteSpec) Normalize() SuiteSpec {
+	if s.SlicesPerFamily < 1 {
+		s.SlicesPerFamily = 1
+	}
+	if s.InstsPerSlice < 1 {
+		s.InstsPerSlice = 1
+	}
+	if s.WarmupFrac < 0 || s.WarmupFrac != s.WarmupFrac { // negative or NaN
+		s.WarmupFrac = 0
+	}
+	if s.WarmupFrac > 0.95 {
+		s.WarmupFrac = 0.95
+	}
+	return s
+}
+
 // Preset suite sizes. Tests use Tiny; the figure CLIs default to Standard.
 var (
 	// TinySpec is for unit/integration tests: fast, still diverse.
@@ -62,6 +83,7 @@ func defaultFamilies() []weightedFamily {
 // in the same order. At standard scale generation is a visible fraction
 // of a population run's wall time; per-family fan-out hides it.
 func Suite(spec SuiteSpec) []*trace.Slice {
+	spec = spec.Normalize()
 	warm := int(float64(spec.InstsPerSlice) * spec.WarmupFrac)
 	budget := spec.InstsPerSlice + warm
 	fams := defaultFamilies()

@@ -6,10 +6,12 @@
 package exysim
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
 	"exysim/internal/core"
+	"exysim/internal/obs"
 	"exysim/internal/workload"
 )
 
@@ -50,6 +52,63 @@ func TestResetReuseMatchesFreshSimulator(t *testing.T) {
 			sim.Reset()
 			if got := sim.Run(a); !reflect.DeepEqual(got, freshA) {
 				t.Errorf("second reuse differs from fresh simulator:\n  fresh:  %+v\n  reused: %+v", freshA, got)
+			}
+		})
+	}
+}
+
+// TestResetReuseObservabilityMatchesFresh pins the recycle protocol for
+// the observability layer: after Reset(), a pooled simulator's metrics
+// snapshot, cycle-trace ring, and config digest must be bit-identical to
+// a fresh simulator's for the same slice. Before the registry was
+// rebased and the tracer cleared on Reset, a recycled instance reported
+// pool-lifetime counters and a trace ring spanning earlier slices —
+// exactly the regression this test exists to catch.
+func TestResetReuseObservabilityMatchesFresh(t *testing.T) {
+	spec := workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 12_000, WarmupFrac: 0.25, Seed: 0xE59}
+	for _, g := range core.Generations() {
+		t.Run(g.Name, func(t *testing.T) {
+			t.Parallel()
+			slices := workload.Suite(spec)
+			a, b := slices[0], slices[len(slices)-1]
+
+			fresh := core.NewSimulator(g)
+			freshTr := obs.NewTracer(1 << 12)
+			fresh.SetTracer(freshTr)
+			fresh.Run(a)
+			freshSnap := fresh.MetricsSnapshot()
+			var freshTrace bytes.Buffer
+			if err := freshTr.WriteJSON(&freshTrace); err != nil {
+				t.Fatal(err)
+			}
+
+			pooled := core.NewSimulator(g)
+			pooledTr := obs.NewTracer(1 << 12)
+			pooled.SetTracer(pooledTr)
+			pooled.Run(b)                // dirty the counters, rings, and learned state
+			_ = pooled.MetricsSnapshot() // force the lazy registry into existence pre-Reset
+			pooled.Reset()
+			pooled.Run(a)
+			pooledSnap := pooled.MetricsSnapshot()
+			var pooledTrace bytes.Buffer
+			if err := pooledTr.WriteJSON(&pooledTrace); err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(pooledSnap, freshSnap) {
+				for k, v := range freshSnap.Values {
+					if pooledSnap.Values[k] != v {
+						t.Errorf("metric %q: fresh %v, recycled %v", k, v, pooledSnap.Values[k])
+					}
+				}
+				t.Fatal("recycled simulator's metrics snapshot differs from fresh")
+			}
+			if !bytes.Equal(pooledTrace.Bytes(), freshTrace.Bytes()) {
+				t.Errorf("recycled simulator's trace ring differs from fresh (%d vs %d bytes)",
+					pooledTrace.Len(), freshTrace.Len())
+			}
+			if fd, pd := obs.ConfigDigest(fresh.Config()), obs.ConfigDigest(pooled.Config()); fd != pd {
+				t.Errorf("config digest drifted across recycle: %s vs %s", fd, pd)
 			}
 		})
 	}
