@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 fmt-check vet build test race robust-smoke bench bench-smoke bench-compare bench-go
+.PHONY: tier1 fmt-check vet build test race robust-smoke serve-smoke bench bench-smoke bench-compare bench-go
 
 # tier1 is the gate every change must pass: formatting, vet, a full
 # build, the test suite under the race detector, the fault-injection
-# smoke, and a benchmark smoke run proving the throughput harness still
-# executes every generation.
-tier1: fmt-check vet build race robust-smoke bench-smoke
+# smoke, the serving-layer smoke, and a benchmark smoke run proving the
+# throughput harness still executes every generation.
+tier1: fmt-check vet build race robust-smoke serve-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -31,6 +31,13 @@ race:
 # results must quarantine cleanly even when workers race.
 robust-smoke:
 	$(GO) test -race ./internal/robust/...
+
+# serve-smoke exercises the exyserve daemon's HTTP surface under the
+# race detector: concurrent pooled sweeps must stay bit-identical to
+# sequential runs, the queue must shed load with 429s, and drain must
+# finish (or checkpoint) in-flight jobs.
+serve-smoke:
+	$(GO) test -race ./internal/serve/...
 
 # bench measures per-generation simulator throughput (min-of-5 batches)
 # plus the population-scale RunPopulation sweep, and rewrites the

@@ -15,6 +15,7 @@
 package exysim
 
 import (
+	"context"
 	"testing"
 
 	"exysim/internal/branch"
@@ -25,6 +26,17 @@ import (
 
 // benchSpec sizes the benchmark populations.
 var benchSpec = workload.SuiteSpec{SlicesPerFamily: 2, InstsPerSlice: 40_000, WarmupFrac: 0.25, Seed: 0xE59}
+
+// popRun is the test-side spelling of experiments.Run for specs that
+// cannot fail (no checkpoint, no cancellation).
+func popRun(tb testing.TB, spec workload.SuiteSpec) *experiments.PopulationRun {
+	tb.Helper()
+	p, err := experiments.Run(context.Background(), spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -55,7 +67,7 @@ func BenchmarkTableIII(b *testing.B) {
 func BenchmarkTableIV(b *testing.B) {
 	var means []float64
 	for i := 0; i < b.N; i++ {
-		p := experiments.RunPopulation(benchSpec)
+		p := popRun(b, benchSpec)
 		means = p.Means(experiments.MetricLoadLat)
 	}
 	b.ReportMetric(means[0], "M1_loadlat")
@@ -74,7 +86,7 @@ func BenchmarkFig1(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	var means []float64
 	for i := 0; i < b.N; i++ {
-		p := experiments.RunPopulation(benchSpec)
+		p := popRun(b, benchSpec)
 		means = p.Means(experiments.MetricMPKI)
 	}
 	b.ReportMetric(means[0], "M1_MPKI")
@@ -84,7 +96,7 @@ func BenchmarkFig9(b *testing.B) {
 func BenchmarkFig16(b *testing.B) {
 	var curves [][]float64
 	for i := 0; i < b.N; i++ {
-		p := experiments.RunPopulation(benchSpec)
+		p := popRun(b, benchSpec)
 		curves = p.Curves(experiments.MetricLoadLat, 8)
 	}
 	b.ReportMetric(curves[0][0], "M1_p0_lat")
@@ -94,7 +106,7 @@ func BenchmarkFig16(b *testing.B) {
 func BenchmarkFig17(b *testing.B) {
 	var means []float64
 	for i := 0; i < b.N; i++ {
-		p := experiments.RunPopulation(benchSpec)
+		p := popRun(b, benchSpec)
 		means = p.Means(experiments.MetricIPC)
 	}
 	b.ReportMetric(means[0], "M1_IPC")
@@ -143,7 +155,7 @@ func BenchmarkAblateCascade(b *testing.B)    { benchAblation(b, "cascade") }
 func BenchmarkPower(b *testing.B) {
 	var epki []float64
 	for i := 0; i < b.N; i++ {
-		p := experiments.RunPopulation(benchSpec)
+		p := popRun(b, benchSpec)
 		epki = p.Means(experiments.MetricEPKI)
 	}
 	b.ReportMetric(epki[3], "M4_EPKI")

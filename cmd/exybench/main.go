@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -299,7 +300,7 @@ func measure(reps int, smoke bool) *Report {
 	return rep
 }
 
-// measurePopulation times full RunPopulation sweeps (min-of-reps wall
+// measurePopulation times full experiments.Run sweeps (min-of-reps wall
 // seconds). Smoke mode runs one tiny-spec sweep, still covering suite
 // generation, the worker pool, and Reset-based simulator reuse.
 func measurePopulation(reps int, smoke bool) *PopResult {
@@ -307,12 +308,20 @@ func measurePopulation(reps int, smoke bool) *PopResult {
 	if smoke {
 		spec, reps = popSmokeSpec, 1
 	}
+	sweep := func() *experiments.PopulationRun {
+		p, err := experiments.Run(context.Background(), spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exybench:", err)
+			os.Exit(2)
+		}
+		return p
+	}
 	best := float64(0)
-	var p = experiments.RunPopulation(spec) // warm (and count) outside the scored reps
+	p := sweep() // warm (and count) outside the scored reps
 	slices := len(p.Slices)
 	insts := p.TotalInsts
 	for r := 0; r < reps; r++ {
-		p = experiments.RunPopulation(spec)
+		p = sweep()
 		if best == 0 || p.WallSeconds < best {
 			best = p.WallSeconds
 		}

@@ -1,0 +1,97 @@
+// Command exyserve runs the sweep-serving daemon: an HTTP/JSON API over
+// the simulator's population-sweep and single-slice experiments, with a
+// bounded job queue, pooled Reset()-recycled simulators, progress
+// streaming, a digest-keyed result cache, and graceful drain on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	exyserve [--addr=localhost:8080] [--workers=2] [--queue=16]
+//	         [--sweep-workers=0] [--cache=64] [--checkpoint-dir=DIR]
+//	         [--drain-timeout=30s]
+//
+// Quickstart:
+//
+//	exyserve --addr=localhost:8080 &
+//	curl -s localhost:8080/v1/jobs -d '{"preset":"tiny"}'          # submit
+//	curl -s localhost:8080/v1/jobs/j000001                         # poll
+//	curl -sN localhost:8080/v1/jobs/j000001/stream                 # JSONL progress
+//	curl -s localhost:8080/metrics                                 # counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"exysim/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("exyserve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	workers := fs.Int("workers", 2, "jobs executing concurrently")
+	queue := fs.Int("queue", 16, "queued-job backlog before 429s")
+	sweepWorkers := fs.Int("sweep-workers", 0, "worker goroutines per population sweep (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache", 64, "result cache entries (negative disables)")
+	ckptDir := fs.String("checkpoint-dir", "", "checkpoint population jobs under DIR for resume")
+	drain := fs.Duration("drain-timeout", serve.DrainDefault, "grace period for in-flight jobs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		SweepParallelism: *sweepWorkers,
+		CacheEntries:     *cacheEntries,
+		CheckpointDir:    *ckptDir,
+	})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exyserve:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "exyserve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "exyserve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections, let in-flight jobs finish (or
+	// checkpoint and abandon at the deadline), then exit.
+	fmt.Fprintf(os.Stderr, "exyserve: draining (up to %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "exyserve: drain deadline hit, in-flight jobs canceled")
+		code = 1
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "exyserve:", err)
+		code = 1
+	}
+	fmt.Fprintln(os.Stderr, "exyserve: stopped")
+	return code
+}

@@ -25,15 +25,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"exysim/internal/branch"
@@ -166,13 +170,13 @@ func main() {
 		cmdFig1(args)
 	case "fig9":
 		cmdCurve(args, "fig9", "Fig. 9 — MPKI across workload slices (sorted per generation, clipped at 20)",
-			experiments.MetricMPKI, 20)
+			"mpki", 20)
 	case "fig16":
 		cmdCurve(args, "fig16", "Fig. 16 — average load latency across workload slices (sorted per generation)",
-			experiments.MetricLoadLat, 0)
+			"load_lat", 0)
 	case "fig17":
 		cmdCurve(args, "fig17", "Fig. 17 — IPC across workload slices (sorted per generation)",
-			experiments.MetricIPC, 0)
+			"ipc", 0)
 	case "summary":
 		cmdSummary(args)
 	case "report":
@@ -258,6 +262,17 @@ func cmdFig1(args []string) {
 	fmt.Println(experiments.RenderFig1(pts))
 }
 
+// mustPopRun is the no-flags spelling of experiments.Run for commands
+// without the shared population flag surface.
+func mustPopRun(spec workload.SuiteSpec) *experiments.PopulationRun {
+	p, err := experiments.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exysim:", err)
+		os.Exit(2)
+	}
+	return p
+}
+
 // popFlags is the shared flag surface of the population commands
 // (fig9/fig16/fig17/summary/tables --id=4): sizing, progress reporting,
 // manifest export, and the sweep-robustness knobs.
@@ -289,21 +304,32 @@ func runPopulationFlags(fs *flag.FlagSet) *popFlags {
 // the point of the robustness layer — but the failure report goes to
 // stderr so the quarantine is never silent.
 func runPopulation(command string, pf *popFlags, artifacts map[string]string) *experiments.PopulationRun {
-	var prog *obs.Progress
 	sp := specByName(*pf.spec)
+	opts := []experiments.Option{
+		experiments.WithSliceDeadline(*pf.sliceDeadline),
+		experiments.WithRetries(*pf.retries),
+	}
 	if *pf.progress {
 		total := len(workload.Suite(sp)) * 6
-		prog = obs.NewProgress(os.Stderr, command, total)
+		opts = append(opts, experiments.WithProgress(obs.NewProgress(os.Stderr, command, total)))
 	}
-	p, err := experiments.RunPopulationOpts(sp, experiments.PopulationOptions{
-		Progress:       prog,
-		SliceDeadline:  *pf.sliceDeadline,
-		Retries:        *pf.retries,
-		CheckpointPath: *pf.checkpoint,
-		Resume:         *pf.resume,
-	})
+	if *pf.checkpoint != "" {
+		opts = append(opts, experiments.WithCheckpoint(*pf.checkpoint))
+	}
+	if *pf.resume {
+		opts = append(opts, experiments.WithResume())
+	}
+	// Ctrl-C / SIGTERM cancels the sweep mid-slice; with --checkpoint the
+	// completed pairs survive for a later --resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	p, err := experiments.Run(ctx, sp, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "exysim:", err)
+		if errors.Is(err, context.Canceled) && *pf.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "exysim: interrupted; completed slices checkpointed to %s (rerun with --resume)\n", *pf.checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "exysim:", err)
+		}
 		os.Exit(2)
 	}
 	if rep := p.FailureReport(); rep != "" {
@@ -325,7 +351,7 @@ func runPopulation(command string, pf *popFlags, artifacts map[string]string) *e
 	return p
 }
 
-func cmdCurve(args []string, name, title string, m experiments.Metric, clip float64) {
+func cmdCurve(args []string, name, title, metric string, clip float64) {
 	fs := flag.NewFlagSet("fig", flag.ExitOnError)
 	pf := runPopulationFlags(fs)
 	points := fs.Int("points", 12, "sampled positions along the sorted population")
@@ -342,9 +368,13 @@ func cmdCurve(args []string, name, title string, m experiments.Metric, clip floa
 		artifacts["metrics"] = *metricsOut
 	}
 	p := runPopulation(name, pf, artifacts)
-	curves := p.Curves(m, *points)
+	doc, err := p.CurveDoc(name, metric, *points)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *metricsOut != "" {
-		if err := writeCurveJSONFile(*metricsOut, name, p, curves, m); err != nil {
+		if err := writeCurveJSONFile(*metricsOut, doc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -352,23 +382,27 @@ func cmdCurve(args []string, name, title string, m experiments.Metric, clip floa
 	switch *format {
 	case "csv":
 		fmt.Print("position")
-		for _, g := range p.Gens {
-			fmt.Printf(",%s", g.Name)
+		for _, gn := range doc.Generations {
+			fmt.Printf(",%s", gn)
 		}
 		fmt.Println()
 		for i := 0; i < *points; i++ {
 			fmt.Printf("%d", i)
-			for gidx := range p.Gens {
-				fmt.Printf(",%g", curves[gidx][i])
+			for _, gn := range doc.Generations {
+				fmt.Printf(",%g", doc.Curves[gn][i])
 			}
 			fmt.Println()
 		}
 	case "json":
-		if err := writeCurveJSON(os.Stdout, name, p, curves, m); err != nil {
+		if err := writeCurveJSON(os.Stdout, doc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	case "text", "":
+		curves := make([][]float64, len(doc.Generations))
+		for g, gn := range doc.Generations {
+			curves[g] = doc.Curves[gn]
+		}
 		fmt.Println(experiments.RenderCurves(title, p.Gens, curves, clip))
 		if *summary {
 			fmt.Println(experiments.Summary(p))
@@ -379,38 +413,18 @@ func cmdCurve(args []string, name, title string, m experiments.Metric, clip floa
 	}
 }
 
-// curveJSON is the structured form of one population figure.
-type curveJSON struct {
-	Figure      string               `json:"figure"`
-	Generations []string             `json:"generations"`
-	Curves      map[string][]float64 `json:"curves"`
-	Means       map[string]float64   `json:"means"`
-}
-
-func curveData(name string, p *experiments.PopulationRun, curves [][]float64, m experiments.Metric) curveJSON {
-	out := curveJSON{Figure: name, Curves: map[string][]float64{}, Means: map[string]float64{}}
-	means := p.Means(m)
-	for g := range p.Gens {
-		gn := p.Gens[g].Name
-		out.Generations = append(out.Generations, gn)
-		out.Curves[gn] = curves[g]
-		out.Means[gn] = means[g]
-	}
-	return out
-}
-
-func writeCurveJSON(w *os.File, name string, p *experiments.PopulationRun, curves [][]float64, m experiments.Metric) error {
+func writeCurveJSON(w *os.File, doc experiments.CurveDoc) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(curveData(name, p, curves, m))
+	return enc.Encode(doc)
 }
 
-func writeCurveJSONFile(path, name string, p *experiments.PopulationRun, curves [][]float64, m experiments.Metric) error {
+func writeCurveJSONFile(path string, doc experiments.CurveDoc) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := writeCurveJSON(f, name, p, curves, m); err != nil {
+	if err := writeCurveJSON(f, doc); err != nil {
 		f.Close()
 		return err
 	}
@@ -424,21 +438,9 @@ func cmdSummary(args []string) {
 	_ = fs.Parse(args)
 	p := runPopulation("summary", pf, nil)
 	if *format == "json" {
-		out := map[string]map[string]float64{
-			"mpki": {}, "ipc": {}, "load_lat": {}, "epki": {},
-		}
-		metrics := map[string]experiments.Metric{
-			"mpki": experiments.MetricMPKI, "ipc": experiments.MetricIPC,
-			"load_lat": experiments.MetricLoadLat, "epki": experiments.MetricEPKI,
-		}
-		for key, m := range metrics {
-			for g, v := range p.Means(m) {
-				out[key][p.Gens[g].Name] = v
-			}
-		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(p.SummaryDoc()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -453,7 +455,7 @@ func cmdReport(args []string) {
 	spec := fs.String("spec", "standard", "population size")
 	points := fs.Int("points", 12, "curve sample points")
 	_ = fs.Parse(args)
-	p := experiments.RunPopulation(specByName(*spec))
+	p := mustPopRun(specByName(*spec))
 	fmt.Println(experiments.RenderTableI())
 	fmt.Println(experiments.RenderTableII())
 	fmt.Println(experiments.RenderTableIII())
@@ -473,7 +475,7 @@ func cmdPower(args []string) {
 	fs := flag.NewFlagSet("power", flag.ExitOnError)
 	spec := fs.String("spec", "quick", "population size")
 	_ = fs.Parse(args)
-	p := experiments.RunPopulation(specByName(*spec))
+	p := mustPopRun(specByName(*spec))
 	fmt.Println(experiments.RenderPower(p))
 }
 

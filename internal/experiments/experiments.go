@@ -36,6 +36,8 @@ type PopulationRun struct {
 
 	// Failed marks quarantined (gen, slice) pairs: their Results entry
 	// is zero and every aggregate (means, curves, totals) skips them.
+	// Pairs a canceled Run never completed are also zero but NOT marked
+	// failed — aggregates skip them by their zero instruction count.
 	// Failures carries the structured quarantine records; Retries counts
 	// attempts beyond the first across the sweep, and Resumed counts
 	// results restored from a checkpoint instead of simulated.
@@ -52,236 +54,14 @@ type PopulationRun struct {
 	WallSeconds float64
 }
 
-// ok reports whether the (gen, slice) pair completed (not quarantined).
+// ok reports whether the (gen, slice) pair completed (not quarantined,
+// not left incomplete by a canceled run — a completed slice always
+// simulated at least one instruction).
 func (p *PopulationRun) ok(g, s int) bool {
-	return p.Failed == nil || !p.Failed[g][s]
-}
-
-// PopulationOptions configures the robustness envelope of a sweep. The
-// zero value reproduces the historical behaviour: no deadline, no
-// checkpoint, no retries — but with panic isolation and invariant
-// checking always on, so one bad slice degrades the run to a partial
-// result instead of crashing it.
-type PopulationOptions struct {
-	// Progress reports slices done / sim-MIPS / ETA; nil disables.
-	Progress *obs.Progress
-	// SliceDeadline bounds each slice's wall-clock time (0 = no bound);
-	// a slice that trips it is quarantined as a timeout.
-	SliceDeadline time.Duration
-	// Retries is how many extra attempts a failed slice gets, each on a
-	// fresh simulator with bounded backoff, before it is quarantined.
-	Retries int
-	// SkipInvariants disables the result-invariant checker (it is on by
-	// default: silent nonsense quarantines the slice).
-	SkipInvariants bool
-	// CheckpointPath appends completed (gen, slice) results to a JSONL
-	// checkpoint ("" disables). With Resume, results already present in
-	// the checkpoint are restored instead of re-simulated.
-	CheckpointPath string
-	Resume         bool
-
-	// StepHook / ResultHook build per-(gen, slice) fault-injection hooks
-	// for the robustness tests; nil (the production case) installs
-	// nothing. A returned nil hook leaves that pair unperturbed.
-	StepHook   func(g, s int) robust.StepHook
-	ResultHook func(g, s int) robust.ResultHook
-}
-
-// RunPopulation replays the whole suite through all six generations,
-// fanning slices out across CPUs. Results are bit-identical to running
-// each (gen, slice) pair on a fresh simulator, so runs stay
-// order-independent and deterministic; see RunPopulationOpts for how
-// simulators are recycled and failures contained.
-func RunPopulation(spec workload.SuiteSpec) *PopulationRun {
-	return RunPopulationProgress(spec, nil)
-}
-
-// RunPopulationProgress is RunPopulation with a progress reporter; prog
-// may be nil (no reporting). Each finished (gen, slice) pair steps the
-// reporter with its simulated instruction count.
-func RunPopulationProgress(spec workload.SuiteSpec, prog *obs.Progress) *PopulationRun {
-	p, err := RunPopulationOpts(spec, PopulationOptions{Progress: prog})
-	if err != nil {
-		// Only checkpoint plumbing can fail, and this entry point
-		// configures none.
-		panic(err)
+	if p.Failed != nil && p.Failed[g][s] {
+		return false
 	}
-	return p
-}
-
-// RunPopulationOpts is the full sweep: every generation × every slice,
-// fanned out across CPUs with pooled simulators, under the robustness
-// envelope opts describes.
-//
-// Each worker keeps a private pool of at most one simulator per
-// generation, built on first use and recycled with Reset() for every
-// later job of that generation. Constructing an M6 simulator allocates
-// hundreds of tables; at population scale the construction and the GC
-// pressure it feeds dominate small-slice runs, while Reset() only zeroes
-// the existing arrays. The Reset() protocol guarantees bit-identical
-// results to a fresh simulator (reuse_test.go), so determinism is
-// unaffected. Jobs are enqueued generation-major, which keeps each
-// worker's pool hot on one generation at a time.
-//
-// Every slice runs guarded (robust.RunGuarded): a panic, deadline trip,
-// or invariant violation quarantines that slice alone — the possibly
-// corrupted pooled simulator is discarded instead of recycled, the slice
-// is retried on fresh simulators up to opts.Retries times, and the sweep
-// completes with partial results plus the failure records in
-// p.Failures. Completed results stream to the checkpoint (if
-// configured), so a killed run can resume without redoing them; restored
-// results are bit-identical to simulated ones, keeping resumed
-// population means bit-identical to an uninterrupted run's.
-//
-// The returned error is reserved for checkpoint plumbing (unwritable
-// path, resuming against a mismatched spec); simulation failures never
-// abort the sweep.
-func RunPopulationOpts(spec workload.SuiteSpec, opts PopulationOptions) (*PopulationRun, error) {
-	start := time.Now()
-	spec = spec.Normalize()
-	slices := workload.Suite(spec)
-	gens := core.Generations()
-	p := &PopulationRun{Spec: spec, Gens: gens, Slices: slices}
-	p.Results = make([][]core.Result, len(gens))
-	p.Failed = make([][]bool, len(gens))
-	done := make([][]bool, len(gens))
-	for g := range gens {
-		p.Results[g] = make([]core.Result, len(slices))
-		p.Failed[g] = make([]bool, len(slices))
-		done[g] = make([]bool, len(slices))
-	}
-
-	// Checkpoint/resume. The digest pins both the workload spec and the
-	// generation set, so a stale checkpoint from a different campaign is
-	// rejected instead of silently mixed in.
-	var ckpt *robust.CheckpointWriter
-	if opts.CheckpointPath != "" {
-		digest := populationDigest(spec, gens)
-		if opts.Resume {
-			entries, err := robust.LoadCheckpoint(opts.CheckpointPath, digest)
-			if err != nil {
-				return nil, err
-			}
-			for _, e := range entries {
-				if e.Gen < 0 || e.Gen >= len(gens) || e.Slice < 0 || e.Slice >= len(slices) || done[e.Gen][e.Slice] {
-					continue
-				}
-				p.Results[e.Gen][e.Slice] = e.Result
-				done[e.Gen][e.Slice] = true
-				p.Resumed++
-			}
-			if ckpt, err = robust.OpenCheckpoint(opts.CheckpointPath, digest); err != nil {
-				return nil, err
-			}
-		} else {
-			var err error
-			if ckpt, err = robust.CreateCheckpoint(opts.CheckpointPath, digest); err != nil {
-				return nil, err
-			}
-		}
-		defer ckpt.Close()
-	}
-
-	type job struct{ g, s int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var mu sync.Mutex // guards Failures/Retries and checkpoint error reporting
-	var ckptErr error
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker drives one private cursor struct, reused across
-			// jobs. The clone shares the slice's read-only Insts backing
-			// array — only the cursor position is per-worker state, so
-			// workers stay independent without copying instructions.
-			var cursor trace.Slice
-			sims := make([]*core.Simulator, len(gens))
-			for j := range jobs {
-				sl := p.Slices[j.s]
-				cursor = trace.Slice{Name: sl.Name, Suite: sl.Suite, Warmup: sl.Warmup, Insts: sl.Insts}
-				ropts := robust.Options{
-					Deadline:        opts.SliceDeadline,
-					CheckInvariants: !opts.SkipInvariants,
-				}
-				if opts.StepHook != nil {
-					ropts.StepHook = opts.StepHook(j.g, j.s)
-				}
-				if opts.ResultHook != nil {
-					ropts.ResultHook = opts.ResultHook(j.g, j.s)
-				}
-				sim := sims[j.g]
-				if sim != nil {
-					sim.Reset()
-				}
-				build := func() *core.Simulator { return core.NewSimulator(gens[j.g]) }
-				r, okSim, fails, okRun := robust.RunWithRetry(sim, build, &cursor, ropts, opts.Retries)
-				// Keep whichever instance survived; a failure discarded
-				// the pooled one.
-				sims[j.g] = okSim
-				if len(fails) > 0 {
-					for fi := range fails {
-						fails[fi].GenIndex, fails[fi].SliceIndex = j.g, j.s
-					}
-					// Retries counts attempts beyond the first: every failed
-					// attempt was retried except a quarantined pair's last.
-					retried := len(fails)
-					if !okRun {
-						retried--
-					}
-					mu.Lock()
-					p.Retries += retried
-					if !okRun {
-						// Quarantine: keep one record, carrying the final
-						// attempt count and last failure mode.
-						p.Failures = append(p.Failures, fails[len(fails)-1])
-						p.Failed[j.g][j.s] = true
-					}
-					mu.Unlock()
-				}
-				if !okRun {
-					continue
-				}
-				p.Results[j.g][j.s] = r
-				if ckpt != nil {
-					if err := ckpt.Append(robust.CheckpointEntry{Gen: j.g, Slice: j.s, Result: r}); err != nil {
-						mu.Lock()
-						if ckptErr == nil {
-							ckptErr = err
-						}
-						mu.Unlock()
-					}
-				}
-				opts.Progress.Step(r.Insts)
-			}
-		}()
-	}
-	for g := range gens {
-		for s := range slices {
-			if done[g][s] {
-				continue
-			}
-			jobs <- job{g, s}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	opts.Progress.Finish()
-	for g := range p.Results {
-		for s := range p.Results[g] {
-			if !p.ok(g, s) {
-				continue
-			}
-			p.TotalInsts += p.Results[g][s].Insts
-			p.TotalCycles += p.Results[g][s].Cycles
-		}
-	}
-	p.WallSeconds = time.Since(start).Seconds()
-	if ckptErr != nil {
-		return p, ckptErr
-	}
-	return p, nil
+	return p.Results[g][s].Insts > 0
 }
 
 // populationDigest fingerprints the (spec, generation set) pair a

@@ -10,8 +10,8 @@ import (
 
 var tinyPop = workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 20_000, WarmupFrac: 0.25, Seed: 0xE59}
 
-func TestRunPopulationShape(t *testing.T) {
-	p := RunPopulation(tinyPop)
+func TestRunShape(t *testing.T) {
+	p := mustRun(t, tinyPop)
 	if len(p.Gens) != 6 {
 		t.Fatalf("gens=%d", len(p.Gens))
 	}
@@ -28,8 +28,8 @@ func TestRunPopulationShape(t *testing.T) {
 }
 
 func TestPopulationDeterministicAcrossParallelRuns(t *testing.T) {
-	a := RunPopulation(tinyPop)
-	b := RunPopulation(tinyPop)
+	a := mustRun(t, tinyPop)
+	b := mustRun(t, tinyPop)
 	for g := range a.Results {
 		for s := range a.Results[g] {
 			if a.Results[g][s].IPC != b.Results[g][s].IPC {
@@ -40,7 +40,7 @@ func TestPopulationDeterministicAcrossParallelRuns(t *testing.T) {
 }
 
 func TestCurvesAreSorted(t *testing.T) {
-	p := RunPopulation(tinyPop)
+	p := mustRun(t, tinyPop)
 	for _, m := range []Metric{MetricMPKI, MetricIPC, MetricLoadLat} {
 		curves := p.Curves(m, 10)
 		for g, c := range curves {
@@ -54,7 +54,7 @@ func TestCurvesAreSorted(t *testing.T) {
 }
 
 func TestMeansAndSuiteMeans(t *testing.T) {
-	p := RunPopulation(tinyPop)
+	p := mustRun(t, tinyPop)
 	mpki := p.Means(MetricMPKI)
 	if len(mpki) != 6 {
 		t.Fatal("means length")
@@ -83,7 +83,7 @@ func TestFig1SweepShape(t *testing.T) {
 }
 
 func TestRenderers(t *testing.T) {
-	p := RunPopulation(tinyPop)
+	p := mustRun(t, tinyPop)
 	for name, s := range map[string]string{
 		"tableI":   RenderTableI(),
 		"tableII":  RenderTableII(),
@@ -146,7 +146,7 @@ func TestKeyAblationsHelp(t *testing.T) {
 func TestUOCCutsFrontEndEnergy(t *testing.T) {
 	// §VI: the UOC exists primarily to save fetch and decode power —
 	// M5 (first UOC generation) must show a clear EPKI drop vs M4.
-	p := RunPopulation(tinyPop)
+	p := mustRun(t, tinyPop)
 	epki := p.Means(MetricEPKI)
 	t.Logf("EPKI by generation: %.0f", epki)
 	if epki[4] >= epki[3]*0.9 {
@@ -155,7 +155,7 @@ func TestUOCCutsFrontEndEnergy(t *testing.T) {
 }
 
 func TestRenderPower(t *testing.T) {
-	p := RunPopulation(tinyPop)
+	p := mustRun(t, tinyPop)
 	s := RenderPower(p)
 	if len(s) < 100 || !strings.Contains(s, "uoc") {
 		t.Fatalf("power render: %q", s)

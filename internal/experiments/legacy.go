@@ -1,0 +1,94 @@
+// Deprecated population entrypoints, kept as thin wrappers over Run so
+// pre-existing callers keep compiling. New code should call Run
+// directly; these shims add nothing but a fixed option spelling.
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"exysim/internal/obs"
+	"exysim/internal/robust"
+	"exysim/internal/workload"
+)
+
+// PopulationOptions configures the robustness envelope of a sweep in the
+// pre-Run struct form. The zero value reproduces the historical
+// behaviour: no deadline, no checkpoint, no retries — but with panic
+// isolation and invariant checking always on.
+//
+// Deprecated: pass Option values to Run instead; each field maps to one
+// option (Progress → WithProgress, SliceDeadline → WithSliceDeadline,
+// Retries → WithRetries, SkipInvariants → WithoutInvariants,
+// CheckpointPath/Resume → WithCheckpoint/WithResume, StepHook →
+// WithStepHooks, ResultHook → WithResultHooks).
+type PopulationOptions struct {
+	Progress       *obs.Progress
+	SliceDeadline  time.Duration
+	Retries        int
+	SkipInvariants bool
+	CheckpointPath string
+	Resume         bool
+	StepHook       func(g, s int) robust.StepHook
+	ResultHook     func(g, s int) robust.ResultHook
+}
+
+// options translates the struct form into Run options.
+func (o PopulationOptions) options() []Option {
+	var out []Option
+	if o.Progress != nil {
+		out = append(out, WithProgress(o.Progress))
+	}
+	if o.SliceDeadline > 0 {
+		out = append(out, WithSliceDeadline(o.SliceDeadline))
+	}
+	if o.Retries > 0 {
+		out = append(out, WithRetries(o.Retries))
+	}
+	if o.SkipInvariants {
+		out = append(out, WithoutInvariants())
+	}
+	if o.CheckpointPath != "" {
+		out = append(out, WithCheckpoint(o.CheckpointPath))
+	}
+	if o.Resume {
+		out = append(out, WithResume())
+	}
+	if o.StepHook != nil {
+		out = append(out, WithStepHooks(o.StepHook))
+	}
+	if o.ResultHook != nil {
+		out = append(out, WithResultHooks(o.ResultHook))
+	}
+	return out
+}
+
+// RunPopulation replays the whole suite through all six generations,
+// fanning slices out across CPUs.
+//
+// Deprecated: use Run(ctx, spec).
+func RunPopulation(spec workload.SuiteSpec) *PopulationRun {
+	return RunPopulationProgress(spec, nil)
+}
+
+// RunPopulationProgress is RunPopulation with a progress reporter; prog
+// may be nil (no reporting).
+//
+// Deprecated: use Run(ctx, spec, WithProgress(prog)).
+func RunPopulationProgress(spec workload.SuiteSpec, prog *obs.Progress) *PopulationRun {
+	p, err := Run(context.Background(), spec, WithProgress(prog))
+	if err != nil {
+		// Only checkpoint plumbing or cancellation can fail, and this
+		// entry point configures neither.
+		panic(err)
+	}
+	return p
+}
+
+// RunPopulationOpts runs the full sweep under the robustness envelope
+// opts describes.
+//
+// Deprecated: use Run(ctx, spec, opts...) with functional options.
+func RunPopulationOpts(spec workload.SuiteSpec, opts PopulationOptions) (*PopulationRun, error) {
+	return Run(context.Background(), spec, opts.options()...)
+}

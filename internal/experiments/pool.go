@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"exysim/internal/core"
+)
+
+// SimPool shares constructed simulators across Run invocations, keyed by
+// generation name. A long-lived process serving many sweeps (the
+// exyserve daemon) hands the same pool to every Run: workers check
+// instances out on first use of a generation and return the healthy
+// survivors when the sweep ends, so steady-state serving constructs no
+// simulators at all — each request only pays Reset(), which restores
+// cold state without reallocating (reuse_test.go pins bit-identity).
+//
+// Instances suspected of corruption (panic, timeout, cancellation
+// mid-slice) are discarded by the sweep and never returned, so the pool
+// only ever holds simulators that finished their last slice cleanly.
+//
+// All methods are safe for concurrent use.
+type SimPool struct {
+	mu    sync.Mutex
+	idle  map[string][]*core.Simulator
+	built atomic.Uint64
+}
+
+// NewSimPool builds an empty pool.
+func NewSimPool() *SimPool {
+	return &SimPool{idle: make(map[string][]*core.Simulator)}
+}
+
+// take removes and returns an idle simulator for the generation, or nil
+// if none is pooled. The caller must Reset() it before use.
+func (p *SimPool) take(gen string) *core.Simulator {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := p.idle[gen]
+	if len(l) == 0 {
+		return nil
+	}
+	sim := l[len(l)-1]
+	l[len(l)-1] = nil
+	p.idle[gen] = l[:len(l)-1]
+	return sim
+}
+
+// give returns a healthy simulator to the pool.
+func (p *SimPool) give(gen string, sim *core.Simulator) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.idle[gen] = append(p.idle[gen], sim)
+}
+
+// Get returns a simulator for cfg: a recycled instance already Reset()
+// to cold state when one is idle, a newly constructed one otherwise.
+// Single-slice jobs use this directly; population sweeps go through
+// WithSimPool, which batches checkout per worker instead.
+func (p *SimPool) Get(cfg core.GenConfig) *core.Simulator {
+	if sim := p.take(cfg.Name); sim != nil {
+		sim.Reset()
+		return sim
+	}
+	p.built.Add(1)
+	return core.NewSimulator(cfg)
+}
+
+// Put returns a healthy simulator to the pool. Never return an instance
+// whose last run failed — discard it instead.
+func (p *SimPool) Put(sim *core.Simulator) {
+	p.give(sim.Config().Name, sim)
+}
+
+// Built counts simulator constructions performed on behalf of this pool
+// (cache misses, in effect). A steady-state server sees this stop
+// growing once every (worker, generation) pair is warm — the serve
+// tests assert exactly that.
+func (p *SimPool) Built() uint64 {
+	return p.built.Load()
+}
+
+// Idle returns the number of simulators currently checked in.
+func (p *SimPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, l := range p.idle {
+		n += len(l)
+	}
+	return n
+}

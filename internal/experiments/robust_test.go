@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -32,11 +33,10 @@ func hookOne[H any](tg, ts int, hook H) func(g, s int) H {
 }
 
 func TestInjectedPanicQuarantinesOnlyThatSlice(t *testing.T) {
-	clean := RunPopulation(robustPop)
+	clean := mustRun(t, robustPop)
 	tg, ts := 2, 1
-	p, err := RunPopulationOpts(robustPop, PopulationOptions{
-		StepHook: hookOne(tg, ts, robust.StepHook(faultinject.PanicAt(100))),
-	})
+	p, err := Run(context.Background(), robustPop,
+		WithStepHooks(hookOne(tg, ts, robust.StepHook(faultinject.PanicAt(100)))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,10 +106,9 @@ func TestInjectedLivelockTripsDeadline(t *testing.T) {
 	// healthy 6k-instruction slice finishes in milliseconds even under
 	// the race detector on a loaded machine, so only the stalled slice
 	// can trip it.
-	p, err := RunPopulationOpts(robustPop, PopulationOptions{
-		SliceDeadline: 2 * time.Second,
-		StepHook:      hookOne(tg, ts, robust.StepHook(faultinject.Stall(0, time.Millisecond))),
-	})
+	p, err := Run(context.Background(), robustPop,
+		WithSliceDeadline(2*time.Second),
+		WithStepHooks(hookOne(tg, ts, robust.StepHook(faultinject.Stall(0, time.Millisecond)))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,9 +129,8 @@ func TestInjectedLivelockTripsDeadline(t *testing.T) {
 
 func TestInjectedNaNCaughtByInvariantChecker(t *testing.T) {
 	tg, ts := 1, 2
-	p, err := RunPopulationOpts(robustPop, PopulationOptions{
-		ResultHook: hookOne(tg, ts, robust.ResultHook(faultinject.NaNIPC)),
-	})
+	p, err := Run(context.Background(), robustPop,
+		WithResultHooks(hookOne(tg, ts, robust.ResultHook(faultinject.NaNIPC))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,9 +148,8 @@ func TestInjectedNaNCaughtByInvariantChecker(t *testing.T) {
 }
 
 func TestNegativeCounterCaughtByInvariantChecker(t *testing.T) {
-	p, err := RunPopulationOpts(robustPop, PopulationOptions{
-		ResultHook: hookOne(3, 0, robust.ResultHook(faultinject.CounterOverflow)),
-	})
+	p, err := Run(context.Background(), robustPop,
+		WithResultHooks(hookOne(3, 0, robust.ResultHook(faultinject.CounterOverflow))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +162,11 @@ func TestNegativeCounterCaughtByInvariantChecker(t *testing.T) {
 }
 
 func TestTransientFaultRecoversViaRetry(t *testing.T) {
-	clean := RunPopulation(robustPop)
+	clean := mustRun(t, robustPop)
 	tg, ts := 4, 3
-	p, err := RunPopulationOpts(robustPop, PopulationOptions{
-		Retries:  2,
-		StepHook: hookOne(tg, ts, robust.StepHook(faultinject.PanicOnce(200))),
-	})
+	p, err := Run(context.Background(), robustPop,
+		WithRetries(2),
+		WithStepHooks(hookOne(tg, ts, robust.StepHook(faultinject.PanicOnce(200)))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,15 +186,14 @@ func TestTransientFaultRecoversViaRetry(t *testing.T) {
 }
 
 func TestCheckpointResumeBitIdenticalMeans(t *testing.T) {
-	clean := RunPopulation(robustPop)
+	clean := mustRun(t, robustPop)
 	path := filepath.Join(t.TempDir(), "sweep.jsonl")
 
 	// First run: one pair fails persistently, everything else checkpoints.
 	tg, ts := 5, 2
-	p1, err := RunPopulationOpts(robustPop, PopulationOptions{
-		CheckpointPath: path,
-		StepHook:       hookOne(tg, ts, robust.StepHook(faultinject.PanicAt(50))),
-	})
+	p1, err := Run(context.Background(), robustPop,
+		WithCheckpoint(path),
+		WithStepHooks(hookOne(tg, ts, robust.StepHook(faultinject.PanicAt(50)))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,10 +203,8 @@ func TestCheckpointResumeBitIdenticalMeans(t *testing.T) {
 
 	// Second run resumes: only the failed pair is re-simulated (now
 	// healthy), the rest restore from the checkpoint.
-	p2, err := RunPopulationOpts(robustPop, PopulationOptions{
-		CheckpointPath: path,
-		Resume:         true,
-	})
+	p2, err := Run(context.Background(), robustPop,
+		WithCheckpoint(path), WithResume())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,26 +241,13 @@ func TestCheckpointResumeBitIdenticalMeans(t *testing.T) {
 
 func TestCheckpointMismatchedSpecRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sweep.jsonl")
-	if _, err := RunPopulationOpts(robustPop, PopulationOptions{CheckpointPath: path}); err != nil {
+	if _, err := Run(context.Background(), robustPop, WithCheckpoint(path)); err != nil {
 		t.Fatal(err)
 	}
 	other := robustPop
 	other.Seed++
-	_, err := RunPopulationOpts(other, PopulationOptions{CheckpointPath: path, Resume: true})
+	_, err := Run(context.Background(), other, WithCheckpoint(path), WithResume())
 	if err == nil {
 		t.Fatal("resuming a different campaign's checkpoint must fail")
-	}
-}
-
-func TestZeroOptionsMatchesRunPopulation(t *testing.T) {
-	a := RunPopulation(robustPop)
-	b, err := RunPopulationOpts(robustPop, PopulationOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for g := range a.Results {
-		if !reflect.DeepEqual(a.Results[g], b.Results[g]) {
-			t.Fatalf("gen %d differs between entry points", g)
-		}
 	}
 }

@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exysim/internal/core"
+	"exysim/internal/obs"
+	"exysim/internal/robust"
+	"exysim/internal/trace"
+	"exysim/internal/workload"
+)
+
+// ProgressFunc observes sweep progress: done slices completed so far out
+// of total (gens × slices), and the simulated instruction count of the
+// slice that just finished (0 for the initial callback and for slices
+// restored from a checkpoint). It is called concurrently from worker
+// goroutines and must be safe for that.
+type ProgressFunc func(done, total int, insts uint64)
+
+// runConfig is the resolved option set of one Run invocation. The zero
+// value reproduces the historical default behaviour: no deadline, no
+// checkpoint, no retries, GOMAXPROCS workers — with panic isolation and
+// invariant checking always on.
+type runConfig struct {
+	progress       *obs.Progress
+	onProgress     ProgressFunc
+	sliceDeadline  time.Duration
+	retries        int
+	skipInvariants bool
+	checkpointPath string
+	resume         bool
+	stepHook       func(g, s int) robust.StepHook
+	resultHook     func(g, s int) robust.ResultHook
+	workers        int
+	pool           *SimPool
+}
+
+// Option configures one Run invocation.
+type Option func(*runConfig)
+
+// WithProgress reports slices done / sim-MIPS / ETA through an obs
+// progress reporter (typically writing to stderr); nil is a no-op.
+func WithProgress(p *obs.Progress) Option {
+	return func(c *runConfig) { c.progress = p }
+}
+
+// WithProgressFunc installs a structured progress hook, called after
+// every completed slice. Unlike WithProgress it carries no terminal
+// formatting, which makes it the right seam for servers streaming
+// progress events. fn must be safe for concurrent calls.
+func WithProgressFunc(fn ProgressFunc) Option {
+	return func(c *runConfig) { c.onProgress = fn }
+}
+
+// WithSliceDeadline bounds each slice's wall-clock time (0 = no bound);
+// a slice that trips it is quarantined as a timeout.
+func WithSliceDeadline(d time.Duration) Option {
+	return func(c *runConfig) { c.sliceDeadline = d }
+}
+
+// WithRetries grants each failed slice n extra attempts, each on a fresh
+// simulator with bounded backoff, before it is quarantined.
+func WithRetries(n int) Option {
+	return func(c *runConfig) { c.retries = n }
+}
+
+// WithoutInvariants disables the result-invariant checker (it is on by
+// default: silent nonsense quarantines the slice).
+func WithoutInvariants() Option {
+	return func(c *runConfig) { c.skipInvariants = true }
+}
+
+// WithCheckpoint appends completed (gen, slice) results to a JSONL
+// checkpoint at path ("" disables).
+func WithCheckpoint(path string) Option {
+	return func(c *runConfig) { c.checkpointPath = path }
+}
+
+// WithResume restores results already present in the checkpoint
+// configured by WithCheckpoint instead of re-simulating them; a missing
+// checkpoint file resumes from nothing.
+func WithResume() Option {
+	return func(c *runConfig) { c.resume = true }
+}
+
+// WithStepHooks installs a per-(gen, slice) step-hook factory — the
+// fault-injection seam for the robustness tests. A returned nil hook
+// leaves that pair unperturbed.
+func WithStepHooks(f func(g, s int) robust.StepHook) Option {
+	return func(c *runConfig) { c.stepHook = f }
+}
+
+// WithResultHooks installs a per-(gen, slice) result-hook factory,
+// running over each completed Result before the invariant check.
+func WithResultHooks(f func(g, s int) robust.ResultHook) Option {
+	return func(c *runConfig) { c.resultHook = f }
+}
+
+// WithWorkers bounds the sweep's worker-goroutine count (default
+// GOMAXPROCS). Servers running several sweeps concurrently use it to
+// keep one request from claiming every core.
+func WithWorkers(n int) Option {
+	return func(c *runConfig) { c.workers = n }
+}
+
+// WithSimPool recycles simulators from pool across Run invocations
+// instead of constructing per call: workers check instances out on
+// first use of a generation and return the healthy ones when the sweep
+// ends. The Reset() protocol keeps results bit-identical to fresh
+// construction.
+func WithSimPool(pool *SimPool) Option {
+	return func(c *runConfig) { c.pool = pool }
+}
+
+// Run is the one sweep entrypoint: every generation × every slice of
+// spec's population, fanned out across a bounded worker pool with
+// pooled simulators, under the robustness envelope the options
+// describe.
+//
+// Each worker keeps a private set of at most one simulator per
+// generation, built on first use (or checked out of the shared pool —
+// see WithSimPool) and recycled with Reset() for every later job of
+// that generation. Constructing an M6 simulator allocates hundreds of
+// tables; at population scale the construction and the GC pressure it
+// feeds dominate small-slice runs, while Reset() only zeroes the
+// existing arrays. The Reset() protocol guarantees bit-identical
+// results to a fresh simulator (reuse_test.go), so determinism is
+// unaffected. Jobs are enqueued generation-major, which keeps each
+// worker's set hot on one generation at a time.
+//
+// Every slice runs guarded (robust.RunGuarded): a panic, deadline trip,
+// or invariant violation quarantines that slice alone — the possibly
+// corrupted simulator is discarded instead of recycled, the slice is
+// retried on fresh simulators up to WithRetries times, and the sweep
+// completes with partial results plus the failure records in
+// p.Failures. Completed results stream to the checkpoint (if
+// configured), so a killed run can resume without redoing them;
+// restored results are bit-identical to simulated ones, keeping resumed
+// population means bit-identical to an uninterrupted run's.
+//
+// Canceling ctx stops the sweep cooperatively: no new slices start, and
+// in-flight slices abandon at the next heartbeat (within ~4096
+// instructions). Run then returns the partial PopulationRun together
+// with ctx.Err(); canceled slices are not quarantined — their pairs are
+// simply incomplete.
+//
+// Apart from cancellation, the returned error is reserved for
+// checkpoint plumbing (unwritable path, resuming against a mismatched
+// spec); simulation failures never abort the sweep.
+func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*PopulationRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	start := time.Now()
+	spec = spec.Normalize()
+	slices := workload.Suite(spec)
+	gens := core.Generations()
+	p := &PopulationRun{Spec: spec, Gens: gens, Slices: slices}
+	p.Results = make([][]core.Result, len(gens))
+	p.Failed = make([][]bool, len(gens))
+	done := make([][]bool, len(gens))
+	for g := range gens {
+		p.Results[g] = make([]core.Result, len(slices))
+		p.Failed[g] = make([]bool, len(slices))
+		done[g] = make([]bool, len(slices))
+	}
+
+	// Checkpoint/resume. The digest pins both the workload spec and the
+	// generation set, so a stale checkpoint from a different campaign is
+	// rejected instead of silently mixed in.
+	var ckpt *robust.CheckpointWriter
+	if cfg.checkpointPath != "" {
+		digest := populationDigest(spec, gens)
+		if cfg.resume {
+			entries, err := robust.LoadCheckpoint(cfg.checkpointPath, digest)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if e.Gen < 0 || e.Gen >= len(gens) || e.Slice < 0 || e.Slice >= len(slices) || done[e.Gen][e.Slice] {
+					continue
+				}
+				p.Results[e.Gen][e.Slice] = e.Result
+				done[e.Gen][e.Slice] = true
+				p.Resumed++
+			}
+			if ckpt, err = robust.OpenCheckpoint(cfg.checkpointPath, digest); err != nil {
+				return nil, err
+			}
+		} else {
+			var err error
+			if ckpt, err = robust.CreateCheckpoint(cfg.checkpointPath, digest); err != nil {
+				return nil, err
+			}
+		}
+		defer ckpt.Close()
+	}
+
+	total := len(gens) * len(slices)
+	var doneCount atomic.Int64
+	doneCount.Store(int64(p.Resumed))
+	if cfg.onProgress != nil {
+		cfg.onProgress(p.Resumed, total, 0)
+	}
+
+	cancelCh := ctx.Done()
+	type job struct{ g, s int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards Failures/Retries and checkpoint error reporting
+	var ckptErr error
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker drives one private cursor struct, reused across
+			// jobs. The clone shares the slice's read-only Insts backing
+			// array — only the cursor position is per-worker state, so
+			// workers stay independent without copying instructions.
+			var cursor trace.Slice
+			sims := make([]*core.Simulator, len(gens))
+			if cfg.pool != nil {
+				// Return the healthy survivors for the next Run to reuse.
+				defer func() {
+					for g, sim := range sims {
+						if sim != nil {
+							cfg.pool.give(gens[g].Name, sim)
+						}
+					}
+				}()
+			}
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // canceled: drain the queue without running
+				}
+				sl := p.Slices[j.s]
+				cursor = trace.Slice{Name: sl.Name, Suite: sl.Suite, Warmup: sl.Warmup, Insts: sl.Insts}
+				ropts := robust.Options{
+					Deadline:        cfg.sliceDeadline,
+					CheckInvariants: !cfg.skipInvariants,
+					Cancel:          cancelCh,
+				}
+				if cfg.stepHook != nil {
+					ropts.StepHook = cfg.stepHook(j.g, j.s)
+				}
+				if cfg.resultHook != nil {
+					ropts.ResultHook = cfg.resultHook(j.g, j.s)
+				}
+				sim := sims[j.g]
+				if sim == nil && cfg.pool != nil {
+					sim = cfg.pool.take(gens[j.g].Name)
+					sims[j.g] = sim
+				}
+				if sim != nil {
+					sim.Reset()
+				}
+				build := func() *core.Simulator {
+					if cfg.pool != nil {
+						cfg.pool.built.Add(1)
+					}
+					return core.NewSimulator(gens[j.g])
+				}
+				r, okSim, fails, okRun := robust.RunWithRetry(sim, build, &cursor, ropts, cfg.retries)
+				// Keep whichever instance survived; a failure discarded
+				// the pooled one.
+				sims[j.g] = okSim
+				if len(fails) > 0 {
+					if fails[len(fails)-1].Kind == robust.KindCanceled {
+						// Cancellation is the caller's decision, not a slice
+						// defect: leave the pair incomplete, unquarantined.
+						continue
+					}
+					for fi := range fails {
+						fails[fi].GenIndex, fails[fi].SliceIndex = j.g, j.s
+					}
+					// Retries counts attempts beyond the first: every failed
+					// attempt was retried except a quarantined pair's last.
+					retried := len(fails)
+					if !okRun {
+						retried--
+					}
+					mu.Lock()
+					p.Retries += retried
+					if !okRun {
+						// Quarantine: keep one record, carrying the final
+						// attempt count and last failure mode.
+						p.Failures = append(p.Failures, fails[len(fails)-1])
+						p.Failed[j.g][j.s] = true
+					}
+					mu.Unlock()
+				}
+				if !okRun {
+					continue
+				}
+				p.Results[j.g][j.s] = r
+				if ckpt != nil {
+					if err := ckpt.Append(robust.CheckpointEntry{Gen: j.g, Slice: j.s, Result: r}); err != nil {
+						mu.Lock()
+						if ckptErr == nil {
+							ckptErr = err
+						}
+						mu.Unlock()
+					}
+				}
+				cfg.progress.Step(r.Insts)
+				if cfg.onProgress != nil {
+					cfg.onProgress(int(doneCount.Add(1)), total, r.Insts)
+				}
+			}
+		}()
+	}
+dispatch:
+	for g := range gens {
+		for s := range slices {
+			if done[g][s] {
+				continue
+			}
+			select {
+			case jobs <- job{g, s}:
+			case <-cancelCh:
+				break dispatch
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	cfg.progress.Finish()
+	for g := range p.Results {
+		for s := range p.Results[g] {
+			if !p.ok(g, s) {
+				continue
+			}
+			p.TotalInsts += p.Results[g][s].Insts
+			p.TotalCycles += p.Results[g][s].Cycles
+		}
+	}
+	p.WallSeconds = time.Since(start).Seconds()
+	if err := ctx.Err(); err != nil {
+		return p, err
+	}
+	if ckptErr != nil {
+		return p, ckptErr
+	}
+	return p, nil
+}

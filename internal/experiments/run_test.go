@@ -1,0 +1,242 @@
+// Tests for the unified Run entrypoint: equivalence with the deprecated
+// wrappers, context cancellation, worker bounding, and cross-invocation
+// simulator pooling.
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"exysim/internal/core"
+	"exysim/internal/workload"
+)
+
+// mustRun is the test-side spelling of Run for specs that cannot fail
+// (no checkpoint, no cancellation).
+func mustRun(t *testing.T, spec workload.SuiteSpec, opts ...Option) *PopulationRun {
+	t.Helper()
+	p, err := Run(context.Background(), spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDeprecatedWrappersMatchRun is the shim-equivalence gate: every
+// pre-Run entrypoint must produce results bit-identical to Run itself,
+// so callers can migrate (or not) without any numeric drift.
+func TestDeprecatedWrappersMatchRun(t *testing.T) {
+	want, err := Run(context.Background(), tinyPop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*PopulationRun{
+		"RunPopulation":         RunPopulation(tinyPop),
+		"RunPopulationProgress": RunPopulationProgress(tinyPop, nil),
+	} {
+		if !reflect.DeepEqual(got.Results, want.Results) {
+			t.Fatalf("%s results differ from Run", name)
+		}
+	}
+	got, err := RunPopulationOpts(tinyPop, PopulationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatal("RunPopulationOpts results differ from Run")
+	}
+}
+
+func TestRunNilContext(t *testing.T) {
+	p, err := Run(nil, robustPop) //nolint:staticcheck // nil ctx tolerance is part of the API
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Gens) != 6 {
+		t.Fatalf("gens = %d", len(p.Gens))
+	}
+}
+
+// TestRunContextCancellation proves a canceled context actually stops
+// the sweep: Run returns ctx.Err() promptly, incomplete pairs exist (the
+// population is far larger than the cancellation point), nothing is
+// quarantined, and the pairs that did complete are bit-identical to a
+// clean run's.
+func TestRunContextCancellation(t *testing.T) {
+	spec := workload.SuiteSpec{SlicesPerFamily: 2, InstsPerSlice: 6_000, WarmupFrac: 0.25, Seed: 0xE59}
+	clean, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(clean.Gens) * len(clean.Slices)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, err := Run(ctx, spec, WithProgressFunc(func(done, _ int, _ uint64) {
+		if done >= 3 {
+			cancel()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(p.Failures) != 0 {
+		t.Fatalf("cancellation must not quarantine slices: %+v", p.Failures)
+	}
+	completed := 0
+	for g := range p.Results {
+		for s := range p.Results[g] {
+			if p.Results[g][s].Insts == 0 {
+				continue
+			}
+			completed++
+			if !reflect.DeepEqual(p.Results[g][s], clean.Results[g][s]) {
+				t.Fatalf("completed pair (%d,%d) differs from clean run", g, s)
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("nothing completed before cancellation")
+	}
+	if completed == total {
+		t.Fatalf("cancellation had no effect: all %d pairs completed", total)
+	}
+	// Aggregates must skip the incomplete pairs, not average in zeros.
+	for g, v := range p.Means(MetricIPC) {
+		if v < 0 {
+			t.Fatalf("gen %d mean IPC %v on partial run", g, v)
+		}
+		if v > 0 && v != v { // NaN guard
+			t.Fatalf("gen %d mean IPC NaN", g)
+		}
+	}
+}
+
+func TestRunPreCanceledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, err := Run(ctx, robustPop)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for g := range p.Results {
+		for s := range p.Results[g] {
+			if p.Results[g][s].Insts != 0 {
+				t.Fatalf("pair (%d,%d) ran despite pre-canceled context", g, s)
+			}
+		}
+	}
+}
+
+// TestRunWithWorkersMatchesDefault pins that bounding the worker pool
+// changes scheduling only, never results.
+func TestRunWithWorkersMatchesDefault(t *testing.T) {
+	want, err := Run(context.Background(), robustPop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), robustPop, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatal("WithWorkers(1) changed results")
+	}
+}
+
+// TestSimPoolEliminatesConstruction is the constructor-count guard: a
+// second sweep over a warm pool must build zero simulators and still
+// produce bit-identical results.
+func TestSimPoolEliminatesConstruction(t *testing.T) {
+	want, err := Run(context.Background(), robustPop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewSimPool()
+	first, err := Run(context.Background(), robustPop, WithSimPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Results, want.Results) {
+		t.Fatal("pooled run differs from fresh run")
+	}
+	warm := pool.Built()
+	if warm == 0 {
+		t.Fatal("cold pool should have built simulators")
+	}
+	if pool.Idle() == 0 {
+		t.Fatal("sweep returned no simulators to the pool")
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(context.Background(), robustPop, WithSimPool(pool))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again.Results, want.Results) {
+			t.Fatalf("warm-pool run %d differs from fresh run", i)
+		}
+	}
+	if got := pool.Built(); got != warm {
+		t.Fatalf("warm pool still constructing: built %d → %d", warm, got)
+	}
+}
+
+// TestSimPoolGetPut covers the single-slice checkout path the serve
+// layer uses for slice jobs.
+func TestSimPoolGetPut(t *testing.T) {
+	pool := NewSimPool()
+	gens := core.Generations()
+	sim := pool.Get(gens[0])
+	if pool.Built() != 1 {
+		t.Fatalf("built = %d, want 1", pool.Built())
+	}
+	pool.Put(sim)
+	if pool.Idle() != 1 {
+		t.Fatalf("idle = %d, want 1", pool.Idle())
+	}
+	again := pool.Get(gens[0])
+	if again != sim {
+		t.Fatal("Get should recycle the pooled instance")
+	}
+	if pool.Built() != 1 {
+		t.Fatalf("recycling constructed anyway: built = %d", pool.Built())
+	}
+	// A different generation misses the pool.
+	other := pool.Get(gens[1])
+	if other == sim || pool.Built() != 2 {
+		t.Fatalf("cross-generation reuse: built = %d", pool.Built())
+	}
+}
+
+// TestRunProgressFuncMonotonic checks the structured progress hook
+// reaches total exactly and never regresses.
+func TestRunProgressFuncMonotonic(t *testing.T) {
+	var last atomic.Int64
+	var calls atomic.Int64
+	p, err := Run(context.Background(), robustPop, WithProgressFunc(func(done, total int, _ uint64) {
+		calls.Add(1)
+		for {
+			prev := last.Load()
+			if int64(done) < prev {
+				t.Errorf("progress regressed: %d after %d", done, prev)
+				return
+			}
+			if last.CompareAndSwap(prev, int64(done)) {
+				return
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(p.Gens) * len(p.Slices)
+	if got := last.Load(); got != int64(total) {
+		t.Fatalf("final progress %d, want %d", got, total)
+	}
+	if calls.Load() < int64(total) {
+		t.Fatalf("only %d progress calls for %d slices", calls.Load(), total)
+	}
+}

@@ -37,6 +37,11 @@ const (
 	// KindInvariant: the slice completed but its result violates a
 	// physical invariant (NaN IPC, negative latency, rate outside [0,1]).
 	KindInvariant FailureKind = "invariant"
+	// KindCanceled: the caller canceled the run (aborted HTTP request,
+	// Ctrl-C, server drain) and the slice was abandoned cooperatively at
+	// a heartbeat. Not a defect: cancellation is never retried and never
+	// quarantined — the sweep simply stops.
+	KindCanceled FailureKind = "canceled"
 )
 
 // SliceFailure is the structured quarantine record for one failed
@@ -93,6 +98,12 @@ type Options struct {
 	// CheckInvariants runs Check over the completed result and converts
 	// violations into KindInvariant failures.
 	CheckInvariants bool
+	// Cancel aborts the run cooperatively when closed (typically a
+	// context's Done channel). Like the deadline it is polled at
+	// heartbeat granularity, so a canceled slice stops within
+	// HeartbeatEvery instructions instead of running to completion. A
+	// nil channel disables the check.
+	Cancel <-chan struct{}
 	// StepHook / ResultHook are fault-injection and extension seams;
 	// both are nil in production runs.
 	StepHook   StepHook
@@ -138,6 +149,7 @@ func RunGuarded(sim *core.Simulator, sl *trace.Slice, opts Options) (res core.Re
 	start := time.Now()
 	mask := opts.heartbeatMask()
 	deadline := opts.Deadline
+	cancel := opts.Cancel
 
 	sl.Reset()
 	c := sim.Core()
@@ -155,9 +167,19 @@ func RunGuarded(sim *core.Simulator, sl *trace.Slice, opts Options) (res core.Re
 		if n == sl.Warmup {
 			c.ResetStats()
 		}
-		if deadline > 0 && n&mask == 0 && time.Since(start) > deadline {
-			return core.Result{}, mkFail(KindTimeout,
-				fmt.Sprintf("slice exceeded %v deadline after %d instructions", deadline, n), "")
+		if n&mask == 0 {
+			if cancel != nil {
+				select {
+				case <-cancel:
+					return core.Result{}, mkFail(KindCanceled,
+						fmt.Sprintf("run canceled after %d instructions", n), "")
+				default:
+				}
+			}
+			if deadline > 0 && time.Since(start) > deadline {
+				return core.Result{}, mkFail(KindTimeout,
+					fmt.Sprintf("slice exceeded %v deadline after %d instructions", deadline, n), "")
+			}
 		}
 	}
 	res = sim.Snapshot(sl)
@@ -195,6 +217,10 @@ func Backoff(attempt int) time.Duration {
 // retry builds a fresh one via build, because the dominant cause of a
 // retryable failure is exactly a corrupted pooled instance.
 //
+// A KindCanceled failure short-circuits: cancellation is a caller
+// decision, not a transient fault, so it is returned immediately with no
+// further attempts and no backoff sleep.
+//
 // Returns the result, the simulator that produced it (safe to keep
 // pooling; nil if every attempt failed), the per-attempt failures
 // (empty on first-attempt success; the last entry carries the final
@@ -212,7 +238,7 @@ func RunWithRetry(sim *core.Simulator, build func() *core.Simulator, sl *trace.S
 		fail.Attempts = attempt
 		failures = append(failures, *fail)
 		sim = nil // discard: possibly corrupted
-		if attempt > retries {
+		if fail.Kind == KindCanceled || attempt > retries {
 			return core.Result{}, nil, failures, false
 		}
 		time.Sleep(Backoff(attempt))

@@ -89,6 +89,69 @@ func TestRunGuardedInvariantQuarantine(t *testing.T) {
 	}
 }
 
+func TestRunGuardedCancelStopsMidSlice(t *testing.T) {
+	g := core.Generations()[0]
+	sl := workload.Suite(tinySpec)[0]
+	cancel := make(chan struct{})
+	stepped := 0
+	opts := Options{
+		HeartbeatEvery: 64,
+		Cancel:         cancel,
+		StepHook: func(n int, _ *isa.Inst) {
+			stepped = n
+			if n == 100 {
+				close(cancel)
+			}
+		},
+	}
+	res, fail := RunGuarded(core.NewSimulator(g), sl, opts)
+	if fail == nil || fail.Kind != KindCanceled {
+		t.Fatalf("canceled run should report KindCanceled, got %+v", fail)
+	}
+	// The slice must stop at the next heartbeat, not run to completion.
+	if stepped >= len(sl.Insts)-1 {
+		t.Fatalf("cancellation did not stop the slice: stepped through %d of %d insts", stepped+1, len(sl.Insts))
+	}
+	if !reflect.DeepEqual(res, core.Result{}) {
+		t.Fatal("canceled run should return a zero result")
+	}
+}
+
+func TestRunGuardedNilCancelRuns(t *testing.T) {
+	g := core.Generations()[0]
+	sl := workload.Suite(tinySpec)[0]
+	ref := core.RunSlice(g, sl)
+	got, fail := RunGuarded(core.NewSimulator(g), sl, Options{Cancel: nil, CheckInvariants: true})
+	if fail != nil {
+		t.Fatalf("nil cancel channel must not abort: %v", fail)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("result with nil cancel differs from plain Run")
+	}
+}
+
+func TestRunWithRetryDoesNotRetryCancel(t *testing.T) {
+	g := core.Generations()[0]
+	sl := workload.Suite(tinySpec)[0]
+	cancel := make(chan struct{})
+	close(cancel)
+	builds := 0
+	build := func() *core.Simulator { builds++; return core.NewSimulator(g) }
+	_, sim, fails, ok := RunWithRetry(nil, build, sl, Options{Cancel: cancel, HeartbeatEvery: 64}, 5)
+	if ok {
+		t.Fatal("canceled run must not report success")
+	}
+	if sim != nil {
+		t.Fatal("canceled run should not return a pool-safe simulator")
+	}
+	if builds != 1 {
+		t.Fatalf("cancellation was retried: %d builds, want 1", builds)
+	}
+	if len(fails) != 1 || fails[0].Kind != KindCanceled {
+		t.Fatalf("want a single canceled record, got %+v", fails)
+	}
+}
+
 func TestHeartbeatMaskRoundsUp(t *testing.T) {
 	for _, tc := range []struct{ in, mask int }{
 		{0, DefaultHeartbeat - 1},

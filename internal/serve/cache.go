@@ -1,0 +1,67 @@
+// resultCache is a small LRU over completed job results, keyed by the
+// job digest. Simulations are deterministic — same digest, same bytes —
+// so a hit can answer a submission without queueing any work.
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+type cacheEntry struct {
+	digest string
+	result json.RawMessage
+}
+
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent
+	by  map[string]*list.Element
+}
+
+// newResultCache builds a cache holding up to max results; max <= 0
+// disables caching entirely (every lookup misses, every store drops).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), by: map[string]*list.Element{}}
+}
+
+func (c *resultCache) get(digest string) (json.RawMessage, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.by[digest]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+func (c *resultCache) put(digest string, result json.RawMessage) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.by[digest]; ok {
+		el.Value.(*cacheEntry).result = result
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.by[digest] = c.ll.PushFront(&cacheEntry{digest: digest, result: result})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.by, oldest.Value.(*cacheEntry).digest)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,272 @@
+// Job lifecycle for the sweep-serving daemon: wire request forms, the
+// tracked Job with its progress/event fan-out, and the JSON views the
+// HTTP layer returns.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"exysim/internal/core"
+	"exysim/internal/experiments"
+	"exysim/internal/obs"
+	"exysim/internal/workload"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// terminal reports whether a status is final.
+func (s JobStatus) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// JobRequest is the wire form of a job submission. Kind selects the
+// work: "population" (the default) sweeps every generation over the
+// spec's synthetic population and returns a versioned SummaryDoc;
+// "slice" runs one (generation, slice) pair guarded and returns the
+// detailed Result.
+type JobRequest struct {
+	Kind string `json:"kind,omitempty"`
+
+	// Preset names a base spec (tiny|quick|standard, default tiny); the
+	// explicit fields below override it individually.
+	Preset          string  `json:"preset,omitempty"`
+	SlicesPerFamily int     `json:"slices_per_family,omitempty"`
+	InstsPerSlice   int     `json:"insts_per_slice,omitempty"`
+	WarmupFrac      float64 `json:"warmup_frac,omitempty"`
+	Seed            uint64  `json:"seed,omitempty"`
+
+	// Gen and Slice select the pair of a slice job (e.g. "M4", "web/3").
+	Gen   string `json:"gen,omitempty"`
+	Slice string `json:"slice,omitempty"`
+}
+
+// resolve validates the request and materializes the effective
+// workload spec.
+func (r *JobRequest) resolve() (workload.SuiteSpec, error) {
+	switch r.Kind {
+	case "":
+		r.Kind = "population"
+	case "population", "slice":
+	default:
+		return workload.SuiteSpec{}, fmt.Errorf("unknown kind %q (population|slice)", r.Kind)
+	}
+	var spec workload.SuiteSpec
+	switch r.Preset {
+	case "", "tiny":
+		spec = workload.TinySpec
+	case "quick":
+		spec = workload.QuickSpec
+	case "standard":
+		spec = workload.StandardSpec
+	default:
+		return workload.SuiteSpec{}, fmt.Errorf("unknown preset %q (tiny|quick|standard)", r.Preset)
+	}
+	if r.SlicesPerFamily != 0 {
+		spec.SlicesPerFamily = r.SlicesPerFamily
+	}
+	if r.InstsPerSlice != 0 {
+		spec.InstsPerSlice = r.InstsPerSlice
+	}
+	if r.WarmupFrac != 0 {
+		spec.WarmupFrac = r.WarmupFrac
+	}
+	if r.Seed != 0 {
+		spec.Seed = r.Seed
+	}
+	spec = spec.Normalize()
+	if r.Kind == "slice" {
+		if r.Gen == "" || r.Slice == "" {
+			return workload.SuiteSpec{}, fmt.Errorf("slice jobs need both gen and slice")
+		}
+		if _, ok := core.GenByName(r.Gen); !ok {
+			return workload.SuiteSpec{}, fmt.Errorf("unknown generation %q", r.Gen)
+		}
+	} else if r.Gen != "" || r.Slice != "" {
+		return workload.SuiteSpec{}, fmt.Errorf("gen/slice are only valid for kind \"slice\"")
+	}
+	return spec, nil
+}
+
+// jobDigest fingerprints the resolved request: two submissions with the
+// same digest are guaranteed to compute the same result, which is what
+// keys the result cache and the checkpoint files.
+func jobDigest(req JobRequest, spec workload.SuiteSpec) string {
+	return obs.ConfigDigest(struct {
+		Kind       string
+		Spec       workload.SuiteSpec
+		Gen, Slice string
+	}{req.Kind, spec, req.Gen, req.Slice})
+}
+
+// Event is one JSONL/SSE stream frame: progress ticks while the job
+// runs, then exactly one terminal "result" frame carrying the full job
+// view.
+type Event struct {
+	Type  string   `json:"type"` // "progress" | "result"
+	Done  int      `json:"done,omitempty"`
+	Total int      `json:"total,omitempty"`
+	Job   *JobView `json:"job,omitempty"`
+}
+
+// JobView is the JSON form of a job's current state.
+type JobView struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	Status JobStatus       `json:"status"`
+	Digest string          `json:"digest"`
+	Done   int             `json:"done"`
+	Total  int             `json:"total"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// sliceDoc is the versioned result document of a slice job.
+type sliceDoc struct {
+	SchemaVersion int         `json:"schema_version"`
+	Gen           string      `json:"gen"`
+	Slice         string      `json:"slice"`
+	Result        core.Result `json:"result"`
+}
+
+func newSliceDoc(gen, slice string, r core.Result) sliceDoc {
+	return sliceDoc{SchemaVersion: experiments.ResultsSchemaVersion, Gen: gen, Slice: slice, Result: r}
+}
+
+// Job is one tracked unit of work. Workers mutate it through
+// setProgress/finish; the HTTP layer reads it through view and streams
+// it through subscribe.
+type Job struct {
+	id     string
+	req    JobRequest
+	spec   workload.SuiteSpec
+	digest string
+
+	// ctx governs the job's execution; cancel aborts it (DELETE, or the
+	// drain deadline). It is derived before enqueueing so canceling a
+	// still-queued job works too.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	status      JobStatus
+	done, total int
+	result      json.RawMessage
+	errMsg      string
+	subs        map[int]chan Event
+	nextSub     int
+}
+
+func newJob(base context.Context, id string, req JobRequest, spec workload.SuiteSpec) *Job {
+	ctx, cancel := context.WithCancel(base)
+	return &Job{
+		id: id, req: req, spec: spec, digest: jobDigest(req, spec),
+		ctx: ctx, cancel: cancel,
+		status: StatusQueued,
+		subs:   map[int]chan Event{},
+	}
+}
+
+// view snapshots the job as its JSON form.
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.viewLocked()
+}
+
+func (j *Job) viewLocked() JobView {
+	return JobView{
+		ID: j.id, Kind: j.req.Kind, Status: j.status, Digest: j.digest,
+		Done: j.done, Total: j.total,
+		Error: j.errMsg, Result: j.result,
+	}
+}
+
+// start transitions queued → running; it reports false if the job was
+// already canceled (its ctx died while queued).
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	return true
+}
+
+// setProgress records a progress tick and broadcasts it to streamers.
+// Sends are non-blocking: a slow subscriber misses ticks rather than
+// stalling the sweep; the terminal frame is delivered via channel close
+// plus job state, so nothing essential is ever dropped.
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.done, j.total = done, total
+	e := Event{Type: "progress", Done: done, Total: total}
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// finish records the terminal state and closes every subscriber
+// channel; streamers then emit the terminal frame from the job state.
+func (j *Job) finish(status JobStatus, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.status, j.result, j.errMsg = status, result, errMsg
+	if status == StatusDone && j.total > 0 {
+		j.done = j.total
+	}
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
+	j.cancel() // release the context's resources
+}
+
+// subscribe registers a progress listener. The returned channel closes
+// when the job reaches a terminal state (immediately if it already
+// has); the caller then reads the terminal view. The cancel func must
+// be called to unsubscribe.
+func (j *Job) subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Event, 16)
+	if j.status.terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(ch)
+		}
+	}
+}

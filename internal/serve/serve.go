@@ -1,0 +1,474 @@
+// Package serve is the sweep-serving daemon behind cmd/exyserve: a
+// long-running HTTP/JSON API that accepts population-sweep and
+// single-slice jobs, runs them on a bounded worker pool over one shared
+// simulator pool (per-generation Reset() recycling — no per-request
+// construction), streams progress as JSONL or SSE, answers repeated
+// submissions from a digest-keyed result cache, sheds load with 429
+// once the queue is full, and drains gracefully on shutdown: in-flight
+// sweeps finish — or, past the drain deadline, abandon cooperatively
+// with their completed slices checkpointed for a resume after restart.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit (202 queued; 200 on cache hit;
+//	                            429 + Retry-After when full; 503 draining)
+//	GET    /v1/jobs             list all tracked jobs
+//	GET    /v1/jobs/{id}        one job's state and result
+//	GET    /v1/jobs/{id}/stream progress stream (JSONL; SSE if requested)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             obs registry snapshot as JSON
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exysim/internal/core"
+	"exysim/internal/experiments"
+	"exysim/internal/obs"
+	"exysim/internal/robust"
+	"exysim/internal/workload"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (default 2).
+	// Each population job additionally fans out SweepParallelism worker
+	// goroutines internally.
+	Workers int
+	// QueueDepth bounds the queued-but-not-running backlog (default 16);
+	// submissions beyond it are rejected with 429.
+	QueueDepth int
+	// SweepParallelism is the per-population-job worker count
+	// (experiments.WithWorkers); 0 uses GOMAXPROCS. Servers running
+	// several sweeps concurrently set it so one request cannot claim
+	// every core.
+	SweepParallelism int
+	// CacheEntries sizes the digest-keyed result cache: 0 means the
+	// default (64), negative disables caching.
+	CacheEntries int
+	// CheckpointDir, when set, checkpoints every population job to
+	// <dir>/<digest>.ckpt and resumes from it — a drained or crashed
+	// sweep picks up where it stopped when the job is resubmitted.
+	CheckpointDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	return c
+}
+
+// Server owns the job queue, the worker goroutines, and the shared
+// simulator pool. Create with New, expose via Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	pool  *experiments.SimPool
+	reg   *obs.Registry
+	cache *resultCache
+	mux   *http.ServeMux
+
+	// baseCtx parents every job context; killRemaining cancels them all
+	// when the drain deadline passes.
+	baseCtx       context.Context
+	killRemaining context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string // insertion order for listing
+	nextID   int
+
+	// testHook, when set (in-package tests only), runs at the start of
+	// every job execution — the seam that lets tests hold a worker busy
+	// deterministically instead of timing against real sweeps.
+	testHook func(*Job)
+
+	running   atomic.Int64
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	rejected  atomic.Uint64
+	cacheHits atomic.Uint64
+}
+
+// New builds a server and starts its workers.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.startWorkers()
+	return s
+}
+
+// newServer builds the server without starting workers, so in-package
+// tests can install testHook race-free before any job runs.
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.CheckpointDir != "" {
+		// Create eagerly so a missing directory doesn't fail every
+		// population job; a genuinely unwritable path still surfaces as
+		// a per-job checkpoint error.
+		os.MkdirAll(cfg.CheckpointDir, 0o755)
+	}
+	base, kill := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:           cfg,
+		pool:          experiments.NewSimPool(),
+		reg:           obs.NewRegistry(),
+		cache:         newResultCache(cfg.CacheEntries),
+		baseCtx:       base,
+		killRemaining: kill,
+		queue:         make(chan *Job, cfg.QueueDepth),
+		jobs:          map[string]*Job{},
+	}
+	sc := s.reg.Scope("serve")
+	sc.Counter("jobs_submitted", s.submitted.Load)
+	sc.Counter("jobs_completed", s.completed.Load)
+	sc.Counter("jobs_failed", s.failed.Load)
+	sc.Counter("jobs_canceled", s.canceled.Load)
+	sc.Counter("jobs_rejected", s.rejected.Load)
+	sc.Counter("cache_hits", s.cacheHits.Load)
+	sc.Gauge("jobs_running", func() float64 { return float64(s.running.Load()) })
+	sc.Gauge("queue_depth", func() float64 { return float64(len(s.queue)) })
+	pc := sc.Child("pool")
+	pc.Counter("sims_built", s.pool.Built)
+	pc.Gauge("idle", func() float64 { return float64(s.pool.Idle()) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics snapshots the server's obs registry (what /metrics serves).
+func (s *Server) Metrics() obs.Snapshot { return s.reg.Snapshot() }
+
+// Shutdown drains the server: no new submissions are accepted, queued
+// and running jobs finish, then the workers exit. If ctx expires first,
+// the remaining jobs are canceled cooperatively (population sweeps with
+// a checkpoint keep their completed slices) and Shutdown returns
+// ctx.Err after they stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.killRemaining()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker executes jobs until the queue closes and empties.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	if job.ctx.Err() != nil || !job.start() {
+		// Canceled while queued (DELETE or drain kill): never ran.
+		s.canceled.Add(1)
+		job.finish(StatusCanceled, nil, "canceled before start")
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	if s.testHook != nil {
+		s.testHook(job)
+	}
+
+	var result json.RawMessage
+	var err error
+	switch job.req.Kind {
+	case "slice":
+		result, err = s.runSlice(job)
+	default:
+		result, err = s.runPopulation(job)
+	}
+	switch {
+	case err == nil:
+		s.cache.put(job.digest, result)
+		s.completed.Add(1)
+		job.finish(StatusDone, result, "")
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+		job.finish(StatusCanceled, nil, "canceled")
+	default:
+		s.failed.Add(1)
+		job.finish(StatusFailed, nil, err.Error())
+	}
+}
+
+// runPopulation executes a full sweep through experiments.Run on the
+// shared simulator pool and returns its versioned SummaryDoc.
+func (s *Server) runPopulation(job *Job) (json.RawMessage, error) {
+	opts := []experiments.Option{
+		experiments.WithSimPool(s.pool),
+		experiments.WithProgressFunc(func(done, total int, _ uint64) {
+			job.setProgress(done, total)
+		}),
+	}
+	if s.cfg.SweepParallelism > 0 {
+		opts = append(opts, experiments.WithWorkers(s.cfg.SweepParallelism))
+	}
+	if s.cfg.CheckpointDir != "" {
+		path := filepath.Join(s.cfg.CheckpointDir, job.digest+".ckpt")
+		opts = append(opts, experiments.WithCheckpoint(path), experiments.WithResume())
+	}
+	p, err := experiments.Run(job.ctx, job.spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(p.SummaryDoc())
+}
+
+// runSlice executes one guarded (generation, slice) pair on a pooled
+// simulator.
+func (s *Server) runSlice(job *Job) (json.RawMessage, error) {
+	g, _ := core.GenByName(job.req.Gen) // validated at submit
+	sl, err := workload.ByName(job.req.Slice, job.spec)
+	if err != nil {
+		return nil, err
+	}
+	job.setProgress(0, 1)
+	sim := s.pool.Get(g)
+	res, fail := robust.RunGuarded(sim, sl, robust.Options{
+		CheckInvariants: true,
+		Cancel:          job.ctx.Done(),
+	})
+	if fail != nil {
+		// The instance may be torn mid-update: discard, never re-pool.
+		if fail.Kind == robust.KindCanceled && job.ctx.Err() != nil {
+			return nil, job.ctx.Err()
+		}
+		return nil, fmt.Errorf("%s/%s: %s: %s", fail.Gen, fail.Slice, fail.Kind, fail.Err)
+	}
+	s.pool.Put(sim)
+	job.setProgress(1, 1)
+	return json.Marshal(newSliceDoc(job.req.Gen, job.req.Slice, res))
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	spec, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	digest := jobDigest(req, spec)
+	if result, ok := s.cache.get(digest); ok {
+		s.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, JobView{
+			ID: "cache-" + digest[:12], Kind: req.Kind, Status: StatusDone,
+			Digest: digest, Cached: true, Result: result,
+		})
+		return
+	}
+
+	// Enqueue under the lock so draining and the non-blocking send are
+	// one atomic decision: the queue is never closed between the check
+	// and the send.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.nextID++
+	job := newJob(s.baseCtx, fmt.Sprintf("j%06d", s.nextID), req, spec)
+	select {
+	case s.queue <- job:
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		writeJSON(w, http.StatusAccepted, job.view())
+	default:
+		s.nextID-- // job never existed
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusTooManyRequests, "job queue is full")
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job.cancel()
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+// handleStream replays a job's progress as a line-per-event stream:
+// newline-delimited JSON by default, Server-Sent Events when the client
+// asks for text/event-stream. The stream always terminates with one
+// "result" frame carrying the full job view.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(e Event) bool {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", b)
+		}
+		flusher.Flush()
+		return err == nil
+	}
+
+	events, unsub := job.subscribe()
+	defer unsub()
+	for {
+		select {
+		case e, open := <-events:
+			if !open {
+				// Terminal: emit the final state exactly once.
+				v := job.view()
+				emit(Event{Type: "result", Done: v.Done, Total: v.Total, Job: &v})
+				return
+			}
+			if !emit(e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.Snapshot().WriteJSON(w)
+}
+
+// DrainDefault is the default grace period exyserve gives in-flight
+// jobs on SIGTERM before canceling them.
+const DrainDefault = 30 * time.Second

@@ -1,0 +1,138 @@
+// End-to-end smoke over the HTTP surface: submit a sweep, follow its
+// JSONL progress stream to the terminal frame, check SSE framing, and
+// confirm /metrics and /healthz answer sensibly. `make serve-smoke`
+// runs this (race-enabled) as the tier-1 gate for the serving layer.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestServeSmoke(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Health before any work.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Submit a small sweep and follow its stream to completion.
+	resp, v := postJob(t, ts, specRequest(serveSpec))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	stream, err := ts.Client().Get(ts.URL + "/v1/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := events[len(events)-1]
+	if last.Type != "result" || last.Job == nil {
+		t.Fatalf("stream did not end with a result frame: %+v", last)
+	}
+	if last.Job.Status != StatusDone || len(last.Job.Result) == 0 {
+		t.Fatalf("terminal frame: %+v", last.Job)
+	}
+	total := 9 * 6 // tiny population: 9 slices × 6 generations
+	if last.Job.Total != total || last.Job.Done != total {
+		t.Fatalf("terminal progress %d/%d, want %d/%d", last.Job.Done, last.Job.Total, total, total)
+	}
+	for _, e := range events[:len(events)-1] {
+		if e.Type != "progress" {
+			t.Fatalf("non-progress frame before terminal: %+v", e)
+		}
+	}
+	var doc struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(last.Job.Result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion == 0 {
+		t.Fatal("result document is not schema-versioned")
+	}
+
+	// Streaming a finished job replays just the terminal frame — as SSE
+	// when the client asks for it.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+v.ID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	sseResp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	if ct := sseResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("sse content type %q", ct)
+	}
+	var body strings.Builder
+	sc2 := bufio.NewScanner(sseResp.Body)
+	sc2.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc2.Scan() {
+		body.WriteString(sc2.Text())
+		body.WriteString("\n")
+	}
+	if !strings.HasPrefix(body.String(), "data: {") {
+		t.Fatalf("sse framing wrong: %q", body.String())
+	}
+
+	// Metrics reflect the completed job.
+	m := metrics(t, ts)
+	if m["serve.jobs_completed"] < 1 {
+		t.Fatalf("jobs_completed = %v", m["serve.jobs_completed"])
+	}
+	if m["serve.pool.sims_built"] == 0 {
+		t.Fatal("pool metrics missing")
+	}
+
+	// Job listing includes the job.
+	listResp, err := ts.Client().Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != v.ID {
+		t.Fatalf("listing: %+v", list.Jobs)
+	}
+}

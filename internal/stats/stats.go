@@ -65,28 +65,40 @@ func (s *Summary) StdDev() float64 {
 	return math.Sqrt(s.m2 / float64(s.n-1))
 }
 
+// SummarySchemaVersion is the version stamped into Summary's JSON wire
+// form. Version 1 documents (no schema_version field) predate the stamp
+// and decode fine; documents from a future version are rejected rather
+// than silently misread.
+const SummarySchemaVersion = 2
+
 // summaryJSON is the wire form of Summary. The fields are unexported in
 // the struct (callers go through the accessors), but results containing
 // summaries must survive a checkpoint round-trip bit-identically, so the
 // JSON form carries the full accumulator state, not just the mean.
 type summaryJSON struct {
-	N    int     `json:"n"`
-	Mean float64 `json:"mean"`
-	M2   float64 `json:"m2"`
-	Min  float64 `json:"min"`
-	Max  float64 `json:"max"`
+	SchemaVersion int     `json:"schema_version"`
+	N             int     `json:"n"`
+	Mean          float64 `json:"mean"`
+	M2            float64 `json:"m2"`
+	Min           float64 `json:"min"`
+	Max           float64 `json:"max"`
 }
 
 // MarshalJSON encodes the full accumulator state.
 func (s Summary) MarshalJSON() ([]byte, error) {
-	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+	return json.Marshal(summaryJSON{SchemaVersion: SummarySchemaVersion, N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
 }
 
 // UnmarshalJSON restores the accumulator state written by MarshalJSON.
+// A zero schema_version (legacy v1 document) is accepted; a version
+// newer than SummarySchemaVersion is an error.
 func (s *Summary) UnmarshalJSON(b []byte) error {
 	var w summaryJSON
 	if err := json.Unmarshal(b, &w); err != nil {
 		return err
+	}
+	if w.SchemaVersion > SummarySchemaVersion {
+		return fmt.Errorf("stats: summary schema_version %d newer than supported %d", w.SchemaVersion, SummarySchemaVersion)
 	}
 	s.n, s.mean, s.m2, s.min, s.max = w.N, w.Mean, w.M2, w.Min, w.Max
 	return nil

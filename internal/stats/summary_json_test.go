@@ -36,6 +36,40 @@ func TestSummaryJSONRoundTripBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSummaryJSONVersioning pins the schema-evolution contract: the
+// current version is stamped on encode, legacy (unstamped) documents
+// still decode, and documents from a future version are rejected.
+func TestSummaryJSONVersioning(t *testing.T) {
+	var s Summary
+	s.Add(1.5)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc["schema_version"].(float64); !ok || int(v) != SummarySchemaVersion {
+		t.Fatalf("schema_version = %v, want %d", doc["schema_version"], SummarySchemaVersion)
+	}
+
+	// Legacy v1 document: no schema_version field.
+	var legacy Summary
+	if err := json.Unmarshal([]byte(`{"n":2,"mean":3,"m2":0.5,"min":2,"max":4}`), &legacy); err != nil {
+		t.Fatalf("legacy document rejected: %v", err)
+	}
+	if legacy.N() != 2 || legacy.Mean() != 3 {
+		t.Fatalf("legacy document misread: %+v", legacy)
+	}
+
+	// Future document: must fail loudly, not decode garbage.
+	var future Summary
+	if err := json.Unmarshal([]byte(`{"schema_version":99,"n":1,"mean":1,"m2":0,"min":1,"max":1}`), &future); err == nil {
+		t.Fatal("future schema_version accepted")
+	}
+}
+
 func TestSummaryJSONEmpty(t *testing.T) {
 	var s, got Summary
 	b, err := json.Marshal(s)

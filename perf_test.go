@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"exysim/internal/core"
-	"exysim/internal/experiments"
 	"exysim/internal/workload"
 )
 
@@ -94,8 +93,8 @@ func TestResetAndRerunDoesNotAllocate(t *testing.T) {
 // `go test -race` this also proves the workers share no mutable state.
 func TestPopulationRunsDeterministic(t *testing.T) {
 	spec := workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 12_000, WarmupFrac: 0.25, Seed: 0xE59}
-	a := experiments.RunPopulation(spec)
-	b := experiments.RunPopulation(spec)
+	a := popRun(t, spec)
+	b := popRun(t, spec)
 	if len(a.Results) != len(b.Results) {
 		t.Fatalf("generation counts differ: %d vs %d", len(a.Results), len(b.Results))
 	}
