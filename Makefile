@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: tier1 fmt-check vet build test race robust-smoke serve-smoke bench bench-smoke bench-compare bench-go
+.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke bench bench-smoke bench-compare bench-go
 
 # tier1 is the gate every change must pass: formatting, vet, a full
-# build, the test suite under the race detector, the fault-injection
-# smoke, the serving-layer smoke, and a benchmark smoke run proving the
-# throughput harness still executes every generation.
-tier1: fmt-check vet build race robust-smoke serve-smoke bench-smoke
+# build, the test suite under the race detector, the observability
+# smoke, the fault-injection smoke, the serving-layer smoke, and a
+# benchmark smoke run proving the throughput harness still executes
+# every generation.
+tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -25,6 +26,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# obs-smoke races the observability primitives: concurrent registry
+# registration vs snapshot vs lock-free histogram recording, span-tracer
+# ring behavior, and the zero-allocation guards for the disabled paths.
+obs-smoke:
+	$(GO) test -race ./internal/obs/...
 
 # robust-smoke drives the sweep-robustness layer's fault-injection tests
 # under the race detector: injected panics, livelocks, and corrupted

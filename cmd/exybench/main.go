@@ -75,12 +75,65 @@ type PopResult struct {
 	Reps            int     `json:"reps"`
 }
 
-// Report is the BENCH_throughput.json schema.
+// EnvInfo is the provenance block embedded in every report: enough to
+// tell whether two BENCH_throughput.json files were measured on
+// comparable machines. compare never gates on it — throughput deltas
+// across different hardware are information, not regressions — but it
+// prints a notice when the environments differ.
+type EnvInfo struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	OSArch     string `json:"os_arch"`
+	// CPU is the host processor description (Linux /proc/cpuinfo);
+	// empty where unavailable.
+	CPU string `json:"cpu,omitempty"`
+}
+
+func (e *EnvInfo) String() string {
+	s := fmt.Sprintf("%s %s, %d cpus (GOMAXPROCS %d)", e.GoVersion, e.OSArch, e.NumCPU, e.GoMaxProcs)
+	if e.CPU != "" {
+		s += ", " + e.CPU
+	}
+	return s
+}
+
+func collectEnv() *EnvInfo {
+	return &EnvInfo{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		OSArch:     runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:        cpuModel(),
+	}
+}
+
+// cpuModel best-effort reads the processor description from
+// /proc/cpuinfo; returns "" on non-Linux hosts.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(name) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}
+
+// Report is the BENCH_throughput.json schema. GoVersion/NumCPU predate
+// the Env block and stay for older tooling; Env is the full provenance.
 type Report struct {
 	Slice      string      `json:"slice"`
 	Insts      uint64      `json:"insts_per_op"`
 	GoVersion  string      `json:"go_version"`
 	NumCPU     int         `json:"num_cpu"`
+	Env        *EnvInfo    `json:"env,omitempty"`
 	Results    []GenResult `json:"results"`
 	Population *PopResult  `json:"population,omitempty"`
 }
@@ -154,6 +207,9 @@ func cmdCompare(args []string) {
 	for _, line := range out.lines {
 		fmt.Println(line)
 	}
+	for _, note := range out.envNotes {
+		fmt.Println(note)
+	}
 	if len(out.added) > 0 {
 		fmt.Printf("entries only in the new run (reported, not gated): %s\n", strings.Join(out.added, ", "))
 	}
@@ -174,7 +230,10 @@ type compareOutcome struct {
 	lines   []string
 	added   []string // in candidate, not in baseline
 	removed []string // in baseline, not in candidate
-	fail    bool
+	// envNotes flags measurement-environment mismatches between the two
+	// reports; informational only, never part of the gate math.
+	envNotes []string
+	fail     bool
 }
 
 // compareReports gates only on entries present in both reports. Entries
@@ -185,6 +244,12 @@ type compareOutcome struct {
 // gate on unrelated work.
 func compareReports(base, cand *Report, tol float64) compareOutcome {
 	var out compareOutcome
+	if base.Env != nil && cand.Env != nil && *base.Env != *cand.Env {
+		out.envNotes = append(out.envNotes,
+			"environment differs between reports (ratios reflect hardware as well as code):",
+			"  base: "+base.Env.String(),
+			"  new:  "+cand.Env.String())
+	}
 	baseBy := map[string]GenResult{}
 	for _, r := range base.Results {
 		baseBy[r.Gen] = r
@@ -258,6 +323,7 @@ func measure(reps int, smoke bool) *Report {
 		Slice:     benchSlice,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
+		Env:       collectEnv(),
 	}
 	for _, g := range core.Generations() {
 		// Warm (and measure instruction count) outside the timed region.

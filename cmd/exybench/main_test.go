@@ -115,3 +115,41 @@ func TestCompareIdenticalReportsPass(t *testing.T) {
 		t.Fatalf("identical reports must pass cleanly: %+v", out)
 	}
 }
+
+func TestCollectEnvPopulated(t *testing.T) {
+	e := collectEnv()
+	if e.GoVersion == "" || e.GoMaxProcs <= 0 || e.NumCPU <= 0 || e.OSArch == "" {
+		t.Fatalf("env incomplete: %+v", e)
+	}
+	if !strings.Contains(e.String(), e.GoVersion) {
+		t.Fatalf("String() missing go version: %s", e.String())
+	}
+}
+
+func TestCompareEnvMismatchReportedNotGated(t *testing.T) {
+	base := report(nil, gen("M1", 100))
+	base.Env = &EnvInfo{GoVersion: "go1.22.0", GoMaxProcs: 4, NumCPU: 4, OSArch: "linux/amd64", CPU: "old box"}
+	cand := report(nil, gen("M1", 100))
+	cand.Env = collectEnv()
+	out := compareReports(base, cand, 0.7)
+	if out.fail {
+		t.Fatalf("env mismatch must not fail the gate: %v", out.lines)
+	}
+	if len(out.envNotes) == 0 {
+		t.Fatal("env mismatch not reported")
+	}
+	joined := strings.Join(out.envNotes, "\n")
+	if !strings.Contains(joined, "old box") {
+		t.Fatalf("notes should name both environments:\n%s", joined)
+	}
+
+	// Identical environments (or a baseline without one) stay silent.
+	cand.Env = base.Env
+	if out := compareReports(base, cand, 0.7); len(out.envNotes) != 0 {
+		t.Fatalf("identical envs reported: %v", out.envNotes)
+	}
+	base.Env = nil
+	if out := compareReports(base, cand, 0.7); len(out.envNotes) != 0 {
+		t.Fatalf("missing baseline env reported: %v", out.envNotes)
+	}
+}

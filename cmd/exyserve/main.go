@@ -8,7 +8,7 @@
 //
 //	exyserve [--addr=localhost:8080] [--workers=2] [--queue=16]
 //	         [--sweep-workers=0] [--cache=64] [--checkpoint-dir=DIR]
-//	         [--drain-timeout=30s]
+//	         [--drain-timeout=30s] [--log-format=text|json] [--pprof]
 //
 // Quickstart:
 //
@@ -16,7 +16,9 @@
 //	curl -s localhost:8080/v1/jobs -d '{"preset":"tiny"}'          # submit
 //	curl -s localhost:8080/v1/jobs/j000001                         # poll
 //	curl -sN localhost:8080/v1/jobs/j000001/stream                 # JSONL progress
-//	curl -s localhost:8080/metrics                                 # counters
+//	curl -s localhost:8080/metrics                                 # Prometheus text
+//	curl -s localhost:8080/metrics?format=json                     # JSON snapshot
+//	curl -s localhost:8080/healthz                                 # health doc
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,7 +49,19 @@ func run(args []string) int {
 	cacheEntries := fs.Int("cache", 64, "result cache entries (negative disables)")
 	ckptDir := fs.String("checkpoint-dir", "", "checkpoint population jobs under DIR for resume")
 	drain := fs.Duration("drain-timeout", serve.DrainDefault, "grace period for in-flight jobs on shutdown")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr (text|json)")
+	enablePprof := fs.Bool("pprof", false, "mount /debug/pprof on the API listener")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text", "":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "exyserve: unknown --log-format %q (text|json)\n", *logFormat)
 		return 2
 	}
 
@@ -56,6 +71,8 @@ func run(args []string) int {
 		SweepParallelism: *sweepWorkers,
 		CacheEntries:     *cacheEntries,
 		CheckpointDir:    *ckptDir,
+		EnablePprof:      *enablePprof,
+		Logger:           slog.New(handler),
 	})
 	httpSrv := &http.Server{Handler: srv.Handler()}
 

@@ -284,6 +284,7 @@ type popFlags struct {
 	resume        *bool
 	sliceDeadline *time.Duration
 	retries       *int
+	spanOut       *string
 }
 
 func runPopulationFlags(fs *flag.FlagSet) *popFlags {
@@ -295,6 +296,7 @@ func runPopulationFlags(fs *flag.FlagSet) *popFlags {
 		resume:        fs.Bool("resume", false, "skip slices already recorded in --checkpoint"),
 		sliceDeadline: fs.Duration("slice-deadline", 0, "per-slice wall-clock budget (0 = none)"),
 		retries:       fs.Int("retries", 0, "retry a failed slice up to N times on a fresh simulator"),
+		spanOut:       fs.String("span-out", "", "write a wall-clock span trace (Perfetto JSON) of the sweep to FILE"),
 	}
 }
 
@@ -319,6 +321,16 @@ func runPopulation(command string, pf *popFlags, artifacts map[string]string) *e
 	if *pf.resume {
 		opts = append(opts, experiments.WithResume())
 	}
+	// Telemetry is always on for CLI sweeps: one clock read per slice,
+	// bit-identical results, and the slow-slice report is the first thing
+	// to look at when a sweep dragged.
+	tel := experiments.NewSweepTelemetry()
+	opts = append(opts, experiments.WithTelemetry(tel))
+	var spans *obs.SpanTracer
+	if *pf.spanOut != "" {
+		spans = obs.NewSpanTracer(1 << 16)
+		opts = append(opts, experiments.WithSpanTracer(spans))
+	}
 	// Ctrl-C / SIGTERM cancels the sweep mid-slice; with --checkpoint the
 	// completed pairs survive for a later --resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -335,10 +347,23 @@ func runPopulation(command string, pf *popFlags, artifacts map[string]string) *e
 	if rep := p.FailureReport(); rep != "" {
 		fmt.Fprint(os.Stderr, rep)
 	}
+	if rep := tel.Report(); rep != "" {
+		fmt.Fprint(os.Stderr, rep)
+	}
+	if spans != nil {
+		if err := spans.WriteJSONFile(*pf.spanOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	if *pf.manifestOut != "" {
 		m := p.Manifest(command)
 		if *pf.checkpoint != "" {
 			m.AddArtifact("checkpoint", *pf.checkpoint)
+		}
+		if spans != nil {
+			m.AddArtifact("spans", *pf.spanOut)
+			m.SpanDropped = spans.Dropped()
 		}
 		for k, v := range artifacts {
 			m.AddArtifact(k, v)
@@ -642,6 +667,7 @@ func cmdRun(args []string) {
 		}
 	}
 	if man != nil {
+		man.TraceDropped = tr.Dropped()
 		man.Generations = []obs.GenInfo{{Name: g.Name, ConfigDigest: obs.ConfigDigest(g)}}
 		man.Workload = obs.WorkloadInfo{
 			InstsPerSlice: len(sl.Insts),

@@ -125,19 +125,23 @@ func (s *Simulator) Core() *pipeline.Core { return s.core }
 // the pool lifetime.
 func (s *Simulator) Reset() {
 	s.core.Reset()
+	// Clear the tracer ring before rebasing the registry: the
+	// obs.trace_dropped counter reads the ring's drop count, so the ring
+	// must be back at zero when the rebase captures counter baselines.
+	s.tracer.Reset()
 	if s.reg != nil {
 		// The subsystems' raw counters were just zeroed; rebasing here
 		// pins every registered counter at its post-Reset value so the
 		// next Snapshot is indistinguishable from a fresh simulator's.
 		s.reg.Reset()
 	}
-	s.tracer.Reset()
 }
 
 // Registry returns the simulator's metrics registry, building it on
 // first use. Every subsystem publishes under its own scope: "pipe",
 // "branch" (with "branch.src" per predictor source), "mem" (caches,
-// TLBs, prefetchers, uncore, DRAM), "uoc", and "power".
+// TLBs, prefetchers, uncore, DRAM), "uoc", and "power"; "obs" carries
+// the observability layer's own health (tracer ring drops).
 func (s *Simulator) Registry() *obs.Registry {
 	if s.reg == nil {
 		r := obs.NewRegistry()
@@ -149,6 +153,11 @@ func (s *Simulator) Registry() *obs.Registry {
 			u.RegisterMetrics(root.Child("uoc"))
 		}
 		s.meter.RegisterMetrics(root.Child("power"))
+		// Tracer ring overwrites: nonzero means any exported cycle trace
+		// is missing its oldest events. Reads the live tracer pointer, so
+		// installing or clearing a tracer after first Snapshot still
+		// reports correctly (nil tracer reads 0).
+		root.Child("obs").Counter("trace_dropped", func() uint64 { return s.tracer.Dropped() })
 		s.reg = r
 	}
 	return s.reg

@@ -52,6 +52,11 @@ type PopulationRun struct {
 	TotalInsts  uint64
 	TotalCycles uint64
 	WallSeconds float64
+
+	// Telemetry is the wall-clock telemetry collector the run fed (see
+	// WithTelemetry); nil when telemetry was disabled. It is purely
+	// observational — Results are bit-identical either way.
+	Telemetry *SweepTelemetry
 }
 
 // ok reports whether the (gen, slice) pair completed (not quarantined,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,8 @@ type runConfig struct {
 	resultHook     func(g, s int) robust.ResultHook
 	workers        int
 	pool           *SimPool
+	telemetry      *SweepTelemetry
+	spans          *obs.SpanTracer
 }
 
 // Option configures one Run invocation.
@@ -114,6 +117,23 @@ func WithWorkers(n int) Option {
 // construction.
 func WithSimPool(pool *SimPool) Option {
 	return func(c *runConfig) { c.pool = pool }
+}
+
+// WithTelemetry feeds wall-clock telemetry — per-slice wall time and
+// watchdog heartbeat gaps — into t's histograms, and records the
+// per-slice timing list behind the slow-slice outlier report. Telemetry
+// observes wall time only, never simulation state: results are
+// bit-identical with and without it. nil disables collection.
+func WithTelemetry(t *SweepTelemetry) Option {
+	return func(c *runConfig) { c.telemetry = t }
+}
+
+// WithSpanTracer records the sweep's wall-clock structure — the job,
+// each generation, each slice (one lane per worker), retry instants,
+// and checkpoint appends — into st for Perfetto visualization. Like
+// telemetry it is purely observational; nil disables span recording.
+func WithSpanTracer(st *obs.SpanTracer) Option {
+	return func(c *runConfig) { c.spans = st }
 }
 
 // Run is the one sweep entrypoint: every generation × every slice of
@@ -218,14 +238,26 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards Failures/Retries and checkpoint error reporting
 	var ckptErr error
+	tel := cfg.telemetry
+	p.Telemetry = tel
+	st := cfg.spans
+	// Per-generation wall-clock windows (first slice start, last slice
+	// end) accumulate under spanMu and become the generation-level spans.
+	var spanMu sync.Mutex
+	genFirst := make([]time.Time, len(gens))
+	genLast := make([]time.Time, len(gens))
 	workers := cfg.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var lane int32
+			if st != nil {
+				lane = st.Lane(fmt.Sprintf("worker-%d", w))
+			}
 			// Each worker drives one private cursor struct, reused across
 			// jobs. The clone shares the slice's read-only Insts backing
 			// array — only the cursor position is per-worker state, so
@@ -253,6 +285,9 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 					CheckInvariants: !cfg.skipInvariants,
 					Cancel:          cancelCh,
 				}
+				if tel != nil {
+					ropts.HeartbeatHist = tel.Heartbeat
+				}
 				if cfg.stepHook != nil {
 					ropts.StepHook = cfg.stepHook(j.g, j.s)
 				}
@@ -272,6 +307,10 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 						cfg.pool.built.Add(1)
 					}
 					return core.NewSimulator(gens[j.g])
+				}
+				var t0 time.Time
+				if tel != nil || st != nil {
+					t0 = time.Now()
 				}
 				r, okSim, fails, okRun := robust.RunWithRetry(sim, build, &cursor, ropts, cfg.retries)
 				// Keep whichever instance survived; a failure discarded
@@ -302,11 +341,33 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 					}
 					mu.Unlock()
 				}
+				if st != nil || tel != nil {
+					end := time.Now()
+					if st != nil {
+						pair := gens[j.g].Name + "/" + sl.Name
+						if len(fails) > 0 {
+							st.Instant("retry", pair, lane, int64(len(fails)))
+						}
+						st.Record("slice", pair, t0, end, lane, int64(r.Insts))
+						spanMu.Lock()
+						if genFirst[j.g].IsZero() || t0.Before(genFirst[j.g]) {
+							genFirst[j.g] = t0
+						}
+						if end.After(genLast[j.g]) {
+							genLast[j.g] = end
+						}
+						spanMu.Unlock()
+					}
+					if tel != nil && okRun {
+						tel.observeSlice(gens[j.g].Name, sl.Name, t0)
+					}
+				}
 				if !okRun {
 					continue
 				}
 				p.Results[j.g][j.s] = r
 				if ckpt != nil {
+					ckT := st.Start()
 					if err := ckpt.Append(robust.CheckpointEntry{Gen: j.g, Slice: j.s, Result: r}); err != nil {
 						mu.Lock()
 						if ckptErr == nil {
@@ -314,13 +375,14 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 						}
 						mu.Unlock()
 					}
+					st.Since(ckT, "checkpoint", "append", lane, 0)
 				}
 				cfg.progress.Step(r.Insts)
 				if cfg.onProgress != nil {
 					cfg.onProgress(int(doneCount.Add(1)), total, r.Insts)
 				}
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for g := range gens {
@@ -338,6 +400,15 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 	cfg.progress.Finish()
+	if st != nil {
+		genLane := st.Lane("generations")
+		for g := range gens {
+			if !genFirst[g].IsZero() {
+				st.Record("generation", gens[g].Name, genFirst[g], genLast[g], genLane, int64(len(slices)))
+			}
+		}
+		st.Record("job", "population-sweep", start, time.Now(), st.Lane("job"), int64(total))
+	}
 	for g := range p.Results {
 		for s := range p.Results[g] {
 			if !p.ok(g, s) {

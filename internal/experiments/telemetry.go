@@ -1,0 +1,136 @@
+// Sweep telemetry: wall-clock distributions of where a population run
+// spends its time. Cycle-domain metrics (internal/obs registry scopes)
+// describe the simulated machine; this file describes the simulator as
+// a workload — per-slice wall time, watchdog heartbeat latency, and the
+// p99 slow-slice outliers a fleet scheduler needs to spot stragglers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"exysim/internal/obs"
+)
+
+// SliceTiming is one completed (generation, slice) pair's wall time.
+type SliceTiming struct {
+	Gen    string `json:"gen"`
+	Slice  string `json:"slice"`
+	Micros uint64 `json:"micros"`
+}
+
+// SweepTelemetry collects the wall-clock telemetry of one (or, when the
+// histograms are shared, many) population runs. The histograms are
+// lock-free and mergeable, so a serving daemon can hand every job the
+// same SliceWall/Heartbeat pair and scrape one fleet-wide distribution;
+// the per-slice timing list is private to each run and feeds the
+// slow-slice outlier report. All methods are nil-safe: a nil
+// *SweepTelemetry is telemetry disabled.
+type SweepTelemetry struct {
+	// SliceWall records microseconds of wall time per completed
+	// (generation, slice) pair, including retries.
+	SliceWall *obs.Histogram
+	// Heartbeat records microseconds between watchdog heartbeats inside
+	// guarded slice runs (robust.Options.HeartbeatHist).
+	Heartbeat *obs.Histogram
+
+	mu      sync.Mutex
+	timings []SliceTiming
+}
+
+// NewSweepTelemetry builds a telemetry collector with fresh histograms.
+func NewSweepTelemetry() *SweepTelemetry {
+	return &SweepTelemetry{SliceWall: obs.NewHistogram(), Heartbeat: obs.NewHistogram()}
+}
+
+// observeSlice records one completed pair's wall time.
+func (t *SweepTelemetry) observeSlice(gen, slice string, start time.Time) {
+	if t == nil {
+		return
+	}
+	us := uint64(max(time.Since(start).Microseconds(), 0))
+	t.SliceWall.Observe(us)
+	t.mu.Lock()
+	t.timings = append(t.timings, SliceTiming{Gen: gen, Slice: slice, Micros: us})
+	t.mu.Unlock()
+}
+
+// Timings returns a copy of the per-slice wall times recorded so far.
+func (t *SweepTelemetry) Timings() []SliceTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SliceTiming, len(t.timings))
+	copy(out, t.timings)
+	return out
+}
+
+// SlowSlices returns the p99 wall-time threshold (µs) and every
+// recorded slice at or above it, slowest first. With the histogram's
+// power-of-two buckets the threshold is an estimate, so the outlier
+// list is what names the actual stragglers.
+func (t *SweepTelemetry) SlowSlices() (p99 float64, slow []SliceTiming) {
+	if t == nil {
+		return 0, nil
+	}
+	hs := t.SliceWall.Snapshot()
+	if hs.Count == 0 {
+		return 0, nil
+	}
+	p99 = hs.P99()
+	for _, tm := range t.Timings() {
+		if float64(tm.Micros) >= p99 {
+			slow = append(slow, tm)
+		}
+	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Micros > slow[j].Micros })
+	return p99, slow
+}
+
+func fmtUs(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.1fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", us)
+	}
+}
+
+// Report renders the telemetry block appended to a run's summary: the
+// slice wall-time distribution, the heartbeat latency distribution, and
+// the p99 slow-slice outliers. Empty string when nothing was recorded.
+func (t *SweepTelemetry) Report() string {
+	if t == nil {
+		return ""
+	}
+	sw := t.SliceWall.Snapshot()
+	if sw.Count == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "slice wall time over %d runs: p50 %s  p90 %s  p99 %s  max %s\n",
+		sw.Count, fmtUs(sw.P50()), fmtUs(sw.P90()), fmtUs(sw.P99()), fmtUs(float64(sw.Max)))
+	if hb := t.Heartbeat.Snapshot(); hb.Count > 0 {
+		fmt.Fprintf(&b, "watchdog heartbeat gap: p50 %s  p99 %s  max %s (%d beats)\n",
+			fmtUs(hb.P50()), fmtUs(hb.P99()), fmtUs(float64(hb.Max)), hb.Count)
+	}
+	p99, slow := t.SlowSlices()
+	if len(slow) > 0 {
+		fmt.Fprintf(&b, "%d slice run(s) at or above the p99 wall time (%s):\n", len(slow), fmtUs(p99))
+		limit := min(len(slow), 8)
+		for _, tm := range slow[:limit] {
+			fmt.Fprintf(&b, "  %s/%s: %s\n", tm.Gen, tm.Slice, fmtUs(float64(tm.Micros)))
+		}
+		if len(slow) > limit {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(slow)-limit)
+		}
+	}
+	return b.String()
+}

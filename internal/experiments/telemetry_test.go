@@ -1,0 +1,157 @@
+// Tests for sweep telemetry and span tracing: the span trace covers
+// the job/generation/slice hierarchy and loads as Perfetto JSON, the
+// telemetry report names slow slices, and — the load-bearing guarantee
+// — results stay bit-identical with telemetry enabled or disabled.
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"exysim/internal/core"
+	"exysim/internal/obs"
+	"exysim/internal/robust"
+	"exysim/internal/robust/faultinject"
+	"exysim/internal/workload"
+)
+
+// TestTelemetryBitIdentical: telemetry and span tracing observe wall
+// time only; enabling both must not perturb a single result bit.
+func TestTelemetryBitIdentical(t *testing.T) {
+	plain := mustRun(t, tinyPop)
+	tel := NewSweepTelemetry()
+	st := obs.NewSpanTracer(0)
+	instrumented := mustRun(t, tinyPop, WithTelemetry(tel), WithSpanTracer(st))
+	if !reflect.DeepEqual(plain.Results, instrumented.Results) {
+		t.Fatal("telemetry perturbed simulation results")
+	}
+}
+
+// TestTelemetryCollects: every completed pair lands in the slice-wall
+// histogram and timing list, heartbeats flow from the guarded runner,
+// and the report renders the distribution plus p99 outliers.
+func TestTelemetryCollects(t *testing.T) {
+	tel := NewSweepTelemetry()
+	p := mustRun(t, tinyPop, WithTelemetry(tel))
+	if p.Telemetry != tel {
+		t.Fatal("PopulationRun.Telemetry not attached")
+	}
+	want := uint64(len(p.Gens) * len(p.Slices))
+	if got := tel.SliceWall.Count(); got != want {
+		t.Fatalf("slice wall count = %d, want %d", got, want)
+	}
+	if got := len(tel.Timings()); got != int(want) {
+		t.Fatalf("timings = %d, want %d", got, want)
+	}
+	// tinyPop slices run 20k instructions with a 4096-instruction
+	// heartbeat, so every run beats at least once.
+	if tel.Heartbeat.Count() == 0 {
+		t.Fatal("no heartbeats recorded")
+	}
+	rep := tel.Report()
+	if !strings.Contains(rep, "slice wall time") || !strings.Contains(rep, "p99") {
+		t.Fatalf("report missing distribution line:\n%s", rep)
+	}
+	if !strings.Contains(rep, "watchdog heartbeat gap") {
+		t.Fatalf("report missing heartbeat line:\n%s", rep)
+	}
+	p99, slow := tel.SlowSlices()
+	if len(slow) == 0 || float64(slow[0].Micros) < p99 {
+		t.Fatalf("SlowSlices: p99=%v slow=%v", p99, slow)
+	}
+}
+
+// TestTelemetryDisabledNil: a nil collector is fully inert.
+func TestTelemetryDisabledNil(t *testing.T) {
+	var tel *SweepTelemetry
+	if tel.Report() != "" || tel.Timings() != nil {
+		t.Fatal("nil telemetry not inert")
+	}
+	if p99, slow := tel.SlowSlices(); p99 != 0 || slow != nil {
+		t.Fatal("nil SlowSlices not inert")
+	}
+	tel.observeSlice("g", "s", time.Now())
+}
+
+// TestSpanTraceHierarchy: a traced sweep emits job, generation, and
+// slice spans (plus checkpoint spans when configured), and the output
+// parses as a Chrome trace-event / Perfetto JSON object.
+func TestSpanTraceHierarchy(t *testing.T) {
+	st := obs.NewSpanTracer(0)
+	ck := t.TempDir() + "/ck.jsonl"
+	p := mustRun(t, tinyPop, WithSpanTracer(st), WithCheckpoint(ck))
+
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("span trace is not valid JSON: %v", err)
+	}
+	byCat := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		byCat[e.Cat]++
+	}
+	pairs := len(p.Gens) * len(p.Slices)
+	if byCat["slice"] != pairs {
+		t.Fatalf("slice spans = %d, want %d (cats: %v)", byCat["slice"], pairs, byCat)
+	}
+	if byCat["generation"] != len(p.Gens) {
+		t.Fatalf("generation spans = %d, want %d", byCat["generation"], len(p.Gens))
+	}
+	if byCat["job"] != 1 {
+		t.Fatalf("job spans = %d, want 1", byCat["job"])
+	}
+	if byCat["checkpoint"] != pairs {
+		t.Fatalf("checkpoint spans = %d, want %d", byCat["checkpoint"], pairs)
+	}
+	if st.Dropped() != 0 {
+		t.Fatalf("unexpected drops: %d", st.Dropped())
+	}
+}
+
+// TestSpanTraceRetryInstants: quarantined and retried slices leave
+// retry instant events on the trace.
+func TestSpanTraceRetryInstants(t *testing.T) {
+	st := obs.NewSpanTracer(0)
+	p := mustRun(t, robustPop, WithSpanTracer(st), WithRetries(1),
+		WithStepHooks(hookOne(0, 0, robust.StepHook(faultinject.PanicOnce(100)))))
+	if p.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", p.Retries)
+	}
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"cat":"retry"`) {
+		t.Fatal("no retry instant in span trace")
+	}
+}
+
+// TestHeartbeatHistogramRecords pins the robust-layer seam directly: a
+// guarded run with a heartbeat histogram records one gap per heartbeat.
+func TestHeartbeatHistogramRecords(t *testing.T) {
+	h := obs.NewHistogram()
+	sl := workload.Suite(workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 20_000, WarmupFrac: 0.25, Seed: 1})[0]
+	sim := core.NewSimulator(core.Generations()[0])
+	_, fail := robust.RunGuarded(sim, sl, robust.Options{HeartbeatHist: h})
+	if fail != nil {
+		t.Fatalf("guarded run failed: %v", fail)
+	}
+	// One beat per DefaultHeartbeat instructions stepped.
+	want := uint64(len(sl.Insts) / robust.DefaultHeartbeat)
+	if got := h.Count(); got != want {
+		t.Fatalf("heartbeat count = %d, want %d (%d insts)", got, want, len(sl.Insts))
+	}
+}

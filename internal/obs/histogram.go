@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets is the fixed bucket count of every Histogram: bucket
+// i holds values whose bit length is i, so bucket 0 is exactly {0} and
+// bucket i (i >= 1) covers [2^(i-1), 2^i - 1]. Power-of-two bounds make
+// the record path a single bits.Len64 — no binary search, no float
+// compare — and make any two histograms mergeable by construction, the
+// property the future worker fleet needs to fold per-worker latency
+// distributions into one.
+const HistogramBuckets = 65
+
+// Histogram is a fixed-bucket, power-of-two-bounded distribution of
+// uint64 observations (typically wall-clock microseconds). The record
+// path is lock-free — one atomic add per bucket, one for the running
+// sum, a CAS loop only when a new maximum is seen — and allocation-free,
+// so it can sit on watchdog heartbeats and per-slice completion paths
+// without perturbing the simulation. A nil *Histogram is the disabled
+// histogram: every method is nil-safe and Observe costs one predictable
+// branch.
+type Histogram struct {
+	buckets [HistogramBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// NewHistogram builds an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed wall time since start, in
+// microseconds. On a nil histogram it never reads the clock, so the
+// disabled path stays syscall- and allocation-free.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(uint64(max(time.Since(start).Microseconds(), 0)))
+}
+
+// Merge folds other's observations into h (both may keep recording;
+// each bucket transfers atomically). Merging a nil in either position
+// is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.sum.Add(other.sum.Load())
+	for {
+		om, cur := other.max.Load(), h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Snapshot materializes the histogram at one instant. Concurrent
+// recording may tear across buckets (each bucket is read atomically but
+// the set is not one transaction); for the sweep and serving use cases
+// a snapshot mid-burst is off by at most the in-flight observations.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to
+// aggregate and serialize without further synchronization.
+type HistogramSnapshot struct {
+	Buckets [HistogramBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// sub rebases this snapshot against an earlier one (Registry.Reset
+// semantics): buckets and sum subtract, Max keeps its lifetime value.
+func (s HistogramSnapshot) sub(base HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count = 0
+	for i := range out.Buckets {
+		out.Buckets[i] -= base.Buckets[i]
+		out.Count += out.Buckets[i]
+	}
+	out.Sum -= base.Sum
+	return out
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when
+// empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i: 0 for
+// bucket 0, 2^i - 1 otherwise (saturating at MaxUint64).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by locating the
+// bucket holding the q-th observation and interpolating linearly across
+// its [lower, upper] range. With power-of-two buckets the estimate is
+// within 2x of the true value — the right precision for "is p99 slow",
+// not for nanosecond accounting.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i := range s.Buckets {
+		n := float64(s.Buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lower := float64(0)
+			if i > 0 {
+				lower = float64(uint64(1) << uint(i-1))
+			}
+			upper := float64(BucketUpper(i))
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - cum) / n
+			}
+			v := lower + (upper-lower)*frac
+			if m := float64(s.Max); s.Max > 0 && v > m {
+				v = m // never report beyond the observed maximum
+			}
+			return v
+		}
+		cum += n
+	}
+	return float64(s.Max)
+}
+
+// P50, P90 and P99 are the summary quantiles the run reports extract.
+func (s HistogramSnapshot) P50() float64 { return s.Quantile(0.50) }
+
+// P90 estimates the 90th percentile.
+func (s HistogramSnapshot) P90() float64 { return s.Quantile(0.90) }
+
+// P99 estimates the 99th percentile.
+func (s HistogramSnapshot) P99() float64 { return s.Quantile(0.99) }

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndSummary(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 1110 {
+		t.Fatalf("sum = %d, want 1110", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d, want 1000", s.Max)
+	}
+	// 0 lands in bucket 0, 1 in bucket 1, 2..3 in bucket 2, 4 in bucket
+	// 3, 100 in bucket 7, 1000 in bucket 10.
+	wantBuckets := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 7: 1, 10: 1}
+	for i, n := range s.Buckets {
+		if n != wantBuckets[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, wantBuckets[i])
+		}
+	}
+	if got := s.Mean(); math.Abs(got-1110.0/7) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations of 10µs, one of ~1ms: p50/p90 sit in the 10µs
+	// bucket, p99+ must reach toward the outlier.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	h.Observe(1000)
+	s := h.Snapshot()
+	if p := s.P50(); p < 4 || p > 15 {
+		t.Fatalf("p50 = %v, want ~10 (bucket [8,15])", p)
+	}
+	if p := s.P90(); p < 4 || p > 15 {
+		t.Fatalf("p90 = %v, want ~10", p)
+	}
+	if p := s.Quantile(1.0); p != 1000 {
+		t.Fatalf("q1.0 = %v, want clamped to max 1000", p)
+	}
+	// Degenerate inputs.
+	var empty HistogramSnapshot
+	if empty.P99() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantiles should be 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 10; i++ {
+		a.Observe(8)
+		b.Observe(64)
+	}
+	b.Observe(1 << 20)
+	a.Merge(b)
+	s := a.Snapshot()
+	if s.Count != 21 {
+		t.Fatalf("merged count = %d, want 21", s.Count)
+	}
+	if s.Max != 1<<20 {
+		t.Fatalf("merged max = %d", s.Max)
+	}
+	if want := uint64(10*8 + 10*64 + 1<<20); s.Sum != want {
+		t.Fatalf("merged sum = %d, want %d", s.Sum, want)
+	}
+	// Merging nils in either position is a no-op, not a crash.
+	var nilH *Histogram
+	nilH.Merge(a)
+	a.Merge(nilH)
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 {
+		t.Fatal("nil histogram accumulated state")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+}
+
+// TestDisabledHistogramNoAllocs is the zero-alloc guard for the
+// disabled telemetry path: a nil histogram's Observe/ObserveSince must
+// not allocate (and ObserveSince must not even read the clock), so
+// heartbeat- and slice-level instrumentation is free when off.
+func TestDisabledHistogramNoAllocs(t *testing.T) {
+	var h *Histogram
+	var t0 time.Time
+	allocs := testing.AllocsPerRun(10_000, func() {
+		h.Observe(123)
+		h.ObserveSince(t0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled histogram allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestEnabledHistogramNoAllocs: the lock-free record path itself must
+// be allocation-free too, since serving-layer histograms are always on.
+func TestEnabledHistogramNoAllocs(t *testing.T) {
+	h := NewHistogram()
+	allocs := testing.AllocsPerRun(10_000, func() {
+		h.Observe(77)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled histogram allocates %v per observation, want 0", allocs)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 10_000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(seed + uint64(i)%17)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("concurrent count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	cases := map[int]uint64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 64: math.MaxUint64}
+	for i, want := range cases {
+		if got := BucketUpper(i); got != want {
+			t.Fatalf("BucketUpper(%d) = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -66,6 +66,13 @@ type Manifest struct {
 	// resume activity; nil for a clean run.
 	Robustness *RobustnessInfo `json:"robustness,omitempty"`
 
+	// TraceDropped / SpanDropped count ring overwrites in the cycle and
+	// wall-clock tracers: a nonzero value means the companion trace
+	// artifact is silently missing its oldest events, so consumers can
+	// tell a complete trace from a truncated one without re-running.
+	TraceDropped uint64 `json:"trace_dropped_events,omitempty"`
+	SpanDropped  uint64 `json:"span_dropped_events,omitempty"`
+
 	// Artifacts lists companion files this run wrote (metrics, traces).
 	Artifacts map[string]string `json:"artifacts,omitempty"`
 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentTypePrometheus is the Content-Type of the text exposition
+// format WritePrometheus emits.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a dotted metric name into the Prometheus name
+// charset [a-zA-Z0-9_:], mapping scope dots to underscores
+// ("serve.pool.idle" -> "serve_pool_idle").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-labelled bucket series with _sum and
+// _count. Output ordering is deterministic — metrics sorted by name,
+// buckets by bound — so the format is golden-testable and scrape diffs
+// are meaningful.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// Histogram summary entries (name.p50 etc.) are JSON conveniences;
+	// Prometheus consumers get the real bucket series instead.
+	skip := make(map[string]bool, len(s.Hists)*len(histSummaries))
+	for name := range s.Hists {
+		for _, suffix := range histSummaries {
+			skip[name+"."+suffix] = true
+		}
+	}
+	names := s.Names()
+	for _, name := range names {
+		if skip[name] {
+			continue
+		}
+		typ := "gauge"
+		if s.kinds[name] == KindCounter {
+			typ = "counter"
+		}
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", pn, typ, pn, promValue(s.Values[name])); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(s.Hists))
+	for name := range s.Hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Hists[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Emit cumulative buckets up to the highest populated bound; the
+		// +Inf bucket always closes the series with the total count.
+		top := -1
+		for i := 0; i < HistogramBuckets; i++ {
+			if h.Buckets[i] > 0 {
+				top = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= top && i < 64; i++ {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

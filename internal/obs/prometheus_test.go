@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// deterministic metric ordering, counter/gauge typing, sanitized names,
+// and cumulative power-of-two histogram buckets closed by +Inf.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Scope("serve")
+	sc.Counter("jobs_submitted", func() uint64 { return 3 })
+	sc.Gauge("queue_depth", func() float64 { return 2 })
+	h := NewHistogram()
+	for _, v := range []uint64{0, 5, 5, 200} {
+		h.Observe(v)
+	}
+	sc.Histogram("queue_wait_us", h)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE serve_jobs_submitted counter
+serve_jobs_submitted 3
+# TYPE serve_queue_depth gauge
+serve_queue_depth 2
+# TYPE serve_queue_wait_us histogram
+serve_queue_wait_us_bucket{le="0"} 1
+serve_queue_wait_us_bucket{le="1"} 1
+serve_queue_wait_us_bucket{le="3"} 1
+serve_queue_wait_us_bucket{le="7"} 3
+serve_queue_wait_us_bucket{le="15"} 3
+serve_queue_wait_us_bucket{le="31"} 3
+serve_queue_wait_us_bucket{le="63"} 3
+serve_queue_wait_us_bucket{le="127"} 3
+serve_queue_wait_us_bucket{le="255"} 4
+serve_queue_wait_us_bucket{le="+Inf"} 4
+serve_queue_wait_us_sum 210
+serve_queue_wait_us_count 4
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Two snapshots of the same registry expose identically.
+	var again bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != want {
+		t.Fatal("exposition is not deterministic across snapshots")
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"serve.pool.idle": "serve_pool_idle",
+		"mem.l1d.hits":    "mem_l1d_hits",
+		"9lives":          "_9lives",
+		"a-b c":           "a_b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSnapshotHistogramJSONSummaries: the JSON exposition carries the
+// derived summary scalars for every registered histogram, and still
+// parses as a flat object.
+func TestSnapshotHistogramJSONSummaries(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	r.Scope("serve").Histogram("run_us", h)
+	s := r.Snapshot()
+	if got := s.Get("serve.run_us.count"); got != 100 {
+		t.Fatalf("derived count = %v", got)
+	}
+	if got := s.Get("serve.run_us.mean"); got != 10 {
+		t.Fatalf("derived mean = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("JSON exposition broken: %v\n%s", err, buf.String())
+	}
+	for _, suffix := range histSummaries {
+		if _, ok := m["serve.run_us."+suffix]; !ok {
+			t.Fatalf("JSON missing serve.run_us.%s: %v", suffix, m)
+		}
+	}
+}
+
+// TestRegistryResetRebasesHistograms: after Reset, snapshots report
+// only observations recorded since, mirroring counter rebase semantics.
+func TestRegistryResetRebasesHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram()
+	r.Scope("x").Histogram("lat", h)
+	for i := 0; i < 5; i++ {
+		h.Observe(100)
+	}
+	r.Reset()
+	h.Observe(7)
+	s := r.Snapshot()
+	hs := s.Hists["x.lat"]
+	if hs.Count != 1 || hs.Sum != 7 {
+		t.Fatalf("rebased hist count=%d sum=%d, want 1/7", hs.Count, hs.Sum)
+	}
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x_lat_count 1") {
+		t.Fatalf("prometheus output not rebased:\n%s", buf.String())
+	}
+}

@@ -49,11 +49,14 @@ type Registry struct {
 	metrics []metric
 	byName  map[string]int
 	base    map[string]float64 // counter rebase values from Reset
+
+	hists    map[string]*Histogram
+	histBase map[string]HistogramSnapshot // rebase snapshots from Reset
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]int)}
+	return &Registry{byName: make(map[string]int), hists: make(map[string]*Histogram)}
 }
 
 // Scope returns a scope rooted at name ("" for the root).
@@ -73,6 +76,12 @@ func (r *Registry) register(name string, kind Kind, read func() float64) {
 	r.metrics = append(r.metrics, metric{name: name, kind: kind, read: read})
 }
 
+func (r *Registry) registerHist(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
+
 // Len returns the number of registered metrics.
 func (r *Registry) Len() int {
 	r.mu.Lock()
@@ -80,12 +89,21 @@ func (r *Registry) Len() int {
 	return len(r.metrics)
 }
 
-// Snapshot materializes every metric. Counters are reported relative to
-// the last Reset.
+// histSummaries are the derived scalar views a registered histogram
+// contributes to Snapshot.Values (and so to the JSON exposition);
+// Prometheus exposition replaces them with real bucket series.
+var histSummaries = []string{"count", "mean", "p50", "p90", "p99", "max"}
+
+// Snapshot materializes every metric. Counters (and histogram buckets)
+// are reported relative to the last Reset.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := Snapshot{Values: make(map[string]float64, len(r.metrics)), kinds: make(map[string]Kind, len(r.metrics))}
+	s := Snapshot{
+		Values: make(map[string]float64, len(r.metrics)+len(r.hists)*len(histSummaries)),
+		kinds:  make(map[string]Kind, len(r.metrics)),
+		Hists:  make(map[string]HistogramSnapshot, len(r.hists)),
+	}
 	for _, m := range r.metrics {
 		v := m.read()
 		if m.kind == KindCounter && r.base != nil {
@@ -94,11 +112,26 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Values[m.name] = v
 		s.kinds[m.name] = m.kind
 	}
+	for name, h := range r.hists {
+		hs := h.Snapshot()
+		if base, ok := r.histBase[name]; ok {
+			hs = hs.sub(base)
+		}
+		s.Hists[name] = hs
+		s.Values[name+".count"] = float64(hs.Count)
+		s.Values[name+".mean"] = hs.Mean()
+		s.Values[name+".p50"] = hs.P50()
+		s.Values[name+".p90"] = hs.P90()
+		s.Values[name+".p99"] = hs.P99()
+		s.Values[name+".max"] = float64(hs.Max)
+		s.kinds[name+".count"] = KindCounter
+	}
 	return s
 }
 
-// Reset rebases every counter at its current raw value, so the next
-// Snapshot reports deltas from this point. Gauges are unaffected.
+// Reset rebases every counter (and every histogram's buckets) at its
+// current raw value, so the next Snapshot reports deltas from this
+// point. Gauges, and a histogram's lifetime max, are unaffected.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -109,6 +142,12 @@ func (r *Registry) Reset() {
 		if m.kind == KindCounter {
 			r.base[m.name] = m.read()
 		}
+	}
+	if r.histBase == nil {
+		r.histBase = make(map[string]HistogramSnapshot, len(r.hists))
+	}
+	for name, h := range r.hists {
+		r.histBase[name] = h.Snapshot()
 	}
 }
 
@@ -141,10 +180,23 @@ func (s *Scope) Gauge(name string, fn func() float64) {
 	s.r.register(s.join(name), KindGauge, fn)
 }
 
+// Histogram registers a latency/size distribution. The histogram keeps
+// recording lock-free on its own; the registry only reads it at
+// snapshot time, contributing derived summary scalars (count, mean,
+// p50/p90/p99, max) to Values and the full bucket vector to Hists for
+// the Prometheus exposition.
+func (s *Scope) Histogram(name string, h *Histogram) {
+	s.r.registerHist(s.join(name), h)
+}
+
 // Snapshot is a materialized view of a registry at one instant.
 type Snapshot struct {
 	Values map[string]float64
-	kinds  map[string]Kind
+	// Hists carries the full bucket vectors of registered histograms
+	// (their summary scalars also appear in Values under
+	// "<name>.count", ".mean", ".p50", ".p90", ".p99", ".max").
+	Hists map[string]HistogramSnapshot
+	kinds map[string]Kind
 }
 
 // Get returns a metric's value (0 if absent).
@@ -163,7 +215,7 @@ func (s Snapshot) Names() []string {
 // Diff returns this snapshot minus prev: counters subtract, gauges keep
 // their current value. Metrics absent from prev pass through unchanged.
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
-	out := Snapshot{Values: make(map[string]float64, len(s.Values)), kinds: s.kinds}
+	out := Snapshot{Values: make(map[string]float64, len(s.Values)), Hists: s.Hists, kinds: s.kinds}
 	for k, v := range s.Values {
 		if s.kinds[k] == KindCounter {
 			v -= prev.Values[k]

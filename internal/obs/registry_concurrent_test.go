@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRegistryConcurrentUse races Snapshot against scope/metric
+// registration, histogram registration, and lock-free histogram
+// recording — the access pattern of a serving daemon where /metrics
+// scrapes land while jobs register per-sweep series and record
+// latencies. Run under -race (make obs-smoke), the test pins the
+// registry's concurrency contract.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram()
+	r.Scope("base").Histogram("lat_us", h)
+	var counter atomic.Uint64
+	r.Scope("base").Counter("ticks", counter.Load)
+
+	const loops = 200
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	// Registrar: keeps adding scopes and metrics (including
+	// re-registration of an existing name, which replaces the reader).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < loops; i++ {
+			sc := r.Scope(fmt.Sprintf("dyn%d", i%8))
+			n := uint64(i)
+			sc.Counter("n", func() uint64 { return n })
+			sc.Gauge("g", func() float64 { return float64(n) })
+			sc.Histogram("h", h) // same histogram under many names
+		}
+	}()
+
+	// Recorder: hammers the lock-free histogram path and the counter.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < loops*50; i++ {
+			h.Observe(uint64(i % 1000))
+			counter.Add(1)
+		}
+	}()
+
+	// Snapshotters: concurrent materialization, JSON and Prometheus.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < loops; i++ {
+				snap := r.Snapshot()
+				if snap.Get("base.lat_us.count") < 0 {
+					t.Error("negative histogram count")
+					return
+				}
+				_ = snap.Names()
+				if i%16 == 0 {
+					var sink discardWriter
+					if err := snap.WritePrometheus(&sink); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Resetter: rebases counters and histograms mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < loops/10; i++ {
+			r.Reset()
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+
+	// The registry must still be coherent afterwards.
+	snap := r.Snapshot()
+	if len(snap.Values) == 0 || len(snap.Hists) == 0 {
+		t.Fatalf("post-race snapshot empty: %d values, %d hists", len(snap.Values), len(snap.Hists))
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

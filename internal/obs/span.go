@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SpanTracer records wall-clock spans — where a sweep spends real time:
+// the job, each generation, each slice, retries, checkpoint writes —
+// into the same Chrome trace-event / Perfetto JSON the cycle Tracer
+// emits. The two tracers are deliberately distinct: the cycle tracer's
+// timeline is simulated cycles inside one slice, while this one's is
+// microseconds of host time across a whole run, with one track per
+// registered lane (typically one per worker goroutine plus a sweep
+// lane).
+//
+// Recording takes a mutex; spans close at per-slice granularity, orders
+// of magnitude off the simulation's hot path, so contention is
+// irrelevant and the ring stays allocation-free once its backing array
+// is warm. A nil *SpanTracer is the disabled tracer: every method is
+// nil-safe, Start never reads the clock, and the disabled cost is one
+// predictable branch.
+type SpanTracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	evs   []spanEvent
+	pos   int
+	n     uint64
+	lanes []string
+	byLn  map[string]int32
+}
+
+type spanEvent struct {
+	name, cat string
+	ts, dur   int64 // microseconds since epoch / duration
+	instant   bool
+	lane      int32
+	arg       int64
+}
+
+// NewSpanTracer builds a span tracer holding up to capacity spans
+// (default 1<<14); the epoch — trace time zero — is the construction
+// instant. Older spans are overwritten once the ring wraps.
+func NewSpanTracer(capacity int) *SpanTracer {
+	if capacity <= 0 {
+		capacity = 1 << 14
+	}
+	return &SpanTracer{
+		epoch: time.Now(),
+		evs:   make([]spanEvent, 0, capacity),
+		byLn:  map[string]int32{},
+	}
+}
+
+// Lane returns the track id for name, registering it on first use.
+// Lanes label Perfetto tracks ("sweep", "worker-3", "checkpoint"), so
+// concurrent spans land on separate rows instead of overlapping.
+func (t *SpanTracer) Lane(name string) int32 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byLn[name]; ok {
+		return id
+	}
+	id := int32(len(t.lanes))
+	t.lanes = append(t.lanes, name)
+	t.byLn[name] = id
+	return id
+}
+
+// Start stamps the current wall clock for a later Since; on a nil
+// tracer it returns the zero time without touching the clock.
+func (t *SpanTracer) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since records a span from start to now. A zero start (from a disabled
+// tracer's Start) records nothing.
+func (t *SpanTracer) Since(start time.Time, cat, name string, lane int32, arg int64) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.Record(cat, name, start, time.Now(), lane, arg)
+}
+
+// Record stores one complete span covering [start, end]. Spans that
+// begin before the tracer's epoch are clamped to it.
+func (t *SpanTracer) Record(cat, name string, start, end time.Time, lane int32, arg int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := start.Sub(t.epoch).Microseconds()
+	if ts < 0 {
+		ts = 0
+	}
+	dur := end.Sub(start).Microseconds()
+	if dur < 0 {
+		dur = 0
+	}
+	t.record(spanEvent{name: name, cat: cat, ts: ts, dur: dur, lane: lane, arg: arg})
+}
+
+// Instant records a point event at the current wall clock.
+func (t *SpanTracer) Instant(cat, name string, lane int32, arg int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := time.Since(t.epoch).Microseconds()
+	if ts < 0 {
+		ts = 0
+	}
+	t.record(spanEvent{name: name, cat: cat, ts: ts, instant: true, lane: lane, arg: arg})
+}
+
+func (t *SpanTracer) record(e spanEvent) {
+	t.n++
+	if len(t.evs) < cap(t.evs) {
+		t.evs = append(t.evs, e)
+		return
+	}
+	t.evs[t.pos] = e
+	t.pos = (t.pos + 1) % len(t.evs)
+}
+
+// Len returns the number of buffered spans.
+func (t *SpanTracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.evs)
+}
+
+// Dropped returns how many recorded spans the ring has overwritten.
+func (t *SpanTracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n - uint64(len(t.evs))
+}
+
+// WriteJSON emits the buffered spans as Chrome trace-event JSON (object
+// form), loadable by chrome://tracing and https://ui.perfetto.dev.
+// Timestamps are genuine microseconds here, so Perfetto's time readout
+// is real wall time. A nil tracer writes a valid empty trace.
+func (t *SpanTracer) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	first := true
+	emit := func(e any) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		return enc.Encode(e)
+	}
+	if t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		// Lane metadata in id order: ids are allocation-ordered, so two
+		// writes of the same ring produce byte-identical files.
+		for id, name := range t.lanes {
+			if err := emit(jsonEvent{Name: "thread_name", Ph: "M", TID: int32(id), Args: map[string]any{"name": name}}); err != nil {
+				return err
+			}
+		}
+		write := func(e *spanEvent) error {
+			je := jsonEvent{Name: e.name, Cat: e.cat, Ph: "X", TS: uint64(e.ts), TID: e.lane}
+			if e.instant {
+				je.Ph, je.S = "i", "t"
+			} else {
+				d := uint64(e.dur)
+				je.Dur = &d
+			}
+			if e.arg != 0 {
+				je.Args = map[string]any{"v": e.arg}
+			}
+			return emit(je)
+		}
+		for i := t.pos; i < len(t.evs); i++ {
+			if err := write(&t.evs[i]); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < t.pos; i++ {
+			if err := write(&t.evs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// WriteJSONFile writes the span trace to path, warning on stderr when
+// the ring overwrote spans (the trace is silently incomplete otherwise).
+func (t *SpanTracer) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "span trace: ring wrapped, oldest %d spans overwritten (raise capacity)\n", d)
+	}
+	return nil
+}

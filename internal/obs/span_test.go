@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanTracerRecordsAndWrites(t *testing.T) {
+	st := NewSpanTracer(16)
+	sweep := st.Lane("sweep")
+	worker := st.Lane("worker-0")
+	if sweep == worker {
+		t.Fatal("lanes not distinct")
+	}
+	if again := st.Lane("sweep"); again != sweep {
+		t.Fatalf("re-registering a lane moved it: %d vs %d", again, sweep)
+	}
+
+	base := st.Start()
+	st.Record("slice", "web/0", base, base.Add(250*time.Microsecond), worker, 4000)
+	st.Since(base, "job", "sweep", sweep, 0)
+	st.Instant("retry", "web/1", worker, 2)
+	if st.Len() != 3 {
+		t.Fatalf("len = %d, want 3", st.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("span trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	// 2 lane-name metadata events + 3 recorded events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(doc.TraceEvents))
+	}
+	byCat := map[string]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		if cat, ok := e["cat"].(string); ok {
+			byCat[cat] = e
+		}
+	}
+	sl := byCat["slice"]
+	if sl == nil || sl["ph"] != "X" {
+		t.Fatalf("slice span missing or not complete: %v", sl)
+	}
+	if dur := sl["dur"].(float64); dur != 250 {
+		t.Fatalf("slice dur = %v µs, want 250", dur)
+	}
+	if args := sl["args"].(map[string]any); args["v"].(float64) != 4000 {
+		t.Fatalf("slice arg lost: %v", args)
+	}
+	if r := byCat["retry"]; r == nil || r["ph"] != "i" {
+		t.Fatalf("retry instant missing: %v", r)
+	}
+}
+
+func TestSpanTracerRingWrapsAndCountsDrops(t *testing.T) {
+	st := NewSpanTracer(4)
+	lane := st.Lane("w")
+	base := st.Start()
+	for i := 0; i < 6; i++ {
+		st.Record("slice", "s", base, base.Add(time.Microsecond), lane, int64(i+1))
+	}
+	if st.Len() != 4 || st.Dropped() != 2 {
+		t.Fatalf("len %d dropped %d, want 4/2", st.Len(), st.Dropped())
+	}
+	var a, b bytes.Buffer
+	if err := st.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same ring differ")
+	}
+}
+
+func TestSpanTracerNilSafe(t *testing.T) {
+	var st *SpanTracer
+	if !st.Start().IsZero() {
+		t.Fatal("nil tracer Start should not read the clock")
+	}
+	st.Since(time.Now(), "job", "x", 0, 0)
+	st.Record("a", "b", time.Now(), time.Now(), 0, 0)
+	st.Instant("a", "b", 0, 0)
+	if st.Lane("x") != 0 || st.Len() != 0 || st.Dropped() != 0 {
+		t.Fatal("nil tracer accumulated state")
+	}
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatal("nil tracer should still write a valid empty trace")
+	}
+}
+
+// TestDisabledSpanTracerNoAllocs is the acceptance guard for the
+// disabled span path: the Start/Since pattern call sites use must cost
+// nothing (no clock read, no allocation) when spans are off.
+func TestDisabledSpanTracerNoAllocs(t *testing.T) {
+	var st *SpanTracer
+	allocs := testing.AllocsPerRun(10_000, func() {
+		t0 := st.Start()
+		st.Since(t0, "slice", "s", 0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span tracer allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestEnabledSpanTracerSteadyStateNoAllocs(t *testing.T) {
+	st := NewSpanTracer(64)
+	lane := st.Lane("w")
+	for i := 0; i < 128; i++ { // wrap so appends become overwrites
+		st.Since(st.Start(), "slice", "s", lane, 1)
+	}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		st.Since(st.Start(), "slice", "s", lane, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm span ring allocates %v per span, want 0", allocs)
+	}
+}

@@ -104,6 +104,13 @@ type Options struct {
 	// HeartbeatEvery instructions instead of running to completion. A
 	// nil channel disables the check.
 	Cancel <-chan struct{}
+	// HeartbeatHist, when non-nil, records the wall-clock microseconds
+	// between consecutive watchdog heartbeats. The distribution is the
+	// liveness signal of the sweep fabric: a healthy slice beats every
+	// few hundred microseconds, while a fat tail means some instruction
+	// window is stalling the step loop. Recording is lock-free and
+	// allocation-free; a nil histogram adds no clock reads at all.
+	HeartbeatHist *obs.Histogram
 	// StepHook / ResultHook are fault-injection and extension seams;
 	// both are nil in production runs.
 	StepHook   StepHook
@@ -150,6 +157,8 @@ func RunGuarded(sim *core.Simulator, sl *trace.Slice, opts Options) (res core.Re
 	mask := opts.heartbeatMask()
 	deadline := opts.Deadline
 	cancel := opts.Cancel
+	hbHist := opts.HeartbeatHist
+	lastBeat := start
 
 	sl.Reset()
 	c := sim.Core()
@@ -168,6 +177,11 @@ func RunGuarded(sim *core.Simulator, sl *trace.Slice, opts Options) (res core.Re
 			c.ResetStats()
 		}
 		if n&mask == 0 {
+			if hbHist != nil {
+				now := time.Now()
+				hbHist.Observe(uint64(now.Sub(lastBeat).Microseconds()))
+				lastBeat = now
+			}
 			if cancel != nil {
 				select {
 				case <-cancel:

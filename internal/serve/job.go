@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"exysim/internal/core"
 	"exysim/internal/experiments"
@@ -161,6 +162,10 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// enqueued stamps admission to the queue; queue-wait latency is
+	// measured from here to the moment a worker picks the job up.
+	enqueued time.Time
+
 	mu          sync.Mutex
 	status      JobStatus
 	done, total int
@@ -175,8 +180,9 @@ func newJob(base context.Context, id string, req JobRequest, spec workload.Suite
 	return &Job{
 		id: id, req: req, spec: spec, digest: jobDigest(req, spec),
 		ctx: ctx, cancel: cancel,
-		status: StatusQueued,
-		subs:   map[int]chan Event{},
+		enqueued: time.Now(),
+		status:   StatusQueued,
+		subs:     map[int]chan Event{},
 	}
 }
 

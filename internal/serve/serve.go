@@ -16,8 +16,12 @@
 //	GET    /v1/jobs/{id}        one job's state and result
 //	GET    /v1/jobs/{id}/stream progress stream (JSONL; SSE if requested)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /healthz             liveness + drain state
-//	GET    /metrics             obs registry snapshot as JSON
+//	GET    /healthz             liveness doc: uptime, drain state, queue
+//	                            depth, in-flight jobs, cache entries
+//	GET    /metrics             Prometheus text exposition by default;
+//	                            JSON with Accept: application/json or
+//	                            ?format=json
+//	GET    /debug/pprof/...     Go profiling (only with Config.EnablePprof)
 package serve
 
 import (
@@ -25,7 +29,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -61,6 +68,14 @@ type Config struct {
 	// <dir>/<digest>.ckpt and resumes from it — a drained or crashed
 	// sweep picks up where it stopped when the job is resubmitted.
 	CheckpointDir string
+	// EnablePprof mounts Go's /debug/pprof handlers on the API mux.
+	// Off by default: profiling endpoints expose heap contents and
+	// should only face operators.
+	EnablePprof bool
+	// Logger receives structured request/job logs, keyed by job id and
+	// spec digest so one job's lines correlate across its lifecycle.
+	// nil discards logs.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -105,13 +120,29 @@ type Server struct {
 	// deterministically instead of timing against real sweeps.
 	testHook func(*Job)
 
-	running   atomic.Int64
-	submitted atomic.Uint64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	canceled  atomic.Uint64
-	rejected  atomic.Uint64
-	cacheHits atomic.Uint64
+	running     atomic.Int64
+	submitted   atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	canceled    atomic.Uint64
+	rejected    atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	// Latency histograms (microseconds), all lock-free on the record
+	// path: queueWait covers admission → worker pickup, runDur covers
+	// job execution, streamLat covers one progress-frame write+flush.
+	// sliceWall and heartbeat aggregate fleet-wide across every
+	// population job via per-job SweepTelemetry collectors that share
+	// these instances.
+	queueWait *obs.Histogram
+	runDur    *obs.Histogram
+	streamLat *obs.Histogram
+	sliceWall *obs.Histogram
+	heartbeat *obs.Histogram
+
+	started time.Time
+	log     *slog.Logger
 }
 
 // New builds a server and starts its workers.
@@ -141,6 +172,16 @@ func newServer(cfg Config) *Server {
 		killRemaining: kill,
 		queue:         make(chan *Job, cfg.QueueDepth),
 		jobs:          map[string]*Job{},
+		queueWait:     obs.NewHistogram(),
+		runDur:        obs.NewHistogram(),
+		streamLat:     obs.NewHistogram(),
+		sliceWall:     obs.NewHistogram(),
+		heartbeat:     obs.NewHistogram(),
+		started:       time.Now(),
+		log:           cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	sc := s.reg.Scope("serve")
 	sc.Counter("jobs_submitted", s.submitted.Load)
@@ -149,8 +190,15 @@ func newServer(cfg Config) *Server {
 	sc.Counter("jobs_canceled", s.canceled.Load)
 	sc.Counter("jobs_rejected", s.rejected.Load)
 	sc.Counter("cache_hits", s.cacheHits.Load)
+	sc.Counter("cache_misses", s.cacheMisses.Load)
+	sc.Gauge("cache_entries", func() float64 { return float64(s.cache.len()) })
 	sc.Gauge("jobs_running", func() float64 { return float64(s.running.Load()) })
 	sc.Gauge("queue_depth", func() float64 { return float64(len(s.queue)) })
+	sc.Histogram("queue_wait_us", s.queueWait)
+	sc.Histogram("run_us", s.runDur)
+	sc.Histogram("stream_latency_us", s.streamLat)
+	sc.Histogram("slice_wall_us", s.sliceWall)
+	sc.Histogram("heartbeat_gap_us", s.heartbeat)
 	pc := sc.Child("pool")
 	pc.Counter("sims_built", s.pool.Built)
 	pc.Gauge("idle", func() float64 { return float64(s.pool.Idle()) })
@@ -163,6 +211,13 @@ func newServer(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
@@ -220,14 +275,18 @@ func (s *Server) runJob(job *Job) {
 		// Canceled while queued (DELETE or drain kill): never ran.
 		s.canceled.Add(1)
 		job.finish(StatusCanceled, nil, "canceled before start")
+		s.log.Info("job canceled before start", "job", job.id, "digest", job.digest)
 		return
 	}
+	s.queueWait.ObserveSince(job.enqueued)
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	if s.testHook != nil {
 		s.testHook(job)
 	}
+	s.log.Info("job started", "job", job.id, "digest", job.digest, "kind", job.req.Kind)
 
+	t0 := time.Now()
 	var result json.RawMessage
 	var err error
 	switch job.req.Kind {
@@ -236,17 +295,22 @@ func (s *Server) runJob(job *Job) {
 	default:
 		result, err = s.runPopulation(job)
 	}
+	s.runDur.ObserveSince(t0)
+	dur := time.Since(t0)
 	switch {
 	case err == nil:
 		s.cache.put(job.digest, result)
 		s.completed.Add(1)
 		job.finish(StatusDone, result, "")
+		s.log.Info("job done", "job", job.id, "digest", job.digest, "dur", dur)
 	case errors.Is(err, context.Canceled):
 		s.canceled.Add(1)
 		job.finish(StatusCanceled, nil, "canceled")
+		s.log.Info("job canceled", "job", job.id, "digest", job.digest, "dur", dur)
 	default:
 		s.failed.Add(1)
 		job.finish(StatusFailed, nil, err.Error())
+		s.log.Warn("job failed", "job", job.id, "digest", job.digest, "dur", dur, "err", err)
 	}
 }
 
@@ -257,6 +321,13 @@ func (s *Server) runPopulation(job *Job) (json.RawMessage, error) {
 		experiments.WithSimPool(s.pool),
 		experiments.WithProgressFunc(func(done, total int, _ uint64) {
 			job.setProgress(done, total)
+		}),
+		// Per-job collector, fleet-shared histograms: every sweep's slice
+		// wall times and heartbeat gaps land in the server's /metrics
+		// distributions, while the per-slice timing list stays job-local.
+		experiments.WithTelemetry(&experiments.SweepTelemetry{
+			SliceWall: s.sliceWall,
+			Heartbeat: s.heartbeat,
 		}),
 	}
 	if s.cfg.SweepParallelism > 0 {
@@ -283,10 +354,13 @@ func (s *Server) runSlice(job *Job) (json.RawMessage, error) {
 	}
 	job.setProgress(0, 1)
 	sim := s.pool.Get(g)
+	t0 := time.Now()
 	res, fail := robust.RunGuarded(sim, sl, robust.Options{
 		CheckInvariants: true,
 		Cancel:          job.ctx.Done(),
+		HeartbeatHist:   s.heartbeat,
 	})
+	s.sliceWall.ObserveSince(t0)
 	if fail != nil {
 		// The instance may be torn mid-update: discard, never re-pool.
 		if fail.Kind == robust.KindCanceled && job.ctx.Err() != nil {
@@ -329,12 +403,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	digest := jobDigest(req, spec)
 	if result, ok := s.cache.get(digest); ok {
 		s.cacheHits.Add(1)
+		s.log.Info("cache hit", "digest", digest, "kind", req.Kind)
 		writeJSON(w, http.StatusOK, JobView{
 			ID: "cache-" + digest[:12], Kind: req.Kind, Status: StatusDone,
 			Digest: digest, Cached: true, Result: result,
 		})
 		return
 	}
+	s.cacheMisses.Add(1)
 
 	// Enqueue under the lock so draining and the non-blocking send are
 	// one atomic decision: the queue is never closed between the check
@@ -353,11 +429,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.order = append(s.order, job.id)
 		s.mu.Unlock()
 		s.submitted.Add(1)
+		s.log.Info("job queued", "job", job.id, "digest", job.digest, "kind", req.Kind)
 		writeJSON(w, http.StatusAccepted, job.view())
 	default:
 		s.nextID-- // job never existed
 		s.mu.Unlock()
 		s.rejected.Add(1)
+		s.log.Warn("job rejected: queue full", "digest", digest, "kind", req.Kind)
 		w.Header().Set("Retry-After", "2")
 		writeError(w, http.StatusTooManyRequests, "job queue is full")
 	}
@@ -428,12 +506,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
+		t0 := time.Now()
 		if sse {
 			_, err = fmt.Fprintf(w, "data: %s\n\n", b)
 		} else {
 			_, err = fmt.Fprintf(w, "%s\n", b)
 		}
 		flusher.Flush()
+		s.streamLat.ObserveSince(t0)
 		return err == nil
 	}
 
@@ -457,16 +537,48 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// HealthDoc is the /healthz response: liveness plus the handful of
+// numbers an operator checks first when a deploy looks wrong.
+type HealthDoc struct {
+	Status        string  `json:"status"`
+	Draining      bool    `json:"draining"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	JobsRunning   int64   `json:"jobs_running"`
+	JobsTracked   int     `json:"jobs_tracked"`
+	CacheEntries  int     `json:"cache_entries"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	tracked := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+	writeJSON(w, http.StatusOK, HealthDoc{
+		Status:        "ok",
+		Draining:      draining,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		QueueDepth:    len(s.queue),
+		JobsRunning:   s.running.Load(),
+		JobsTracked:   tracked,
+		CacheEntries:  s.cache.len(),
+	})
 }
 
+// handleMetrics negotiates the exposition format: Prometheus text
+// (what a scraper expects from /metrics) unless the client asks for
+// JSON via ?format=json or an application/json Accept header.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = s.reg.Snapshot().WriteJSON(w)
+	snap := s.reg.Snapshot()
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+	_ = snap.WritePrometheus(w)
 }
 
 // DrainDefault is the default grace period exyserve gives in-flight

@@ -90,7 +90,7 @@ func waitJob(t *testing.T, ts *httptest.Server, id string) JobView {
 
 func metrics(t *testing.T, ts *httptest.Server) map[string]float64 {
 	t.Helper()
-	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	resp, err := ts.Client().Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
