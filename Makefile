@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke bench bench-smoke bench-compare bench-go
+.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke snapfork-smoke bench bench-smoke bench-compare bench-go
 
 # tier1 is the gate every change must pass: formatting, vet, a full
 # build, the test suite under the race detector, the observability
 # smoke, the fault-injection smoke, the serving-layer smoke, and a
 # benchmark smoke run proving the throughput harness still executes
-# every generation.
-tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke bench-smoke
+# every generation, and the snapshot/fork smoke pinning warm-state
+# bit-identity.
+tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke snapfork-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -45,6 +46,13 @@ robust-smoke:
 # finish (or checkpoint) in-flight jobs.
 serve-smoke:
 	$(GO) test -race ./internal/serve/...
+
+# snapfork-smoke races the warm-state snapshot/fork protocol: forked
+# runs must be bit-identical to cold re-warms for every generation, the
+# sweep API must produce identical results with and without a warm
+# cache, and the pre-decoded steady-state step loop must not allocate.
+snapfork-smoke:
+	$(GO) test -race -run 'TestWarmForkMatchesColdRerun|TestRunWithWarmSnapshotsBitIdentical|TestDecodedStepLoopDoesNotAllocate' .
 
 # bench measures per-generation simulator throughput (min-of-5 batches)
 # plus the population-scale RunPopulation sweep, and rewrites the

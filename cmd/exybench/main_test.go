@@ -88,6 +88,34 @@ func TestComparePopulationEntry(t *testing.T) {
 	}
 }
 
+func TestComparePopulationColdEntry(t *testing.T) {
+	pop := func(ips float64) *PopResult {
+		return &PopResult{SlicesPerFamily: 2, InstsPerSlice: 1000, InstsPerSec: ips}
+	}
+
+	// Baseline predates warm snapshots: its single `population` entry
+	// gates against the new warm entry (the whole point of the warm path
+	// is to beat the old number), while the new cold entry is reported as
+	// added until the baseline is refreshed.
+	base := report(pop(100))
+	cand := report(pop(250))
+	cand.PopulationCold = pop(80)
+	out := compareReports(base, cand, 0.7)
+	if out.fail {
+		t.Fatalf("cold entry absent from baseline must not gate: %v", out.lines)
+	}
+	if len(out.added) != 1 || out.added[0] != "cold" {
+		t.Fatalf("added = %v, want [cold]", out.added)
+	}
+
+	// A refreshed baseline carries both entries; each gates separately.
+	base.PopulationCold = pop(100)
+	out = compareReports(base, cand, 0.9)
+	if !out.fail {
+		t.Fatal("cold at 0.80x must fail a 0.9 tolerance even when warm improved")
+	}
+}
+
 func TestCompareDamagedBaselineSkipped(t *testing.T) {
 	// A zero-throughput baseline row is a damaged file, not a regression;
 	// gating on it would divide by zero.

@@ -47,6 +47,7 @@ func run(args []string) int {
 	queue := fs.Int("queue", 16, "queued-job backlog before 429s")
 	sweepWorkers := fs.Int("sweep-workers", 0, "worker goroutines per population sweep (0 = GOMAXPROCS)")
 	cacheEntries := fs.Int("cache", 64, "result cache entries (negative disables)")
+	snapBudget := fs.Int64("snapshot-budget", 0, "resident warm-snapshot bytes (0 = 2 GiB default, negative disables warm cache)")
 	ckptDir := fs.String("checkpoint-dir", "", "checkpoint population jobs under DIR for resume")
 	drain := fs.Duration("drain-timeout", serve.DrainDefault, "grace period for in-flight jobs on shutdown")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr (text|json)")
@@ -70,6 +71,7 @@ func run(args []string) int {
 		QueueDepth:       *queue,
 		SweepParallelism: *sweepWorkers,
 		CacheEntries:     *cacheEntries,
+		SnapshotBudget:   *snapBudget,
 		CheckpointDir:    *ckptDir,
 		EnablePprof:      *enablePprof,
 		Logger:           slog.New(handler),

@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -262,6 +263,11 @@ func cmdFig1(args []string) {
 	fmt.Println(experiments.RenderFig1(pts))
 }
 
+// warmCache returns the process-wide snapshot cache behind
+// --warm-snapshots: a command that runs several sweeps (report, curves
+// over multiple figures) pays each (generation, slice) warmup once.
+var warmCache = sync.OnceValue(experiments.NewWarmCache)
+
 // mustPopRun is the no-flags spelling of experiments.Run for commands
 // without the shared population flag surface.
 func mustPopRun(spec workload.SuiteSpec) *experiments.PopulationRun {
@@ -285,6 +291,7 @@ type popFlags struct {
 	sliceDeadline *time.Duration
 	retries       *int
 	spanOut       *string
+	warm          *bool
 }
 
 func runPopulationFlags(fs *flag.FlagSet) *popFlags {
@@ -297,6 +304,8 @@ func runPopulationFlags(fs *flag.FlagSet) *popFlags {
 		sliceDeadline: fs.Duration("slice-deadline", 0, "per-slice wall-clock budget (0 = none)"),
 		retries:       fs.Int("retries", 0, "retry a failed slice up to N times on a fresh simulator"),
 		spanOut:       fs.String("span-out", "", "write a wall-clock span trace (Perfetto JSON) of the sweep to FILE"),
+		warm: fs.Bool("warm-snapshots", false,
+			"cache warm-state snapshots so repeated sweeps in this process fork past each slice's warmup (results stay bit-identical)"),
 	}
 }
 
@@ -310,6 +319,9 @@ func runPopulation(command string, pf *popFlags, artifacts map[string]string) *e
 	opts := []experiments.Option{
 		experiments.WithSliceDeadline(*pf.sliceDeadline),
 		experiments.WithRetries(*pf.retries),
+	}
+	if *pf.warm {
+		opts = append(opts, experiments.WithWarmSnapshots(warmCache()))
 	}
 	if *pf.progress {
 		total := len(workload.Suite(sp)) * 6

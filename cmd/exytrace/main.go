@@ -214,6 +214,10 @@ func cmdConvert(args []string) {
 	if err := o.Close(); err != nil {
 		fatal(err)
 	}
+	if sl.WarmupClamped {
+		fmt.Fprintf(os.Stderr, "exytrace: warning: warmup %d covers the whole %d-inst trace; clamped to %d\n",
+			sl.RequestedWarmup, len(sl.Insts), sl.Warmup)
+	}
 	st := sl.Summarize()
 	fmt.Printf("converted %d insts (%d branches, %d loads, %d stores) -> %s\n",
 		st.Insts, st.Branches, st.Loads, st.Stores, *out)

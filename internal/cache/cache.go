@@ -50,8 +50,6 @@ type Line struct {
 	// Origin tags which engine brought a prefetched line in, so
 	// eviction feedback reaches the right filter (buddy, standalone).
 	Origin uint8
-
-	lru uint64
 }
 
 // Prefetch origins recorded in Line.Origin.
@@ -106,12 +104,16 @@ type Cache struct {
 	sets     int
 	ways     int
 	lineLog  uint
-	tagShift uint // lineLog + SectorLog2: address bits above tag granule
+	tagShift uint   // lineLog + SectorLog2: address bits above tag granule
+	secMask  uint64 // (1<<SectorLog2)-1, 0 when unsectored
 	// lines is a flat sets*ways array; set s occupies [s*ways, (s+1)*ways).
 	lines []entry
 	// tags shadows lines' (Tag, Valid) as tag<<1|valid so the hit scan
 	// walks one packed word per way instead of a whole entry.
 	tags []uint64
+	// lrus holds per-way recency ticks parallel to lines, so victim
+	// selection scans one word per way instead of a whole entry.
+	lrus []uint64
 	tick uint64
 
 	// portBusyUntil models fill bandwidth (Config.BytesPerCycle).
@@ -153,8 +155,10 @@ func New(cfg Config) *Cache {
 		ways:     cfg.Ways,
 		lineLog:  6,
 		tagShift: 6 + cfg.SectorLog2,
+		secMask:  1<<cfg.SectorLog2 - 1,
 		lines:    make([]entry, sets*cfg.Ways),
 		tags:     make([]uint64, sets*cfg.Ways),
+		lrus:     make([]uint64, sets*cfg.Ways),
 	}
 }
 
@@ -173,6 +177,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 func (c *Cache) Reset() {
 	clear(c.lines)
 	clear(c.tags)
+	clear(c.lrus)
 	c.tick = 0
 	c.portBusyUntil = 0
 	c.stats = Stats{}
@@ -197,22 +202,22 @@ func (c *Cache) index(addr uint64) (set int, tag uint64, sub uint) {
 	granule := addr >> c.tagShift
 	set = int(granule) & (c.sets - 1)
 	tag = granule
-	if c.cfg.SectorLog2 > 0 {
-		sub = uint((addr >> c.lineLog) & ((1 << c.cfg.SectorLog2) - 1))
-	}
+	sub = uint((addr >> c.lineLog) & c.secMask)
 	return set, tag, sub
 }
 
-func (c *Cache) find(addr uint64) (*entry, uint) {
+// find returns the flat lines/lrus index of addr's entry (-1 if absent)
+// plus the sector sub-line.
+func (c *Cache) find(addr uint64) (int, uint) {
 	set, tag, sub := c.index(addr)
 	base := set * c.ways
 	want := tag<<1 | 1
 	for w, t := range c.tags[base : base+c.ways] {
 		if t == want {
-			return &c.lines[base+w], sub
+			return base + w, sub
 		}
 	}
-	return nil, sub
+	return -1, sub
 }
 
 // Result describes a lookup.
@@ -230,19 +235,20 @@ type Result struct {
 // hit. prefetchProbe lookups (from prefetch filters) do not perturb
 // stats or recency.
 func (c *Cache) Lookup(addr uint64, now uint64, prefetchProbe bool) Result {
-	e, sub := c.find(addr)
-	if e == nil || e.present&(1<<sub) == 0 {
+	i, sub := c.find(addr)
+	if i < 0 || c.lines[i].present&(1<<sub) == 0 {
 		if !prefetchProbe {
 			c.stats.Misses++
 		}
 		return Result{}
 	}
+	e := &c.lines[i]
 	if prefetchProbe {
 		return Result{Hit: true, ReadyAt: e.ready[sub]}
 	}
 	c.stats.Hits++
 	c.tick++
-	e.lru = c.tick
+	c.lrus[i] = c.tick
 	if e.Reuse < 255 {
 		e.Reuse++
 	}
@@ -256,17 +262,17 @@ func (c *Cache) Lookup(addr uint64, now uint64, prefetchProbe bool) Result {
 
 // Contains reports residency without any side effects.
 func (c *Cache) Contains(addr uint64) bool {
-	e, sub := c.find(addr)
-	return e != nil && e.present&(1<<sub) != 0
+	i, sub := c.find(addr)
+	return i >= 0 && c.lines[i].present&(1<<sub) != 0
 }
 
 // Peek returns the line metadata without side effects (nil if absent).
 func (c *Cache) Peek(addr uint64) *Line {
-	e, sub := c.find(addr)
-	if e == nil || e.present&(1<<sub) == 0 {
+	i, sub := c.find(addr)
+	if i < 0 || c.lines[i].present&(1<<sub) == 0 {
 		return nil
 	}
-	return &e.Line
+	return &c.lines[i].Line
 }
 
 // Victim describes an evicted line.
@@ -317,19 +323,20 @@ func (c *Cache) Fill(addr uint64, now, readyAt uint64, origin uint8, prio Insert
 			return Victim{}
 		}
 	}
-	// Choose a victim way: invalid first, else LRU.
+	// Choose a victim way: invalid first, else LRU. Both scans walk the
+	// packed shadow arrays; entries are only touched once chosen.
 	vw := 0
-	victim := &c.lines[base]
+	bestLRU := c.lrus[base]
 	for w := 0; w < c.ways; w++ {
-		e := &c.lines[base+w]
-		if !e.Valid {
-			vw, victim = w, e
+		if c.tags[base+w]&1 == 0 {
+			vw = w
 			break
 		}
-		if e.lru < victim.lru {
-			vw, victim = w, e
+		if l := c.lrus[base+w]; l < bestLRU {
+			vw, bestLRU = w, l
 		}
 	}
+	victim := &c.lines[base+vw]
 	var out Victim
 	if victim.Valid {
 		out = Victim{
@@ -355,20 +362,20 @@ func (c *Cache) Fill(addr uint64, now, readyAt uint64, origin uint8, prio Insert
 	c.tags[base+vw] = tag<<1 | 1
 	switch prio {
 	case InsertElevated:
-		victim.lru = c.tick
+		c.lrus[base+vw] = c.tick
 	default:
 		// Ordinary: insert strictly below the set's current LRU so an
 		// untouched line is the next victim.
 		oldest := c.tick
 		for w := 0; w < c.ways; w++ {
-			if e := &c.lines[base+w]; e.Valid && e != victim && e.lru < oldest {
-				oldest = e.lru
+			if w != vw && c.tags[base+w]&1 != 0 && c.lrus[base+w] < oldest {
+				oldest = c.lrus[base+w]
 			}
 		}
 		if oldest > 0 {
 			oldest--
 		}
-		victim.lru = oldest
+		c.lrus[base+vw] = oldest
 	}
 	if prefetch {
 		c.stats.PrefetchFills++
@@ -380,8 +387,8 @@ func (c *Cache) Fill(addr uint64, now, readyAt uint64, origin uint8, prio Insert
 
 // Touch marks a store hit dirty.
 func (c *Cache) Touch(addr uint64, dirty bool) {
-	if e, sub := c.find(addr); e != nil && e.present&(1<<sub) != 0 && dirty {
-		e.Dirty = true
+	if i, sub := c.find(addr); i >= 0 && c.lines[i].present&(1<<sub) != 0 && dirty {
+		c.lines[i].Dirty = true
 	}
 }
 
@@ -412,8 +419,8 @@ func (c *Cache) Invalidate(addr uint64) *Line {
 
 // SetRealloc marks a line as re-allocated from the outer level.
 func (c *Cache) SetRealloc(addr uint64) {
-	if e, sub := c.find(addr); e != nil && e.present&(1<<sub) != 0 {
-		e.Realloc = true
+	if i, sub := c.find(addr); i >= 0 && c.lines[i].present&(1<<sub) != 0 {
+		c.lines[i].Realloc = true
 	}
 }
 

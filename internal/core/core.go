@@ -7,11 +7,14 @@
 package core
 
 import (
+	"reflect"
+
 	"exysim/internal/branch"
 	"exysim/internal/mem"
 	"exysim/internal/obs"
 	"exysim/internal/pipeline"
 	"exysim/internal/power"
+	"exysim/internal/snapshot"
 	"exysim/internal/trace"
 )
 
@@ -135,6 +138,39 @@ func (s *Simulator) Reset() {
 		// next Snapshot is indistinguishable from a fresh simulator's.
 		s.reg.Reset()
 	}
+}
+
+// stateCodec deep-copies simulator state for warm forking. The walk is
+// rooted at the pipeline core, whose reachable graph — front end, memory
+// system, μop cache, power meter — is exactly the mutable state the
+// Reset() protocol inventories. Two things are skip-listed as installed
+// wiring rather than state, mirroring what Reset leaves in place: the
+// cycle tracer (observability) and the branch-target cipher (§V
+// security hardening; stateless — its context is POD and walked
+// normally).
+var stateCodec = snapshot.NewCodec(
+	reflect.TypeOf((*obs.Tracer)(nil)),
+	reflect.TypeOf((*branch.TargetCipher)(nil)).Elem(),
+)
+
+// CaptureState deep-snapshots the simulator's mutable state — typically
+// right after a slice's warmup, so sweeps can fork variants and reps
+// from the warm state instead of re-warming. The image is immutable and
+// safe to restore concurrently into any simulator of the same
+// generation.
+func (s *Simulator) CaptureState() (*snapshot.Image, error) {
+	return stateCodec.Capture(s.core)
+}
+
+// RestoreState overwrites the simulator's state with a previously
+// captured image. The simulator must be the same generation (same
+// configuration-derived shape) as the captured one; a mismatch returns
+// an error and leaves the instance suspect — Reset() or discard it.
+// Observability baselines (a lazily built Registry) are not rebased:
+// pooled sweep simulators do not snapshot registries, and callers that
+// do should Reset() first.
+func (s *Simulator) RestoreState(img *snapshot.Image) error {
+	return stateCodec.Restore(img, s.core)
 }
 
 // Registry returns the simulator's metrics registry, building it on

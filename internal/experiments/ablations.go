@@ -168,8 +168,8 @@ func meanMetrics(gen core.GenConfig, slices []*trace.Slice) (ipc, epki float64) 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			clone := &trace.Slice{Name: src.Name, Suite: src.Suite, Warmup: src.Warmup, Insts: src.Insts}
-			r := core.RunSlice(gen, clone)
+			clone := src.Cursor()
+			r := core.RunSlice(gen, &clone)
 			results[i] = pair{r.IPC, r.FetchEPKI}
 		}(i, sl)
 	}

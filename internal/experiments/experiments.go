@@ -270,7 +270,7 @@ func Fig1(slices, instsPerSlice int, lengths []int, seed uint64) []Fig1Point {
 					if si > 0 {
 						p.Reset()
 					}
-					cursor = trace.Slice{Name: src.Name, Suite: src.Suite, Warmup: src.Warmup, Insts: src.Insts}
+					cursor = src.Cursor()
 					n := 0
 					for {
 						in, err := cursor.Next()

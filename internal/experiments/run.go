@@ -40,6 +40,7 @@ type runConfig struct {
 	pool           *SimPool
 	telemetry      *SweepTelemetry
 	spans          *obs.SpanTracer
+	warm           *WarmCache
 }
 
 // Option configures one Run invocation.
@@ -136,6 +137,21 @@ func WithSpanTracer(st *obs.SpanTracer) Option {
 	return func(c *runConfig) { c.spans = st }
 }
 
+// WithWarmSnapshots shares warmup-invariant work across generations,
+// reps, and sweeps through w: cached workload suites, pre-decoded μop
+// streams, and deep warm-state snapshots captured at each (generation,
+// slice) warmup boundary. With a populated cache a sweep restores each
+// pair's warm image and replays only the measured region — skipping the
+// warmup stepping entirely — with results bit-identical to cold
+// re-warming (the snapshot/fork bit-identity tests pin this). Slices
+// whose pair has a step hook installed, or no warmup prefix, run cold as
+// before. Retries always run cold on a fresh simulator and drop the
+// pair's snapshot first, so a damaged image can never quarantine a pair
+// permanently.
+func WithWarmSnapshots(w *WarmCache) Option {
+	return func(c *runConfig) { c.warm = w }
+}
+
 // Run is the one sweep entrypoint: every generation × every slice of
 // spec's population, fanned out across a bounded worker pool with
 // pooled simulators, under the robustness envelope the options
@@ -182,7 +198,12 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 
 	start := time.Now()
 	spec = spec.Normalize()
-	slices := workload.Suite(spec)
+	var slices []*trace.Slice
+	if cfg.warm != nil {
+		slices = cfg.warm.Suite(spec)
+	} else {
+		slices = workload.Suite(spec)
+	}
 	gens := core.Generations()
 	p := &PopulationRun{Spec: spec, Gens: gens, Slices: slices}
 	p.Results = make([][]core.Result, len(gens))
@@ -232,6 +253,34 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 		cfg.onProgress(p.Resumed, total, 0)
 	}
 
+	// Pre-decoded streams are compiled once per slice and shared by every
+	// generation and attempt (the step loop reads them immutably). A
+	// WarmCache memoizes them across Run calls; without one, a per-Run
+	// memo still collapses the gens×slices product to one compilation
+	// per slice.
+	var pdMu sync.Mutex
+	pdLocal := make(map[*trace.Slice]*trace.PreDecoded, len(slices))
+	preDecoded := func(sl *trace.Slice) *trace.PreDecoded {
+		if cfg.warm != nil {
+			return cfg.warm.PreDecoded(sl)
+		}
+		pdMu.Lock()
+		defer pdMu.Unlock()
+		pd := pdLocal[sl]
+		if pd == nil {
+			pd = sl.PreDecode()
+			pdLocal[sl] = pd
+		}
+		return pd
+	}
+	var genDigests []string
+	if cfg.warm != nil {
+		genDigests = make([]string, len(gens))
+		for g := range gens {
+			genDigests[g] = obs.ConfigDigest(gens[g])
+		}
+	}
+
 	cancelCh := ctx.Done()
 	type job struct{ g, s int }
 	jobs := make(chan job)
@@ -258,11 +307,6 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 			if st != nil {
 				lane = st.Lane(fmt.Sprintf("worker-%d", w))
 			}
-			// Each worker drives one private cursor struct, reused across
-			// jobs. The clone shares the slice's read-only Insts backing
-			// array — only the cursor position is per-worker state, so
-			// workers stay independent without copying instructions.
-			var cursor trace.Slice
 			sims := make([]*core.Simulator, len(gens))
 			if cfg.pool != nil {
 				// Return the healthy survivors for the next Run to reuse.
@@ -279,7 +323,7 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 					continue // canceled: drain the queue without running
 				}
 				sl := p.Slices[j.s]
-				cursor = trace.Slice{Name: sl.Name, Suite: sl.Suite, Warmup: sl.Warmup, Insts: sl.Insts}
+				pd := preDecoded(sl)
 				ropts := robust.Options{
 					Deadline:        cfg.sliceDeadline,
 					CheckInvariants: !cfg.skipInvariants,
@@ -299,20 +343,69 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 					sim = cfg.pool.take(gens[j.g].Name)
 					sims[j.g] = sim
 				}
-				if sim != nil {
-					sim.Reset()
-				}
 				build := func() *core.Simulator {
 					if cfg.pool != nil {
 						cfg.pool.built.Add(1)
 					}
 					return core.NewSimulator(gens[j.g])
 				}
+				// Warm forking applies when a cache is installed, the pair
+				// has no step hook (hooks must see the warmup too), and the
+				// slice has a warmup prefix worth skipping.
+				warmable := cfg.warm != nil && cfg.warm.snapshotsEnabled() && ropts.StepHook == nil && sl.Warmup > 0
+				pooled := sim
+				runAttempt := func(s *core.Simulator, attempt int) (core.Result, *robust.SliceFailure) {
+					// A recycled pooled instance needs Reset before a cold
+					// replay; a freshly built one is already cold, and a
+					// successful warm restore overwrites all of it anyway.
+					reset := s == pooled && pooled != nil
+					if warmable {
+						if attempt == 1 {
+							if img, ok := cfg.warm.Snapshot(genDigests[j.g], sl); ok {
+								if err := s.RestoreState(img); err == nil {
+									cfg.warm.noteFork()
+									if st != nil {
+										st.Instant("snapshot", "fork", lane, 0)
+									}
+									return robust.RunGuardedDecoded(s, pd, sl.Warmup, ropts)
+								}
+								// The image does not fit this instance: drop it
+								// and fall through to a cold replay. The failed
+								// restore may have partially overwritten state,
+								// so Reset unconditionally.
+								cfg.warm.Invalidate(genDigests[j.g], sl)
+								reset = true
+							}
+						} else {
+							// Retrying: never trust the snapshot that fed (or
+							// was captured by) the failed attempt.
+							cfg.warm.Invalidate(genDigests[j.g], sl)
+						}
+					}
+					if reset {
+						s.Reset()
+					}
+					a := ropts
+					if warmable {
+						a.AfterWarmup = func() {
+							img, err := s.CaptureState()
+							if err != nil {
+								cfg.warm.noteCaptureError()
+								return
+							}
+							cfg.warm.StoreSnapshot(genDigests[j.g], sl, img)
+							if st != nil {
+								st.Instant("snapshot", "capture", lane, int64(img.Bytes()))
+							}
+						}
+					}
+					return robust.RunGuardedDecoded(s, pd, 0, a)
+				}
 				var t0 time.Time
 				if tel != nil || st != nil {
 					t0 = time.Now()
 				}
-				r, okSim, fails, okRun := robust.RunWithRetry(sim, build, &cursor, ropts, cfg.retries)
+				r, okSim, fails, okRun := robust.RunWithRetryFunc(sim, build, cfg.retries, runAttempt)
 				// Keep whichever instance survived; a failure discarded
 				// the pooled one.
 				sims[j.g] = okSim

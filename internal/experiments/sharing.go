@@ -47,8 +47,8 @@ func SharingStudy(spec workload.SuiteSpec, loads []float64) []SharingRow {
 			sumIPC, sumLat := 0.0, 0.0
 			var l2p, l3p uint64
 			for _, src := range slices {
-				clone := &trace.Slice{Name: src.Name, Suite: src.Suite, Warmup: src.Warmup, Insts: src.Insts}
-				r := core.RunSlice(gen, clone)
+				clone := src.Cursor()
+				r := core.RunSlice(gen, &clone)
 				sumIPC += r.IPC
 				sumLat += r.AvgLoadLat
 				l2p += r.Mem.CoRunnerL2Fills

@@ -169,6 +169,55 @@ func (in *Inst) MicroOps() int {
 	return 1
 }
 
+// Decoded packs the per-instruction facts the pipeline re-derives on
+// every dynamic instruction — μop count, fetch-line boundary, operand
+// and branch classification — into one byte, so a pre-decoded stream
+// replaces that per-step work with a table lookup. All bits except
+// DecNewLine depend only on the instruction itself; DecNewLine encodes
+// the relationship to the previous dynamic instruction's fetch line and
+// is added by stream compilers (trace.PreDecode) or the classic step
+// path.
+type Decoded uint8
+
+// Decoded bits.
+const (
+	// DecUops2 marks instructions that crack into two μops (stores);
+	// everything else is one. Kept in bit 0 so μop count is d&1 + 1.
+	DecUops2 Decoded = 1 << iota
+	// DecNewLine marks the first instruction on its 64B fetch line —
+	// the point where the front end touches the instruction cache.
+	DecNewLine
+	// DecHasDst is set when Dst names a destination (not RegNone).
+	DecHasDst
+	// DecMove marks register moves (zero-cycle-move eligible on M3+).
+	DecMove
+	// DecBranch marks any control transfer.
+	DecBranch
+)
+
+// Uops returns the μop count the Decoded bits encode.
+func (d Decoded) Uops() int { return int(d&DecUops2) + 1 }
+
+// Decode computes the predecessor-independent Decoded bits for one
+// instruction. DecNewLine is the caller's to add: it needs the previous
+// dynamic instruction's fetch line.
+func Decode(in *Inst) Decoded {
+	var d Decoded
+	if in.Class == Store {
+		d |= DecUops2
+	}
+	if in.Dst != RegNone {
+		d |= DecHasDst
+	}
+	if in.Class == Move {
+		d |= DecMove
+	}
+	if in.Branch != BranchNone {
+		d |= DecBranch
+	}
+	return d
+}
+
 // String renders the instruction in a compact disassembly-like form for
 // debugging and trace dumps.
 func (in *Inst) String() string {

@@ -159,7 +159,9 @@ func (s *System) stbForward(addr uint64) bool {
 
 func (s *System) stbInsert(addr uint64) {
 	s.stb[s.stbPos] = addr &^ 7
-	s.stbPos = (s.stbPos + 1) % stbEntries
+	if s.stbPos++; s.stbPos == stbEntries {
+		s.stbPos = 0
+	}
 }
 
 // promoteCap bounds how long a demand can wait on an in-flight
@@ -410,8 +412,17 @@ func (s *System) L3() *cache.Cache { return s.l3 }
 
 // pruneInflight drops retired misses.
 func (s *System) pruneInflight(now uint64) {
-	out := s.inflight[:0]
-	for _, t := range s.inflight {
+	// Fast path: scan read-only until the first expired entry — usually
+	// there is none, and the compaction stores are skipped entirely.
+	i := 0
+	for i < len(s.inflight) && s.inflight[i] > now {
+		i++
+	}
+	if i == len(s.inflight) {
+		return
+	}
+	out := s.inflight[:i]
+	for _, t := range s.inflight[i+1:] {
 		if t > now {
 			out = append(out, t)
 		}

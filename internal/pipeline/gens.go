@@ -10,7 +10,7 @@ func M1PipeConfig() Config {
 	return Config{
 		Name:  "M1",
 		Width: 4, ROB: 96, IntPRF: 96, FPPRF: 96,
-		Units: map[UnitKind]int{
+		Units: UnitCounts{
 			UnitS: 2, UnitCD: 1, UnitBR: 1,
 			UnitLoad: 1, UnitStore: 1,
 			UnitFMAC: 1, UnitFADD: 1,
@@ -37,7 +37,7 @@ func M3PipeConfig() Config {
 	return Config{
 		Name:  "M3",
 		Width: 6, ROB: 228, IntPRF: 192, FPPRF: 192,
-		Units: map[UnitKind]int{
+		Units: UnitCounts{
 			UnitS: 2, UnitCD: 1, UnitC: 1, UnitBR: 1,
 			UnitLoad: 2, UnitStore: 1,
 			UnitFMAC: 3,
@@ -55,7 +55,7 @@ func M4PipeConfig() Config {
 	c := M3PipeConfig()
 	c.Name = "M4"
 	c.FPPRF = 176
-	c.Units = map[UnitKind]int{
+	c.Units = UnitCounts{
 		UnitS: 2, UnitCD: 1, UnitC: 1, UnitBR: 1,
 		UnitLoad: 1, UnitStore: 1, UnitGen: 1,
 		UnitFMAC: 3,
@@ -67,7 +67,7 @@ func M4PipeConfig() Config {
 func M5PipeConfig() Config {
 	c := M4PipeConfig()
 	c.Name = "M5"
-	c.Units = map[UnitKind]int{
+	c.Units = UnitCounts{
 		UnitS: 4, UnitCD: 1, UnitC: 1, UnitBR: 1,
 		UnitLoad: 1, UnitStore: 1, UnitGen: 1,
 		UnitFMAC: 3,
@@ -85,7 +85,7 @@ func M6PipeConfig() Config {
 	c.Width = 8
 	c.ROB = 256
 	c.IntPRF, c.FPPRF = 224, 224
-	c.Units = map[UnitKind]int{
+	c.Units = UnitCounts{
 		UnitS: 4, UnitCD: 2, UnitBR: 2,
 		UnitLoad: 1, UnitStore: 1, UnitGen: 1,
 		UnitFMAC: 4,

@@ -40,6 +40,9 @@ const (
 	numUnitKinds
 )
 
+// UnitCounts maps each UnitKind to how many such units the core has.
+type UnitCounts [numUnitKinds]int
+
 // Config sizes one generation's core (Table I).
 type Config struct {
 	Name string
@@ -53,8 +56,12 @@ type Config struct {
 	// base.
 	IntPRF, FPPRF int
 
-	// Units lists execution resources as (kind, count).
-	Units map[UnitKind]int
+	// Units lists execution resources as (kind, count), indexed by
+	// UnitKind. A plain array (not a map) keeps the config POD: every
+	// simulator owns its counts by value, so snapshot restore never
+	// touches shared backing storage and concurrent sweeps over the
+	// same generation cannot race on it.
+	Units UnitCounts
 
 	// Latencies per class.
 	LatALU, LatMul, LatDiv    int
@@ -351,24 +358,19 @@ func (c *Core) latency(class isa.Class) int {
 }
 
 func (c *Core) srcReady(in *isa.Inst) uint64 {
+	ready := &c.intReady
+	if in.Class.IsFP() {
+		ready = &c.fpReady
+	}
 	var t uint64
-	read := func(reg uint8, fp bool) {
-		if reg == isa.RegNone || int(reg) >= isa.NumArchRegs {
-			return
-		}
-		var r uint64
-		if fp {
-			r = c.fpReady[reg]
-		} else {
-			r = c.intReady[reg]
-		}
-		if r > t {
+	if reg := in.Src1; reg != isa.RegNone && int(reg) < isa.NumArchRegs {
+		t = ready[reg]
+	}
+	if reg := in.Src2; reg != isa.RegNone && int(reg) < isa.NumArchRegs {
+		if r := ready[reg]; r > t {
 			t = r
 		}
 	}
-	fp := in.Class.IsFP()
-	read(in.Src1, fp)
-	read(in.Src2, fp)
 	return t
 }
 
@@ -384,8 +386,26 @@ func (c *Core) writeDst(in *isa.Inst, done uint64) {
 	c.intProducerLoad[in.Dst] = in.Class == isa.Load
 }
 
-// Step runs one dynamic instruction through the model.
+// Step runs one dynamic instruction through the model, deriving its
+// decode facts on the fly. The pre-decoded path (StepDecoded) feeds the
+// same facts from a compiled stream; both paths share step() and are
+// bit-identical.
 func (c *Core) Step(in *isa.Inst) {
+	d := isa.Decode(in)
+	if in.PC>>6 != c.curFetchLine {
+		d |= isa.DecNewLine
+	}
+	c.step(in, d)
+}
+
+// StepDecoded runs one dynamic instruction whose decode facts were
+// compiled ahead of time (trace.PreDecode). The caller must feed
+// instructions in stream order from the position the core is at —
+// DecNewLine encodes the fetch-line relationship to the stream
+// predecessor, which the classic path re-derives per step.
+func (c *Core) StepDecoded(in *isa.Inst, d isa.Decoded) { c.step(in, d) }
+
+func (c *Core) step(in *isa.Inst, d isa.Decoded) {
 	cfg := &c.cfg
 
 	// ---- Fetch ----
@@ -394,9 +414,8 @@ func (c *Core) Step(in *isa.Inst) {
 	if c.blockStart == 0 {
 		c.blockStart = in.PC
 	}
-	line := in.PC >> 6
-	if line != c.curFetchLine {
-		c.curFetchLine = line
+	if d&isa.DecNewLine != 0 {
+		c.curFetchLine = in.PC >> 6
 		if !c.inUOCFetch {
 			c.charge(power.EvICacheAccess, 1)
 			if stall := c.memsy.FetchInst(in.PC, c.fetchCycle); stall > 0 {
@@ -409,7 +428,7 @@ func (c *Core) Step(in *isa.Inst) {
 			}
 		}
 	}
-	uops := in.MicroOps()
+	uops := int(d&isa.DecUops2) + 1
 	c.blockUops += uops
 	for i := 0; i < uops; i++ {
 		if c.fetchSlots >= cfg.Width {
@@ -425,7 +444,7 @@ func (c *Core) Step(in *isa.Inst) {
 	windowEdge := c.retireRing[c.ringPos]
 	// A result-producing instruction also needs a free physical
 	// register in its file.
-	producesResult := in.Dst != isa.RegNone && !(in.Class == isa.Move && cfg.ZeroCycleMove)
+	producesResult := d&isa.DecHasDst != 0 && !(d&isa.DecMove != 0 && cfg.ZeroCycleMove)
 	if producesResult {
 		if in.Class.IsFP() {
 			if c.fpPRFRing != nil && c.fpPRFRing[c.fpPRFPos] > windowEdge {
@@ -455,7 +474,7 @@ func (c *Core) Step(in *isa.Inst) {
 	}
 	var done uint64
 	switch {
-	case in.Class == isa.Move && cfg.ZeroCycleMove:
+	case d&isa.DecMove != 0 && cfg.ZeroCycleMove:
 		// Zero-cycle move: handled at rename via remapping and
 		// reference counting; no unit, no latency (§III).
 		done = ready
@@ -481,7 +500,7 @@ func (c *Core) Step(in *isa.Inst) {
 	c.writeDst(in, done)
 
 	// ---- Branch resolution and front-end redirects ----
-	if in.Branch.IsBranch() {
+	if d&isa.DecBranch != 0 {
 		r := c.front.Step(in)
 		if r.Mispredict {
 			// The redirect leaves when the branch resolves; the
@@ -527,16 +546,22 @@ func (c *Core) Step(in *isa.Inst) {
 	}
 	c.lastRetireCycle = retireAt
 	c.retireRing[c.ringPos] = retireAt
-	c.ringPos = (c.ringPos + 1) % len(c.retireRing)
+	if c.ringPos++; c.ringPos == len(c.retireRing) {
+		c.ringPos = 0
+	}
 	if producesResult {
 		if in.Class.IsFP() {
 			if c.fpPRFRing != nil {
 				c.fpPRFRing[c.fpPRFPos] = retireAt
-				c.fpPRFPos = (c.fpPRFPos + 1) % len(c.fpPRFRing)
+				if c.fpPRFPos++; c.fpPRFPos == len(c.fpPRFRing) {
+					c.fpPRFPos = 0
+				}
 			}
 		} else if c.intPRFRing != nil {
 			c.intPRFRing[c.intPRFPos] = retireAt
-			c.intPRFPos = (c.intPRFPos + 1) % len(c.intPRFRing)
+			if c.intPRFPos++; c.intPRFPos == len(c.intPRFRing) {
+				c.intPRFPos = 0
+			}
 		}
 	}
 

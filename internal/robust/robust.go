@@ -115,6 +115,12 @@ type Options struct {
 	// both are nil in production runs.
 	StepHook   StepHook
 	ResultHook ResultHook
+	// AfterWarmup fires once, immediately after the warmup boundary's
+	// stats reset — the seam where warm-state forking captures the
+	// simulator (core.Simulator.CaptureState). It never fires for a
+	// slice without a warmup prefix, nor for a forked run that starts
+	// at the boundary.
+	AfterWarmup func()
 }
 
 func (o *Options) heartbeatMask() int {
@@ -175,6 +181,100 @@ func RunGuarded(sim *core.Simulator, sl *trace.Slice, opts Options) (res core.Re
 		n++
 		if n == sl.Warmup {
 			c.ResetStats()
+			if opts.AfterWarmup != nil {
+				opts.AfterWarmup()
+			}
+		}
+		if n&mask == 0 {
+			if hbHist != nil {
+				now := time.Now()
+				hbHist.Observe(uint64(now.Sub(lastBeat).Microseconds()))
+				lastBeat = now
+			}
+			if cancel != nil {
+				select {
+				case <-cancel:
+					return core.Result{}, mkFail(KindCanceled,
+						fmt.Sprintf("run canceled after %d instructions", n), "")
+				default:
+				}
+			}
+			if deadline > 0 && time.Since(start) > deadline {
+				return core.Result{}, mkFail(KindTimeout,
+					fmt.Sprintf("slice exceeded %v deadline after %d instructions", deadline, n), "")
+			}
+		}
+	}
+	res = sim.Snapshot(sl)
+	if opts.ResultHook != nil {
+		opts.ResultHook(&res)
+	}
+	if opts.CheckInvariants {
+		if err := Check(&res); err != nil {
+			return core.Result{}, mkFail(KindInvariant, err.Error(), "")
+		}
+	}
+	return res, nil
+}
+
+// RunGuardedDecoded is RunGuarded over a pre-decoded stream: the step
+// loop indexes the slice's shared read-only instruction storage and its
+// compiled decode metadata directly, with no per-instruction copy and no
+// heap traffic — the production fast path for population sweeps. from is
+// the stream position to start at: 0 for a full warmup+measure replay
+// (bit-identical to RunGuarded), or the slice's Warmup for a run forked
+// from a warm-state snapshot the caller just restored (the warmup
+// boundary's stats reset already happened before the capture, so none is
+// performed).
+//
+// A non-nil StepHook forces the classic path: hooks may mutate the
+// instruction they observe, which must not reach the shared stream.
+// From 0 that is a transparent fallback; a forked run with a hook is a
+// contract violation and fails the slice rather than corrupting storage.
+func RunGuardedDecoded(sim *core.Simulator, pd *trace.PreDecoded, from int, opts Options) (res core.Result, fail *SliceFailure) {
+	sl := pd.Slice
+	cfg := sim.Config()
+	mkFail := func(kind FailureKind, err string, stack string) *SliceFailure {
+		return &SliceFailure{
+			Gen: cfg.Name, Slice: sl.Name,
+			Kind: kind, Err: err, Stack: stack,
+			ConfigDigest: obs.ConfigDigest(cfg),
+		}
+	}
+	if opts.StepHook != nil {
+		if from != 0 {
+			return core.Result{}, mkFail(KindInvariant,
+				"decoded fork with a step hook: hooks require the classic full replay", "")
+		}
+		cur := sl.Cursor()
+		return RunGuarded(sim, &cur, opts)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res = core.Result{}
+			fail = mkFail(KindPanic, fmt.Sprint(p), string(debug.Stack()))
+		}
+	}()
+
+	start := time.Now()
+	mask := opts.heartbeatMask()
+	deadline := opts.Deadline
+	cancel := opts.Cancel
+	hbHist := opts.HeartbeatHist
+	lastBeat := start
+
+	c := sim.Core()
+	insts, meta := sl.Insts, pd.Meta
+	warm := sl.Warmup
+	n := 0
+	for i := from; i < len(insts); i++ {
+		c.StepDecoded(&insts[i], meta[i])
+		n++
+		if i+1 == warm {
+			c.ResetStats()
+			if opts.AfterWarmup != nil {
+				opts.AfterWarmup()
+			}
 		}
 		if n&mask == 0 {
 			if hbHist != nil {
@@ -240,12 +340,24 @@ func Backoff(attempt int) time.Duration {
 // (empty on first-attempt success; the last entry carries the final
 // Attempts count), and whether the slice ultimately succeeded.
 func RunWithRetry(sim *core.Simulator, build func() *core.Simulator, sl *trace.Slice, opts Options, retries int) (core.Result, *core.Simulator, []SliceFailure, bool) {
+	return RunWithRetryFunc(sim, build, retries, func(s *core.Simulator, _ int) (core.Result, *SliceFailure) {
+		return RunGuarded(s, sl, opts)
+	})
+}
+
+// RunWithRetryFunc is RunWithRetry generalized over the guarded attempt
+// itself: run(sim, attempt) performs one isolated execution (attempt is
+// 1-based). The sweep harness uses it to vary the strategy across
+// attempts — a warm-state fork first, a cold full replay on retry, so a
+// poisoned snapshot can never fail a slice permanently. Discard/backoff
+// semantics are identical to RunWithRetry.
+func RunWithRetryFunc(sim *core.Simulator, build func() *core.Simulator, retries int, run func(*core.Simulator, int) (core.Result, *SliceFailure)) (core.Result, *core.Simulator, []SliceFailure, bool) {
 	var failures []SliceFailure
 	for attempt := 1; ; attempt++ {
 		if sim == nil {
 			sim = build()
 		}
-		res, fail := RunGuarded(sim, sl, opts)
+		res, fail := run(sim, attempt)
 		if fail == nil {
 			return res, sim, failures, true
 		}

@@ -83,9 +83,11 @@ func (t *Table[V]) setOf(key uint64) int {
 // Lookup returns the value for key and refreshes its recency, or nil.
 func (t *Table[V]) Lookup(key uint64) *V {
 	base := t.setOf(key)
+	// Key first: a mismatched way is rejected on the keys array alone,
+	// without touching the valid bytes (keys are only trusted when valid).
 	for w := 0; w < t.ways; w++ {
 		i := base + w
-		if t.valid[i] && t.keys[i] == key {
+		if t.keys[i] == key && t.valid[i] {
 			t.tick++
 			t.lru[i] = t.tick
 			return &t.vals[i]
@@ -99,7 +101,7 @@ func (t *Table[V]) Peek(key uint64) *V {
 	base := t.setOf(key)
 	for w := 0; w < t.ways; w++ {
 		i := base + w
-		if t.valid[i] && t.keys[i] == key {
+		if t.keys[i] == key && t.valid[i] {
 			return &t.vals[i]
 		}
 	}
@@ -117,7 +119,7 @@ func (t *Table[V]) Insert(key uint64) (slot *V, existed bool, ev Evicted[V]) {
 	var victimLRU uint64
 	for w := 0; w < t.ways; w++ {
 		i := base + w
-		if t.valid[i] && t.keys[i] == key {
+		if t.keys[i] == key && t.valid[i] {
 			t.tick++
 			t.lru[i] = t.tick
 			return &t.vals[i], true, ev
@@ -149,7 +151,7 @@ func (t *Table[V]) Remove(key uint64) (V, bool) {
 	base := t.setOf(key)
 	for w := 0; w < t.ways; w++ {
 		i := base + w
-		if t.valid[i] && t.keys[i] == key {
+		if t.keys[i] == key && t.valid[i] {
 			v := t.vals[i]
 			var zero V
 			t.vals[i] = zero

@@ -68,6 +68,11 @@ type Config struct {
 	// <dir>/<digest>.ckpt and resumes from it — a drained or crashed
 	// sweep picks up where it stopped when the job is resubmitted.
 	CheckpointDir string
+	// SnapshotBudget bounds the resident bytes of cached warm-state
+	// snapshots (experiments.WarmCache): 0 means the default
+	// (experiments.DefaultSnapshotBudget, 2 GiB), negative disables
+	// snapshot caching — sweeps then re-warm every pair cold.
+	SnapshotBudget int64
 	// EnablePprof mounts Go's /debug/pprof handlers on the API mux.
 	// Off by default: profiling endpoints expose heap contents and
 	// should only face operators.
@@ -97,6 +102,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	pool  *experiments.SimPool
+	warm  *experiments.WarmCache
 	reg   *obs.Registry
 	cache *resultCache
 	mux   *http.ServeMux
@@ -145,6 +151,20 @@ type Server struct {
 	log     *slog.Logger
 }
 
+// newWarmCache applies the SnapshotBudget convention: 0 keeps the
+// package default, negative disables snapshot caching (suite and decode
+// reuse stay on — they are cheap and always profitable).
+func newWarmCache(budget int64) *experiments.WarmCache {
+	w := experiments.NewWarmCache()
+	if budget != 0 {
+		if budget < 0 {
+			budget = 0
+		}
+		w.SetSnapshotBudget(budget)
+	}
+	return w
+}
+
 // New builds a server and starts its workers.
 func New(cfg Config) *Server {
 	s := newServer(cfg)
@@ -166,6 +186,7 @@ func newServer(cfg Config) *Server {
 	s := &Server{
 		cfg:           cfg,
 		pool:          experiments.NewSimPool(),
+		warm:          newWarmCache(cfg.SnapshotBudget),
 		reg:           obs.NewRegistry(),
 		cache:         newResultCache(cfg.CacheEntries),
 		baseCtx:       base,
@@ -202,6 +223,27 @@ func newServer(cfg Config) *Server {
 	pc := sc.Child("pool")
 	pc.Counter("sims_built", s.pool.Built)
 	pc.Gauge("idle", func() float64 { return float64(s.pool.Idle()) })
+	// Warm-cache reuse efficiency: decode_hits/misses show how often a
+	// sweep reused a compiled μop stream, snapshot_forks vs captures how
+	// often a (generation, slice) pair skipped its warmup by forking the
+	// stored warm image.
+	wc := sc.Child("warm")
+	warmStat := func(f func(experiments.WarmStats) uint64) func() uint64 {
+		return func() uint64 { return f(s.warm.Stats()) }
+	}
+	wc.Counter("suite_hits", warmStat(func(w experiments.WarmStats) uint64 { return w.SuiteHits }))
+	wc.Counter("suite_misses", warmStat(func(w experiments.WarmStats) uint64 { return w.SuiteMisses }))
+	wc.Counter("decode_hits", warmStat(func(w experiments.WarmStats) uint64 { return w.DecodeHits }))
+	wc.Counter("decode_misses", warmStat(func(w experiments.WarmStats) uint64 { return w.DecodeMisses }))
+	wc.Counter("snapshot_hits", warmStat(func(w experiments.WarmStats) uint64 { return w.SnapshotHits }))
+	wc.Counter("snapshot_misses", warmStat(func(w experiments.WarmStats) uint64 { return w.SnapshotMisses }))
+	wc.Counter("snapshot_captures", warmStat(func(w experiments.WarmStats) uint64 { return w.Captures }))
+	wc.Counter("snapshot_forks", warmStat(func(w experiments.WarmStats) uint64 { return w.Forks }))
+	wc.Counter("snapshot_evictions", warmStat(func(w experiments.WarmStats) uint64 { return w.Evictions }))
+	wc.Counter("snapshot_invalidations", warmStat(func(w experiments.WarmStats) uint64 { return w.Invalidations }))
+	wc.Counter("capture_errors", warmStat(func(w experiments.WarmStats) uint64 { return w.CaptureErrors }))
+	wc.Gauge("snapshot_bytes", func() float64 { return float64(s.warm.Stats().SnapshotBytes) })
+	wc.Gauge("snapshot_entries", func() float64 { return float64(s.warm.Stats().SnapshotEntries) })
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -319,6 +361,10 @@ func (s *Server) runJob(job *Job) {
 func (s *Server) runPopulation(job *Job) (json.RawMessage, error) {
 	opts := []experiments.Option{
 		experiments.WithSimPool(s.pool),
+		// One process-lifetime cache: the first job on a spec captures
+		// warm-state snapshots, every later job (and every rep of a
+		// sweep) forks from them instead of re-warming.
+		experiments.WithWarmSnapshots(s.warm),
 		experiments.WithProgressFunc(func(done, total int, _ uint64) {
 			job.setProgress(done, total)
 		}),

@@ -1,0 +1,231 @@
+package snapshot
+
+import (
+	"reflect"
+	"testing"
+)
+
+// external stands in for observability wiring (a tracer): skip-listed,
+// never captured, never touched on restore.
+type external struct{ n int }
+
+type inner struct {
+	counts []uint64
+	label  string
+}
+
+type synth struct {
+	a, b   int
+	ring   [4]uint64
+	pods   []float64
+	in     *inner
+	shared *inner // aliases in when set up that way
+	ext    *external
+	m      map[uint8]int32
+	hook   func() int
+	nilPtr *inner
+}
+
+func newSynth() *synth {
+	in := &inner{counts: []uint64{1, 2, 3}, label: "warm"}
+	return &synth{
+		a: 1, b: 2,
+		ring: [4]uint64{9, 8, 7, 6},
+		pods: []float64{0.5, 1.5},
+		in:   in, shared: in,
+		ext:  &external{n: 42},
+		m:    map[uint8]int32{1: 10, 2: 20},
+		hook: func() int { return 7 },
+	}
+}
+
+var skipExternal = reflect.TypeOf((*external)(nil))
+
+func mutate(s *synth) {
+	s.a, s.b = 100, 200
+	s.ring = [4]uint64{0, 0, 0, 0}
+	s.pods[0] = -1
+	s.in.counts[1] = 99
+	s.in.label = "cold"
+	s.m[1] = -5
+	s.m[3] = 30
+	delete(s.m, 2)
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	c := NewCodec(skipExternal)
+	s := newSynth()
+	img, err := c.Capture(s)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	mutate(s)
+	s.ext.n = 77 // external state must survive restore untouched
+	if err := c.Restore(img, s); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	want := newSynth()
+	if s.a != want.a || s.b != want.b || s.ring != want.ring {
+		t.Errorf("scalars/arrays not restored: %+v", s)
+	}
+	if !reflect.DeepEqual(s.pods, want.pods) {
+		t.Errorf("pod slice not restored: %v", s.pods)
+	}
+	if !reflect.DeepEqual(s.in, want.in) {
+		t.Errorf("inner not restored: %+v", s.in)
+	}
+	if !reflect.DeepEqual(s.m, want.m) {
+		t.Errorf("map not restored: %v", s.m)
+	}
+	if s.ext.n != 77 {
+		t.Errorf("skip-listed external was touched: %d", s.ext.n)
+	}
+	if s.shared != s.in {
+		t.Errorf("aliasing broken: shared != in")
+	}
+	if img.Bytes() == 0 {
+		t.Errorf("image reports zero bytes")
+	}
+}
+
+// A restore into a second instance with the same shape must work and
+// must preserve the target's own aliasing.
+func TestRestoreIntoSibling(t *testing.T) {
+	c := NewCodec(skipExternal)
+	src := newSynth()
+	src.in.counts[0] = 1234
+	img, err := c.Capture(src)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	dst := newSynth()
+	mutate(dst)
+	if err := c.Restore(img, dst); err != nil {
+		t.Fatalf("restore into sibling: %v", err)
+	}
+	if dst.in.counts[0] != 1234 {
+		t.Errorf("sibling restore missed inner state: %v", dst.in.counts)
+	}
+	if dst.shared != dst.in {
+		t.Errorf("sibling aliasing broken")
+	}
+}
+
+// Restoring from the same image twice must be idempotent — the image is
+// read-only and shared.
+func TestRestoreTwice(t *testing.T) {
+	c := NewCodec(skipExternal)
+	s := newSynth()
+	img, err := c.Capture(s)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		mutate(s)
+		if err := c.Restore(img, s); err != nil {
+			t.Fatalf("restore %d: %v", i, err)
+		}
+	}
+	if s.a != 1 || s.in.label != "warm" || len(s.m) != 2 {
+		t.Errorf("second restore diverged: %+v", s)
+	}
+}
+
+func TestShapeMismatches(t *testing.T) {
+	c := NewCodec(skipExternal)
+	s := newSynth()
+	img, err := c.Capture(s)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+
+	nilled := newSynth()
+	nilled.in, nilled.shared = nil, nil
+	if err := c.Restore(img, nilled); err == nil {
+		t.Errorf("restore over nil pointer: want error")
+	}
+
+	unaliased := newSynth()
+	unaliased.shared = &inner{counts: []uint64{1, 2, 3}}
+	if err := c.Restore(img, unaliased); err == nil {
+		t.Errorf("restore over broken aliasing: want error")
+	}
+
+	nilMap := newSynth()
+	nilMap.m = nil
+	if err := c.Restore(img, nilMap); err == nil {
+		t.Errorf("restore over nil map: want error")
+	}
+
+	type other struct{ x, y, z uint64 }
+	if err := c.Restore(img, &other{}); err == nil {
+		t.Errorf("restore into different type: want error")
+	}
+}
+
+func TestUnsupportedKinds(t *testing.T) {
+	c := NewCodec()
+	type hasChan struct{ ch chan int }
+	if _, err := c.Capture(&hasChan{ch: make(chan int)}); err == nil {
+		t.Errorf("capture of chan field: want error")
+	}
+	type hasIface struct{ v any }
+	if _, err := c.Capture(&hasIface{v: 3}); err == nil {
+		t.Errorf("capture of interface field: want error")
+	}
+	type nonPODMap struct{ m map[string][]int }
+	if _, err := c.Capture(&nonPODMap{m: map[string][]int{"a": {1}}}); err == nil {
+		t.Errorf("capture of non-POD map: want error")
+	}
+	if _, err := c.Capture(42); err == nil {
+		t.Errorf("capture of non-pointer root: want error")
+	}
+}
+
+// State slices change length as a simulation runs (append-grown request
+// buffers): restore rebinds the target length to the captured one, in
+// place when capacity allows and via reallocation when not.
+func TestSliceLengthRebinds(t *testing.T) {
+	c := NewCodec(skipExternal)
+	s := newSynth()
+	img, err := c.Capture(s) // pods has len 2
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+
+	grown := newSynth()
+	grown.pods = append(grown.pods, 9, 10, 11)
+	if err := c.Restore(img, grown); err != nil {
+		t.Fatalf("restore over longer slice: %v", err)
+	}
+	if !reflect.DeepEqual(grown.pods, []float64{0.5, 1.5}) {
+		t.Errorf("shrink rebind: got %v", grown.pods)
+	}
+
+	shrunk := newSynth()
+	shrunk.pods = shrunk.pods[:1]
+	if err := c.Restore(img, shrunk); err != nil {
+		t.Fatalf("restore over shorter slice: %v", err)
+	}
+	if !reflect.DeepEqual(shrunk.pods, []float64{0.5, 1.5}) {
+		t.Errorf("grow rebind: got %v", shrunk.pods)
+	}
+}
+
+// Nil maps and nil slices captured as nil must restore over nil targets.
+func TestNilsRoundTrip(t *testing.T) {
+	c := NewCodec()
+	type nils struct {
+		s []int
+		m map[int]int
+		f func()
+	}
+	s := &nils{}
+	img, err := c.Capture(s)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	if err := c.Restore(img, &nils{}); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+}

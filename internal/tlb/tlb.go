@@ -38,7 +38,10 @@ type TLB struct {
 	tags []entry
 	// tagw shadows tags' (tag, valid) as tag<<1|valid so the hit scan
 	// walks one packed word per way.
-	tagw   []uint64
+	tagw []uint64
+	// lrus holds per-way recency ticks parallel to tags, so victim
+	// selection scans one word per way instead of a whole entry.
+	lrus   []uint64
 	tick   uint64
 	hits   uint64
 	misses uint64
@@ -48,7 +51,6 @@ type entry struct {
 	tag     uint64
 	present uint64 // per-sector-page valid bitmap
 	valid   bool
-	lru     uint64
 }
 
 // New builds a TLB level.
@@ -75,6 +77,7 @@ func New(cfg Config) *TLB {
 		cfg: cfg, sets: p, ways: cfg.Ways, secLog: secLog,
 		tags: make([]entry, p*cfg.Ways),
 		tagw: make([]uint64, p*cfg.Ways),
+		lrus: make([]uint64, p*cfg.Ways),
 	}
 }
 
@@ -100,6 +103,7 @@ func (t *TLB) HitRate() float64 {
 func (t *TLB) Reset() {
 	clear(t.tags)
 	clear(t.tagw)
+	clear(t.lrus)
 	t.tick = 0
 	t.hits = 0
 	t.misses = 0
@@ -121,12 +125,11 @@ func (t *TLB) Lookup(addr uint64) bool {
 			continue
 		}
 		// Tags are unique within a set, so this is the only candidate.
-		e := &t.tags[base+w]
-		if e.present&(1<<sub) == 0 {
+		if t.tags[base+w].present&(1<<sub) == 0 {
 			break
 		}
 		t.tick++
-		e.lru = t.tick
+		t.lrus[base+w] = t.tick
 		t.hits++
 		return true
 	}
@@ -139,28 +142,29 @@ func (t *TLB) Insert(addr uint64) {
 	set, tag, sub := t.index(addr)
 	base := set * t.ways
 	t.tick++
-	for w := 0; w < t.ways; w++ {
-		e := &t.tags[base+w]
-		if e.valid && e.tag == tag {
-			e.present |= 1 << sub
-			e.lru = t.tick
+	want := tag<<1 | 1
+	for w, tw := range t.tagw[base : base+t.ways] {
+		if tw == want {
+			t.tags[base+w].present |= 1 << sub
+			t.lrus[base+w] = t.tick
 			return
 		}
 	}
+	// Victim way: invalid first, else LRU — both over the packed arrays.
 	vw := 0
-	victim := &t.tags[base]
+	bestLRU := t.lrus[base]
 	for w := 0; w < t.ways; w++ {
-		e := &t.tags[base+w]
-		if !e.valid {
-			vw, victim = w, e
+		if t.tagw[base+w]&1 == 0 {
+			vw = w
 			break
 		}
-		if e.lru < victim.lru {
-			vw, victim = w, e
+		if l := t.lrus[base+w]; l < bestLRU {
+			vw, bestLRU = w, l
 		}
 	}
-	*victim = entry{tag: tag, present: 1 << sub, valid: true, lru: t.tick}
-	t.tagw[base+vw] = tag<<1 | 1
+	t.tags[base+vw] = entry{tag: tag, present: 1 << sub, valid: true}
+	t.tagw[base+vw] = want
+	t.lrus[base+vw] = t.tick
 }
 
 // Hierarchy is a core's translation stack: an L1 (I or D side), the

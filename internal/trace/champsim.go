@@ -209,6 +209,11 @@ func ReadChampSim(r io.Reader, name, suite string, maxInsts, warmup int) (*Slice
 		return nil, fmt.Errorf("trace: champsim stream %q contained no instructions", name)
 	}
 	if sl.Warmup >= len(sl.Insts) {
+		// A warmup covering the whole stream would leave nothing to
+		// measure. Clamp to 10% — but say so on the slice instead of
+		// rewriting the request silently, so callers can warn or reject.
+		sl.RequestedWarmup = sl.Warmup
+		sl.WarmupClamped = true
 		sl.Warmup = len(sl.Insts) / 10
 	}
 	return sl, nil

@@ -152,6 +152,27 @@ func TestChampSimMaxInstsAndWarmupClamp(t *testing.T) {
 	if sl.Warmup >= sl.Len() {
 		t.Fatalf("warmup %d not clamped", sl.Warmup)
 	}
+	// The clamp must be visible on the slice, not applied silently: the
+	// caller asked for 999 and got len/10.
+	if !sl.WarmupClamped {
+		t.Error("WarmupClamped not set after clamping")
+	}
+	if sl.RequestedWarmup != 999 {
+		t.Errorf("RequestedWarmup=%d, want the original 999", sl.RequestedWarmup)
+	}
+	if sl.Warmup != sl.Len()/10 {
+		t.Errorf("clamped warmup=%d, want len/10=%d", sl.Warmup, sl.Len()/10)
+	}
+
+	// A warmup that fits must pass through untouched and unflagged.
+	sane, err := ReadChampSim(bytes.NewReader(champStream(recs...)), "cap", "imported", 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sane.Warmup != 5 || sane.WarmupClamped || sane.RequestedWarmup != 0 {
+		t.Errorf("in-range warmup perturbed: warmup=%d clamped=%v requested=%d",
+			sane.Warmup, sane.WarmupClamped, sane.RequestedWarmup)
+	}
 }
 
 func TestChampSimRejectsEmpty(t *testing.T) {

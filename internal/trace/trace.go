@@ -43,8 +43,26 @@ type Slice struct {
 	// smaller but keep the same two-phase structure).
 	Warmup int
 
+	// WarmupClamped records that the reader clamped a requested warmup
+	// that covered the whole stream (RequestedWarmup holds the original
+	// ask). Callers decide whether a shortened warmup invalidates their
+	// methodology; the trace layer only reports it.
+	WarmupClamped   bool
+	RequestedWarmup int
+
 	Insts []isa.Inst
 	pos   int
+}
+
+// Cursor returns an independent replay cursor over the same trace: a
+// value copy sharing the read-only Insts backing array, rewound to the
+// start. It is the one sanctioned way to replay a slice concurrently —
+// each goroutine drives its own cursor while the instruction storage is
+// shared untouched.
+func (s *Slice) Cursor() Slice {
+	c := *s
+	c.pos = 0
+	return c
 }
 
 // Next implements Reader.
