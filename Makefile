@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke snapfork-smoke bench bench-smoke bench-compare bench-go
+.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke bench bench-smoke bench-compare bench-go
 
 # tier1 is the gate every change must pass: formatting, vet, a full
 # build, the test suite under the race detector, the observability
@@ -8,7 +8,7 @@ GO ?= go
 # benchmark smoke run proving the throughput harness still executes
 # every generation, and the snapshot/fork smoke pinning warm-state
 # bit-identity.
-tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke snapfork-smoke bench-smoke
+tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -53,6 +53,15 @@ serve-smoke:
 # cache, and the pre-decoded steady-state step loop must not allocate.
 snapfork-smoke:
 	$(GO) test -race -run 'TestWarmForkMatchesColdRerun|TestRunWithWarmSnapshotsBitIdentical|TestDecodedStepLoopDoesNotAllocate' .
+
+# fabric-smoke races the distributed sweep fabric end to end: shard
+# planning/merge bit-identity under random partitions, the coordinator's
+# lease/steal/cache protocol, and a 3-worker HTTP sweep with a worker
+# killed mid-sweep whose lease must be stolen and whose merged result
+# must stay byte-identical to a single-process run.
+fabric-smoke:
+	$(GO) test -race -run 'TestFabric|TestMergeShards|TestPlanShards' \
+		./internal/fabric/... ./internal/serve/ ./internal/experiments/
 
 # bench measures per-generation simulator throughput (min-of-5 batches)
 # plus the population-scale RunPopulation sweep, and rewrites the

@@ -31,8 +31,11 @@ import (
 	"strings"
 	"time"
 
+	"sync"
+
 	"exysim/internal/core"
 	"exysim/internal/experiments"
+	"exysim/internal/fabric"
 	"exysim/internal/trace"
 	"exysim/internal/workload"
 )
@@ -79,6 +82,9 @@ type PopResult struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	InstsPerSec     float64 `json:"insts_per_sec"`
 	Reps            int     `json:"reps"`
+	// Workers is the fabric worker count for population_fabric entries;
+	// 0 for the single-process entries.
+	Workers int `json:"workers,omitempty"`
 }
 
 // EnvInfo is the provenance block embedded in every report: enough to
@@ -145,6 +151,11 @@ type Report struct {
 	// PopulationCold is the cold-sweep counterpart of Population; absent
 	// in baselines that predate warm-state snapshots.
 	PopulationCold *PopResult `json:"population_cold,omitempty"`
+	// PopulationFabric is the distributed-fabric serving regime: one
+	// in-process coordinator + 4 workers, measured at the shard-cache
+	// steady state repeated sweeps converge to; absent in baselines
+	// that predate the fabric.
+	PopulationFabric *PopResult `json:"population_fabric,omitempty"`
 }
 
 func main() {
@@ -295,6 +306,7 @@ func compareReports(base, cand *Report, tol float64) compareOutcome {
 	}
 	out.comparePop("pop", base.Population, cand.Population, tol)
 	out.comparePop("cold", base.PopulationCold, cand.PopulationCold, tol)
+	out.comparePop("fab", base.PopulationFabric, cand.PopulationFabric, tol)
 	return out
 }
 
@@ -387,7 +399,78 @@ func measure(reps int, smoke bool) *Report {
 	warm := experiments.NewWarmCache()
 	rep.Population = measurePopulation(reps, smoke,
 		experiments.WithWarmSnapshots(warm), experiments.WithSimPool(experiments.NewSimPool()))
+	rep.PopulationFabric = measureFabric(reps, smoke)
 	return rep
+}
+
+// measureFabric times sweeps routed through the distributed fabric: an
+// in-process coordinator with 4 local workers (each owning its own
+// simulator pool and warm cache, splitting GOMAXPROCS between them —
+// the topology `exyserve --worker` builds, minus the HTTP hop). The
+// unscored first sweep fills the worker warm caches and the
+// coordinator's digest-keyed shard cache; the scored reps then measure
+// the steady state a repeated-sweep serving campaign converges to,
+// where shards are answered from the shared cache and only planning,
+// cache lookup, and the bit-identical merge remain on the wall clock.
+func measureFabric(reps int, smoke bool) *PopResult {
+	spec := benchSpec
+	if smoke {
+		spec, reps = popSmokeSpec, 1
+	}
+	const workers = 4
+	per := runtime.GOMAXPROCS(0) / workers
+	if per < 1 {
+		per = 1
+	}
+	coord := fabric.NewCoordinator(fabric.Config{Poll: 2 * time.Millisecond, ShardSlices: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		pool := experiments.NewSimPool()
+		warmCache := experiments.NewWarmCache()
+		run := func(ctx context.Context, sp workload.SuiteSpec, sh experiments.Shard) (*experiments.ShardDoc, error) {
+			return experiments.RunShard(ctx, sp, sh,
+				experiments.WithSimPool(pool),
+				experiments.WithWarmSnapshots(warmCache),
+				experiments.WithWorkers(per))
+		}
+		w := fabric.NewWorker(coord, fmt.Sprintf("bench-%d", i), run)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	submit := func() (*experiments.PopulationRun, float64) {
+		t0 := time.Now()
+		p, err := coord.Submit(context.Background(), fabric.SubmitReq{Spec: spec})
+		if err != nil {
+			fatal(err)
+		}
+		return p, time.Since(t0).Seconds()
+	}
+	p, _ := submit() // unscored: warms worker caches and the shard cache
+	slices := len(p.Slices)
+	insts := p.TotalInsts
+	best := float64(0)
+	for r := 0; r < reps; r++ {
+		_, wall := submit()
+		if best == 0 || wall < best {
+			best = wall
+		}
+	}
+	cancel()
+	wg.Wait()
+	return &PopResult{
+		SlicesPerFamily: spec.SlicesPerFamily,
+		InstsPerSlice:   spec.InstsPerSlice,
+		Slices:          slices,
+		TotalInsts:      insts,
+		WallSeconds:     best,
+		InstsPerSec:     float64(insts) / best,
+		Reps:            reps,
+		Workers:         workers,
+	}
 }
 
 // measurePopulation times full experiments.Run sweeps (min-of-reps wall
@@ -480,6 +563,13 @@ func printTable(rep *Report) {
 	if p := rep.PopulationCold; p != nil {
 		fmt.Printf("population (cold): %d slices x %d insts x 6 gens, %.2fs wall, %.0f insts/s (best of %d)\n",
 			p.Slices, p.InstsPerSlice, p.WallSeconds, p.InstsPerSec, p.Reps)
+	}
+	if p := rep.PopulationFabric; p != nil {
+		fmt.Printf("population (fabric): %d slices x %d insts x 6 gens, %d workers, %.4fs wall, %.0f insts/s (best of %d)\n",
+			p.Slices, p.InstsPerSlice, p.Workers, p.WallSeconds, p.InstsPerSec, p.Reps)
+		if w := rep.Population; w != nil && w.InstsPerSec > 0 && p.InstsPerSec > 0 {
+			fmt.Printf("  fabric steady-state vs single-process warm: %.2fx\n", p.InstsPerSec/w.InstsPerSec)
+		}
 	}
 }
 

@@ -41,6 +41,10 @@ type runConfig struct {
 	telemetry      *SweepTelemetry
 	spans          *obs.SpanTracer
 	warm           *WarmCache
+	shard          bool
+	shardG         int
+	shardLo        int
+	shardHi        int
 }
 
 // Option configures one Run invocation.
@@ -152,6 +156,22 @@ func WithWarmSnapshots(w *WarmCache) Option {
 	return func(c *runConfig) { c.warm = w }
 }
 
+// WithShard restricts the sweep to generation index g's slices [lo, hi)
+// — the unit of work the distributed fabric leases to workers. The
+// returned PopulationRun keeps its full-size matrices (cells outside
+// the shard stay zero and aggregates skip them); RunShard extracts the
+// shard's cells into a wire-ready ShardDoc. Per-cell results are
+// bit-identical to an unrestricted Run's, so merging a full cover of
+// shards reproduces the single-process sweep exactly. hi is clamped to
+// the population; a shard that is empty after clamping fails Run with
+// an error.
+func WithShard(g, lo, hi int) Option {
+	return func(c *runConfig) {
+		c.shard = true
+		c.shardG, c.shardLo, c.shardHi = g, lo, hi
+	}
+}
+
 // Run is the one sweep entrypoint: every generation × every slice of
 // spec's population, fanned out across a bounded worker pool with
 // pooled simulators, under the robustness envelope the options
@@ -205,6 +225,23 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 		slices = workload.Suite(spec)
 	}
 	gens := core.Generations()
+	if cfg.shard {
+		if cfg.shardG < 0 || cfg.shardG >= len(gens) {
+			return nil, fmt.Errorf("experiments: shard generation %d outside [0, %d)", cfg.shardG, len(gens))
+		}
+		if cfg.shardLo < 0 {
+			cfg.shardLo = 0
+		}
+		if cfg.shardHi > len(slices) {
+			cfg.shardHi = len(slices)
+		}
+		if cfg.shardLo >= cfg.shardHi {
+			return nil, fmt.Errorf("experiments: empty shard [%d, %d) over %d slices", cfg.shardLo, cfg.shardHi, len(slices))
+		}
+	}
+	inShard := func(g, s int) bool {
+		return !cfg.shard || (g == cfg.shardG && s >= cfg.shardLo && s < cfg.shardHi)
+	}
 	p := &PopulationRun{Spec: spec, Gens: gens, Slices: slices}
 	p.Results = make([][]core.Result, len(gens))
 	p.Failed = make([][]bool, len(gens))
@@ -227,7 +264,7 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 				return nil, err
 			}
 			for _, e := range entries {
-				if e.Gen < 0 || e.Gen >= len(gens) || e.Slice < 0 || e.Slice >= len(slices) || done[e.Gen][e.Slice] {
+				if e.Gen < 0 || e.Gen >= len(gens) || e.Slice < 0 || e.Slice >= len(slices) || done[e.Gen][e.Slice] || !inShard(e.Gen, e.Slice) {
 					continue
 				}
 				p.Results[e.Gen][e.Slice] = e.Result
@@ -247,6 +284,9 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 	}
 
 	total := len(gens) * len(slices)
+	if cfg.shard {
+		total = cfg.shardHi - cfg.shardLo
+	}
 	var doneCount atomic.Int64
 	doneCount.Store(int64(p.Resumed))
 	if cfg.onProgress != nil {
@@ -480,7 +520,7 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 dispatch:
 	for g := range gens {
 		for s := range slices {
-			if done[g][s] {
+			if done[g][s] || !inShard(g, s) {
 				continue
 			}
 			select {

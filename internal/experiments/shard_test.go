@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"exysim/internal/core"
+	"exysim/internal/workload"
+)
+
+var shardSpec = workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 3_000, WarmupFrac: 0.25, Seed: 0xFAB}
+
+// TestMergeShardsBitIdentical is the fabric's core correctness
+// property: splitting a sweep into any partition of (generation,
+// slice-range) shards, running the shards concurrently, shipping each
+// ShardDoc through its JSON wire form, and merging in any order must
+// reproduce the single-process SummaryDoc byte for byte.
+func TestMergeShardsBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	spec := shardSpec.Normalize()
+	gens := core.Generations()
+	slices := workload.Suite(spec)
+
+	ref, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ref.SummaryDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(0xFAB, 7))
+	for trial := 0; trial < 4; trial++ {
+		// Random partition: per generation, cut the slice range at a
+		// random set of boundaries.
+		var shards []Shard
+		for g := range gens {
+			lo := 0
+			for lo < len(slices) {
+				w := 1 + rng.IntN(len(slices)-lo)
+				shards = append(shards, Shard{Gen: g, Lo: lo, Hi: lo + w})
+				lo += w
+			}
+		}
+		rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+
+		docs := make([]*ShardDoc, len(shards))
+		var wg sync.WaitGroup
+		errs := make([]error, len(shards))
+		for i, sh := range shards {
+			wg.Add(1)
+			go func(i int, sh Shard) {
+				defer wg.Done()
+				d, err := RunShard(ctx, spec, sh)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				// Wire round-trip: the merge must work from decoded
+				// documents, exactly as a coordinator receives them.
+				b, err := json.Marshal(d)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				var rt ShardDoc
+				if err := json.Unmarshal(b, &rt); err != nil {
+					errs[i] = err
+					return
+				}
+				docs[i] = &rt
+			}(i, sh)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		merged, err := MergeShards(spec, gens, slices, docs)
+		if err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		got, err := json.Marshal(merged.SummaryDoc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (%d shards): merged summary differs from single-process run:\n  want: %s\n  got:  %s", trial, len(shards), want, got)
+		}
+		if merged.TotalInsts != ref.TotalInsts || merged.TotalCycles != ref.TotalCycles {
+			t.Fatalf("trial %d: totals differ: insts %d/%d cycles %d/%d", trial, merged.TotalInsts, ref.TotalInsts, merged.TotalCycles, ref.TotalCycles)
+		}
+	}
+}
+
+// TestMergeShardsDeterministicDocs checks the cache invariant: the same
+// shard computed twice serializes byte-identically, and its digest is a
+// pure function of (spec, generation config, range).
+func TestMergeShardsDeterministicDocs(t *testing.T) {
+	ctx := context.Background()
+	spec := shardSpec.Normalize()
+	gens := core.Generations()
+	sh := Shard{Gen: 1, Lo: 0, Hi: 2}
+
+	a, err := RunShard(ctx, spec, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShard(ctx, spec, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("same shard computed twice differs:\n  %s\n  %s", ab, bb)
+	}
+	if a.Digest != sh.Digest(spec, gens[sh.Gen]) {
+		t.Fatal("doc digest does not match Shard.Digest")
+	}
+	if d2 := (Shard{Gen: 1, Lo: 0, Hi: 3}).Digest(spec, gens[1]); d2 == a.Digest {
+		t.Fatal("different slice ranges must not share a digest")
+	}
+}
+
+func TestMergeShardsRejectsGapsAndOverlaps(t *testing.T) {
+	ctx := context.Background()
+	spec := shardSpec.Normalize()
+	gens := core.Generations()
+	slices := workload.Suite(spec)
+
+	full := PlanShards(len(gens), len(slices), 0) // one shard per generation
+	docs := make([]*ShardDoc, len(full))
+	for i, sh := range full {
+		d, err := RunShard(ctx, spec, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = d
+	}
+	if _, err := MergeShards(spec, gens, slices, docs); err != nil {
+		t.Fatalf("full cover must merge: %v", err)
+	}
+	if _, err := MergeShards(spec, gens, slices, docs[1:]); err == nil {
+		t.Fatal("merge with a missing generation must fail")
+	}
+	if _, err := MergeShards(spec, gens, slices, append(append([]*ShardDoc(nil), docs...), docs[0])); err == nil {
+		t.Fatal("merge with an overlapping shard must fail")
+	}
+	bad := *docs[0]
+	bad.Results = bad.Results[:len(bad.Results)-1]
+	if _, err := MergeShards(spec, gens, slices, append([]*ShardDoc{&bad}, docs[1:]...)); err == nil {
+		t.Fatal("merge with a truncated shard must fail")
+	}
+	bad2 := *docs[0]
+	bad2.GenName = "not-a-generation"
+	if _, err := MergeShards(spec, gens, slices, append([]*ShardDoc{&bad2}, docs[1:]...)); err == nil {
+		t.Fatal("merge with a mismatched generation name must fail")
+	}
+}
+
+func TestPlanShardsCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ gens, slices, max int }{
+		{3, 10, 4}, {3, 10, 0}, {1, 1, 1}, {4, 7, 7}, {2, 5, 100},
+	} {
+		shards := PlanShards(tc.gens, tc.slices, tc.max)
+		seen := make([][]bool, tc.gens)
+		for g := range seen {
+			seen[g] = make([]bool, tc.slices)
+		}
+		for _, sh := range shards {
+			for s := sh.Lo; s < sh.Hi; s++ {
+				if seen[sh.Gen][s] {
+					t.Fatalf("%+v: (%d,%d) planned twice", tc, sh.Gen, s)
+				}
+				seen[sh.Gen][s] = true
+			}
+			if tc.max > 0 && sh.Hi-sh.Lo > tc.max {
+				t.Fatalf("%+v: shard %+v wider than max", tc, sh)
+			}
+		}
+		for g := range seen {
+			for s := range seen[g] {
+				if !seen[g][s] {
+					t.Fatalf("%+v: (%d,%d) never planned", tc, g, s)
+				}
+			}
+		}
+	}
+}

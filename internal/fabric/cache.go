@@ -1,0 +1,64 @@
+package fabric
+
+import (
+	"container/list"
+
+	"exysim/internal/experiments"
+)
+
+// shardCache is the coordinator's digest-keyed LRU of completed shard
+// documents. Shard digests cover the normalized spec, the generation
+// config, the slice range, and the schema version, so a hit is exactly
+// the document a fresh computation would produce; repeated sweeps (and
+// overlapping sweeps that share generations) skip the simulation
+// entirely. Callers hold the coordinator mutex.
+type shardCache struct {
+	cap   int
+	order *list.List               // front = most recent
+	byKey map[string]*list.Element // digest → element; value is *cacheEntry
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	digest string
+	doc    *experiments.ShardDoc
+}
+
+func newShardCache(capacity int) *shardCache {
+	return &shardCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached document for digest, or nil. Documents are
+// immutable once completed; callers share the pointer.
+func (c *shardCache) get(digest string) *experiments.ShardDoc {
+	if e, ok := c.byKey[digest]; ok {
+		c.order.MoveToFront(e)
+		c.hits++
+		return e.Value.(*cacheEntry).doc
+	}
+	c.misses++
+	return nil
+}
+
+// put stores a completed document, evicting the least recently used
+// entries beyond capacity.
+func (c *shardCache) put(digest string, doc *experiments.ShardDoc) {
+	if c.cap <= 0 || doc == nil {
+		return
+	}
+	if e, ok := c.byKey[digest]; ok {
+		c.order.MoveToFront(e)
+		e.Value.(*cacheEntry).doc = doc
+		return
+	}
+	c.byKey[digest] = c.order.PushFront(&cacheEntry{digest: digest, doc: doc})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).digest)
+		c.evictions++
+	}
+}
+
+func (c *shardCache) len() int { return c.order.Len() }

@@ -1,0 +1,231 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"exysim/internal/robust"
+	"exysim/internal/stats"
+)
+
+// Worker pulls shard leases from a Coord and computes them with a
+// RunFunc. One Worker drives one membership; a process wanting more
+// parallelism runs the RunFunc internally parallel (the serve layer's
+// shard runner spreads one shard across SweepParallelism goroutines)
+// rather than joining multiple times.
+type Worker struct {
+	coord Coord
+	name  string
+	run   RunFunc
+
+	mu   sync.Mutex
+	id   string
+	ttl  time.Duration
+	poll time.Duration
+	wall stats.Summary
+}
+
+// NewWorker creates a worker that will join coord under name and
+// compute grants with run.
+func NewWorker(coord Coord, name string, run RunFunc) *Worker {
+	return &Worker{coord: coord, name: name, run: run}
+}
+
+// Run joins the coordinator and processes leases until ctx is
+// canceled. Cancellation models a crash as far as the fabric is
+// concerned: outstanding leases are NOT handed back — they age out and
+// get stolen — so tests and drains that want a clean handback call
+// Release explicitly afterwards.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.join(ctx); err != nil {
+		return err
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		w.heartbeatLoop(hbCtx)
+	}()
+	defer func() {
+		stopHB()
+		hbDone.Wait()
+	}()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := w.coord.Lease(w.workerID())
+		if err == ErrUnknownWorker {
+			// Evicted (a long GC pause, a partition): rejoin and retry.
+			if err := w.join(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			if !w.sleep(ctx, robust.Backoff(1)+w.pollInterval()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if grant == nil {
+			if !w.sleep(ctx, w.pollInterval()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.work(ctx, grant)
+	}
+}
+
+// work computes one grant and uploads the outcome, retrying the upload
+// with jittered backoff so a briefly unreachable coordinator does not
+// cost a recompute.
+func (w *Worker) work(ctx context.Context, g *Grant) {
+	start := time.Now()
+	doc, err := w.run(ctx, g.Spec, g.Unit)
+	if ctx.Err() != nil && err != nil {
+		// Crash semantics: a canceled computation reports nothing; the
+		// lease ages out and the shard is stolen.
+		return
+	}
+	wall := time.Since(start).Seconds()
+	req := CompleteRequest{
+		WorkerID:    w.workerID(),
+		SweepID:     g.SweepID,
+		Shard:       g.Shard,
+		WallSeconds: wall,
+	}
+	if err != nil {
+		req.Error = err.Error()
+	} else {
+		req.Doc = doc
+		w.mu.Lock()
+		w.wall.Add(wall)
+		w.mu.Unlock()
+	}
+	for attempt := 1; attempt <= 5; attempt++ {
+		cerr := w.coord.Complete(req)
+		if cerr == nil || cerr == ErrUnknownWorker {
+			return
+		}
+		if !w.sleep(ctx, robust.Backoff(attempt)) {
+			return
+		}
+	}
+}
+
+// join registers (or re-registers) with jittered-backoff retries, so a
+// worker started before its coordinator comes up eventually connects.
+func (w *Worker) join(ctx context.Context) error {
+	req := JoinRequest{Name: w.name, GensetDigest: GensetDigest()}
+	for attempt := 1; ; attempt++ {
+		doc, err := w.coord.Join(req)
+		if err == nil {
+			w.mu.Lock()
+			w.id = doc.WorkerID
+			w.ttl = time.Duration(doc.LeaseTTLMillis) * time.Millisecond
+			w.poll = time.Duration(doc.PollMillis) * time.Millisecond
+			w.mu.Unlock()
+			return nil
+		}
+		if err == ErrVersionSkew {
+			return fmt.Errorf("fabric: join refused: %w", err)
+		}
+		if attempt >= 8 {
+			return fmt.Errorf("fabric: join failed after %d attempts: %w", attempt, err)
+		}
+		if !w.sleep(ctx, robust.Backoff(attempt)+w.pollInterval()) {
+			return ctx.Err()
+		}
+	}
+}
+
+// heartbeatLoop extends membership (and thereby every held lease) at a
+// third of the lease TTL, carrying the cumulative shard wall summary.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		ttl := w.leaseTTL()
+		interval := ttl / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		if !w.sleep(ctx, interval) {
+			return
+		}
+		w.mu.Lock()
+		req := HeartbeatRequest{WorkerID: w.id, ShardWall: w.wall}
+		w.mu.Unlock()
+		// ErrUnknownWorker here is fine: the lease loop rejoins.
+		_ = w.coord.Heartbeat(req)
+	}
+}
+
+// Release departs cleanly, handing outstanding leases back to the
+// coordinator queue. Drains call this after Run has returned.
+func (w *Worker) Release() error {
+	id := w.workerID()
+	if id == "" {
+		return nil
+	}
+	err := w.coord.Leave(LeaveRequest{WorkerID: id})
+	if err == ErrUnknownWorker {
+		return nil
+	}
+	return err
+}
+
+// Wall returns the worker's cumulative shard wall-time summary.
+func (w *Worker) Wall() stats.Summary {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wall
+}
+
+func (w *Worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+func (w *Worker) leaseTTL() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ttl <= 0 {
+		return 3 * time.Second
+	}
+	return w.ttl
+}
+
+func (w *Worker) pollInterval() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.poll <= 0 {
+		return 50 * time.Millisecond
+	}
+	return w.poll
+}
+
+// sleep waits d or until ctx is done, reporting whether the full wait
+// elapsed.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Ensure the in-process coordinator satisfies the worker-facing
+// interface (the HTTP client is checked in client.go).
+var _ Coord = (*Coordinator)(nil)

@@ -14,6 +14,7 @@ package robust
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"runtime/debug"
 	"time"
 
@@ -308,11 +309,19 @@ func RunGuardedDecoded(sim *core.Simulator, pd *trace.PreDecoded, from int, opts
 	return res, nil
 }
 
-// Backoff returns the sleep before retry attempt (1-based): 1ms doubling
-// per attempt, capped at 50ms. Bounded so a burst of failures cannot
-// stall a worker for long, nonzero so retries after transient resource
-// pressure (OS-level, not simulator-level) are not immediate.
+// Backoff returns the sleep before retry attempt (1-based): full jitter
+// over an exponential ceiling — uniform in [0, min(1ms·2^(attempt-1),
+// 50ms)]. The ceiling bounds how long a burst of failures can stall a
+// worker; the jitter desynchronizes a fleet of workers retrying the
+// same flaky resource, which would otherwise thunder the coordinator in
+// lockstep waves.
 func Backoff(attempt int) time.Duration {
+	return time.Duration(rand.Int64N(int64(BackoffCeiling(attempt)) + 1))
+}
+
+// BackoffCeiling returns the upper bound Backoff draws from for the
+// attempt: 1ms doubling per attempt, capped at 50ms.
+func BackoffCeiling(attempt int) time.Duration {
 	// 2^6 ms already exceeds the cap; clamping the shift keeps large
 	// attempt counts from overflowing the duration to zero or negative.
 	if attempt > 6 {

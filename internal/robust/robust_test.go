@@ -169,19 +169,40 @@ func TestHeartbeatMaskRoundsUp(t *testing.T) {
 }
 
 func TestBackoffBounded(t *testing.T) {
-	if Backoff(1) != time.Millisecond {
-		t.Fatalf("first backoff = %v", Backoff(1))
-	}
+	// The ceiling is deterministic: 1ms doubling, capped at 50ms, never
+	// shrinking, robust to absurd attempt counts.
 	prev := time.Duration(0)
 	for attempt := 1; attempt < 100; attempt++ {
-		d := Backoff(attempt)
-		if d <= 0 || d > 50*time.Millisecond {
-			t.Fatalf("Backoff(%d) = %v outside (0, 50ms]", attempt, d)
+		c := BackoffCeiling(attempt)
+		if c <= 0 || c > 50*time.Millisecond {
+			t.Fatalf("BackoffCeiling(%d) = %v outside (0, 50ms]", attempt, c)
 		}
-		if d < prev {
-			t.Fatalf("Backoff(%d) = %v shrank from %v", attempt, d, prev)
+		if c < prev {
+			t.Fatalf("BackoffCeiling(%d) = %v shrank from %v", attempt, c, prev)
 		}
-		prev = d
+		prev = c
+	}
+	if c := BackoffCeiling(1); c != time.Millisecond {
+		t.Fatalf("first ceiling = %v, want 1ms", c)
+	}
+}
+
+func TestBackoffFullJitter(t *testing.T) {
+	// Every draw stays within [0, ceiling], and the draws actually vary:
+	// a fleet of workers sleeping Backoff(n) must not retry in lockstep.
+	for attempt := 1; attempt <= 8; attempt++ {
+		c := BackoffCeiling(attempt)
+		seen := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := Backoff(attempt)
+			if d < 0 || d > c {
+				t.Fatalf("Backoff(%d) = %v outside [0, %v]", attempt, d, c)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("Backoff(%d): 200 draws produced %d distinct values, want jitter", attempt, len(seen))
+		}
 	}
 }
 

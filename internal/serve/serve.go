@@ -42,6 +42,7 @@ import (
 
 	"exysim/internal/core"
 	"exysim/internal/experiments"
+	"exysim/internal/fabric"
 	"exysim/internal/obs"
 	"exysim/internal/robust"
 	"exysim/internal/workload"
@@ -73,6 +74,17 @@ type Config struct {
 	// (experiments.DefaultSnapshotBudget, 2 GiB), negative disables
 	// snapshot caching — sweeps then re-warm every pair cold.
 	SnapshotBudget int64
+	// FabricLeaseTTL is the distributed-sweep lease TTL: how long a
+	// fabric worker may go silent before its shards are stolen. 0 uses
+	// the fabric default (10s).
+	FabricLeaseTTL time.Duration
+	// FabricShardSlices caps the slice-range width of a fabric work
+	// unit; 0 uses the fabric default (8).
+	FabricShardSlices int
+	// FabricCacheShards sizes the digest-keyed shard result cache
+	// shared across sweeps; 0 uses the fabric default (1024), negative
+	// disables it.
+	FabricCacheShards int
 	// EnablePprof mounts Go's /debug/pprof handlers on the API mux.
 	// Off by default: profiling endpoints expose heap contents and
 	// should only face operators.
@@ -100,12 +112,13 @@ func (c Config) withDefaults() Config {
 // simulator pool. Create with New, expose via Handler, stop with
 // Shutdown.
 type Server struct {
-	cfg   Config
-	pool  *experiments.SimPool
-	warm  *experiments.WarmCache
-	reg   *obs.Registry
-	cache *resultCache
-	mux   *http.ServeMux
+	cfg    Config
+	pool   *experiments.SimPool
+	warm   *experiments.WarmCache
+	reg    *obs.Registry
+	cache  *resultCache
+	fabric *fabric.Coordinator
+	mux    *http.ServeMux
 
 	// baseCtx parents every job context; killRemaining cancels them all
 	// when the drain deadline passes.
@@ -184,11 +197,16 @@ func newServer(cfg Config) *Server {
 	}
 	base, kill := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:           cfg,
-		pool:          experiments.NewSimPool(),
-		warm:          newWarmCache(cfg.SnapshotBudget),
-		reg:           obs.NewRegistry(),
-		cache:         newResultCache(cfg.CacheEntries),
+		cfg:   cfg,
+		pool:  experiments.NewSimPool(),
+		warm:  newWarmCache(cfg.SnapshotBudget),
+		reg:   obs.NewRegistry(),
+		cache: newResultCache(cfg.CacheEntries),
+		fabric: fabric.NewCoordinator(fabric.Config{
+			LeaseTTL:    cfg.FabricLeaseTTL,
+			ShardSlices: cfg.FabricShardSlices,
+			CacheShards: cfg.FabricCacheShards,
+		}),
 		baseCtx:       base,
 		killRemaining: kill,
 		queue:         make(chan *Job, cfg.QueueDepth),
@@ -244,6 +262,33 @@ func newServer(cfg Config) *Server {
 	wc.Counter("capture_errors", warmStat(func(w experiments.WarmStats) uint64 { return w.CaptureErrors }))
 	wc.Gauge("snapshot_bytes", func() float64 { return float64(s.warm.Stats().SnapshotBytes) })
 	wc.Gauge("snapshot_entries", func() float64 { return float64(s.warm.Stats().SnapshotEntries) })
+	// Fabric health: worker membership, lease churn (expiries and
+	// steals are the failure-recovery signal), and the shared shard
+	// cache's hit economy.
+	fc := sc.Child("fabric")
+	fstat := func(f func(fabric.Stats) uint64) func() uint64 {
+		return func() uint64 { return f(s.fabric.Stats()) }
+	}
+	fc.Counter("workers_joined", fstat(func(f fabric.Stats) uint64 { return f.WorkersJoined }))
+	fc.Counter("workers_evicted", fstat(func(f fabric.Stats) uint64 { return f.WorkersEvicted }))
+	fc.Counter("sweeps_submitted", fstat(func(f fabric.Stats) uint64 { return f.SweepsSubmitted }))
+	fc.Counter("shards_planned", fstat(func(f fabric.Stats) uint64 { return f.ShardsPlanned }))
+	fc.Counter("shards_completed", fstat(func(f fabric.Stats) uint64 { return f.ShardsCompleted }))
+	fc.Counter("shard_errors", fstat(func(f fabric.Stats) uint64 { return f.ShardErrors }))
+	fc.Counter("leases_granted", fstat(func(f fabric.Stats) uint64 { return f.LeasesGranted }))
+	fc.Counter("leases_expired", fstat(func(f fabric.Stats) uint64 { return f.LeasesExpired }))
+	fc.Counter("steals", fstat(func(f fabric.Stats) uint64 { return f.Steals }))
+	fc.Counter("completes_duplicate", fstat(func(f fabric.Stats) uint64 { return f.CompletesDuplicate }))
+	fc.Counter("local_runs", fstat(func(f fabric.Stats) uint64 { return f.LocalRuns }))
+	fc.Counter("shard_cache_hits", fstat(func(f fabric.Stats) uint64 { return f.CacheHits }))
+	fc.Counter("shard_cache_misses", fstat(func(f fabric.Stats) uint64 { return f.CacheMisses }))
+	fc.Counter("shard_cache_evictions", fstat(func(f fabric.Stats) uint64 { return f.CacheEvictions }))
+	fc.Gauge("shard_cache_entries", func() float64 { return float64(s.fabric.Stats().CacheEntries) })
+	fc.Gauge("workers_live", func() float64 { return float64(s.fabric.Stats().WorkersLive) })
+	fc.Gauge("shard_wall_mean_s", func() float64 {
+		wall := s.fabric.Stats().ShardWall
+		return wall.Mean()
+	})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -251,6 +296,11 @@ func newServer(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/fabric/join", s.handleFabricJoin)
+	mux.HandleFunc("POST /v1/fabric/lease", s.handleFabricLease)
+	mux.HandleFunc("POST /v1/fabric/complete", s.handleFabricComplete)
+	mux.HandleFunc("POST /v1/fabric/heartbeat", s.handleFabricHeartbeat)
+	mux.HandleFunc("POST /v1/fabric/leave", s.handleFabricLeave)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -271,8 +321,13 @@ func (s *Server) startWorkers() {
 	}
 }
 
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API. Responses are gzip-compressed for
+// clients that accept it, except progress streams and pprof.
+func (s *Server) Handler() http.Handler { return gzipHandler(s.mux) }
+
+// Fabric exposes the server's sweep-fabric coordinator, for in-process
+// workers (benchmarks, tests) and topology introspection.
+func (s *Server) Fabric() *fabric.Coordinator { return s.fabric }
 
 // Metrics snapshots the server's obs registry (what /metrics serves).
 func (s *Server) Metrics() obs.Snapshot { return s.reg.Snapshot() }
@@ -356,9 +411,60 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
-// runPopulation executes a full sweep through experiments.Run on the
-// shared simulator pool and returns its versioned SummaryDoc.
+// runPopulation executes a full sweep and returns its versioned
+// SummaryDoc. With live fabric workers the sweep is sharded across
+// them (bit-identical to the local path by construction); otherwise it
+// runs in-process through experiments.Run on the shared simulator
+// pool.
 func (s *Server) runPopulation(job *Job) (json.RawMessage, error) {
+	if s.fabric.LiveWorkers() > 0 {
+		return s.runPopulationFabric(job)
+	}
+	return s.runPopulationLocal(job)
+}
+
+// runPopulationFabric routes the sweep through the fabric coordinator:
+// shards come from the digest-keyed cache or the worker fleet, with
+// the local shard runner as the liveness fallback if every worker
+// disappears mid-sweep.
+func (s *Server) runPopulationFabric(job *Job) (json.RawMessage, error) {
+	p, err := s.fabric.Submit(job.ctx, fabric.SubmitReq{
+		Spec:   job.spec,
+		Slices: s.warm.Suite(job.spec),
+		OnProgress: func(done, total int) {
+			job.setProgress(done, total)
+		},
+		Local: s.ShardRunner(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(p.SummaryDoc())
+}
+
+// ShardRunner returns the fabric work function backed by this server's
+// simulator pool, warm cache, and telemetry — used by the local
+// fallback here, and by cmd/exyserve's worker mode to compute grants
+// from a remote coordinator.
+func (s *Server) ShardRunner() fabric.RunFunc {
+	return func(ctx context.Context, spec workload.SuiteSpec, sh experiments.Shard) (*experiments.ShardDoc, error) {
+		opts := []experiments.Option{
+			experiments.WithSimPool(s.pool),
+			experiments.WithWarmSnapshots(s.warm),
+			experiments.WithTelemetry(&experiments.SweepTelemetry{
+				SliceWall: s.sliceWall,
+				Heartbeat: s.heartbeat,
+			}),
+		}
+		if s.cfg.SweepParallelism > 0 {
+			opts = append(opts, experiments.WithWorkers(s.cfg.SweepParallelism))
+		}
+		return experiments.RunShard(ctx, spec, sh, opts...)
+	}
+}
+
+// runPopulationLocal is the single-process sweep path.
+func (s *Server) runPopulationLocal(job *Job) (json.RawMessage, error) {
 	opts := []experiments.Option{
 		experiments.WithSimPool(s.pool),
 		// One process-lifetime cache: the first job on a spec captures

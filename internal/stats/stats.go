@@ -65,6 +65,38 @@ func (s *Summary) StdDev() float64 {
 	return math.Sqrt(s.m2 / float64(s.n-1))
 }
 
+// Merge folds o's accumulator state into s, combining the two partial
+// summaries as if both observation streams had been recorded into one
+// (Chan et al.'s parallel mean/variance update). Count, min, and max
+// merge exactly; merging an empty side is the exact identity, so a
+// summary shipped over the wire and merged into a fresh accumulator is
+// bit-identical to the original. Mean and variance are deterministic
+// for a fixed merge order but, like any floating-point reduction, can
+// differ in the last ulps from a strictly sequential Add stream —
+// fabric-level bit-identity instead comes from reassembling per-slice
+// results in canonical order (experiments.MergeShards) before any
+// reduction runs.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
 // SummarySchemaVersion is the version stamped into Summary's JSON wire
 // form. Version 1 documents (no schema_version field) predate the stamp
 // and decode fine; documents from a future version are rejected rather

@@ -195,3 +195,48 @@ func TestRatio(t *testing.T) {
 		t.Fatalf("ratio=%v", r.Value())
 	}
 }
+
+func TestSummaryMerge(t *testing.T) {
+	var whole, left, right Summary
+	xs := []float64{3.5, -1.25, 0.5, 12, 7.75, 2.25, -4.5, 9}
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 3 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	merged := left
+	merged.Merge(right)
+	if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged n/min/max = %d/%v/%v, want %d/%v/%v",
+			merged.N(), merged.Min(), merged.Max(), whole.N(), whole.Min(), whole.Max())
+	}
+	if !almostEq(merged.Mean(), whole.Mean(), 1e-12) {
+		t.Fatalf("merged mean = %v, want %v", merged.Mean(), whole.Mean())
+	}
+	if !almostEq(merged.StdDev(), whole.StdDev(), 1e-12) {
+		t.Fatalf("merged stddev = %v, want %v", merged.StdDev(), whole.StdDev())
+	}
+}
+
+func TestSummaryMergeEmptyIsExactIdentity(t *testing.T) {
+	var full Summary
+	for _, x := range []float64{1.5, 2.25, -3.125} {
+		full.Add(x)
+	}
+	// empty.Merge(full) and full.Merge(empty) must both reproduce full
+	// bit-for-bit: the fabric merges wire-shipped summaries into fresh
+	// accumulators and relies on the identity being exact.
+	var empty Summary
+	empty.Merge(full)
+	if empty != full {
+		t.Fatalf("empty.Merge(full) = %+v, want %+v", empty, full)
+	}
+	alsoFull := full
+	alsoFull.Merge(Summary{})
+	if alsoFull != full {
+		t.Fatalf("full.Merge(empty) = %+v, want %+v", alsoFull, full)
+	}
+}
