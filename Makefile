@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke bench bench-smoke bench-compare bench-go
+.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke trace-smoke bench bench-smoke bench-compare bench-go
 
 # tier1 is the gate every change must pass: formatting, vet, a full
 # build, the test suite under the race detector, the observability
@@ -8,7 +8,7 @@ GO ?= go
 # benchmark smoke run proving the throughput harness still executes
 # every generation, and the snapshot/fork smoke pinning warm-state
 # bit-identity.
-tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke bench-smoke
+tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke trace-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -62,6 +62,17 @@ snapfork-smoke:
 fabric-smoke:
 	$(GO) test -race -run 'TestFabric|TestMergeShards|TestPlanShards' \
 		./internal/fabric/... ./internal/serve/ ./internal/experiments/
+
+# trace-smoke races the real-trace pipeline end to end: streaming
+# ChampSim decode and SimPoint slicing of the committed fixture, the
+# content-addressed store (ingest, dedup, bundle round-trip, eviction),
+# weighted aggregation and its checkpoint/shard-merge bit-identity, and
+# the upload -> weighted fabric sweep whose workers fetch the population
+# over HTTP.
+trace-smoke:
+	$(GO) test -race ./internal/tracestore/... && \
+	$(GO) test -race -run 'TestWeighted|TestTracePopulation|TestTraceShard|TestChampSim' ./internal/experiments/ ./internal/trace/ && \
+	$(GO) test -race -run 'TestTracePipelineEndToEnd' ./internal/serve/
 
 # bench measures per-generation simulator throughput (min-of-5 batches)
 # plus the population-scale RunPopulation sweep, and rewrites the

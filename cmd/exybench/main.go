@@ -22,10 +22,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -36,7 +38,9 @@ import (
 	"exysim/internal/core"
 	"exysim/internal/experiments"
 	"exysim/internal/fabric"
+	"exysim/internal/simpoint"
 	"exysim/internal/trace"
+	"exysim/internal/tracestore"
 	"exysim/internal/workload"
 )
 
@@ -156,6 +160,13 @@ type Report struct {
 	// steady state repeated sweeps converge to; absent in baselines
 	// that predate the fabric.
 	PopulationFabric *PopResult `json:"population_fabric,omitempty"`
+	// TracePopulation times the real-trace pipeline end to end —
+	// streaming ChampSim ingest with SimPoint slicing into a fresh
+	// content-addressed store, then a weighted sweep of the ingested
+	// population across every generation. InstsPerSlice records the
+	// SimPoint detail-interval length (the spec fields comparePop keys
+	// on); absent in baselines that predate trace ingest.
+	TracePopulation *PopResult `json:"trace_population,omitempty"`
 }
 
 func main() {
@@ -307,6 +318,7 @@ func compareReports(base, cand *Report, tol float64) compareOutcome {
 	out.comparePop("pop", base.Population, cand.Population, tol)
 	out.comparePop("cold", base.PopulationCold, cand.PopulationCold, tol)
 	out.comparePop("fab", base.PopulationFabric, cand.PopulationFabric, tol)
+	out.comparePop("trace", base.TracePopulation, cand.TracePopulation, tol)
 	return out
 }
 
@@ -400,7 +412,82 @@ func measure(reps int, smoke bool) *Report {
 	rep.Population = measurePopulation(reps, smoke,
 		experiments.WithWarmSnapshots(warm), experiments.WithSimPool(experiments.NewSimPool()))
 	rep.PopulationFabric = measureFabric(reps, smoke)
+	rep.TracePopulation = measureTracePopulation(reps, smoke)
 	return rep
+}
+
+// measureTracePopulation times the real-trace pipeline end to end: a
+// deterministic multi-phase ChampSim stream is SimPoint-ingested into a
+// fresh content-addressed store (streaming analysis + weighted slice
+// extraction), then the ingested population sweeps every generation
+// with weighted estimates. Each rep pays the whole pipeline — ingest is
+// the point of the entry, so it stays on the clock. InstsPerSec divides
+// the sweep's measured instructions by that full wall time.
+func measureTracePopulation(reps int, smoke bool) *PopResult {
+	spec := benchSpec
+	if smoke {
+		spec, reps = popSmokeSpec, 1
+	}
+	// Phases from three synthetic families in an A B A B C A pattern —
+	// enough structure for SimPoint to find more than one cluster.
+	phaseSpec := workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: spec.InstsPerSlice, WarmupFrac: 0, Seed: spec.Seed}
+	var src bytes.Buffer
+	for _, name := range []string{"micro.tight/0", "specint/0", "micro.tight/0", "specint/0", "web/0", "micro.tight/0"} {
+		sl, err := workload.ByName(name, phaseSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChampSim(&src, sl); err != nil {
+			fatal(err)
+		}
+	}
+	cfg := simpoint.DefaultConfig()
+	cfg.IntervalInsts = spec.InstsPerSlice / 2
+	cfg.MaxK = 4
+
+	pipeline := func() (*experiments.PopulationRun, float64) {
+		dir, err := os.MkdirTemp("", "exybench-trace-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		t0 := time.Now()
+		st, err := tracestore.Open(dir)
+		if err != nil {
+			fatal(err)
+		}
+		pop, _, err := st.Ingest(func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(src.Bytes())), nil
+		}, tracestore.IngestOptions{Name: "bench", SimPoint: cfg})
+		if err != nil {
+			fatal(err)
+		}
+		p, err := experiments.Run(context.Background(), spec,
+			experiments.WithPopulation(pop.Meta.ID, pop.Slices))
+		if err != nil {
+			fatal(err)
+		}
+		return p, time.Since(t0).Seconds()
+	}
+	p, _ := pipeline() // unscored warm pass
+	best := float64(0)
+	for r := 0; r < reps; r++ {
+		var wall float64
+		p, wall = pipeline()
+		if best == 0 || wall < best {
+			best = wall
+		}
+	}
+	return &PopResult{
+		// SlicesPerFamily 0 / InstsPerSlice = detail-interval length: the
+		// spec identity comparePop gates on, stable across machines.
+		InstsPerSlice: cfg.IntervalInsts,
+		Slices:        len(p.Slices),
+		TotalInsts:    p.TotalInsts,
+		WallSeconds:   best,
+		InstsPerSec:   float64(p.TotalInsts) / best,
+		Reps:          reps,
+	}
 }
 
 // measureFabric times sweeps routed through the distributed fabric: an
@@ -428,8 +515,8 @@ func measureFabric(reps int, smoke bool) *PopResult {
 	for i := 0; i < workers; i++ {
 		pool := experiments.NewSimPool()
 		warmCache := experiments.NewWarmCache()
-		run := func(ctx context.Context, sp workload.SuiteSpec, sh experiments.Shard) (*experiments.ShardDoc, error) {
-			return experiments.RunShard(ctx, sp, sh,
+		run := func(ctx context.Context, job fabric.ShardJob) (*experiments.ShardDoc, error) {
+			return experiments.RunShard(ctx, job.Spec, job.Unit,
 				experiments.WithSimPool(pool),
 				experiments.WithWarmSnapshots(warmCache),
 				experiments.WithWorkers(per))
@@ -570,6 +657,10 @@ func printTable(rep *Report) {
 		if w := rep.Population; w != nil && w.InstsPerSec > 0 && p.InstsPerSec > 0 {
 			fmt.Printf("  fabric steady-state vs single-process warm: %.2fx\n", p.InstsPerSec/w.InstsPerSec)
 		}
+	}
+	if p := rep.TracePopulation; p != nil {
+		fmt.Printf("trace pipeline: ingest + weighted sweep, %d slices (interval %d) x 6 gens, %.2fs wall, %.0f insts/s (best of %d)\n",
+			p.Slices, p.InstsPerSlice, p.WallSeconds, p.InstsPerSec, p.Reps)
 	}
 }
 

@@ -15,6 +15,7 @@
 //
 //	exyserve [--addr=localhost:8080] [--workers=2] [--queue=16]
 //	         [--sweep-workers=0] [--cache=64] [--checkpoint-dir=DIR]
+//	         [--trace-dir=DIR]
 //	         [--drain-timeout=30s] [--log-format=text|json] [--pprof]
 //	         [--worker --join=URL]
 //	         [--fabric-lease-ttl=10s] [--fabric-shard-slices=8]
@@ -68,6 +69,7 @@ func run(args []string) int {
 	cacheEntries := fs.Int("cache", 64, "result cache entries (negative disables)")
 	snapBudget := fs.Int64("snapshot-budget", 0, "resident warm-snapshot bytes (0 = 2 GiB default, negative disables warm cache)")
 	ckptDir := fs.String("checkpoint-dir", "", "checkpoint population jobs under DIR for resume")
+	traceDir := fs.String("trace-dir", "", "content-addressed trace population store under DIR (enables POST /v1/traces)")
 	drain := fs.Duration("drain-timeout", serve.DrainDefault, "grace period for in-flight jobs on shutdown")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr (text|json)")
 	enablePprof := fs.Bool("pprof", false, "mount /debug/pprof on the API listener")
@@ -106,6 +108,7 @@ func run(args []string) int {
 		CacheEntries:      *cacheEntries,
 		SnapshotBudget:    *snapBudget,
 		CheckpointDir:     *ckptDir,
+		TraceDir:          *traceDir,
 		EnablePprof:       *enablePprof,
 		FabricLeaseTTL:    *fabricTTL,
 		FabricShardSlices: *fabricShard,
@@ -141,6 +144,9 @@ func run(args []string) int {
 			host = "exyserve"
 		}
 		name := fmt.Sprintf("%s-%d", host, os.Getpid())
+		// Trace shards name populations by content id; resolve the ones
+		// this worker doesn't hold from the coordinator's bundle endpoint.
+		srv.SetTraceFetcher(serve.HTTPTraceFetcher(*join))
 		fw = fabric.NewWorker(fabric.NewClient(*join), name, srv.ShardRunner())
 		var wctx context.Context
 		wctx, stopWorker = context.WithCancel(context.Background())

@@ -9,17 +9,25 @@
 //	exytrace simpoint FILE [--interval=N] [--maxk=K]      # phase analysis
 //	exytrace simpoint --slice=web/0 [--spec=quick]        # ... of a synthetic slice
 //	exytrace convert CHAMPSIM.trace[.gz] --out=FILE.exyt  # import a ChampSim trace
+//	exytrace ingest CHAMPSIM.trace[.gz] --store=DIR       # SimPoint-slice into a store
+//	exytrace ingest FILE --upload=http://host:8080        # ... or into an exyserve
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"exysim/internal/simpoint"
 	"exysim/internal/trace"
+	"exysim/internal/tracestore"
 	"exysim/internal/workload"
 )
 
@@ -37,6 +45,8 @@ func main() {
 		cmdSimpoint(os.Args[2:])
 	case "convert":
 		cmdConvert(os.Args[2:])
+	case "ingest":
+		cmdIngest(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -44,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: exytrace <gen|info|simpoint|convert> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: exytrace <gen|info|simpoint|convert|ingest> [flags]")
 }
 
 func specByName(name string) workload.SuiteSpec {
@@ -221,6 +231,112 @@ func cmdConvert(args []string) {
 	st := sl.Summarize()
 	fmt.Printf("converted %d insts (%d branches, %d loads, %d stores) -> %s\n",
 		st.Insts, st.Branches, st.Loads, st.Stores, *out)
+}
+
+// cmdIngest runs the full real-trace pipeline over one ChampSim file:
+// streaming SimPoint analysis, weighted slice extraction, and storage
+// under the population's content address — either in a local store
+// (--store) or a running exyserve (--upload), whose response is the
+// same Meta document. The printed id is what population jobs reference
+// as {"trace": ID}.
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	store := fs.String("store", "", "local trace store directory")
+	upload := fs.String("upload", "", "exyserve base URL to upload to instead (e.g. http://localhost:8080)")
+	name := fs.String("name", "", "population label (default: file base name)")
+	suite := fs.String("suite", "", "suite grouping (default \"trace\")")
+	interval := fs.Int("interval", 0, "SimPoint interval length in instructions (0 = default)")
+	maxk := fs.Int("maxk", 0, "SimPoint cluster-count cap (0 = default)")
+	maxInsts := fs.Int("max", 0, "analyze at most this many instructions (0 = all)")
+	_ = fs.Parse(args)
+	// Accept "ingest FILE --store=DIR" as documented: Go's flag parser
+	// stops at the first positional, so re-parse whatever followed it.
+	var in string
+	if rest := fs.Args(); len(rest) > 0 {
+		in = rest[0]
+		_ = fs.Parse(rest[1:])
+	}
+	if in == "" || fs.NArg() != 0 || (*store == "") == (*upload == "") {
+		fmt.Fprintln(os.Stderr, "exytrace ingest CHAMPSIM.trace[.gz] --store=DIR | --upload=URL")
+		os.Exit(2)
+	}
+	if *name == "" {
+		*name = filepath.Base(in)
+	}
+
+	if *upload != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		q := url.Values{"name": {*name}}
+		if *suite != "" {
+			q.Set("suite", *suite)
+		}
+		if *interval > 0 {
+			q.Set("interval", strconv.Itoa(*interval))
+		}
+		if *maxk > 0 {
+			q.Set("maxk", strconv.Itoa(*maxk))
+		}
+		if *maxInsts > 0 {
+			q.Set("max", strconv.Itoa(*maxInsts))
+		}
+		resp, err := http.Post(strings.TrimSuffix(*upload, "/")+"/v1/traces?"+q.Encode(),
+			"application/octet-stream", f)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("upload: %s: %s", resp.Status, body))
+		}
+		var doc struct {
+			Meta  tracestore.Meta `json:"meta"`
+			Dedup bool            `json:"dedup"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			fatal(fmt.Errorf("upload: bad response: %w", err))
+		}
+		printMeta(doc.Meta, doc.Dedup)
+		return
+	}
+
+	st, err := tracestore.Open(*store)
+	if err != nil {
+		fatal(err)
+	}
+	opts := tracestore.IngestOptions{
+		Name: *name, Suite: *suite, MaxInsts: *maxInsts,
+		SimPoint: simpoint.DefaultConfig(),
+	}
+	if *interval > 0 {
+		opts.SimPoint.IntervalInsts = *interval
+	}
+	if *maxk > 0 {
+		opts.SimPoint.MaxK = *maxk
+	}
+	pop, dedup, err := st.IngestFile(in, opts)
+	if err != nil {
+		fatal(err)
+	}
+	printMeta(pop.Meta, dedup)
+}
+
+func printMeta(m tracestore.Meta, dedup bool) {
+	verb := "ingested"
+	if dedup {
+		verb = "already ingested"
+	}
+	fmt.Printf("%s %s: %d insts -> %d intervals, %d phases, %d weighted slices\n",
+		verb, m.Name, m.TotalInsts, m.Intervals, m.K, len(m.Slices))
+	for _, sm := range m.Slices {
+		fmt.Printf("  %s: cluster %d, weight %.3f, %d insts (%d warmup)\n",
+			sm.Name, sm.Cluster, sm.Weight, sm.Insts, sm.Warmup)
+	}
+	fmt.Printf("population id: %s\n", m.ID)
 }
 
 func fatal(err error) {

@@ -34,6 +34,12 @@ type PopulationRun struct {
 	Slices  []*trace.Slice
 	Results [][]core.Result // [gen][slice]
 
+	// PopID is the content address of the ingested trace population that
+	// replaced the synthetic suite (see WithPopulation); empty for
+	// synthetic runs. It is folded into checkpoint and shard digests so
+	// artifacts from different populations can never be mixed.
+	PopID string
+
 	// Failed marks quarantined (gen, slice) pairs: their Results entry
 	// is zero and every aggregate (means, curves, totals) skips them.
 	// Pairs a canceled Run never completed are also zero but NOT marked
@@ -69,13 +75,19 @@ func (p *PopulationRun) ok(g, s int) bool {
 	return p.Results[g][s].Insts > 0
 }
 
-// populationDigest fingerprints the (spec, generation set) pair a
-// checkpoint belongs to.
-func populationDigest(spec workload.SuiteSpec, gens []core.GenConfig) string {
-	parts := make([]string, 0, len(gens)+1)
+// populationDigest fingerprints the (spec, generation set, trace
+// population) triple a checkpoint belongs to. popID is empty for
+// synthetic populations; when set, a checkpoint written for one
+// ingested trace can never resume against another (or against the
+// synthetic suite).
+func populationDigest(spec workload.SuiteSpec, gens []core.GenConfig, popID string) string {
+	parts := make([]string, 0, len(gens)+2)
 	parts = append(parts, obs.ConfigDigest(spec))
 	for _, g := range gens {
 		parts = append(parts, obs.ConfigDigest(g))
+	}
+	if popID != "" {
+		parts = append(parts, "trace:"+popID)
 	}
 	return obs.ConfigDigest(parts)
 }
@@ -182,6 +194,46 @@ func (p *PopulationRun) SuiteMeans(m Metric, suite string) []float64 {
 // e.g. "specint").
 func (p *PopulationRun) FamilyMeans(m Metric, family string) []float64 {
 	return p.filterMeans(m, func(sl *trace.Slice) bool { return strings.HasPrefix(sl.Name, family+"/") })
+}
+
+// Weighted reports whether any slice carries a SimPoint weight — i.e.
+// the run's population came from SimPoint slicing of a real trace, so
+// weighted aggregates are the representative statistic.
+func (p *PopulationRun) Weighted() bool {
+	for _, sl := range p.Slices {
+		if sl.Weight > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WeightedMeans returns the per-generation SimPoint-weighted mean of the
+// metric: Σ wᵢ·xᵢ / Σ wᵢ over completed slices, where wᵢ is the slice's
+// cluster weight (slices without one — Weight <= 0 — count as weight 1,
+// so the estimate degrades gracefully to the arithmetic mean on
+// synthetic populations). This is the SimPoint estimator of the metric
+// over the full original trace.
+func (p *PopulationRun) WeightedMeans(m Metric) []float64 {
+	out := make([]float64, len(p.Gens))
+	for g := range p.Gens {
+		sum, wsum := 0.0, 0.0
+		for s := range p.Slices {
+			if !p.ok(g, s) {
+				continue
+			}
+			w := p.Slices[s].Weight
+			if w <= 0 {
+				w = 1
+			}
+			sum += w * m(p.Results[g][s])
+			wsum += w
+		}
+		if wsum > 0 {
+			out[g] = sum / wsum
+		}
+	}
+	return out
 }
 
 func (p *PopulationRun) filterMeans(m Metric, keep func(*trace.Slice) bool) []float64 {

@@ -45,6 +45,8 @@ type runConfig struct {
 	shardG         int
 	shardLo        int
 	shardHi        int
+	popID          string
+	popSlices      []*trace.Slice
 }
 
 // Option configures one Run invocation.
@@ -172,6 +174,21 @@ func WithShard(g, lo, hi int) Option {
 	}
 }
 
+// WithPopulation replaces the synthetic suite with an ingested trace
+// population: the sweep runs gens × slices over these slices instead of
+// workload.Suite(spec). id is the population's content address
+// (tracestore.PopulationID); it is folded into the checkpoint digest so
+// a checkpoint written for one trace population can never resume a
+// different one, and it surfaces as PopulationRun.PopID (and the
+// SummaryDoc "trace" field). Slices typically carry SimPoint weights —
+// WeightedMeans then estimates full-trace metrics from them.
+func WithPopulation(id string, slices []*trace.Slice) Option {
+	return func(c *runConfig) {
+		c.popID = id
+		c.popSlices = slices
+	}
+}
+
 // Run is the one sweep entrypoint: every generation × every slice of
 // spec's population, fanned out across a bounded worker pool with
 // pooled simulators, under the robustness envelope the options
@@ -219,9 +236,12 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 	start := time.Now()
 	spec = spec.Normalize()
 	var slices []*trace.Slice
-	if cfg.warm != nil {
+	switch {
+	case cfg.popSlices != nil:
+		slices = cfg.popSlices
+	case cfg.warm != nil:
 		slices = cfg.warm.Suite(spec)
-	} else {
+	default:
 		slices = workload.Suite(spec)
 	}
 	gens := core.Generations()
@@ -242,7 +262,7 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 	inShard := func(g, s int) bool {
 		return !cfg.shard || (g == cfg.shardG && s >= cfg.shardLo && s < cfg.shardHi)
 	}
-	p := &PopulationRun{Spec: spec, Gens: gens, Slices: slices}
+	p := &PopulationRun{Spec: spec, Gens: gens, Slices: slices, PopID: cfg.popID}
 	p.Results = make([][]core.Result, len(gens))
 	p.Failed = make([][]bool, len(gens))
 	done := make([][]bool, len(gens))
@@ -257,7 +277,7 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 	// rejected instead of silently mixed in.
 	var ckpt *robust.CheckpointWriter
 	if cfg.checkpointPath != "" {
-		digest := populationDigest(spec, gens)
+		digest := populationDigest(spec, gens, cfg.popID)
 		if cfg.resume {
 			entries, err := robust.LoadCheckpoint(cfg.checkpointPath, digest)
 			if err != nil {

@@ -46,9 +46,19 @@ type SummaryDoc struct {
 	Slices        int                           `json:"slices"`
 	InstsPerSlice int                           `json:"insts_per_slice"`
 	Means         map[string]map[string]float64 `json:"means"` // metric → generation → mean
-	Failures      int                           `json:"failures,omitempty"`
-	Retries       int                           `json:"retries,omitempty"`
-	Resumed       int                           `json:"resumed,omitempty"`
+
+	// Trace is the content address of the ingested trace population the
+	// run swept (empty for synthetic populations), and WeightedMeans are
+	// the SimPoint-weighted per-generation estimates — the representative
+	// statistic for real traces, present only when the population carries
+	// SimPoint weights. Both are optional: ResultsSchemaVersion is
+	// unchanged and synthetic-run documents are byte-identical to before.
+	Trace         string                        `json:"trace,omitempty"`
+	WeightedMeans map[string]map[string]float64 `json:"weighted_means,omitempty"`
+
+	Failures int `json:"failures,omitempty"`
+	Retries  int `json:"retries,omitempty"`
+	Resumed  int `json:"resumed,omitempty"`
 }
 
 // SummaryDoc builds the versioned summary document for this run.
@@ -72,6 +82,18 @@ func (p *PopulationRun) SummaryDoc() SummaryDoc {
 			per[p.Gens[g].Name] = v
 		}
 		d.Means[name] = per
+	}
+	d.Trace = p.PopID
+	if p.Weighted() {
+		d.WeightedMeans = map[string]map[string]float64{}
+		for _, name := range MetricNames() {
+			m, _ := MetricByName(name)
+			per := map[string]float64{}
+			for g, v := range p.WeightedMeans(m) {
+				per[p.Gens[g].Name] = v
+			}
+			d.WeightedMeans[name] = per
+		}
 	}
 	return d
 }

@@ -41,12 +41,22 @@ type Shard struct {
 // sweep differing in one generation (an "M7" spec) invalidates only
 // that generation's shards and reuses the rest.
 func (sh Shard) Digest(spec workload.SuiteSpec, gen core.GenConfig) string {
+	return sh.TraceDigest(spec, gen, "")
+}
+
+// TraceDigest is Digest for shards over an ingested trace population:
+// traceID (tracestore.PopulationID, itself a digest of the slices'
+// contents) joins the spec as an authority on what was simulated, so
+// equal digests still imply byte-identical ShardDocs. An empty traceID
+// is the synthetic-population Digest.
+func (sh Shard) TraceDigest(spec workload.SuiteSpec, gen core.GenConfig, traceID string) string {
 	return obs.ConfigDigest(struct {
 		Schema int
 		Spec   workload.SuiteSpec
 		Gen    core.GenConfig
 		Lo, Hi int
-	}{ResultsSchemaVersion, spec.Normalize(), gen, sh.Lo, sh.Hi})
+		Trace  string
+	}{ResultsSchemaVersion, spec.Normalize(), gen, sh.Lo, sh.Hi, traceID})
 }
 
 // PlanShards splits a genCount × sliceCount population into shards of
@@ -87,6 +97,12 @@ type ShardDoc struct {
 	Failed   []bool                `json:"failed,omitempty"`
 	Failures []robust.SliceFailure `json:"failures,omitempty"`
 	Retries  int                   `json:"retries,omitempty"`
+
+	// Weights records the SimPoint weights of the shard's slices when the
+	// population carries them — MergeShards cross-checks these against the
+	// caller's slices so a shard computed over one weighting can never
+	// merge into a population with another.
+	Weights []float64 `json:"weights,omitempty"`
 }
 
 // UnmarshalJSON decodes a shard document with the same version rules as
@@ -121,7 +137,7 @@ func RunShard(ctx context.Context, spec workload.SuiteSpec, sh Shard, opts ...Op
 	}
 	doc := &ShardDoc{
 		SchemaVersion: ResultsSchemaVersion,
-		Digest:        sh.Digest(spec, p.Gens[sh.Gen]),
+		Digest:        sh.TraceDigest(spec, p.Gens[sh.Gen], p.PopID),
 		Gen:           sh.Gen,
 		GenName:       p.Gens[sh.Gen].Name,
 		SliceLo:       lo,
@@ -134,6 +150,12 @@ func RunShard(ctx context.Context, spec workload.SuiteSpec, sh Shard, opts ...Op
 		if p.Failed[sh.Gen][s] {
 			doc.Failed = append([]bool(nil), p.Failed[sh.Gen][lo:hi]...)
 			break
+		}
+	}
+	if p.Weighted() {
+		doc.Weights = make([]float64, hi-lo)
+		for s := lo; s < hi; s++ {
+			doc.Weights[s-lo] = p.Slices[s].Weight
 		}
 	}
 	return doc, nil
@@ -193,6 +215,17 @@ func MergeShards(spec workload.SuiteSpec, gens []core.GenConfig, slices []*trace
 		}
 		if d.Failed != nil && len(d.Failed) != d.SliceHi-d.SliceLo {
 			return nil, fmt.Errorf("experiments: shard %s/[%d,%d) failure mask length %d, want %d", d.GenName, d.SliceLo, d.SliceHi, len(d.Failed), d.SliceHi-d.SliceLo)
+		}
+		if d.Weights != nil {
+			if len(d.Weights) != d.SliceHi-d.SliceLo {
+				return nil, fmt.Errorf("experiments: shard %s/[%d,%d) weight vector length %d, want %d", d.GenName, d.SliceLo, d.SliceHi, len(d.Weights), d.SliceHi-d.SliceLo)
+			}
+			for i, w := range d.Weights {
+				if got := slices[d.SliceLo+i].Weight; got != w {
+					return nil, fmt.Errorf("experiments: shard %s/[%d,%d) slice %d weight %v, population has %v — shard computed over a different weighting",
+						d.GenName, d.SliceLo, d.SliceHi, d.SliceLo+i, w, got)
+				}
+			}
 		}
 		for i, r := range d.Results {
 			s := d.SliceLo + i

@@ -71,9 +71,11 @@ func (c Config) withDefaults() Config {
 }
 
 // RunFunc computes one shard. The serve layer supplies one backed by
-// its simulator pool and warm cache; exybench supplies per-worker
-// variants.
-type RunFunc func(ctx context.Context, spec workload.SuiteSpec, sh experiments.Shard) (*experiments.ShardDoc, error)
+// its simulator pool, warm cache, and trace store; exybench supplies
+// per-worker variants. A non-empty job.Trace names the population whose
+// slices replace the spec's synthetic suite; a RunFunc that cannot
+// resolve it must return an error (the shard is retried elsewhere).
+type RunFunc func(ctx context.Context, job ShardJob) (*experiments.ShardDoc, error)
 
 // Stats is a point-in-time snapshot of coordinator counters, exported
 // on the serving daemon's /metrics.
@@ -128,6 +130,7 @@ const (
 type sweep struct {
 	id      string
 	spec    workload.SuiteSpec
+	trace   string // population content address; "" for synthetic sweeps
 	gens    []core.GenConfig
 	slices  []*trace.Slice
 	shards  []experiments.Shard
@@ -156,6 +159,11 @@ type SubmitReq struct {
 	// suite so coordinator-side merges reuse one materialization.
 	Gens   []core.GenConfig
 	Slices []*trace.Slice
+	// Trace names the ingested population Slices came from
+	// (tracestore.PopulationID). It rides every Grant so workers resolve
+	// the same slices, and it enters the shard digests so trace sweeps
+	// and synthetic sweeps can never alias in the result cache.
+	Trace string
 	// OnProgress, if set, observes (completed, planned) shard counts.
 	OnProgress func(done, total int)
 	// Local computes shards on the coordinator itself whenever no live
@@ -312,6 +320,7 @@ func (c *Coordinator) grantLocked(ref shardRef, w *workerState, now time.Time) *
 		Unit:    sw.shards[i],
 		Digest:  sw.digests[i],
 		Spec:    sw.spec,
+		Trace:   sw.trace,
 	}
 }
 
@@ -523,6 +532,9 @@ func (c *Coordinator) Submit(ctx context.Context, req SubmitReq) (*experiments.P
 	}
 	slices := req.Slices
 	if slices == nil {
+		if req.Trace != "" {
+			return nil, fmt.Errorf("fabric: sweep names trace population %s but carries no slices", req.Trace)
+		}
 		slices = workload.Suite(spec)
 	}
 	shards := experiments.PlanShards(len(gens), len(slices), c.cfg.ShardSlices)
@@ -532,6 +544,7 @@ func (c *Coordinator) Submit(ctx context.Context, req SubmitReq) (*experiments.P
 	sw := &sweep{
 		id:         fmt.Sprintf("sweep-%d", c.sweepSeq),
 		spec:       spec,
+		trace:      req.Trace,
 		gens:       gens,
 		slices:     slices,
 		shards:     shards,
@@ -549,7 +562,7 @@ func (c *Coordinator) Submit(ctx context.Context, req SubmitReq) (*experiments.P
 	c.shardsPlanned += uint64(len(shards))
 	c.sweeps[sw.id] = sw
 	for i, sh := range shards {
-		sw.digests[i] = sh.Digest(spec, gens[sh.Gen])
+		sw.digests[i] = sh.TraceDigest(spec, gens[sh.Gen], req.Trace)
 		if doc := c.cache.get(sw.digests[i]); doc != nil {
 			c.finishShardLocked(sw, i, doc, 0)
 		} else {
@@ -571,7 +584,12 @@ func (c *Coordinator) Submit(ctx context.Context, req SubmitReq) (*experiments.P
 			return nil, err
 		}
 	}
-	return experiments.MergeShards(spec, gens, slices, sw.docs)
+	p, err := experiments.MergeShards(spec, gens, slices, sw.docs)
+	if err != nil {
+		return nil, err
+	}
+	p.PopID = req.Trace
+	return p, nil
 }
 
 // pump waits for the sweep, reaping leases each tick and running shards
@@ -634,7 +652,7 @@ func (c *Coordinator) pump(ctx context.Context, sw *sweep, local RunFunc) error 
 // the same completion path workers use.
 func (c *Coordinator) runLocal(ctx context.Context, ref shardRef, local RunFunc) {
 	start := time.Now()
-	doc, err := local(ctx, ref.sw.spec, ref.sw.shards[ref.idx])
+	doc, err := local(ctx, ShardJob{Spec: ref.sw.spec, Trace: ref.sw.trace, Unit: ref.sw.shards[ref.idx]})
 	c.mu.Lock()
 	c.localRuns++
 	c.mu.Unlock()

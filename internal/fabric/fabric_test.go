@@ -16,8 +16,11 @@ import (
 
 var tinySpec = workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 2_000, WarmupFrac: 0.25, Seed: 0xFA6}
 
-func simRun(ctx context.Context, spec workload.SuiteSpec, sh experiments.Shard) (*experiments.ShardDoc, error) {
-	return experiments.RunShard(ctx, spec, sh)
+func simRun(ctx context.Context, job ShardJob) (*experiments.ShardDoc, error) {
+	if job.Trace != "" {
+		return nil, errors.New("simRun cannot resolve trace populations")
+	}
+	return experiments.RunShard(ctx, job.Spec, job.Unit)
 }
 
 func refSummary(t *testing.T, spec workload.SuiteSpec) []byte {

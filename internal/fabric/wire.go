@@ -63,14 +63,28 @@ type JoinDoc struct {
 
 // Grant is one leased work unit: run shard Shard of the sweep's spec
 // and Complete it before the lease expires (heartbeats extend the
-// lease). The spec plus the shard range fully determine the work, so a
-// worker needs no other sweep state.
+// lease). The spec plus the shard range — and for trace sweeps the
+// population's content address — fully determine the work, so a worker
+// needs no other sweep state.
 type Grant struct {
 	SweepID string             `json:"sweep_id"`
 	Shard   int                `json:"shard"`
 	Unit    experiments.Shard  `json:"unit"`
 	Digest  string             `json:"digest"`
 	Spec    workload.SuiteSpec `json:"spec"`
+	// Trace is the tracestore.PopulationID of the ingested population the
+	// sweep runs over; empty for synthetic sweeps. Workers resolve it to
+	// slices through their trace store, an in-memory registry, or a bundle
+	// fetch from the coordinator.
+	Trace string `json:"trace,omitempty"`
+}
+
+// ShardJob is the argument a RunFunc receives: one shard of one sweep,
+// plus the trace population (if any) whose slices the shard simulates.
+type ShardJob struct {
+	Spec  workload.SuiteSpec
+	Trace string
+	Unit  experiments.Shard
 }
 
 // CompleteRequest reports a shard outcome. Exactly one of Doc or Error

@@ -18,7 +18,6 @@ import (
 
 	"exysim/internal/experiments"
 	"exysim/internal/fabric"
-	"exysim/internal/workload"
 )
 
 // fabricWorkerRunner builds an isolated shard runner — its own
@@ -26,8 +25,8 @@ import (
 func fabricWorkerRunner() fabric.RunFunc {
 	pool := experiments.NewSimPool()
 	warm := experiments.NewWarmCache()
-	return func(ctx context.Context, spec workload.SuiteSpec, sh experiments.Shard) (*experiments.ShardDoc, error) {
-		return experiments.RunShard(ctx, spec, sh,
+	return func(ctx context.Context, job fabric.ShardJob) (*experiments.ShardDoc, error) {
+		return experiments.RunShard(ctx, job.Spec, job.Unit,
 			experiments.WithSimPool(pool),
 			experiments.WithWarmSnapshots(warm),
 			experiments.WithWorkers(2))
@@ -79,7 +78,7 @@ func TestFabricShardedSweepBitIdenticalWithWorkerKill(t *testing.T) {
 	killCtx, kill := context.WithCancel(ctx)
 	defer kill()
 	var killed atomic.Bool
-	start("w2", killCtx, func(c context.Context, sp workload.SuiteSpec, sh experiments.Shard) (*experiments.ShardDoc, error) {
+	start("w2", killCtx, func(c context.Context, _ fabric.ShardJob) (*experiments.ShardDoc, error) {
 		killed.Store(true)
 		kill()
 		<-c.Done()

@@ -52,6 +52,11 @@ type JobRequest struct {
 	// Gen and Slice select the pair of a slice job (e.g. "M4", "web/3").
 	Gen   string `json:"gen,omitempty"`
 	Slice string `json:"slice,omitempty"`
+
+	// Trace, for population jobs, sweeps an ingested trace population
+	// (the id returned by POST /v1/traces) instead of the synthetic
+	// suite; per-generation estimates are then SimPoint-weighted.
+	Trace string `json:"trace,omitempty"`
 }
 
 // resolve validates the request and materializes the effective
@@ -98,6 +103,9 @@ func (r *JobRequest) resolve() (workload.SuiteSpec, error) {
 	} else if r.Gen != "" || r.Slice != "" {
 		return workload.SuiteSpec{}, fmt.Errorf("gen/slice are only valid for kind \"slice\"")
 	}
+	if r.Trace != "" && r.Kind != "population" {
+		return workload.SuiteSpec{}, fmt.Errorf("trace is only valid for kind \"population\"")
+	}
 	return spec, nil
 }
 
@@ -109,7 +117,8 @@ func jobDigest(req JobRequest, spec workload.SuiteSpec) string {
 		Kind       string
 		Spec       workload.SuiteSpec
 		Gen, Slice string
-	}{req.Kind, spec, req.Gen, req.Slice})
+		Trace      string
+	}{req.Kind, spec, req.Gen, req.Slice, req.Trace})
 }
 
 // Event is one JSONL/SSE stream frame: progress ticks while the job

@@ -16,6 +16,14 @@
 //	GET    /v1/jobs/{id}        one job's state and result
 //	GET    /v1/jobs/{id}/stream progress stream (JSONL; SSE if requested)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/traces           upload a ChampSim trace (raw or .gz body);
+//	                            SimPoint-sliced into a weighted population
+//	                            and stored content-addressed (needs
+//	                            Config.TraceDir; dedup on re-upload)
+//	GET    /v1/traces           list stored trace populations
+//	GET    /v1/traces/{id}      one population's metadata
+//	GET    /v1/traces/{id}/bundle  the population as a self-verifying
+//	                            binary bundle (what fabric workers fetch)
 //	GET    /healthz             liveness doc: uptime, drain state, queue
 //	                            depth, in-flight jobs, cache entries
 //	GET    /metrics             Prometheus text exposition by default;
@@ -45,6 +53,7 @@ import (
 	"exysim/internal/fabric"
 	"exysim/internal/obs"
 	"exysim/internal/robust"
+	"exysim/internal/tracestore"
 	"exysim/internal/workload"
 )
 
@@ -69,6 +78,12 @@ type Config struct {
 	// <dir>/<digest>.ckpt and resumes from it — a drained or crashed
 	// sweep picks up where it stopped when the job is resubmitted.
 	CheckpointDir string
+	// TraceDir, when set, opens a content-addressed trace population
+	// store there and mounts the /v1/traces upload/serve endpoints;
+	// population jobs may then reference stored traces by id. Empty
+	// disables uploads — the server can still run trace jobs whose
+	// population arrives via SetTraceFetcher (worker mode).
+	TraceDir string
 	// SnapshotBudget bounds the resident bytes of cached warm-state
 	// snapshots (experiments.WarmCache): 0 means the default
 	// (experiments.DefaultSnapshotBudget, 2 GiB), negative disables
@@ -119,6 +134,16 @@ type Server struct {
 	cache  *resultCache
 	fabric *fabric.Coordinator
 	mux    *http.ServeMux
+
+	// store is the content-addressed trace population store (nil without
+	// Config.TraceDir). traceFetch, when set (SetTraceFetcher), resolves
+	// populations this process doesn't hold — worker mode fetches bundles
+	// from its coordinator. traceMem caches fetched populations on
+	// store-less processes.
+	store      *tracestore.Store
+	traceFetch func(id string) (*tracestore.Population, error)
+	traceMu    sync.Mutex
+	traceMem   map[string]*tracestore.Population
 
 	// baseCtx parents every job context; killRemaining cancels them all
 	// when the drain deadline passes.
@@ -216,11 +241,22 @@ func newServer(cfg Config) *Server {
 		streamLat:     obs.NewHistogram(),
 		sliceWall:     obs.NewHistogram(),
 		heartbeat:     obs.NewHistogram(),
+		traceMem:      map[string]*tracestore.Population{},
 		started:       time.Now(),
 		log:           cfg.Logger,
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.TraceDir != "" {
+		st, err := tracestore.Open(cfg.TraceDir)
+		if err != nil {
+			// Degrade to upload-less serving rather than refusing to start:
+			// synthetic jobs are unaffected, and trace uploads answer 503.
+			s.log.Error("trace store unavailable", "dir", cfg.TraceDir, "err", err)
+		} else {
+			s.store = st
+		}
 	}
 	sc := s.reg.Scope("serve")
 	sc.Counter("jobs_submitted", s.submitted.Load)
@@ -289,6 +325,20 @@ func newServer(cfg Config) *Server {
 		wall := s.fabric.Stats().ShardWall
 		return wall.Mean()
 	})
+	// Trace store economy: populations on disk, resident decoded bytes,
+	// and the memory-vs-disk hit split for population resolution.
+	if s.store != nil {
+		tc := sc.Child("tracestore")
+		tstat := func(f func(tracestore.Stats) float64) func() float64 {
+			return func() float64 { return f(s.store.Stats()) }
+		}
+		tc.Gauge("populations", tstat(func(t tracestore.Stats) float64 { return float64(t.Populations) }))
+		tc.Gauge("cached", tstat(func(t tracestore.Stats) float64 { return float64(t.Cached) }))
+		tc.Gauge("cached_bytes", tstat(func(t tracestore.Stats) float64 { return float64(t.CachedBytes) }))
+		tc.Counter("hits", func() uint64 { return s.store.Stats().Hits })
+		tc.Counter("misses", func() uint64 { return s.store.Stats().Misses })
+		tc.Counter("evictions", func() uint64 { return s.store.Stats().Evictions })
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -296,6 +346,10 @@ func newServer(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /v1/traces/{id}/bundle", s.handleTraceBundle)
 	mux.HandleFunc("POST /v1/fabric/join", s.handleFabricJoin)
 	mux.HandleFunc("POST /v1/fabric/lease", s.handleFabricLease)
 	mux.HandleFunc("POST /v1/fabric/complete", s.handleFabricComplete)
@@ -428,14 +482,22 @@ func (s *Server) runPopulation(job *Job) (json.RawMessage, error) {
 // the local shard runner as the liveness fallback if every worker
 // disappears mid-sweep.
 func (s *Server) runPopulationFabric(job *Job) (json.RawMessage, error) {
-	p, err := s.fabric.Submit(job.ctx, fabric.SubmitReq{
+	req := fabric.SubmitReq{
 		Spec:   job.spec,
 		Slices: s.warm.Suite(job.spec),
 		OnProgress: func(done, total int) {
 			job.setProgress(done, total)
 		},
 		Local: s.ShardRunner(),
-	})
+	}
+	if job.req.Trace != "" {
+		pop, err := s.population(job.req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		req.Trace, req.Slices = pop.Meta.ID, pop.Slices
+	}
+	p, err := s.fabric.Submit(job.ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +509,7 @@ func (s *Server) runPopulationFabric(job *Job) (json.RawMessage, error) {
 // fallback here, and by cmd/exyserve's worker mode to compute grants
 // from a remote coordinator.
 func (s *Server) ShardRunner() fabric.RunFunc {
-	return func(ctx context.Context, spec workload.SuiteSpec, sh experiments.Shard) (*experiments.ShardDoc, error) {
+	return func(ctx context.Context, job fabric.ShardJob) (*experiments.ShardDoc, error) {
 		opts := []experiments.Option{
 			experiments.WithSimPool(s.pool),
 			experiments.WithWarmSnapshots(s.warm),
@@ -459,7 +521,14 @@ func (s *Server) ShardRunner() fabric.RunFunc {
 		if s.cfg.SweepParallelism > 0 {
 			opts = append(opts, experiments.WithWorkers(s.cfg.SweepParallelism))
 		}
-		return experiments.RunShard(ctx, spec, sh, opts...)
+		if job.Trace != "" {
+			pop, err := s.population(job.Trace)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, experiments.WithPopulation(pop.Meta.ID, pop.Slices))
+		}
+		return experiments.RunShard(ctx, job.Spec, job.Unit, opts...)
 	}
 }
 
@@ -484,6 +553,13 @@ func (s *Server) runPopulationLocal(job *Job) (json.RawMessage, error) {
 	}
 	if s.cfg.SweepParallelism > 0 {
 		opts = append(opts, experiments.WithWorkers(s.cfg.SweepParallelism))
+	}
+	if job.req.Trace != "" {
+		pop, err := s.population(job.req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, experiments.WithPopulation(pop.Meta.ID, pop.Slices))
 	}
 	if s.cfg.CheckpointDir != "" {
 		path := filepath.Join(s.cfg.CheckpointDir, job.digest+".ckpt")
@@ -551,6 +627,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if req.Trace != "" {
+		// Resolve now so an unknown id answers 400 at submit instead of a
+		// failed job later (and so the population is warm when the job runs).
+		if _, err := s.population(req.Trace); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
 	digest := jobDigest(req, spec)
 	if result, ok := s.cache.get(digest); ok {

@@ -26,7 +26,9 @@ func ExampleAnalyze() {
 	}
 	fmt.Printf("intervals analyzed: %d\n", res.Intervals)
 	fmt.Printf("weights sum to 1: %v\n", total > 0.999 && total < 1.001)
+	// The slice's warmup prefix is excluded from the analysis, so only
+	// the measured region contributes intervals.
 	// Output:
-	// intervals analyzed: 5
+	// intervals analyzed: 4
 	// weights sum to 1: true
 }

@@ -10,7 +10,9 @@ package simpoint
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"sort"
 
 	"exysim/internal/isa"
 	"exysim/internal/rng"
@@ -55,14 +57,61 @@ type Result struct {
 	K          int
 	Assignment []int // interval -> cluster
 	Picks      []Pick
+	// TotalInsts counts the instructions the analysis observed
+	// (excluding any warmup prefix), including the dropped final
+	// partial interval.
+	TotalInsts int64
 }
 
-// Analyze builds BBVs over the slice and clusters them.
+// Analyze builds BBVs over the slice's measured region — the warmup
+// prefix is excluded, so it neither contributes blocks nor shifts
+// interval boundaries — and clusters them. Interval indices in the
+// result are therefore relative to sl.Warmup.
 func Analyze(sl *trace.Slice, cfg Config) (*Result, error) {
-	if cfg.IntervalInsts <= 0 || cfg.Dims <= 0 || cfg.MaxK <= 0 {
-		return nil, errors.New("simpoint: invalid config")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	vecs := buildBBVs(sl, cfg)
+	b := newBBVBuilder(cfg)
+	for i := sl.Warmup; i < len(sl.Insts); i++ {
+		b.observe(&sl.Insts[i])
+	}
+	return cluster(b, cfg)
+}
+
+// AnalyzeStream is the bounded-memory variant of Analyze: it consumes a
+// trace reader once (e.g. a ChampSimReader over a compressed trace) and
+// retains only one projected Dims-float vector per interval plus the
+// current interval's accumulator — memory grows with interval count,
+// never with instruction count. Any warmup handling is the caller's:
+// the stream is analyzed from its first instruction.
+func AnalyzeStream(r trace.Reader, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := newBBVBuilder(cfg)
+	for {
+		in, err := r.Next()
+		if err == trace.ErrEnd {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.observe(&in)
+	}
+	return cluster(b, cfg)
+}
+
+func (cfg Config) validate() error {
+	if cfg.IntervalInsts <= 0 || cfg.Dims <= 0 || cfg.MaxK <= 0 {
+		return errors.New("simpoint: invalid config")
+	}
+	return nil
+}
+
+// cluster runs the model-selection k-means over the builder's vectors.
+func cluster(b *bbvBuilder, cfg Config) (*Result, error) {
+	vecs := b.finish()
 	if len(vecs) < 2 {
 		return nil, errors.New("simpoint: trace too short for phase analysis")
 	}
@@ -81,74 +130,84 @@ func Analyze(sl *trace.Slice, cfg Config) (*Result, error) {
 			bestAssign, bestCents = assign, cents
 		}
 	}
-	res := &Result{Cfg: cfg, Intervals: len(vecs), K: bestK, Assignment: bestAssign}
+	res := &Result{Cfg: cfg, Intervals: len(vecs), K: bestK, Assignment: bestAssign, TotalInsts: b.n}
 	res.Picks = pickRepresentatives(vecs, bestAssign, bestCents, bestK)
 	return res, nil
 }
 
-// buildBBVs produces one projected, L2-normalized basic-block vector per
-// interval. Basic blocks are identified by their start PC (block
-// boundaries at every branch); the projection hashes each block PC into
-// ±1 per dimension.
-func buildBBVs(sl *trace.Slice, cfg Config) [][]float64 {
-	var vecs [][]float64
-	cur := make([]float64, cfg.Dims)
-	blockStart := uint64(0)
-	blockLen := 0
-	n := 0
-	flushBlock := func() {
-		if blockLen == 0 {
-			return
-		}
-		h := rng.Mix64(blockStart ^ cfg.Seed)
-		for d := 0; d < cfg.Dims; d++ {
-			bit := (h >> uint(d%64)) & 1
-			v := float64(blockLen)
-			if bit == 0 {
-				v = -v
-			}
-			cur[d] += v
-			if d%64 == 63 {
-				h = rng.Mix64(h)
-			}
-		}
-		blockLen = 0
-	}
-	endInterval := func() {
-		flushBlock()
-		norm := 0.0
-		for _, v := range cur {
-			norm += v * v
-		}
-		norm = math.Sqrt(norm)
-		vec := make([]float64, cfg.Dims)
-		if norm > 0 {
-			for d := range cur {
-				vec[d] = cur[d] / norm
-			}
-		}
-		vecs = append(vecs, vec)
-		for d := range cur {
-			cur[d] = 0
-		}
-	}
-	for i := range sl.Insts {
-		in := &sl.Insts[i]
-		if blockLen == 0 {
-			blockStart = in.PC
-		}
-		blockLen++
-		n++
-		if in.Branch != isa.BranchNone {
-			flushBlock()
-		}
-		if n%cfg.IntervalInsts == 0 {
-			endInterval()
-		}
-	}
-	// Drop the final partial interval: it would skew the vectors.
-	return vecs
+// bbvBuilder accumulates one projected, L2-normalized basic-block vector
+// per interval, one instruction at a time. Basic blocks are identified
+// by their start PC (block boundaries at every branch); the projection
+// hashes each block PC into ±1 per dimension. The final partial interval
+// is dropped — it would skew the vectors.
+type bbvBuilder struct {
+	cfg        Config
+	vecs       [][]float64
+	cur        []float64
+	blockStart uint64
+	blockLen   int
+	n          int64
 }
+
+func newBBVBuilder(cfg Config) *bbvBuilder {
+	return &bbvBuilder{cfg: cfg, cur: make([]float64, cfg.Dims)}
+}
+
+func (b *bbvBuilder) flushBlock() {
+	if b.blockLen == 0 {
+		return
+	}
+	h := rng.Mix64(b.blockStart ^ b.cfg.Seed)
+	for d := 0; d < b.cfg.Dims; d++ {
+		bit := (h >> uint(d%64)) & 1
+		v := float64(b.blockLen)
+		if bit == 0 {
+			v = -v
+		}
+		b.cur[d] += v
+		if d%64 == 63 {
+			h = rng.Mix64(h)
+		}
+	}
+	b.blockLen = 0
+}
+
+func (b *bbvBuilder) endInterval() {
+	b.flushBlock()
+	norm := 0.0
+	for _, v := range b.cur {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	vec := make([]float64, b.cfg.Dims)
+	if norm > 0 {
+		for d := range b.cur {
+			vec[d] = b.cur[d] / norm
+		}
+	}
+	b.vecs = append(b.vecs, vec)
+	for d := range b.cur {
+		b.cur[d] = 0
+	}
+}
+
+func (b *bbvBuilder) observe(in *isa.Inst) {
+	if b.blockLen == 0 {
+		b.blockStart = in.PC
+	}
+	b.blockLen++
+	b.n++
+	if in.Branch != isa.BranchNone {
+		b.flushBlock()
+	}
+	if b.n%int64(b.cfg.IntervalInsts) == 0 {
+		b.endInterval()
+	}
+}
+
+// finish returns the completed interval vectors, dropping the final
+// partial interval.
+func (b *bbvBuilder) finish() [][]float64 { return b.vecs }
 
 // kmeans runs Lloyd's algorithm with deterministic k-means++-style
 // seeding, returning assignments, centroids and the total SSE.
@@ -284,47 +343,129 @@ func pickRepresentatives(vecs [][]float64, assign []int, cents [][]float64, k in
 	return picks
 }
 
-// Extract returns the representative interval of a pick as a standalone
-// slice, with the preceding interval (when present) as warmup — the
-// paper's 10M-warmup / 100M-detail structure in miniature.
-func Extract(sl *trace.Slice, p Pick, cfg Config) *trace.Slice {
-	start := p.Interval * cfg.IntervalInsts
-	warm := 0
-	if start >= cfg.IntervalInsts {
+// window is one pick's absolute instruction range [start, end) with its
+// warmup prefix length: the preceding interval (when present) warms
+// microarchitectural state before the detail interval — the paper's
+// 10M-warmup / 100M-detail structure in miniature.
+func (p Pick) window(warmupOffset int, cfg Config) (start, end, warm int) {
+	start = warmupOffset + p.Interval*cfg.IntervalInsts
+	if start-warmupOffset >= cfg.IntervalInsts {
 		start -= cfg.IntervalInsts
 		warm = cfg.IntervalInsts
 	}
-	end := start + warm + cfg.IntervalInsts
+	end = start + warm + cfg.IntervalInsts
+	return start, end, warm
+}
+
+// Extract returns the representative interval of a pick as a standalone
+// slice carrying the pick's cluster and weight. The interval is copied
+// out of the parent — the extracted slice must not alias the source's
+// backing array, or every pick pins the whole trace in memory and the
+// trace store's byte budget is meaningless. Interval indices are
+// relative to sl.Warmup, matching Analyze.
+func Extract(sl *trace.Slice, p Pick, cfg Config) *trace.Slice {
+	start, end, warm := p.window(sl.Warmup, cfg)
 	if end > len(sl.Insts) {
 		end = len(sl.Insts)
 	}
+	insts := make([]isa.Inst, end-start)
+	copy(insts, sl.Insts[start:end])
 	return &trace.Slice{
-		Name:   sl.Name + "@sp" + itoa(p.Interval),
-		Suite:  sl.Suite,
-		Warmup: warm,
-		Insts:  sl.Insts[start:end],
+		Name:    sl.Name + "@sp" + itoa(p.Interval),
+		Suite:   sl.Suite,
+		Warmup:  warm,
+		Weight:  p.Weight,
+		Cluster: p.Cluster,
+		Insts:   insts,
 	}
+}
+
+// ExtractStream scans a trace reader once and extracts every pick of res
+// into a standalone weighted slice, in memory bounded by the extracted
+// windows (never the stream length). It is the second pass of a
+// streaming ingest: AnalyzeStream picks the intervals, a re-opened
+// reader supplies the same instruction stream, and ExtractStream cuts
+// the warmup+detail windows out of it. Slices are returned in ascending
+// interval order. A window that the stream no longer covers (truncated
+// re-read) is an error — the two passes must see identical streams.
+func ExtractStream(r trace.Reader, res *Result, name, suite string) ([]*trace.Slice, error) {
+	cfg := res.Cfg
+	picks := append([]Pick(nil), res.Picks...)
+	sort.Slice(picks, func(i, j int) bool { return picks[i].Interval < picks[j].Interval })
+	slices := make([]*trace.Slice, len(picks))
+	for i, p := range picks {
+		start, end, warm := p.window(0, cfg)
+		slices[i] = &trace.Slice{
+			Name:    name + "@sp" + itoa(p.Interval),
+			Suite:   suite,
+			Warmup:  warm,
+			Weight:  p.Weight,
+			Cluster: p.Cluster,
+			Insts:   make([]isa.Inst, 0, end-start),
+		}
+	}
+	idx := 0
+	done := 0
+	for done < len(picks) {
+		in, err := r.Next()
+		if err == trace.ErrEnd {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Windows can overlap (a pick's warmup may be its neighbor's
+		// detail interval), so check every still-open window.
+		for i, p := range picks {
+			start, end, _ := p.window(0, cfg)
+			if idx >= start && idx < end {
+				slices[i].Insts = append(slices[i].Insts, in)
+				if idx == end-1 {
+					done++
+				}
+			}
+		}
+		idx++
+	}
+	for i, p := range picks {
+		start, end, _ := p.window(0, cfg)
+		if len(slices[i].Insts) != end-start {
+			return nil, fmt.Errorf("simpoint: stream ended at instruction %d, before pick interval %d window [%d,%d): re-read diverged from analysis pass", idx, p.Interval, start, end)
+		}
+	}
+	return slices, nil
 }
 
 func itoa(v int) string {
 	if v == 0 {
 		return "0"
 	}
-	var buf [20]byte
+	neg := v < 0
+	var buf [21]byte
 	i := len(buf)
-	for v > 0 {
+	for v != 0 {
+		d := v % 10
+		if d < 0 {
+			d = -d
+		}
 		i--
-		buf[i] = byte('0' + v%10)
+		buf[i] = byte('0' + d)
 		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
 	}
 	return string(buf[i:])
 }
 
 // WeightedEstimate combines per-pick measurements into a whole-trace
-// estimate: Σ weight_i * metric_i.
-func WeightedEstimate(picks []Pick, metrics []float64) float64 {
+// estimate: Σ weight_i * metric_i / Σ weight_i. A picks/metrics length
+// mismatch is an error, not a panic — both inputs reach this from
+// served requests.
+func WeightedEstimate(picks []Pick, metrics []float64) (float64, error) {
 	if len(picks) != len(metrics) {
-		panic("simpoint: picks/metrics length mismatch")
+		return 0, fmt.Errorf("simpoint: %d picks but %d metrics", len(picks), len(metrics))
 	}
 	est, wsum := 0.0, 0.0
 	for i, p := range picks {
@@ -332,7 +473,7 @@ func WeightedEstimate(picks []Pick, metrics []float64) float64 {
 		wsum += p.Weight
 	}
 	if wsum == 0 {
-		return 0
+		return 0, nil
 	}
-	return est / wsum
+	return est / wsum, nil
 }

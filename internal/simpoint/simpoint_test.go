@@ -134,7 +134,10 @@ func TestWeightedEstimateApproximatesFullRun(t *testing.T) {
 		ex := Extract(full, p, cfg)
 		metrics[i] = core.RunSlice(gen, ex).IPC
 	}
-	est := WeightedEstimate(res.Picks, metrics)
+	est, err := WeightedEstimate(res.Picks, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
 	relErr := math.Abs(est-fullRun.IPC) / fullRun.IPC
 	t.Logf("full IPC %.3f, simpoint estimate %.3f (K=%d, %d picks, rel err %.1f%%)",
 		fullRun.IPC, est, res.K, len(res.Picks), relErr*100)
@@ -144,12 +147,162 @@ func TestWeightedEstimateApproximatesFullRun(t *testing.T) {
 }
 
 func TestWeightedEstimateValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on length mismatch")
+	// A length mismatch is reachable from served requests: it must come
+	// back as an error, never a panic.
+	if _, err := WeightedEstimate([]Pick{{Weight: 1}}, nil); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+	if est, err := WeightedEstimate(nil, nil); err != nil || est != 0 {
+		t.Fatalf("empty inputs: est=%v err=%v", est, err)
+	}
+	// All-zero weights must not divide by zero.
+	if est, err := WeightedEstimate([]Pick{{Weight: 0}}, []float64{5}); err != nil || est != 0 {
+		t.Fatalf("zero weights: est=%v err=%v", est, err)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", 1000: "1000", -1: "-1", -9307: "-9307"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Fatalf("itoa(%d) = %q, want %q", v, got, want)
 		}
-	}()
-	WeightedEstimate([]Pick{{Weight: 1}}, nil)
+	}
+}
+
+func TestAnalyzeExcludesWarmupPrefix(t *testing.T) {
+	// Regression: warmup instructions must not contribute to BBVs or
+	// shift interval boundaries. A trace whose warmup prefix is pure
+	// phase-A noise prepended to a clean two-phase body must analyze
+	// identically to the body alone.
+	body := twoPhaseTrace(8, 10_000)
+	warm := twoPhaseTrace(1, 10_000) // one phase-A interval as prefix
+	combined := &trace.Slice{
+		Name:   body.Name,
+		Suite:  body.Suite,
+		Warmup: len(warm.Insts),
+		Insts:  append(append([]isa.Inst{}, warm.Insts...), body.Insts...),
+	}
+	cfg := DefaultConfig()
+	want, err := Analyze(body, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Analyze(combined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Intervals != want.Intervals || got.K != want.K {
+		t.Fatalf("warmup prefix changed analysis: got %d intervals K=%d, want %d intervals K=%d",
+			got.Intervals, got.K, want.Intervals, want.K)
+	}
+	for i := range want.Assignment {
+		if got.Assignment[i] != want.Assignment[i] {
+			t.Fatalf("warmup prefix shifted interval %d assignment: %v vs %v",
+				i, got.Assignment, want.Assignment)
+		}
+	}
+	for i := range want.Picks {
+		if got.Picks[i] != want.Picks[i] {
+			t.Fatalf("warmup prefix changed pick %d: %+v vs %+v", i, got.Picks[i], want.Picks[i])
+		}
+	}
+}
+
+func TestExtractCopiesAndCarriesWeight(t *testing.T) {
+	sl := twoPhaseTrace(6, 10_000)
+	cfg := DefaultConfig()
+	res, err := Analyze(sl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Picks {
+		ex := Extract(sl, p, cfg)
+		if ex.Weight != p.Weight || ex.Cluster != p.Cluster {
+			t.Fatalf("pick %+v not carried onto slice: weight=%v cluster=%d", p, ex.Weight, ex.Cluster)
+		}
+		// Regression: the extracted slice must not alias the parent's
+		// backing array — each pick would otherwise pin the whole source
+		// trace in memory.
+		start := sl.Warmup + p.Interval*cfg.IntervalInsts
+		if start >= cfg.IntervalInsts {
+			start -= cfg.IntervalInsts
+		}
+		orig := sl.Insts[start]
+		sl.Insts[start].PC ^= 0xDEAD0000
+		if ex.Insts[0].PC == sl.Insts[start].PC {
+			t.Fatal("extracted slice aliases the parent trace's backing array")
+		}
+		sl.Insts[start] = orig
+	}
+}
+
+func TestAnalyzeStreamMatchesAnalyze(t *testing.T) {
+	sl := twoPhaseTrace(8, 10_000)
+	cfg := DefaultConfig()
+	want, err := Analyze(sl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := sl.Cursor()
+	got, err := AnalyzeStream(&cur, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != want.K || got.Intervals != want.Intervals || got.TotalInsts != want.TotalInsts {
+		t.Fatalf("stream analysis diverged: %+v vs %+v", got, want)
+	}
+	for i := range want.Assignment {
+		if got.Assignment[i] != want.Assignment[i] {
+			t.Fatal("stream assignment diverged")
+		}
+	}
+}
+
+func TestExtractStreamMatchesExtract(t *testing.T) {
+	sl := twoPhaseTrace(8, 10_000)
+	cfg := DefaultConfig()
+	res, err := Analyze(sl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := sl.Cursor()
+	got, err := ExtractStream(&cur, res, sl.Name, sl.Suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Picks) {
+		t.Fatalf("got %d slices, want %d", len(got), len(res.Picks))
+	}
+	byName := map[string]*trace.Slice{}
+	for _, g := range got {
+		byName[g.Name] = g
+	}
+	for _, p := range res.Picks {
+		want := Extract(sl, p, cfg)
+		g, ok := byName[want.Name]
+		if !ok {
+			t.Fatalf("missing extracted slice %q", want.Name)
+		}
+		if g.Digest() != want.Digest() {
+			t.Fatalf("streamed extraction of %q diverged from in-memory Extract", want.Name)
+		}
+	}
+}
+
+func TestExtractStreamTruncatedRereadFails(t *testing.T) {
+	sl := twoPhaseTrace(8, 10_000)
+	cfg := DefaultConfig()
+	res, err := Analyze(sl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One interval of stream: at most the interval-0 pick can complete,
+	// and any analysis yields at least two distinct picked intervals here.
+	short := &trace.Slice{Insts: sl.Insts[:cfg.IntervalInsts]}
+	if _, err := ExtractStream(short, res, sl.Name, sl.Suite); err == nil {
+		t.Fatal("expected error when the re-read stream is shorter than the analysis pass")
+	}
 }
 
 func TestDeterministicAnalysis(t *testing.T) {

@@ -132,10 +132,56 @@ func foldReg(r uint8) uint8 {
 	return 1 + (r-1)%(isa.NumArchRegs-1)
 }
 
-// ReadChampSim converts a ChampSim trace stream into a Slice. name/suite
-// label the result; maxInsts (0 = unlimited) bounds the conversion, and
-// warmup sets the slice's warmup prefix.
-func ReadChampSim(r io.Reader, name, suite string, maxInsts, warmup int) (*Slice, error) {
+// convert maps one parsed record into exysim's ISA. The returned
+// instruction's Target is unresolved for taken branches — the caller
+// fills it from the next record's ip.
+func (r *champRecord) convert() isa.Inst {
+	in := isa.Inst{PC: r.ip, Class: isa.ALUSimple}
+	// Memory side: prefer the load operand; collapse extras.
+	switch {
+	case r.srcMem[0] != 0:
+		in.Class = isa.Load
+		in.Addr = r.srcMem[0]
+		in.Size = 8
+	case r.dstMem[0] != 0:
+		in.Class = isa.Store
+		in.Addr = r.dstMem[0]
+		in.Size = 8
+	}
+	if r.isBranch {
+		if k := r.branchKind(); k != isa.BranchNone {
+			in.Class = isa.Branch
+			in.Branch = k
+			in.Taken = r.taken || k.IsUnconditional()
+			in.Addr, in.Size = 0, 0
+		}
+	}
+	in.Dst = foldReg(r.dstRegs[0])
+	in.Src1 = foldReg(r.srcRegs[0])
+	in.Src2 = foldReg(r.srcRegs[1])
+	return in
+}
+
+// ChampSimReader streams a ChampSim trace as isa.Inst records in bounded
+// memory: its working state is one bufio window (plus the gzip window for
+// compressed inputs) and a single pending instruction held back until the
+// next record's ip resolves its branch target. It implements Reader; it
+// never materializes the trace, so arbitrarily long traces convert with a
+// flat footprint. It is not a Resetter — compressed streams cannot rewind;
+// callers that need replay re-open the source.
+type ChampSimReader struct {
+	br      *bufio.Reader
+	max     int // 0 = unlimited
+	count   int // records parsed so far
+	emitted int // instructions returned from Next
+	pending isa.Inst
+	havePen bool
+	done    bool
+}
+
+// NewChampSimReader wraps a raw or gzip-compressed ChampSim stream.
+// maxInsts (0 = unlimited) bounds how many records are parsed.
+func NewChampSimReader(r io.Reader, maxInsts int) (*ChampSimReader, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	// Transparent gzip detection.
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
@@ -143,68 +189,134 @@ func ReadChampSim(r io.Reader, name, suite string, maxInsts, warmup int) (*Slice
 		if err != nil {
 			return nil, fmt.Errorf("trace: gzip: %w", err)
 		}
-		defer gz.Close()
 		br = bufio.NewReaderSize(gz, 1<<20)
 	}
+	return &ChampSimReader{br: br, max: maxInsts}, nil
+}
 
-	sl := &Slice{Name: name, Suite: suite, Warmup: warmup}
+// Insts returns the number of instructions emitted so far.
+func (c *ChampSimReader) Insts() int { return c.emitted }
+
+// Next implements Reader. The final record of the stream is dropped when
+// it is a taken branch: with no successor to infer a target from, the
+// reader refuses to invent one.
+func (c *ChampSimReader) Next() (isa.Inst, error) {
 	var buf [champRecordBytes]byte
-	var pending *isa.Inst
-	count := 0
-	flush := func(nextIP uint64, haveNext bool) {
-		if pending == nil {
-			return
-		}
-		if pending.Branch.IsBranch() && pending.Taken {
-			if haveNext {
-				pending.Target = nextIP
-			} else {
-				// No successor to infer a target from: drop the final
-				// taken branch rather than invent a target.
-				pending = nil
-				return
+	for {
+		if c.done || (c.max != 0 && c.count >= c.max) {
+			if c.havePen {
+				c.havePen = false
+				if c.pending.Branch.IsBranch() && c.pending.Taken {
+					// No successor to infer a target from: drop the
+					// final taken branch rather than invent a target.
+					return isa.Inst{}, ErrEnd
+				}
+				c.emitted++
+				return c.pending, nil
 			}
+			return isa.Inst{}, ErrEnd
 		}
-		sl.Insts = append(sl.Insts, *pending)
-		pending = nil
-	}
-	for maxInsts == 0 || count < maxInsts {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
+		if _, err := io.ReadFull(c.br, buf[:]); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				break
+				c.done = true
+				continue
 			}
-			return nil, err
+			return isa.Inst{}, err
 		}
 		rec := parseChampRecord(buf[:])
-		flush(rec.ip, true)
-
-		in := isa.Inst{PC: rec.ip, Class: isa.ALUSimple}
-		// Memory side: prefer the load operand; collapse extras.
-		switch {
-		case rec.srcMem[0] != 0:
-			in.Class = isa.Load
-			in.Addr = rec.srcMem[0]
-			in.Size = 8
-		case rec.dstMem[0] != 0:
-			in.Class = isa.Store
-			in.Addr = rec.dstMem[0]
-			in.Size = 8
+		in := rec.convert()
+		c.count++
+		out, haveOut := c.pending, c.havePen
+		c.pending, c.havePen = in, true
+		if haveOut {
+			if out.Branch.IsBranch() && out.Taken {
+				out.Target = rec.ip
+			}
+			c.emitted++
+			return out, nil
 		}
-		if rec.isBranch {
-			if k := rec.branchKind(); k != isa.BranchNone {
-				in.Class = isa.Branch
-				in.Branch = k
-				in.Taken = rec.taken || k.IsUnconditional()
-				in.Addr, in.Size = 0, 0
+	}
+}
+
+// WriteChampSim encodes the slice as a ChampSim input_instr stream —
+// the importer's inverse, used to build fixtures and round-trip tests
+// from synthetic workloads. Branch kinds are expressed through the same
+// register-usage conventions branchKind recovers; operand register ids
+// pass through as-is for non-branches (exysim's 32-register file is a
+// subset of the tracer's id space). Loads/stores with address 0 re-read
+// as ALU records: the format marks memory operands by a nonzero slot.
+func WriteChampSim(w io.Writer, sl *Slice) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var b [champRecordBytes]byte
+	for i := range sl.Insts {
+		in := &sl.Insts[i]
+		for j := range b {
+			b[j] = 0
+		}
+		binary.LittleEndian.PutUint64(b[0:8], in.PC)
+		switch {
+		case in.Branch.IsBranch():
+			b[8] = 1
+			if in.Taken {
+				b[9] = 1
+			}
+			switch in.Branch {
+			case isa.BranchCond:
+				b[10] = champIP
+				b[12], b[13] = champIP, champFlags
+			case isa.BranchCall:
+				b[10], b[11] = champIP, champSP
+				b[12], b[13] = champIP, champSP
+			case isa.BranchIndCall:
+				b[10], b[11] = champIP, champSP
+				b[12], b[13], b[14] = champIP, champSP, 12
+			case isa.BranchReturn:
+				b[10], b[11] = champIP, champSP
+				b[12] = champSP
+			case isa.BranchIndirect:
+				b[10] = champIP
+				b[12] = 12
+			default: // BranchUncond
+				b[10] = champIP
+				b[12] = champIP
+			}
+		default:
+			b[10] = in.Dst
+			b[12], b[13] = in.Src1, in.Src2
+			switch in.Class {
+			case isa.Load:
+				binary.LittleEndian.PutUint64(b[32:40], in.Addr)
+			case isa.Store:
+				binary.LittleEndian.PutUint64(b[16:24], in.Addr)
 			}
 		}
-		in.Dst = foldReg(rec.dstRegs[0])
-		in.Src1 = foldReg(rec.srcRegs[0])
-		in.Src2 = foldReg(rec.srcRegs[1])
-		pending = &in
-		count++
+		if _, err := bw.Write(b[:]); err != nil {
+			return err
+		}
 	}
-	flush(0, false)
+	return bw.Flush()
+}
+
+// ReadChampSim converts a ChampSim trace stream into a Slice. name/suite
+// label the result; maxInsts (0 = unlimited) bounds the conversion, and
+// warmup sets the slice's warmup prefix. This materializes the whole
+// stream; use ChampSimReader directly for bounded-memory ingest.
+func ReadChampSim(r io.Reader, name, suite string, maxInsts, warmup int) (*Slice, error) {
+	cr, err := NewChampSimReader(r, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	sl := &Slice{Name: name, Suite: suite, Warmup: warmup}
+	for {
+		in, err := cr.Next()
+		if err == ErrEnd {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		sl.Insts = append(sl.Insts, in)
+	}
 	if len(sl.Insts) == 0 {
 		return nil, fmt.Errorf("trace: champsim stream %q contained no instructions", name)
 	}

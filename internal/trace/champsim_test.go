@@ -103,6 +103,38 @@ func TestChampSimBranchKinds(t *testing.T) {
 	}
 }
 
+func TestBranchKindRegisterPatterns(t *testing.T) {
+	// Exercise the classification switch directly, one register pattern
+	// per arm plus the edges between arms: flags beat SP when both are
+	// read, SP-read without SP-write is not a return, and flags/SP reads
+	// don't count as "other" sources.
+	cases := []struct {
+		name string
+		dst  [2]uint8
+		src  [4]uint8
+		want isa.BranchKind
+	}{
+		{"no-ip-write", [2]uint8{3}, [4]uint8{champIP, champFlags}, isa.BranchNone},
+		{"cond", [2]uint8{champIP}, [4]uint8{champIP, champFlags}, isa.BranchCond},
+		{"cond-beats-call", [2]uint8{champIP, champSP}, [4]uint8{champIP, champFlags, champSP}, isa.BranchCond},
+		{"direct-call", [2]uint8{champIP, champSP}, [4]uint8{champIP, champSP}, isa.BranchCall},
+		{"indirect-call", [2]uint8{champIP, champSP}, [4]uint8{champIP, champSP, 12}, isa.BranchIndCall},
+		{"return", [2]uint8{champIP, champSP}, [4]uint8{champSP}, isa.BranchReturn},
+		{"indirect", [2]uint8{champIP}, [4]uint8{12}, isa.BranchIndirect},
+		{"indirect-two-srcs", [2]uint8{champIP}, [4]uint8{12, 13}, isa.BranchIndirect},
+		{"direct-jump", [2]uint8{champIP}, [4]uint8{champIP}, isa.BranchUncond},
+		{"jump-no-sources", [2]uint8{champIP}, [4]uint8{}, isa.BranchUncond},
+		{"sp-read-without-write", [2]uint8{champIP}, [4]uint8{champSP}, isa.BranchUncond},
+		{"flags-without-ip-read", [2]uint8{champIP}, [4]uint8{champFlags}, isa.BranchUncond},
+	}
+	for _, tc := range cases {
+		rec := champRecord{isBranch: true, dstRegs: tc.dst, srcRegs: tc.src}
+		if got := rec.branchKind(); got != tc.want {
+			t.Errorf("%s: branchKind() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
 func TestChampSimGzipAutoDetect(t *testing.T) {
 	stream := champStream(
 		champ{ip: 0x1000, dst: [2]uint8{3}},
@@ -172,6 +204,153 @@ func TestChampSimMaxInstsAndWarmupClamp(t *testing.T) {
 	if sane.Warmup != 5 || sane.WarmupClamped || sane.RequestedWarmup != 0 {
 		t.Errorf("in-range warmup perturbed: warmup=%d clamped=%v requested=%d",
 			sane.Warmup, sane.WarmupClamped, sane.RequestedWarmup)
+	}
+}
+
+func TestChampSimMaxInstsBoundaryDropsFinalTakenBranch(t *testing.T) {
+	// 10 straight-line records with a taken branch at index 4. When the
+	// maxInsts cap lands exactly on the branch, its target record is
+	// beyond the cap: like an EOF-final branch it must be dropped, not
+	// given an invented target.
+	var recs []champ
+	for i := 0; i < 10; i++ {
+		c := champ{ip: uint64(0x1000 + i*4), dst: [2]uint8{1}}
+		if i == 4 {
+			c = champ{ip: c.ip, isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP}}
+		}
+		recs = append(recs, c)
+	}
+	capped, err := ReadChampSim(bytes.NewReader(champStream(recs...)), "cap", "imported", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Len() != 4 {
+		t.Fatalf("len=%d, want 4 (branch at the cap boundary dropped)", capped.Len())
+	}
+	for i := range capped.Insts {
+		if capped.Insts[i].Branch.IsBranch() {
+			t.Fatalf("inst %d: the boundary branch leaked through: %+v", i, capped.Insts[i])
+		}
+	}
+	// One more record of budget and the branch's successor is inside the
+	// cap: the branch survives with its inferred target.
+	wide, err := ReadChampSim(bytes.NewReader(champStream(recs...)), "cap", "imported", 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Len() != 6 {
+		t.Fatalf("len=%d, want 6", wide.Len())
+	}
+	if br := wide.Insts[4]; !br.Branch.IsBranch() || br.Target != recs[5].ip {
+		t.Fatalf("branch inside the cap mangled: %+v", br)
+	}
+}
+
+func TestChampSimReaderMatchesBatch(t *testing.T) {
+	// The streaming reader and the materializing importer must emit the
+	// same instruction sequence, raw or gzipped, capped or not.
+	var recs []champ
+	for it := 0; it < 40; it++ {
+		recs = append(recs,
+			champ{ip: 0x1000, srcMem: uint64(0x9000 + it*64), dst: [2]uint8{7}},
+			champ{ip: 0x1004, dstMem: 0x8008, src: [4]uint8{7}},
+			champ{ip: 0x1008, isBranch: true, taken: it < 39, dst: [2]uint8{champIP}, src: [4]uint8{champIP, champFlags}},
+		)
+	}
+	recs = append(recs, champ{ip: 0x100C, isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP}})
+	raw := champStream(recs...)
+	var gz bytes.Buffer
+	w := gzip.NewWriter(&gz)
+	w.Write(raw)
+	w.Close()
+	for _, tc := range []struct {
+		name string
+		data []byte
+		max  int
+	}{
+		{"raw", raw, 0},
+		{"gzip", gz.Bytes(), 0},
+		{"capped", raw, 17},
+		{"cap-on-final", raw, len(recs)},
+	} {
+		want, err := ReadChampSim(bytes.NewReader(tc.data), "par", "imported", tc.max, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		cr, err := NewChampSimReader(bytes.NewReader(tc.data), tc.max)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var got []isa.Inst
+		for {
+			in, err := cr.Next()
+			if err == ErrEnd {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got = append(got, in)
+		}
+		if len(got) != want.Len() {
+			t.Fatalf("%s: stream emitted %d insts, batch %d", tc.name, len(got), want.Len())
+		}
+		for i := range got {
+			if got[i] != want.Insts[i] {
+				t.Fatalf("%s: inst %d diverged: %+v vs %+v", tc.name, i, got[i], want.Insts[i])
+			}
+		}
+		if cr.Insts() != len(got) {
+			t.Fatalf("%s: Insts()=%d, emitted %d", tc.name, cr.Insts(), len(got))
+		}
+	}
+}
+
+func TestWriteChampSimRoundTrip(t *testing.T) {
+	// WriteChampSim is the importer's inverse: a valid slice written out
+	// and read back must preserve PC/class/branch/taken/addr, with taken
+	// targets re-inferred from control-flow linkage.
+	var insts []isa.Inst
+	emit := func(in isa.Inst) { insts = append(insts, in) }
+	for it := 0; it < 30; it++ {
+		base := uint64(0x1000)
+		emit(isa.Inst{PC: base, Class: isa.Load, Addr: uint64(0x9000 + it*64), Size: 8, Dst: 7})
+		emit(isa.Inst{PC: base + 4, Class: isa.ALUSimple, Dst: 3, Src1: 7})
+		emit(isa.Inst{PC: base + 8, Class: isa.Branch, Branch: isa.BranchCall, Taken: true, Target: 0x4000})
+		emit(isa.Inst{PC: 0x4000, Class: isa.Store, Addr: uint64(0xA000 + it*8), Size: 8, Src1: 3})
+		emit(isa.Inst{PC: 0x4004, Class: isa.Branch, Branch: isa.BranchReturn, Taken: true, Target: base + 12})
+		emit(isa.Inst{PC: base + 12, Class: isa.Branch, Branch: isa.BranchCond, Taken: it%3 != 0, Target: base})
+		if it%3 == 0 {
+			emit(isa.Inst{PC: base + 16, Class: isa.Branch, Branch: isa.BranchUncond, Taken: true, Target: base})
+		}
+	}
+	emit(isa.Inst{PC: 0x1000, Class: isa.ALUSimple, Dst: 1})
+	orig := &Slice{Name: "rt", Suite: "unit", Insts: insts}
+	if err := orig.Validate(); err != nil {
+		t.Fatalf("test trace not self-consistent: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChampSim(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChampSim(&buf, "rt", "unit", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round trip len %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range got.Insts {
+		g, w := got.Insts[i], orig.Insts[i]
+		if g.PC != w.PC || g.Class != w.Class || g.Branch != w.Branch || g.Taken != w.Taken {
+			t.Fatalf("inst %d: %+v vs %+v", i, g, w)
+		}
+		if w.Branch.IsBranch() && w.Taken && g.Target != w.Target {
+			t.Fatalf("inst %d: target %#x, want %#x", i, g.Target, w.Target)
+		}
+		if w.Class.IsMem() && g.Addr != w.Addr {
+			t.Fatalf("inst %d: addr %#x, want %#x", i, g.Addr, w.Addr)
+		}
 	}
 }
 

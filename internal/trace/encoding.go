@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"exysim/internal/isa"
 )
@@ -23,6 +24,8 @@ import (
 //	name    varint-len + bytes
 //	suite   varint-len + bytes
 //	warmup  uvarint
+//	weight  uvarint float64 bits (version >= 2)
+//	cluster varint              (version >= 2)
 //	count   uvarint
 //	count * record:
 //	  head   u8: class(4) | branchKind(3 of 4 bits) ...
@@ -36,8 +39,10 @@ import (
 //	u8 dst, u8 src1, u8 src2
 
 const (
-	magic   = 0x45585954 // "EXYT"
-	version = 1
+	magic = 0x45585954 // "EXYT"
+	// version 2 added the SimPoint weight/cluster fields; version-1
+	// streams still decode (weight 0, cluster 0).
+	version = 2
 )
 
 // FormatError describes a corrupt or truncated trace stream: which field
@@ -119,6 +124,12 @@ func Write(w io.Writer, s *Slice) error {
 	if err := putU(uint64(s.Warmup)); err != nil {
 		return err
 	}
+	if err := putU(math.Float64bits(s.Weight)); err != nil {
+		return err
+	}
+	if err := putI(int64(s.Cluster)); err != nil {
+		return err
+	}
 	if err := putU(uint64(len(s.Insts))); err != nil {
 		return err
 	}
@@ -183,8 +194,9 @@ func Read(r io.Reader) (*Slice, error) {
 	if m := binary.LittleEndian.Uint32(hdr[:4]); m != magic {
 		return nil, fail("magic", fmt.Errorf("bad magic %#x", m))
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != version {
-		return nil, fail("version", fmt.Errorf("unsupported version %d", v))
+	ver := binary.LittleEndian.Uint16(hdr[4:])
+	if ver < 1 || ver > version {
+		return nil, fail("version", fmt.Errorf("unsupported version %d", ver))
 	}
 	getStr := func(field string) (string, error) {
 		n, err := binary.ReadUvarint(cr)
@@ -213,6 +225,21 @@ func Read(r io.Reader) (*Slice, error) {
 		return nil, fail("warmup", err)
 	}
 	s.Warmup = int(warm)
+	if ver >= 2 {
+		wbits, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fail("weight", err)
+		}
+		s.Weight = math.Float64frombits(wbits)
+		if math.IsNaN(s.Weight) || math.IsInf(s.Weight, 0) || s.Weight < 0 {
+			return nil, fail("weight", fmt.Errorf("invalid weight %v", s.Weight))
+		}
+		cl, err := binary.ReadVarint(cr)
+		if err != nil {
+			return nil, fail("cluster", err)
+		}
+		s.Cluster = int(cl)
+	}
 	count, err := binary.ReadUvarint(cr)
 	if err != nil {
 		return nil, fail("count", err)

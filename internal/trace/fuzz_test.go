@@ -27,23 +27,68 @@ func FuzzRead(f *testing.F) {
 }
 
 // FuzzReadChampSim hardens the importer: arbitrary bytes must convert or
-// error out cleanly, and whatever converts must pass record validation.
+// error out cleanly, whatever converts must pass record validation, and
+// the streaming reader must emit exactly the batch importer's sequence —
+// including the maxInsts cap and final-taken-branch truncation edges.
 func FuzzReadChampSim(f *testing.F) {
 	f.Add(champStream(
 		champ{ip: 0x1000, dst: [2]uint8{3}},
 		champ{ip: 0x1004, isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP}},
 		champ{ip: 0x2000, dst: [2]uint8{1}},
 	))
+	// Branch-kind heuristic edges: every register pattern the classifier
+	// distinguishes, plus a taken branch right at the cap boundary.
+	f.Add(champStream(
+		champ{ip: 0x1000, isBranch: true, taken: true, dst: [2]uint8{champIP, champSP}, src: [4]uint8{champIP, champSP}},
+		champ{ip: 0x2000, isBranch: true, taken: true, dst: [2]uint8{champIP, champSP}, src: [4]uint8{champSP}},
+		champ{ip: 0x1004, isBranch: true, taken: true, dst: [2]uint8{champIP}, src: [4]uint8{12}},
+		champ{ip: 0x3000, isBranch: true, dst: [2]uint8{champIP}, src: [4]uint8{champIP, champFlags}},
+		champ{ip: 0x3004, dst: [2]uint8{1}},
+	))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sl, err := ReadChampSim(bytes.NewReader(data), "fuzz", "imported", 10_000, 0)
 		if err != nil {
+			sl = nil
+		}
+		for sl != nil {
+			for i := range sl.Insts {
+				if e := sl.Insts[i].Valid(); e != nil {
+					t.Fatalf("importer produced invalid record: %v", e)
+				}
+			}
+			break
+		}
+		// The streaming path must agree with the batch path byte for byte.
+		cr, err := NewChampSimReader(bytes.NewReader(data), 10_000)
+		if err != nil {
+			if sl != nil {
+				t.Fatalf("batch converted but streaming reader refused: %v", err)
+			}
 			return
 		}
-		for i := range sl.Insts {
-			if e := sl.Insts[i].Valid(); e != nil {
-				t.Fatalf("importer produced invalid record: %v", e)
+		n := 0
+		for {
+			in, err := cr.Next()
+			if err == ErrEnd {
+				break
 			}
+			if err != nil {
+				if sl != nil {
+					t.Fatalf("batch converted but streaming read failed at %d: %v", n, err)
+				}
+				return
+			}
+			if sl == nil || n >= sl.Len() || in != sl.Insts[n] {
+				t.Fatalf("streaming inst %d diverged from batch importer", n)
+			}
+			n++
+		}
+		if sl != nil && n != sl.Len() {
+			t.Fatalf("streaming emitted %d insts, batch %d", n, sl.Len())
+		}
+		if sl == nil && n != 0 {
+			t.Fatalf("batch errored but streaming emitted %d insts", n)
 		}
 	})
 }

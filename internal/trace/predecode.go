@@ -1,6 +1,10 @@
 package trace
 
-import "exysim/internal/isa"
+import (
+	"math"
+
+	"exysim/internal/isa"
+)
 
 // PreDecoded couples a slice with its compiled decode stream: one
 // isa.Decoded byte per dynamic instruction, carrying the μop count,
@@ -55,6 +59,8 @@ func (s *Slice) Digest() uint64 {
 	str(s.Name)
 	str(s.Suite)
 	word(uint64(s.Warmup))
+	word(math.Float64bits(s.Weight))
+	word(uint64(int64(s.Cluster)))
 	word(uint64(len(s.Insts)))
 	for i := range s.Insts {
 		in := &s.Insts[i]

@@ -50,6 +50,15 @@ type Slice struct {
 	WarmupClamped   bool
 	RequestedWarmup int
 
+	// Weight is the slice's contribution when aggregating a SimPoint
+	// population: the fraction of the source trace's intervals its
+	// phase cluster covers. Zero means "unweighted" — synthetic slices
+	// leave it at zero and aggregate with weight 1.
+	Weight float64
+	// Cluster is the phase-cluster index a SimPoint pick represents;
+	// meaningful only when Weight > 0.
+	Cluster int
+
 	Insts []isa.Inst
 	pos   int
 }

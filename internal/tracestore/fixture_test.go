@@ -1,0 +1,84 @@
+package tracestore
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"testing"
+
+	"exysim/internal/trace"
+	"exysim/internal/workload"
+)
+
+// The committed ChampSim fixture drives `make trace-smoke`: a small
+// gzip-compressed trace with a deliberate phase structure, built
+// deterministically from the synthetic workload generators so it can be
+// regenerated (EXYSIM_REGEN_FIXTURE=1 go test -run TestFixtureUpToDate
+// ./internal/tracestore/) and verified byte-for-byte in CI.
+
+const fixturePath = "testdata/fixture.champsim.gz"
+
+// fixtureSpec keeps the fixture small: single slices of 12K insts.
+var fixtureSpec = workload.SuiteSpec{SlicesPerFamily: 1, InstsPerSlice: 12_000, WarmupFrac: 0, Seed: 0x51A9}
+
+// fixtureSlice concatenates phases drawn from three synthetic workload
+// families in an A B A B C A pattern — distinct enough that SimPoint
+// finds more than one cluster, repetitive enough to compress well.
+func fixtureSlice(t testing.TB) *trace.Slice {
+	t.Helper()
+	phase := func(name string) *trace.Slice {
+		sl, err := workload.ByName(name, fixtureSpec)
+		if err != nil {
+			t.Fatalf("fixture phase %s: %v", name, err)
+		}
+		return sl
+	}
+	a := phase("micro.tight/0")
+	b := phase("specint/0")
+	c := phase("web/0")
+	out := &trace.Slice{Name: "fixture", Suite: "trace"}
+	for _, p := range []*trace.Slice{a, b, a, b, c, a} {
+		out.Insts = append(out.Insts, p.Insts...)
+	}
+	return out
+}
+
+// fixtureGZ renders the fixture as a gzip-compressed ChampSim stream.
+// Go's gzip writer emits no timestamp by default, so the bytes are
+// deterministic.
+func fixtureGZ(t testing.TB) []byte {
+	t.Helper()
+	var raw bytes.Buffer
+	if err := trace.WriteChampSim(&raw, fixtureSlice(t)); err != nil {
+		t.Fatal(err)
+	}
+	var gz bytes.Buffer
+	w, _ := gzip.NewWriterLevel(&gz, gzip.BestCompression)
+	if _, err := w.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return gz.Bytes()
+}
+
+func TestFixtureUpToDate(t *testing.T) {
+	want := fixtureGZ(t)
+	if os.Getenv("EXYSIM_REGEN_FIXTURE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixturePath, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", fixturePath, len(want))
+	}
+	got, err := os.ReadFile(fixturePath)
+	if err != nil {
+		t.Fatalf("%v — regenerate with EXYSIM_REGEN_FIXTURE=1 go test -run TestFixtureUpToDate ./internal/tracestore/", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("committed fixture no longer matches its generator — regenerate with EXYSIM_REGEN_FIXTURE=1")
+	}
+}

@@ -1,0 +1,135 @@
+package tracestore
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+
+	"exysim/internal/simpoint"
+	"exysim/internal/trace"
+)
+
+// IngestOptions configures one ChampSim-trace ingest.
+type IngestOptions struct {
+	// Name labels the resulting population ("spec.mcf", ...); required.
+	Name string
+	// Suite groups the population for per-suite reporting; defaults to
+	// "trace".
+	Suite string
+	// MaxInsts bounds how much of the source is analyzed (0 =
+	// unlimited).
+	MaxInsts int
+	// SimPoint is the slicing configuration; the zero value means
+	// simpoint.DefaultConfig().
+	SimPoint simpoint.Config
+}
+
+func (o *IngestOptions) normalize() error {
+	if o.Name == "" {
+		return fmt.Errorf("tracestore: ingest needs a population name")
+	}
+	if o.Suite == "" {
+		o.Suite = "trace"
+	}
+	if o.SimPoint == (simpoint.Config{}) {
+		o.SimPoint = simpoint.DefaultConfig()
+	}
+	return nil
+}
+
+// Ingest converts a ChampSim trace into a weighted SimPoint slice
+// population and stores it. The source is read twice — compressed
+// streams cannot rewind, so open must return a fresh reader over the
+// same bytes each call:
+//
+//	pass 1  stream-decode + BBV analysis (simpoint.AnalyzeStream),
+//	        hashing the raw bytes for source-level dedup on the way;
+//	pass 2  stream-decode again, cutting only the picked warmup+detail
+//	        windows (simpoint.ExtractStream).
+//
+// Peak memory is bounded by one decode window plus one BBV per interval
+// plus the extracted slices — never the source trace's length. When the
+// same source bytes were already ingested with the same options, the
+// stored population is returned without a second analysis (dedup=true).
+func (s *Store) Ingest(open func() (io.ReadCloser, error), opts IngestOptions) (pop *Population, dedup bool, err error) {
+	if err := opts.normalize(); err != nil {
+		return nil, false, err
+	}
+
+	// Pass 1: hash + analyze in one streaming read.
+	rc, err := open()
+	if err != nil {
+		return nil, false, fmt.Errorf("tracestore: open source: %w", err)
+	}
+	hash := sha256.New()
+	counted := &countingReader{r: io.TeeReader(rc, hash)}
+	cr, err := trace.NewChampSimReader(counted, opts.MaxInsts)
+	if err != nil {
+		rc.Close()
+		return nil, false, err
+	}
+	res, aerr := simpoint.AnalyzeStream(cr, opts.SimPoint)
+	// Drain the tee so the source hash covers the whole input even when
+	// maxInsts stopped the decode early; dedup keys raw bytes, not the
+	// analyzed prefix.
+	io.Copy(io.Discard, counted)
+	cerr := rc.Close()
+	if aerr != nil {
+		return nil, false, aerr
+	}
+	if cerr != nil {
+		return nil, false, fmt.Errorf("tracestore: close source: %w", cerr)
+	}
+	srcKey := fmt.Sprintf("%x/%+v/%d", hash.Sum(nil), opts.SimPoint, opts.MaxInsts)
+	if id, ok := s.FindBySource(srcKey); ok {
+		pop, err := s.Get(id)
+		if err != nil {
+			return nil, false, err
+		}
+		return pop, true, nil
+	}
+
+	// Pass 2: re-read and cut the picked windows.
+	rc2, err := open()
+	if err != nil {
+		return nil, false, fmt.Errorf("tracestore: reopen source: %w", err)
+	}
+	cr2, err := trace.NewChampSimReader(rc2, opts.MaxInsts)
+	if err != nil {
+		rc2.Close()
+		return nil, false, err
+	}
+	slices, err := simpoint.ExtractStream(cr2, res, opts.Name, opts.Suite)
+	cerr = rc2.Close()
+	if err != nil {
+		return nil, false, err
+	}
+	if cerr != nil {
+		return nil, false, fmt.Errorf("tracestore: close source: %w", cerr)
+	}
+
+	pop = NewPopulation(opts.Name, opts.Suite, slices, res)
+	pop.Meta.SourceKey = srcKey
+	pop.Meta.SourceBytes = counted.n
+	if err := s.Put(pop); err != nil {
+		return nil, false, err
+	}
+	return pop, false, nil
+}
+
+// IngestFile ingests a ChampSim trace file (raw or .gz) from disk.
+func (s *Store) IngestFile(path string, opts IngestOptions) (*Population, bool, error) {
+	return s.Ingest(func() (io.ReadCloser, error) { return os.Open(path) }, opts)
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
