@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke trace-smoke bench bench-smoke bench-compare bench-go
+.PHONY: tier1 fmt-check vet build test race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke trace-smoke predictor-smoke bench bench-smoke bench-compare bench-go
 
 # tier1 is the gate every change must pass: formatting, vet, a full
 # build, the test suite under the race detector, the observability
@@ -8,7 +8,7 @@ GO ?= go
 # benchmark smoke run proving the throughput harness still executes
 # every generation, and the snapshot/fork smoke pinning warm-state
 # bit-identity.
-tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke trace-smoke bench-smoke
+tier1: fmt-check vet build race obs-smoke robust-smoke serve-smoke snapfork-smoke fabric-smoke trace-smoke predictor-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -73,6 +73,16 @@ trace-smoke:
 	$(GO) test -race ./internal/tracestore/... && \
 	$(GO) test -race -run 'TestWeighted|TestTracePopulation|TestTraceShard|TestChampSim' ./internal/experiments/ ./internal/trace/ && \
 	$(GO) test -race -run 'TestTracePipelineEndToEnd' ./internal/serve/
+
+# predictor-smoke races the pluggable predictor lab end to end: the
+# spec/registry wire round-trip, TAGE-SC-L and ITTAGE learning plus the
+# Reset bit-identity pooling contract, the golden-MPKI fixture, the
+# hypothetical-generation (M7) sweep bit-identity across plain, pooled/
+# warm-forked, and merged-shard machinery, and the versioned job-request
+# schema compat plus the three-path M7 serve acceptance.
+predictor-smoke:
+	$(GO) test -race -run 'TestPredictor|TestTAGE|TestITTAGE|TestFrontendM7|TestHypothetical|TestM7' \
+		./internal/branch/ ./internal/experiments/ ./internal/serve/
 
 # bench measures per-generation simulator throughput (min-of-5 batches)
 # plus the population-scale RunPopulation sweep, and rewrites the

@@ -35,6 +35,7 @@ import (
 
 	"sync"
 
+	"exysim/internal/branch"
 	"exysim/internal/core"
 	"exysim/internal/experiments"
 	"exysim/internal/fabric"
@@ -365,7 +366,7 @@ func measure(reps int, smoke bool) *Report {
 		NumCPU:    runtime.NumCPU(),
 		Env:       collectEnv(),
 	}
-	for _, g := range core.Generations() {
+	for _, g := range append(core.Generations(), tageGen()) {
 		// Warm (and measure instruction count) outside the timed region.
 		sl.Reset()
 		r := core.RunSlice(g, sl)
@@ -600,6 +601,22 @@ func measurePopulation(reps int, smoke bool, opts ...experiments.Option) *PopRes
 		InstsPerSec:     float64(insts) / best,
 		Reps:            reps,
 	}
+}
+
+// tageGen is the predictor-lab throughput row: M6 with the M7-class
+// TAGE-SC-L direction predictor and ITTAGE indirect targets swapped in
+// through the pluggable-predictor seam. Comparing it to the M6 row
+// shows what raw step-loop throughput the heavier predictor costs.
+// Baselines that predate the row report it as "new" instead of gating.
+func tageGen() core.GenConfig {
+	g, ok := core.GenByName("M6")
+	if !ok {
+		fatal(fmt.Errorf("no M6 generation"))
+	}
+	spec := branch.TAGESpec(branch.M7TAGEConfig())
+	ind := branch.M7ITTAGEConfig()
+	spec.Indirect = &ind
+	return core.Hypothetical(g, "tage", spec)
 }
 
 // calibrate picks an iteration count so one batch takes roughly 200ms —

@@ -16,6 +16,9 @@
 //	exysim run --gen=M4 --slice=web/3 # one slice, full detail
 //
 // The --spec flag (tiny|quick|standard) sizes the synthetic population.
+// Population commands also accept --m7='{"kind":"tage-sc-l"}' to sweep a
+// hypothetical M7 generation (derived from --m7-base, default M6)
+// beside the shipped cores.
 //
 // Global flags (valid in any position, before or after the subcommand):
 //
@@ -292,6 +295,8 @@ type popFlags struct {
 	retries       *int
 	spanOut       *string
 	warm          *bool
+	m7            *string
+	m7Base        *string
 }
 
 func runPopulationFlags(fs *flag.FlagSet) *popFlags {
@@ -306,6 +311,9 @@ func runPopulationFlags(fs *flag.FlagSet) *popFlags {
 		spanOut:       fs.String("span-out", "", "write a wall-clock span trace (Perfetto JSON) of the sweep to FILE"),
 		warm: fs.Bool("warm-snapshots", false,
 			"cache warm-state snapshots so repeated sweeps in this process fork past each slice's warmup (results stay bit-identical)"),
+		m7: fs.String("m7", "",
+			`sweep a hypothetical M7 beside M1..M6: a predictor spec as JSON (e.g. '{"kind":"tage-sc-l"}')`),
+		m7Base: fs.String("m7-base", "M6", "generation the hypothetical M7 derives from"),
 	}
 }
 
@@ -320,11 +328,26 @@ func runPopulation(command string, pf *popFlags, artifacts map[string]string) *e
 		experiments.WithSliceDeadline(*pf.sliceDeadline),
 		experiments.WithRetries(*pf.retries),
 	}
+	genCount := len(core.Generations())
+	if *pf.m7 != "" {
+		var spec branch.PredictorSpec
+		if err := json.Unmarshal([]byte(*pf.m7), &spec); err != nil {
+			fmt.Fprintf(os.Stderr, "exysim: bad --m7 spec: %v\n", err)
+			os.Exit(2)
+		}
+		gens, err := experiments.HypotheticalGens(*pf.m7Base, "M7", spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exysim:", err)
+			os.Exit(2)
+		}
+		opts = append(opts, experiments.WithGenerations(gens))
+		genCount = len(gens)
+	}
 	if *pf.warm {
 		opts = append(opts, experiments.WithWarmSnapshots(warmCache()))
 	}
 	if *pf.progress {
-		total := len(workload.Suite(sp)) * 6
+		total := len(workload.Suite(sp)) * genCount
 		opts = append(opts, experiments.WithProgress(obs.NewProgress(os.Stderr, command, total)))
 	}
 	if *pf.checkpoint != "" {

@@ -23,6 +23,13 @@ func NewBimodal(entries int) *Bimodal {
 
 func (b *Bimodal) idx(pc uint64) uint32 { return uint32(pc>>2) & b.mask }
 
+// Reset restores every counter to the weakly-taken construction state.
+func (b *Bimodal) Reset() {
+	for i := range b.counters {
+		b.counters[i] = 2
+	}
+}
+
 // Predict implements DirectionPredictor.
 func (b *Bimodal) Predict(pc uint64) Prediction {
 	c := b.counters[b.idx(pc)]
@@ -74,6 +81,14 @@ func NewGShare(entries int, histBits uint) *GShare {
 
 func (g *GShare) idx(pc uint64) uint32 {
 	return (uint32(pc>>2) ^ (g.hist & ((1 << g.histBits) - 1))) & g.mask
+}
+
+// Reset restores counters and history to the construction state.
+func (g *GShare) Reset() {
+	for i := range g.counters {
+		g.counters[i] = 2
+	}
+	g.hist = 0
 }
 
 // Predict implements DirectionPredictor.

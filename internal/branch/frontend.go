@@ -25,6 +25,7 @@ const (
 	SrcRAS                   // return-address stack
 	SrcVPC                   // VPC chain walk
 	SrcIndHash               // M6 dedicated indirect target table (§IV-F)
+	SrcITTAGE                // hypothetical tagged indirect target predictor
 	SrcMiss                  // undiscovered branch (BTB miss)
 	numSources
 )
@@ -52,6 +53,8 @@ func (s Source) String() string {
 		return "vpc"
 	case SrcIndHash:
 		return "indhash"
+	case SrcITTAGE:
+		return "ittage"
 	case SrcMiss:
 		return "miss"
 	}
@@ -63,7 +66,11 @@ func (s Source) String() string {
 type Config struct {
 	Name string
 
-	SHP  SHPConfig
+	// Predictor selects and sizes the conditional direction predictor
+	// (and, optionally, an ITTAGE indirect predictor). A zero value means
+	// SHP with the M1 geometry.
+	Predictor PredictorSpec
+
 	UBTB UBTBConfig
 	VPC  VPCConfig
 
@@ -127,6 +134,9 @@ type Stats struct {
 
 	VPCWalked   uint64
 	VPCPredicts uint64
+
+	ITTPredicts uint64 // ITTAGE lookups issued
+	ITTHits     uint64 // ITTAGE lookups that supplied the target
 }
 
 // MPKI returns mispredicts per thousand instructions.
@@ -170,7 +180,8 @@ type eloLine struct {
 type Frontend struct {
 	cfg Config
 
-	shp  *SHP
+	dir  DirectionPredictor
+	itt  *ITTAGE // nil unless cfg.Predictor.Indirect is set
 	ubtb *UBTB
 	vpc  *VPC
 	mbtb *MBTB
@@ -207,13 +218,16 @@ type Frontend struct {
 // NewFrontend builds one generation's front end.
 func NewFrontend(cfg Config) *Frontend {
 	f := &Frontend{cfg: cfg}
-	f.shp = NewSHP(cfg.SHP)
+	f.dir = mustDirectionPredictor(cfg.Predictor)
+	if cfg.Predictor.Indirect != nil {
+		f.itt = NewITTAGE(*cfg.Predictor.Indirect)
+	}
 	f.ubtb = NewUBTB(cfg.UBTB)
 	f.vbtb = NewVBTB(cfg.VBTBSets, cfg.VBTBWays)
 	f.mbtb = NewMBTB(cfg.MBTBSets, cfg.MBTBWays, f.vbtb)
 	f.l2 = NewL2BTB(cfg.L2Sets, cfg.L2Ways)
 	f.ras = NewRAS(cfg.RASDepth)
-	f.vpc = NewVPC(cfg.VPC, f.shp)
+	f.vpc = NewVPC(cfg.VPC, f.dir)
 	if cfg.MRBEntries > 0 {
 		f.mrb = NewMRB(cfg.MRBEntries)
 	}
@@ -253,7 +267,10 @@ func (f *Frontend) ResetStats() { f.stats = Stats{} }
 // and the power meter are kept, so a pooled front end behaves
 // bit-identically to a freshly constructed one.
 func (f *Frontend) Reset() {
-	f.shp.Reset()
+	f.dir.Reset()
+	if f.itt != nil {
+		f.itt.Reset()
+	}
 	f.ubtb.Reset()
 	f.vpc.Reset()
 	f.mbtb.Reset()
@@ -298,6 +315,8 @@ func (f *Frontend) RegisterMetrics(sc *obs.Scope) {
 	sc.Counter("ubtb_locked_preds", func() uint64 { return st.UBTBLockedPreds })
 	sc.Counter("vpc_walked", func() uint64 { return st.VPCWalked })
 	sc.Counter("vpc_predicts", func() uint64 { return st.VPCPredicts })
+	sc.Counter("ittage_predicts", func() uint64 { return st.ITTPredicts })
+	sc.Counter("ittage_hits", func() uint64 { return st.ITTHits })
 	sc.Gauge("mpki", func() float64 { return st.MPKI() })
 	srcs := sc.Child("src")
 	for s := Source(0); s < numSources; s++ {
@@ -313,6 +332,9 @@ func (f *Frontend) SetCipher(c TargetCipher, ctx *Context) {
 	f.cipher, f.ctx = c, ctx
 	f.ras.SetCipher(c, ctx)
 	f.vpc.SetCipher(c, ctx)
+	if f.itt != nil {
+		f.itt.SetCipher(c, ctx)
+	}
 }
 
 // SwitchContext models a context switch: CONTEXT_HASH is recomputed from
@@ -324,6 +346,9 @@ func (f *Frontend) SwitchContext(ctx *Context) {
 	f.ctx = ctx
 	f.ras.SetCipher(f.cipher, ctx)
 	f.vpc.SetCipher(f.cipher, ctx)
+	if f.itt != nil {
+		f.itt.SetCipher(f.cipher, ctx)
+	}
 }
 
 // UBTBLocked reports whether the μBTB is driving the pipe (consumed by
@@ -428,19 +453,19 @@ func (f *Frontend) stepBranch(in *isa.Inst) Result {
 	)
 
 	f.charge(power.EvUBTBLookup, 1)
-	shpPred := Prediction{}
+	dirPred := Prediction{}
 	if cond {
-		shpPred = f.shp.Predict(in.PC)
+		dirPred = f.dir.Predict(in.PC)
 		// §IV-B: with the μBTB locked and highly confident, the mBTB
-		// is clock gated and the SHP disabled entirely; the simulator
-		// still computes the prediction for bookkeeping but charges
-		// only the gated residual.
+		// is clock gated and the direction predictor disabled entirely;
+		// the simulator still computes the prediction for bookkeeping
+		// but charges only the gated residual.
 		if f.ubtb.Locked() {
 			f.charge(power.EvSHPLookupGated, 1)
 		} else {
 			f.charge(power.EvSHPLookup, 1)
 		}
-		lowConf = shpPred.LowConfidence
+		lowConf = dirPred.LowConfidence
 	}
 
 	switch {
@@ -448,7 +473,7 @@ func (f *Frontend) stepBranch(in *isa.Inst) Result {
 		// Undiscovered: fetch falls through sequentially.
 		predTaken, source = false, SrcMiss
 	case cond:
-		predTaken = shpPred.Taken
+		predTaken = dirPred.Taken
 		predTarget = entry.Target
 		if fromVBTB {
 			source = SrcVBTB
@@ -463,19 +488,35 @@ func (f *Frontend) stepBranch(in *isa.Inst) Result {
 		source = SrcRAS
 	case in.Branch.IsIndirect():
 		predTaken = true
-		indPred = f.vpc.Predict(in.PC)
-		st.VPCPredicts++
-		st.VPCWalked += uint64(indPred.Walked)
-		if indPred.Hit {
-			predTarget = indPred.Target
-			if indPred.FromHash {
-				source = SrcIndHash
-			} else {
-				source = SrcVPC
+		// The tagged indirect predictor, when configured, is consulted
+		// first; the VPC chain walk (and the M6 hash) covers its misses.
+		ittHit := false
+		if f.itt != nil {
+			ip := f.itt.Predict(in.PC)
+			st.ITTPredicts++
+			if ip.Hit {
+				st.ITTHits++
+				predTarget = ip.Target
+				source = SrcITTAGE
+				indBubbles = ip.Bubbles
+				ittHit = true
 			}
-			indBubbles = indPred.Bubbles
-		} else {
-			source = SrcMiss
+		}
+		if !ittHit {
+			indPred = f.vpc.Predict(in.PC)
+			st.VPCPredicts++
+			st.VPCWalked += uint64(indPred.Walked)
+			if indPred.Hit {
+				predTarget = indPred.Target
+				if indPred.FromHash {
+					source = SrcIndHash
+				} else {
+					source = SrcVPC
+				}
+				indBubbles = indPred.Bubbles
+			} else {
+				source = SrcMiss
+			}
 		}
 	default: // direct unconditional / call
 		predTaken = true
@@ -626,17 +667,24 @@ func (f *Frontend) update(in *isa.Inst, entry *BTBEntry, known, correct bool) {
 
 	// Direction predictor.
 	if cond {
-		f.shp.Train(in.PC, in.Taken)
+		f.dir.Train(in.PC, in.Taken)
 	}
-	f.shp.OnBranch(in.PC, cond, in.Taken)
+	f.dir.OnBranch(in.PC, cond, in.Taken)
+	if f.itt != nil {
+		f.itt.OnBranch(in.PC, cond, in.Taken)
+	}
 
 	// RAS: calls push the sequential return address.
 	if in.Branch.PushesRAS() {
 		f.ras.Push(in.PC + isa.InstBytes)
 	}
 
-	// Indirect chains.
+	// Indirect chains. Both indirect predictors train on every resolved
+	// indirect branch, whichever supplied the prediction.
 	if in.Branch.IsIndirect() {
+		if f.itt != nil {
+			f.itt.Train(in.PC, in.Target)
+		}
 		f.vpc.Train(in.PC, in.Target, IndPrediction{})
 	}
 

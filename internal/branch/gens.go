@@ -16,10 +16,10 @@ package branch
 // M1FrontendConfig returns the first-generation front end.
 func M1FrontendConfig() Config {
 	return Config{
-		Name: "M1",
-		SHP:  M1SHPConfig(),
-		UBTB: UBTBConfig{Nodes: 64, UncondNodes: 0, LHPTables: 3, LHPRows: 256, LHPHists: 64, LHPBits: 10, Window: 24, Cooldown: 12},
-		VPC:  M1VPCConfig(),
+		Name:      "M1",
+		Predictor: SHPSpec(M1SHPConfig()),
+		UBTB:      UBTBConfig{Nodes: 64, UncondNodes: 0, LHPTables: 3, LHPRows: 256, LHPHists: 64, LHPBits: 10, Window: 24, Cooldown: 12},
+		VPC:       M1VPCConfig(),
 
 		MBTBSets: 64, MBTBWays: 8, // 512 lines, 4K branch slots
 		VBTBSets: 128, VBTBWays: 4, // 512 spill entries
@@ -46,8 +46,10 @@ func M2FrontendConfig() Config {
 func M3FrontendConfig() Config {
 	c := M2FrontendConfig()
 	c.Name = "M3"
-	c.SHP.Rows = 2048 // "doubling of SHP rows"
-	c.SHP.BiasEntries = 8192
+	shp := *c.Predictor.SHP
+	shp.Rows = 2048 // "doubling of SHP rows"
+	shp.BiasEntries = 8192
+	c.Predictor = SHPSpec(shp)
 	c.UBTB.UncondNodes = 64         // graph doubled, new half unconditional-only
 	c.MBTBSets, c.MBTBWays = 128, 6 // wider 6-wide pipe needs more reach
 	c.VBTBSets, c.VBTBWays = 128, 6
@@ -71,8 +73,8 @@ func M4FrontendConfig() Config {
 func M5FrontendConfig() Config {
 	c := M4FrontendConfig()
 	c.Name = "M5"
-	c.SHP = M5SHPConfig() // 16 tables x 2048, GHIST +25%
-	c.UBTB.Nodes = 48     // μBTB area reduced...
+	c.Predictor = SHPSpec(M5SHPConfig()) // 16 tables x 2048, GHIST +25%
+	c.UBTB.Nodes = 48                    // μBTB area reduced...
 	c.UBTB.UncondNodes = 48
 	c.HasZATZOT = true // ...with ZAT/ZOT participating more
 	c.HasEmptyLineOpt = true
@@ -102,7 +104,9 @@ func Generations() []Config {
 
 // StorageBudget is one generation's row of Table II, in kilobytes.
 type StorageBudget struct {
-	Gen     string
+	Gen string
+	// SHPKB is the direction-predictor storage (named for the lineage;
+	// for non-SHP predictors it is that engine's StorageBits).
 	SHPKB   float64
 	L1KB    float64 // "L1BTBs": mBTB + vBTB + μBTB (+LHP) + RAS + MRB + indirect hash
 	L2KB    float64
@@ -131,7 +135,9 @@ func Budget(c Config) StorageBudget {
 	b := StorageBudget{Gen: c.Name}
 	kb := func(bits int) float64 { return float64(bits) / 8192 }
 
-	b.SHPKB = kb(c.SHP.Tables * c.SHP.Rows * 8)
+	// The direction predictor accounts for its own state, whatever the
+	// engine: Budget just delegates to StorageBits.
+	b.SHPKB = kb(mustDirectionPredictor(c.Predictor).StorageBits())
 
 	branchBits := mbtbBranchBits
 	if c.HasZATZOT {
@@ -149,6 +155,9 @@ func Budget(c Config) StorageBudget {
 	indBits := 0
 	if c.VPC.HashEntries > 0 {
 		indBits = c.VPC.HashEntries * (indHashEntryBits + int(c.VPC.HashTagBits))
+	}
+	if c.Predictor.Indirect != nil {
+		indBits += NewITTAGE(*c.Predictor.Indirect).StorageBits()
 	}
 	// SHP bias lives in the BTB entries and is already counted there via
 	// mbtbBranchBits' bias field.

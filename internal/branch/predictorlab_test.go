@@ -1,0 +1,256 @@
+// Predictor-lab seam tests: the spec/registry round-trip every job
+// request and fabric grant relies on, TAGE-SC-L and ITTAGE learning
+// behavior, and the Reset bit-identity contract pooled simulators
+// depend on. `make predictor-smoke` runs these (race-enabled) as part
+// of the tier-1 gate.
+package branch
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"exysim/internal/isa"
+)
+
+func TestPredictorRegistryRoundTrip(t *testing.T) {
+	kinds := PredictorKinds()
+	want := map[string]bool{KindSHP: false, KindTAGESCL: false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("kind %q not registered (have %v)", k, kinds)
+		}
+	}
+
+	ind := M7ITTAGEConfig()
+	specs := []PredictorSpec{
+		{}, // zero spec = M1 SHP
+		SHPSpec(M5SHPConfig()),
+		TAGESpec(M7TAGEConfig()),
+		{Kind: KindTAGESCL, TAGE: func() *TAGEConfig { c := M7TAGEConfig(); return &c }(), Indirect: &ind},
+	}
+	for i, spec := range specs {
+		// The wire trip every job request and fabric grant takes.
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		var back PredictorSpec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if back.String() != spec.String() {
+			t.Fatalf("spec %d changed over the wire:\n  sent %s\n  got  %s", i, spec, back)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("spec %d invalid after round-trip: %v", i, err)
+		}
+		p, err := NewDirectionPredictor(back)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if p.Name() != spec.kind() {
+			t.Fatalf("spec %d: engine %q for kind %q", i, p.Name(), spec.kind())
+		}
+		if p.StorageBits() <= 0 {
+			t.Fatalf("spec %d: StorageBits = %d", i, p.StorageBits())
+		}
+	}
+
+	if _, err := NewDirectionPredictor(PredictorSpec{Kind: "perceptron-9000"}); err == nil {
+		t.Fatal("unknown kind must fail construction")
+	}
+	if err := (PredictorSpec{Kind: "perceptron-9000"}).Validate(); err == nil {
+		t.Fatal("unknown kind must fail validation")
+	}
+	bad := M7ITTAGEConfig()
+	bad.Banks = 0
+	if err := (PredictorSpec{Indirect: &bad}).Validate(); err == nil {
+		t.Fatal("invalid indirect geometry must fail validation as an error, not a panic")
+	}
+}
+
+// TestPredictorSpecStringValueDetermined pins the digest-safety
+// property: two specs with equal geometry values but distinct pointer
+// allocations must format identically, because config digests
+// fingerprint specs through fmt verbs.
+func TestPredictorSpecStringValueDetermined(t *testing.T) {
+	mk := func() PredictorSpec {
+		cfg := M7TAGEConfig()
+		ind := M7ITTAGEConfig()
+		return PredictorSpec{Kind: KindTAGESCL, TAGE: &cfg, Indirect: &ind}
+	}
+	a, b := mk(), mk()
+	if a.TAGE == b.TAGE {
+		t.Fatal("test needs distinct allocations")
+	}
+	if a.String() != b.String() {
+		t.Fatalf("equal-valued specs format differently:\n  %s\n  %s", a, b)
+	}
+	c := mk()
+	c.TAGE.Banks++
+	if c.String() == a.String() {
+		t.Fatal("different geometries must format differently")
+	}
+}
+
+// predictorStream drives a predictor through a deterministic periodic
+// branch stream — eight sites visited round-robin with biased,
+// alternating, period-3, and long-pattern outcomes — and returns the
+// prediction sequence plus the hit count. Every outcome is a pure
+// function of the global branch history, so a history-based predictor
+// can in principle approach 100% after warmup.
+func predictorStream(p DirectionPredictor, n int) ([]bool, int) {
+	rng := rand.New(rand.NewSource(0xE59))
+	pattern := make([]bool, 64)
+	for i := range pattern {
+		pattern[i] = rng.Intn(2) == 1
+	}
+	preds := make([]bool, 0, n)
+	hits := 0
+	for i := 0; i < n; i++ {
+		site := i % 8
+		visit := i / 8
+		pc := 0x4000 + uint64(site)*64
+		var taken bool
+		switch site {
+		case 0, 1, 2:
+			taken = true // strongly biased
+		case 3:
+			taken = visit%2 == 0 // alternating per visit
+		case 4:
+			taken = visit%3 != 0 // period 3
+		default:
+			taken = pattern[visit%64] // long repeating pattern
+		}
+		pr := p.Predict(pc)
+		preds = append(preds, pr.Taken)
+		if pr.Taken == taken {
+			hits++
+		}
+		p.Train(pc, taken)
+		p.OnBranch(pc, true, taken)
+	}
+	return preds, hits
+}
+
+func TestTAGELearnsMixedStream(t *testing.T) {
+	p := NewTAGESCL(M7TAGEConfig())
+	const n = 20_000
+	_, hits := predictorStream(p, n)
+	if acc := float64(hits) / n; acc < 0.85 {
+		t.Fatalf("TAGE-SC-L accuracy %.3f on a learnable mix, want >= 0.85", acc)
+	}
+}
+
+// TestPredictorResetBitIdentical is the pooling contract: for every
+// registered kind, Reset must restore cold state so exactly that a
+// reused engine predicts the same stream identically to a fresh one.
+func TestPredictorResetBitIdentical(t *testing.T) {
+	ind := M7ITTAGEConfig()
+	for _, spec := range []PredictorSpec{
+		SHPSpec(M5SHPConfig()),
+		TAGESpec(M7TAGEConfig()),
+		{Indirect: &ind}, // SHP default; Indirect irrelevant to the direction engine
+	} {
+		fresh := mustDirectionPredictor(spec)
+		reused := mustDirectionPredictor(spec)
+		predictorStream(reused, 5_000) // dirty it
+		reused.Reset()
+		want, _ := predictorStream(fresh, 5_000)
+		got, _ := predictorStream(reused, 5_000)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: prediction %d differs after Reset (fresh %v, reused %v)", fresh.Name(), i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestITTAGELearnsCorrelatedTargets drives an indirect site whose
+// target is determined by recent branch history — the polymorphic
+// pattern ITTAGE exists for — and checks it beats chance, learns, and
+// Resets bit-identically.
+func TestITTAGELearnsCorrelatedTargets(t *testing.T) {
+	run := func(p *ITTAGE) (hits, total int, tgts []uint64) {
+		const site = uint64(0x8800)
+		seq := []int{0, 1, 2, 1, 3, 2, 0, 3}
+		for i := 0; i < 12_000; i++ {
+			phase := seq[i%len(seq)]
+			// Two conditional branches encode the phase into history...
+			for b := 0; b < 2; b++ {
+				taken := (phase>>b)&1 == 1
+				p.OnBranch(0x100+uint64(b)*8, true, taken)
+			}
+			// ...and the indirect target is a pure function of it.
+			target := 0x9000 + uint64(phase)*0x40
+			ip := p.Predict(site)
+			total++
+			if ip.Hit && ip.Target == target {
+				hits++
+			}
+			tgts = append(tgts, ip.Target)
+			p.Train(site, target)
+			p.OnBranch(site, false, false)
+		}
+		return
+	}
+	p := NewITTAGE(M7ITTAGEConfig())
+	hits, total, want := run(p)
+	// The base table alone (majority target) would cap out near the most
+	// common phase's share (3/8); history-based banks must beat that.
+	if acc := float64(hits) / float64(total); acc < 0.60 {
+		t.Fatalf("ITTAGE accuracy %.3f on history-determined targets, want >= 0.60", acc)
+	}
+	p.Reset()
+	_, _, got := run(p)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction %d differs after Reset", i)
+		}
+	}
+}
+
+// TestFrontendM7TAGEBeatsM6SHPOnLongHistory: the M7 frontend config
+// (TAGE-SC-L + ITTAGE) must win on a pattern whose period exceeds the
+// SHP's history reach — the design-space argument the predictor lab
+// exists to quantify.
+func TestFrontendM7TAGEBeatsM6SHPOnLongHistory(t *testing.T) {
+	mk := func(spec PredictorSpec) *Frontend {
+		cfg := M6FrontendConfig()
+		cfg.Predictor = spec
+		return NewFrontend(cfg)
+	}
+	ind := M7ITTAGEConfig()
+	tage := PredictorSpec{Kind: KindTAGESCL, Indirect: &ind}
+	run := func(f *Frontend) float64 {
+		// One branch whose outcome repeats with period 96: far past the
+		// SHP geometric tables, well within TAGE's 640-bit reach.
+		const period = 96
+		pattern := make([]bool, period)
+		rng := rand.New(rand.NewSource(7))
+		for i := range pattern {
+			pattern[i] = rng.Intn(2) == 1
+		}
+		mis := 0
+		const n = 40_000
+		for i := 0; i < n; i++ {
+			in := isa.Inst{PC: 0x4000, Class: isa.Branch, Branch: isa.BranchCond,
+				Taken: pattern[i%period], Target: 0x100}
+			if f.Step(&in).Mispredict {
+				mis++
+			}
+		}
+		return float64(mis) / float64(n)
+	}
+	shpRate := run(mk(M6FrontendConfig().Predictor))
+	tageRate := run(mk(tage))
+	if tageRate >= shpRate {
+		t.Fatalf("M7 TAGE misrate %.4f not better than M6 SHP %.4f on period-96 history", tageRate, shpRate)
+	}
+}

@@ -2,26 +2,6 @@ package branch
 
 import "exysim/internal/rng"
 
-// DirectionPredictor is the common interface of conditional-branch
-// direction predictors (SHP and the baselines). Callers must alternate
-// Predict/Train for each dynamic conditional branch in program order,
-// then advance history via OnBranch for every branch (conditional or
-// not), mirroring how the front end streams branches past the predictor.
-type DirectionPredictor interface {
-	// Predict returns the predicted direction for the branch at pc.
-	Predict(pc uint64) Prediction
-	// Train updates predictor state with the resolved outcome. It must
-	// be called after Predict for the same pc.
-	Train(pc uint64, taken bool)
-	// OnBranch advances global state for a seen branch of any kind;
-	// cond indicates a conditional branch with the given outcome.
-	OnBranch(pc uint64, cond, taken bool)
-	// Name identifies the predictor in reports.
-	Name() string
-	// StorageBits returns the predictor's total state cost.
-	StorageBits() int
-}
-
 // Prediction is a direction predictor's output.
 type Prediction struct {
 	Taken bool
@@ -156,9 +136,11 @@ func (s *SHP) Reset() {
 // Name implements DirectionPredictor.
 func (s *SHP) Name() string { return "shp" }
 
-// StorageBits counts weight tables plus bias store.
+// StorageBits counts the weight tables. The per-branch bias store is
+// excluded: on the real cores it lives inside each branch's BTB entry
+// (§IV-A) and Budget accounts it there, via mbtbBranchBits' bias field.
 func (s *SHP) StorageBits() int {
-	return s.cfg.Tables*s.cfg.Rows*8 + s.cfg.BiasEntries*8
+	return s.cfg.Tables * s.cfg.Rows * 8
 }
 
 // pcHash mixes the PC for table t.

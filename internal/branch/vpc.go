@@ -68,13 +68,13 @@ type indHashEntry struct {
 	valid  bool
 }
 
-// VPC is the indirect predictor. Virtual branches consult the shared SHP
-// through the shp handle; chain storage is charged to the vBTB by the
-// front end.
+// VPC is the indirect predictor. Virtual branches consult the front
+// end's shared direction predictor through the dir handle; chain storage
+// is charged to the vBTB by the front end.
 type VPC struct {
 	cfg    VPCConfig
 	chains *satable.Table[vpcChain]
-	shp    *SHP
+	dir    DirectionPredictor
 
 	hash     []indHashEntry
 	hashMask uint32
@@ -83,9 +83,9 @@ type VPC struct {
 	ctx    *Context
 }
 
-// NewVPC builds the predictor; shp supplies virtual-branch direction
+// NewVPC builds the predictor; dir supplies virtual-branch direction
 // predictions and may be nil for tests (falls back to MRU order).
-func NewVPC(cfg VPCConfig, shp *SHP) *VPC {
+func NewVPC(cfg VPCConfig, dir DirectionPredictor) *VPC {
 	if cfg.WalkLimit <= 0 || cfg.WalkLimit > cfg.MaxChain {
 		cfg.WalkLimit = cfg.MaxChain
 	}
@@ -95,7 +95,7 @@ func NewVPC(cfg VPCConfig, shp *SHP) *VPC {
 	if cfg.ChainSets <= 0 {
 		cfg.ChainSets, cfg.ChainWays = 64, 4
 	}
-	v := &VPC{cfg: cfg, chains: satable.New[vpcChain](cfg.ChainSets, cfg.ChainWays), shp: shp}
+	v := &VPC{cfg: cfg, chains: satable.New[vpcChain](cfg.ChainSets, cfg.ChainWays), dir: dir}
 	if cfg.HashEntries > 0 {
 		if cfg.HashEntries&(cfg.HashEntries-1) != 0 {
 			panic("branch: indirect hash entries must be a power of two")
@@ -110,7 +110,8 @@ func NewVPC(cfg VPCConfig, shp *SHP) *VPC {
 func (v *VPC) SetCipher(c TargetCipher, ctx *Context) { v.cipher, v.ctx = c, ctx }
 
 // Reset empties the chain table and the hash table in place, keeping
-// the installed cipher and the shared SHP handle (which resets itself).
+// the installed cipher and the shared direction-predictor handle (which
+// resets itself).
 func (v *VPC) Reset() {
 	v.chains.Reset()
 	clear(v.hash)
@@ -188,8 +189,8 @@ func (v *VPC) Predict(pc uint64) IndPrediction {
 		for i := 0; i < limit; i++ {
 			vpc := virtualPC(pc, i)
 			taken := true
-			if v.shp != nil {
-				taken = v.shp.Predict(vpc).Taken
+			if v.dir != nil {
+				taken = v.dir.Predict(vpc).Taken
 			}
 			if taken {
 				return IndPrediction{Target: v.load(chain.targets[i]), Hit: true, Bubbles: i + 1, Walked: i + 1}
@@ -234,8 +235,8 @@ func (v *VPC) Train(pc, target uint64, pred IndPrediction) {
 	// not-taken, pos is taken. Outcomes enter global history like real
 	// conditionals [17]. Only walked positions trained at predict time
 	// had a Predict() issued; for the rest issue Predict to satisfy the
-	// SHP protocol.
-	if v.shp != nil {
+	// Predict/Train protocol.
+	if v.dir != nil {
 		limit := pos
 		if limit < 0 || limit > v.cfg.WalkLimit {
 			limit = min(chain.n, v.cfg.WalkLimit)
@@ -243,9 +244,9 @@ func (v *VPC) Train(pc, target uint64, pred IndPrediction) {
 		for i := 0; i <= limit && i < chain.n; i++ {
 			vpc := virtualPC(pc, i)
 			taken := i == pos
-			v.shp.Predict(vpc)
-			v.shp.Train(vpc, taken)
-			v.shp.OnBranch(vpc, true, taken)
+			v.dir.Predict(vpc)
+			v.dir.Train(vpc, taken)
+			v.dir.OnBranch(vpc, true, taken)
 		}
 	}
 	switch {

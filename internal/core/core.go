@@ -66,6 +66,18 @@ func GenByName(name string) (GenConfig, bool) {
 	return GenConfig{}, false
 }
 
+// Hypothetical derives a what-if generation from a shipped baseline by
+// swapping the direction-predictor spec — the "M7" of a predictor-lab
+// sweep. Everything else (BTBs, memory system, pipeline) is inherited
+// from base, so population comparisons isolate the predictor change.
+func Hypothetical(base GenConfig, name string, spec branch.PredictorSpec) GenConfig {
+	g := base
+	g.Name = name
+	g.Branch.Name = name
+	g.Branch.Predictor = spec
+	return g
+}
+
 // Result is one slice's outcome on one generation.
 type Result struct {
 	Gen   string

@@ -536,6 +536,15 @@ func Summary(p *PopulationRun) string {
 		lat[0], lat[5], (lat[5]/lat[0]-1)*100)
 	fmt.Fprintf(&b, "mean IPC       M1 %.2f -> M6 %.2f (x%.2f)    [paper: 1.06 -> 2.71, x2.56]\n",
 		ipc[0], ipc[5], ipc[5]/ipc[0])
+	// Hypothetical generations (predictor-lab sweeps) get their own
+	// lines, relative to the last shipped core.
+	for g := len(core.Generations()); g < len(p.Gens); g++ {
+		last := len(core.Generations()) - 1
+		fmt.Fprintf(&b, "hypothetical   %s (%s): MPKI %.2f (%+.1f%% vs %s), IPC %.2f (x%.2f)\n",
+			p.Gens[g].Name, p.Gens[g].Branch.Predictor.EngineKind(),
+			mpki[g], (mpki[g]/mpki[last]-1)*100, p.Gens[last].Name,
+			ipc[g], ipc[g]/ipc[last])
+	}
 	return b.String()
 }
 

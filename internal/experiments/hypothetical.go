@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"exysim/internal/branch"
+	"exysim/internal/core"
+)
+
+// HypotheticalGens builds the generation set of a predictor-lab sweep:
+// the shipped M1..M6 plus one derived what-if generation carrying spec
+// on top of the named baseline. base defaults to "M6" (the last shipped
+// core) and name to "M7"; the name must not collide with a shipped
+// generation. The spec is validated here, so a job request with an
+// impossible geometry fails before any simulation starts. Feed the
+// result to Run via WithGenerations.
+func HypotheticalGens(base, name string, spec branch.PredictorSpec) ([]core.GenConfig, error) {
+	if base == "" {
+		base = "M6"
+	}
+	if name == "" {
+		name = "M7"
+	}
+	bg, ok := core.GenByName(base)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown baseline generation %q", base)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	gens := core.Generations()
+	for _, g := range gens {
+		if g.Name == name {
+			return nil, fmt.Errorf("experiments: hypothetical generation name %q collides with a shipped core", name)
+		}
+	}
+	return append(gens, core.Hypothetical(bg, name, spec)), nil
+}

@@ -5,10 +5,13 @@ import (
 	"sync/atomic"
 
 	"exysim/internal/core"
+	"exysim/internal/obs"
 )
 
 // SimPool shares constructed simulators across Run invocations, keyed by
-// generation name. A long-lived process serving many sweeps (the
+// configuration digest — not name, so two hypothetical generations that
+// both call themselves "M7" but size their predictors differently can
+// never hand each other's instances out. A long-lived process serving many sweeps (the
 // exyserve daemon) hands the same pool to every Run: workers check
 // instances out on first use of a generation and return the healthy
 // survivors when the sweep ends, so steady-state serving constructs no
@@ -31,26 +34,30 @@ func NewSimPool() *SimPool {
 	return &SimPool{idle: make(map[string][]*core.Simulator)}
 }
 
-// take removes and returns an idle simulator for the generation, or nil
-// if none is pooled. The caller must Reset() it before use.
-func (p *SimPool) take(gen string) *core.Simulator {
+// poolKey is the pool's bucket key for a configuration. The digest
+// covers the whole GenConfig, predictor spec included.
+func poolKey(cfg core.GenConfig) string { return obs.ConfigDigest(cfg) }
+
+// take removes and returns an idle simulator under key, or nil if none
+// is pooled. The caller must Reset() it before use.
+func (p *SimPool) take(key string) *core.Simulator {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	l := p.idle[gen]
+	l := p.idle[key]
 	if len(l) == 0 {
 		return nil
 	}
 	sim := l[len(l)-1]
 	l[len(l)-1] = nil
-	p.idle[gen] = l[:len(l)-1]
+	p.idle[key] = l[:len(l)-1]
 	return sim
 }
 
 // give returns a healthy simulator to the pool.
-func (p *SimPool) give(gen string, sim *core.Simulator) {
+func (p *SimPool) give(key string, sim *core.Simulator) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.idle[gen] = append(p.idle[gen], sim)
+	p.idle[key] = append(p.idle[key], sim)
 }
 
 // Get returns a simulator for cfg: a recycled instance already Reset()
@@ -58,7 +65,7 @@ func (p *SimPool) give(gen string, sim *core.Simulator) {
 // Single-slice jobs use this directly; population sweeps go through
 // WithSimPool, which batches checkout per worker instead.
 func (p *SimPool) Get(cfg core.GenConfig) *core.Simulator {
-	if sim := p.take(cfg.Name); sim != nil {
+	if sim := p.take(poolKey(cfg)); sim != nil {
 		sim.Reset()
 		return sim
 	}
@@ -69,7 +76,7 @@ func (p *SimPool) Get(cfg core.GenConfig) *core.Simulator {
 // Put returns a healthy simulator to the pool. Never return an instance
 // whose last run failed — discard it instead.
 func (p *SimPool) Put(sim *core.Simulator) {
-	p.give(sim.Config().Name, sim)
+	p.give(poolKey(sim.Config()), sim)
 }
 
 // Built counts simulator constructions performed on behalf of this pool

@@ -47,6 +47,7 @@ type runConfig struct {
 	shardHi        int
 	popID          string
 	popSlices      []*trace.Slice
+	gens           []core.GenConfig
 }
 
 // Option configures one Run invocation.
@@ -189,6 +190,16 @@ func WithPopulation(id string, slices []*trace.Slice) Option {
 	}
 }
 
+// WithGenerations replaces the default M1..M6 generation set with gens —
+// the predictor-lab seam: append a core.Hypothetical "M7" to the shipped
+// six and the whole population machinery (pooling, warm snapshots,
+// checkpoints, shards) carries it like any product generation. Names
+// must be unique within the set; checkpoint digests and warm-cache keys
+// fold the full configurations, so differently-specced sets never mix.
+func WithGenerations(gens []core.GenConfig) Option {
+	return func(c *runConfig) { c.gens = gens }
+}
+
 // Run is the one sweep entrypoint: every generation × every slice of
 // spec's population, fanned out across a bounded worker pool with
 // pooled simulators, under the robustness envelope the options
@@ -244,7 +255,10 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 	default:
 		slices = workload.Suite(spec)
 	}
-	gens := core.Generations()
+	gens := cfg.gens
+	if gens == nil {
+		gens = core.Generations()
+	}
 	if cfg.shard {
 		if cfg.shardG < 0 || cfg.shardG >= len(gens) {
 			return nil, fmt.Errorf("experiments: shard generation %d outside [0, %d)", cfg.shardG, len(gens))
@@ -334,7 +348,7 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 		return pd
 	}
 	var genDigests []string
-	if cfg.warm != nil {
+	if cfg.warm != nil || cfg.pool != nil {
 		genDigests = make([]string, len(gens))
 		for g := range gens {
 			genDigests[g] = obs.ConfigDigest(gens[g])
@@ -373,7 +387,7 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 				defer func() {
 					for g, sim := range sims {
 						if sim != nil {
-							cfg.pool.give(gens[g].Name, sim)
+							cfg.pool.give(genDigests[g], sim)
 						}
 					}
 				}()
@@ -400,7 +414,7 @@ func Run(ctx context.Context, spec workload.SuiteSpec, opts ...Option) (*Populat
 				}
 				sim := sims[j.g]
 				if sim == nil && cfg.pool != nil {
-					sim = cfg.pool.take(gens[j.g].Name)
+					sim = cfg.pool.take(genDigests[j.g])
 					sims[j.g] = sim
 				}
 				build := func() *core.Simulator {

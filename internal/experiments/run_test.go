@@ -1,6 +1,6 @@
-// Tests for the unified Run entrypoint: equivalence with the deprecated
-// wrappers, context cancellation, worker bounding, and cross-invocation
-// simulator pooling.
+// Tests for the unified Run entrypoint: context cancellation, worker
+// bounding, custom generation sets, and cross-invocation simulator
+// pooling.
 package experiments
 
 import (
@@ -23,31 +23,6 @@ func mustRun(t *testing.T, spec workload.SuiteSpec, opts ...Option) *PopulationR
 		t.Fatal(err)
 	}
 	return p
-}
-
-// TestDeprecatedWrappersMatchRun is the shim-equivalence gate: every
-// pre-Run entrypoint must produce results bit-identical to Run itself,
-// so callers can migrate (or not) without any numeric drift.
-func TestDeprecatedWrappersMatchRun(t *testing.T) {
-	want, err := Run(context.Background(), tinyPop)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name, got := range map[string]*PopulationRun{
-		"RunPopulation":         RunPopulation(tinyPop),
-		"RunPopulationProgress": RunPopulationProgress(tinyPop, nil),
-	} {
-		if !reflect.DeepEqual(got.Results, want.Results) {
-			t.Fatalf("%s results differ from Run", name)
-		}
-	}
-	got, err := RunPopulationOpts(tinyPop, PopulationOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got.Results, want.Results) {
-		t.Fatal("RunPopulationOpts results differ from Run")
-	}
 }
 
 func TestRunNilContext(t *testing.T) {

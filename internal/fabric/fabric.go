@@ -8,6 +8,7 @@ import (
 
 	"exysim/internal/core"
 	"exysim/internal/experiments"
+	"exysim/internal/obs"
 	"exysim/internal/stats"
 	"exysim/internal/trace"
 	"exysim/internal/workload"
@@ -128,17 +129,20 @@ const (
 )
 
 type sweep struct {
-	id      string
-	spec    workload.SuiteSpec
-	trace   string // population content address; "" for synthetic sweeps
-	gens    []core.GenConfig
-	slices  []*trace.Slice
-	shards  []experiments.Shard
-	digests []string
-	docs    []*experiments.ShardDoc
-	state   []shardState
-	leases  [][]lease
-	errs    []int
+	id    string
+	spec  workload.SuiteSpec
+	trace string // population content address; "" for synthetic sweeps
+	gens  []core.GenConfig
+	// gensWire is gens when the set differs from the default M1..M6 (it
+	// must ride every grant), nil when workers can use their own default.
+	gensWire []core.GenConfig
+	slices   []*trace.Slice
+	shards   []experiments.Shard
+	digests  []string
+	docs     []*experiments.ShardDoc
+	state    []shardState
+	leases   [][]lease
+	errs     []int
 	// expired marks shards requeued because their lease aged out; the
 	// next grant of such a shard counts as a steal.
 	expired []bool
@@ -321,6 +325,7 @@ func (c *Coordinator) grantLocked(ref shardRef, w *workerState, now time.Time) *
 		Digest:  sw.digests[i],
 		Spec:    sw.spec,
 		Trace:   sw.trace,
+		Gens:    sw.gensWire,
 	}
 }
 
@@ -527,8 +532,14 @@ func (c *Coordinator) LiveWorkers() int {
 func (c *Coordinator) Submit(ctx context.Context, req SubmitReq) (*experiments.PopulationRun, error) {
 	spec := req.Spec.Normalize()
 	gens := req.Gens
+	var gensWire []core.GenConfig
 	if gens == nil {
 		gens = core.Generations()
+	} else if obs.ConfigDigest(gens) != obs.ConfigDigest(core.Generations()) {
+		// A custom generation set (e.g. M1..M6 plus a hypothetical M7)
+		// must travel with every grant: the join handshake only vouches
+		// that workers agree on the default set.
+		gensWire = gens
 	}
 	slices := req.Slices
 	if slices == nil {
@@ -546,6 +557,7 @@ func (c *Coordinator) Submit(ctx context.Context, req SubmitReq) (*experiments.P
 		spec:       spec,
 		trace:      req.Trace,
 		gens:       gens,
+		gensWire:   gensWire,
 		slices:     slices,
 		shards:     shards,
 		digests:    make([]string, len(shards)),
@@ -652,7 +664,7 @@ func (c *Coordinator) pump(ctx context.Context, sw *sweep, local RunFunc) error 
 // the same completion path workers use.
 func (c *Coordinator) runLocal(ctx context.Context, ref shardRef, local RunFunc) {
 	start := time.Now()
-	doc, err := local(ctx, ShardJob{Spec: ref.sw.spec, Trace: ref.sw.trace, Unit: ref.sw.shards[ref.idx]})
+	doc, err := local(ctx, ShardJob{Spec: ref.sw.spec, Trace: ref.sw.trace, Unit: ref.sw.shards[ref.idx], Gens: ref.sw.gensWire})
 	c.mu.Lock()
 	c.localRuns++
 	c.mu.Unlock()

@@ -77,14 +77,21 @@ type Grant struct {
 	// slices through their trace store, an in-memory registry, or a bundle
 	// fetch from the coordinator.
 	Trace string `json:"trace,omitempty"`
+	// Gens carries the sweep's full generation set when it differs from
+	// the default M1..M6 — predictor-lab sweeps append a hypothetical
+	// generation, and a worker's join-time genset digest only vouches for
+	// the default set. Empty means core.Generations().
+	Gens []core.GenConfig `json:"gens,omitempty"`
 }
 
 // ShardJob is the argument a RunFunc receives: one shard of one sweep,
 // plus the trace population (if any) whose slices the shard simulates.
+// A non-empty Gens replaces the default generation set.
 type ShardJob struct {
 	Spec  workload.SuiteSpec
 	Trace string
 	Unit  experiments.Shard
+	Gens  []core.GenConfig
 }
 
 // CompleteRequest reports a shard outcome. Exactly one of Doc or Error

@@ -87,7 +87,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // cost a recompute.
 func (w *Worker) work(ctx context.Context, g *Grant) {
 	start := time.Now()
-	doc, err := w.run(ctx, ShardJob{Spec: g.Spec, Trace: g.Trace, Unit: g.Unit})
+	doc, err := w.run(ctx, ShardJob{Spec: g.Spec, Trace: g.Trace, Unit: g.Unit, Gens: g.Gens})
 	if ctx.Err() != nil && err != nil {
 		// Crash semantics: a canceled computation reports nothing; the
 		// lease ages out and the shard is stolen.

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"exysim/internal/branch"
 	"exysim/internal/core"
 	"exysim/internal/experiments"
 	"exysim/internal/obs"
@@ -33,21 +34,66 @@ func (s JobStatus) terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
-// JobRequest is the wire form of a job submission. Kind selects the
-// work: "population" (the default) sweeps every generation over the
-// spec's synthetic population and returns a versioned SummaryDoc;
-// "slice" runs one (generation, slice) pair guarded and returns the
-// detailed Result.
-type JobRequest struct {
-	Kind string `json:"kind,omitempty"`
+// JobRequestSchemaVersion is the newest request schema this server
+// accepts: version 2 adds the nested spec/m7 forms below. Versions 0
+// (unset) and 1 are the original flat form; both remain accepted
+// forever — the flat fields are version 2's legacy spelling.
+const JobRequestSchemaVersion = 2
 
-	// Preset names a base spec (tiny|quick|standard, default tiny); the
-	// explicit fields below override it individually.
+// SpecRequest is the version-2 nested spelling of the workload-spec
+// fields: a preset plus individual overrides. It resolves identically
+// to the flat legacy fields, so the two spellings share one result-
+// cache digest.
+type SpecRequest struct {
 	Preset          string  `json:"preset,omitempty"`
 	SlicesPerFamily int     `json:"slices_per_family,omitempty"`
 	InstsPerSlice   int     `json:"insts_per_slice,omitempty"`
 	WarmupFrac      float64 `json:"warmup_frac,omitempty"`
 	Seed            uint64  `json:"seed,omitempty"`
+}
+
+// M7Request asks a population job to sweep a hypothetical generation
+// beside the shipped M1..M6: Base (default "M6") is copied and its
+// direction/indirect predictor replaced by Predictor, under Name
+// (default "M7"). The result SummaryDoc then carries one extra
+// generation column, computed bit-identically across the local,
+// warm-pooled, and fabric-worker paths.
+type M7Request struct {
+	Base      string               `json:"base,omitempty"`
+	Name      string               `json:"name,omitempty"`
+	Predictor branch.PredictorSpec `json:"predictor"`
+}
+
+// JobRequest is the wire form of a job submission. Kind selects the
+// work: "population" (the default) sweeps every generation over the
+// spec's synthetic population and returns a versioned SummaryDoc;
+// "slice" runs one (generation, slice) pair guarded and returns the
+// detailed Result. The spec is spelled either flat (legacy, schema
+// versions 0/1) or nested under "spec" (version 2); "m7" adds a
+// hypothetical predictor-lab generation to a population sweep.
+type JobRequest struct {
+	// SchemaVersion selects the request schema. 0 means "infer": 2 when
+	// a nested form (spec, m7) is present, else 1. Explicit versions
+	// above JobRequestSchemaVersion are rejected.
+	SchemaVersion int `json:"schema_version,omitempty"`
+
+	Kind string `json:"kind,omitempty"`
+
+	// Preset names a base spec (tiny|quick|standard, default tiny); the
+	// explicit fields below override it individually. This is the flat
+	// legacy spelling of Spec — set one or the other, not both.
+	Preset          string  `json:"preset,omitempty"`
+	SlicesPerFamily int     `json:"slices_per_family,omitempty"`
+	InstsPerSlice   int     `json:"insts_per_slice,omitempty"`
+	WarmupFrac      float64 `json:"warmup_frac,omitempty"`
+	Seed            uint64  `json:"seed,omitempty"`
+
+	// Spec is the version-2 nested spelling of the flat fields above.
+	Spec *SpecRequest `json:"spec,omitempty"`
+
+	// M7 extends a population sweep with a hypothetical generation
+	// (version 2).
+	M7 *M7Request `json:"m7,omitempty"`
 
 	// Gen and Slice select the pair of a slice job (e.g. "M4", "web/3").
 	Gen   string `json:"gen,omitempty"`
@@ -60,14 +106,45 @@ type JobRequest struct {
 }
 
 // resolve validates the request and materializes the effective
-// workload spec.
+// workload spec. Nested version-2 forms are folded into the flat
+// fields, so everything downstream (digests, views, logs) sees one
+// canonical shape.
 func (r *JobRequest) resolve() (workload.SuiteSpec, error) {
+	switch r.SchemaVersion {
+	case 0:
+		if r.Spec != nil || r.M7 != nil {
+			r.SchemaVersion = JobRequestSchemaVersion
+		} else {
+			r.SchemaVersion = 1
+		}
+	case 1:
+		if r.Spec != nil || r.M7 != nil {
+			return workload.SuiteSpec{}, fmt.Errorf("spec/m7 need schema_version %d", JobRequestSchemaVersion)
+		}
+	case JobRequestSchemaVersion:
+	default:
+		return workload.SuiteSpec{}, fmt.Errorf("unsupported schema_version %d (this server speaks up to %d)", r.SchemaVersion, JobRequestSchemaVersion)
+	}
+	if r.Spec != nil {
+		if r.Preset != "" || r.SlicesPerFamily != 0 || r.InstsPerSlice != 0 || r.WarmupFrac != 0 || r.Seed != 0 {
+			return workload.SuiteSpec{}, fmt.Errorf("nested spec and flat spec fields are mutually exclusive")
+		}
+		r.Preset = r.Spec.Preset
+		r.SlicesPerFamily = r.Spec.SlicesPerFamily
+		r.InstsPerSlice = r.Spec.InstsPerSlice
+		r.WarmupFrac = r.Spec.WarmupFrac
+		r.Seed = r.Spec.Seed
+		r.Spec = nil
+	}
 	switch r.Kind {
 	case "":
 		r.Kind = "population"
 	case "population", "slice":
 	default:
 		return workload.SuiteSpec{}, fmt.Errorf("unknown kind %q (population|slice)", r.Kind)
+	}
+	if r.M7 != nil && r.Kind != "population" {
+		return workload.SuiteSpec{}, fmt.Errorf("m7 is only valid for kind \"population\"")
 	}
 	var spec workload.SuiteSpec
 	switch r.Preset {
@@ -109,16 +186,35 @@ func (r *JobRequest) resolve() (workload.SuiteSpec, error) {
 	return spec, nil
 }
 
+// hypoGens resolves the request's generation set: nil for the default
+// M1..M6, or the hypothetical-extended set when M7 is present. Errors
+// (unknown baseline, invalid geometry, name collision) surface at
+// submit time as a 400, before any simulation starts.
+func (r *JobRequest) hypoGens() ([]core.GenConfig, error) {
+	if r.M7 == nil {
+		return nil, nil
+	}
+	return experiments.HypotheticalGens(r.M7.Base, r.M7.Name, r.M7.Predictor)
+}
+
 // jobDigest fingerprints the resolved request: two submissions with the
 // same digest are guaranteed to compute the same result, which is what
-// keys the result cache and the checkpoint files.
+// keys the result cache and the checkpoint files. An M7 request folds
+// its hypothetical generation in, so predictor-lab sweeps can never
+// alias a default sweep (or a differently-specced M7) in the cache.
 func jobDigest(req JobRequest, spec workload.SuiteSpec) string {
+	var m7 M7Request
+	if req.M7 != nil {
+		m7 = *req.M7
+	}
 	return obs.ConfigDigest(struct {
 		Kind       string
 		Spec       workload.SuiteSpec
 		Gen, Slice string
 		Trace      string
-	}{req.Kind, spec, req.Gen, req.Slice, req.Trace})
+		HasM7      bool
+		M7         M7Request
+	}{req.Kind, spec, req.Gen, req.Slice, req.Trace, req.M7 != nil, m7})
 }
 
 // Event is one JSONL/SSE stream frame: progress ticks while the job
@@ -164,6 +260,9 @@ type Job struct {
 	req    JobRequest
 	spec   workload.SuiteSpec
 	digest string
+	// gens is the resolved generation set for population jobs: nil for
+	// the default M1..M6, the hypothetical-extended set for M7 requests.
+	gens []core.GenConfig
 
 	// ctx governs the job's execution; cancel aborts it (DELETE, or the
 	// drain deadline). It is derived before enqueueing so canceling a
@@ -184,10 +283,10 @@ type Job struct {
 	nextSub     int
 }
 
-func newJob(base context.Context, id string, req JobRequest, spec workload.SuiteSpec) *Job {
+func newJob(base context.Context, id string, req JobRequest, spec workload.SuiteSpec, gens []core.GenConfig) *Job {
 	ctx, cancel := context.WithCancel(base)
 	return &Job{
-		id: id, req: req, spec: spec, digest: jobDigest(req, spec),
+		id: id, req: req, spec: spec, digest: jobDigest(req, spec), gens: gens,
 		ctx: ctx, cancel: cancel,
 		enqueued: time.Now(),
 		status:   StatusQueued,

@@ -1,0 +1,257 @@
+// Serving-layer predictor-lab tests: the versioned request schema's
+// backward-compatibility contract (every pre-v2 bare form keeps
+// working, byte-for-byte on digests), its validation surface, and the
+// M7 acceptance — a hypothetical-generation sweep submitted through
+// POST /v1/jobs must return byte-identical SummaryDocs across the
+// single-process, warm-pooled-rerun, and fabric-worker paths. `make
+// predictor-smoke` runs this (race-enabled) as part of the tier-1 gate.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"exysim/internal/branch"
+	"exysim/internal/experiments"
+	"exysim/internal/fabric"
+)
+
+// m7Predictor is the lab spec these tests sweep: TAGE-SC-L direction
+// prediction plus ITTAGE indirect targets.
+func m7Predictor() branch.PredictorSpec {
+	spec := branch.TAGESpec(branch.M7TAGEConfig())
+	ind := branch.M7ITTAGEConfig()
+	spec.Indirect = &ind
+	return spec
+}
+
+// postRaw submits a raw JSON body, so compat tests exercise the exact
+// wire bytes old clients send (including unknown-field rejection).
+func postRaw(t *testing.T, ts *httptest.Server, body string) (*http.Response, JobView, string) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_ = json.NewDecoder(resp.Body).Decode(&errBody)
+	}
+	return resp, v, errBody.Error
+}
+
+// TestJobRequestSchemaCompat pins the request-schema contract on a
+// server with no running workers, so submissions validate and enqueue
+// without executing.
+func TestJobRequestSchemaCompat(t *testing.T) {
+	s := newServer(Config{QueueDepth: 64})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Every pre-v2 bare form stays accepted.
+	legacy := []string{
+		`{}`,
+		`{"kind":"population"}`,
+		`{"preset":"tiny"}`,
+		`{"kind":"population","preset":"quick","slices_per_family":1,"insts_per_slice":4000,"warmup_frac":0.25,"seed":3673}`,
+		`{"kind":"slice","gen":"M4","slice":"web/0"}`,
+		`{"schema_version":1,"preset":"tiny"}`,
+	}
+	for _, body := range legacy {
+		resp, _, errMsg := postRaw(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("legacy form %s rejected: %d %s", body, resp.StatusCode, errMsg)
+		}
+	}
+
+	// The nested v2 spelling resolves to the same digest as its flat
+	// twin: one result-cache entry, not two.
+	flatBody := `{"kind":"population","preset":"quick","slices_per_family":2,"insts_per_slice":5000,"warmup_frac":0.25,"seed":229}`
+	nestedBody := `{"schema_version":2,"kind":"population","spec":{"preset":"quick","slices_per_family":2,"insts_per_slice":5000,"warmup_frac":0.25,"seed":229}}`
+	_, flat, _ := postRaw(t, ts, flatBody)
+	_, nested, _ := postRaw(t, ts, nestedBody)
+	if flat.Digest == "" || flat.Digest != nested.Digest {
+		t.Fatalf("flat and nested spellings digest differently: %q vs %q", flat.Digest, nested.Digest)
+	}
+
+	// An M7 request is a different computation: different digest.
+	m7Body := `{"kind":"population","preset":"quick","slices_per_family":2,"insts_per_slice":5000,"warmup_frac":0.25,"seed":229,` +
+		`"m7":{"predictor":{"kind":"tage-sc-l"}}}`
+	_, m7v, _ := postRaw(t, ts, m7Body)
+	if m7v.Digest == "" || m7v.Digest == flat.Digest {
+		t.Fatalf("M7 digest %q must differ from the plain sweep's %q", m7v.Digest, flat.Digest)
+	}
+	// ...and so is the same M7 with different geometry.
+	m7Body2 := strings.Replace(m7Body, `{"kind":"tage-sc-l"}`, `{"kind":"tage-sc-l","indirect":`+mustJSON(t, branch.M7ITTAGEConfig())+`}`, 1)
+	_, m7v2, _ := postRaw(t, ts, m7Body2)
+	if m7v2.Digest == "" || m7v2.Digest == m7v.Digest {
+		t.Fatal("differently-specced M7 requests must digest differently")
+	}
+
+	// Validation surface.
+	rejected := []struct{ body, wantErr string }{
+		{`{"schema_version":3}`, "unsupported schema_version"},
+		{`{"schema_version":1,"spec":{"preset":"tiny"}}`, "schema_version"},
+		{`{"schema_version":1,"m7":{"predictor":{}}}`, "schema_version"},
+		{`{"spec":{"preset":"tiny"},"preset":"tiny"}`, "mutually exclusive"},
+		{`{"kind":"slice","gen":"M4","slice":"web/0","m7":{"predictor":{}}}`, "m7 is only valid"},
+		{`{"m7":{"predictor":{"kind":"perceptron-9000"}}}`, "unknown predictor kind"},
+		{`{"m7":{"base":"M9","predictor":{}}}`, "unknown baseline"},
+		{`{"m7":{"name":"M3","predictor":{}}}`, "collides"},
+		{`{"m7":{"predictor":{"indirect":{"banks":-1}}}}`, "invalid predictor geometry"},
+		{`{"m7":{"predictor":{"kind":"tage-sc-l","bogus_field":1}}}`, "bogus_field"},
+	}
+	for _, tc := range rejected {
+		resp, _, errMsg := postRaw(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.body, resp.StatusCode)
+		}
+		if !strings.Contains(errMsg, tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.body, errMsg, tc.wantErr)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// m7Request is the canonical M7 submission these tests run.
+func m7Request() JobRequest {
+	req := specRequest(serveSpec)
+	pred := m7Predictor()
+	req.M7 = &M7Request{Base: "M6", Name: "M7", Predictor: pred}
+	return req
+}
+
+// canonicalDoc re-marshals a result document so indentation differences
+// from the HTTP encoder cannot mask or fake a mismatch.
+func canonicalDoc(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var doc experiments.SummaryDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bad result document: %v", err)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestM7SubmitThreePathsBitIdentical is the tentpole acceptance: an M7
+// population sweep submitted via POST /v1/jobs returns a SummaryDoc
+// with all of M1..M6 plus the hypothetical generation, byte-identical
+// whether the server ran it single-process, reran it on pooled
+// simulators with warm snapshots, or sharded it across a fabric
+// worker.
+func TestM7SubmitThreePathsBitIdentical(t *testing.T) {
+	spec := serveSpec.Normalize()
+	gens, err := experiments.HypotheticalGens("M6", "M7", m7Predictor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := experiments.Run(context.Background(), spec, experiments.WithGenerations(gens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ref.SummaryDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paths 1 and 2: single-process cold, then warm-pooled rerun on the
+	// same server (job result cache off, so the resubmit recomputes
+	// through the shared pool and warm snapshot cache).
+	s := New(Config{Workers: 1, CacheEntries: -1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, label := range []string{"single-process", "warm-pooled rerun"} {
+		resp, v := postJob(t, ts, m7Request())
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("%s submit: %d", label, resp.StatusCode)
+		}
+		final := waitJob(t, ts, v.ID)
+		if final.Status != StatusDone {
+			t.Fatalf("%s: %s: %s", label, final.Status, final.Error)
+		}
+		if got := canonicalDoc(t, final.Result); !bytes.Equal(got, want) {
+			t.Fatalf("%s result differs from experiments.Run reference:\n want %s\n got  %s", label, want, got)
+		}
+	}
+	if s.warm.Stats().Forks == 0 {
+		t.Fatal("rerun never forked a warm snapshot — the warm path was not exercised")
+	}
+
+	// Path 3: a separate server whose sweep routes through the fabric to
+	// an HTTP worker (the worker runs another server's shard runner,
+	// like `exyserve --worker`).
+	s2 := New(Config{Workers: 1, SweepParallelism: 2, CacheEntries: -1, FabricShardSlices: 4})
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	ws := newServer(Config{}) // worker-side pool/warm cache, no HTTP jobs
+	defer ws.Shutdown(context.Background())
+	wctx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	w := fabric.NewWorker(fabric.NewClient(ts2.URL), "m7-worker", ws.ShardRunner())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		w.Run(wctx)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s2.Fabric().LiveWorkers() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never joined")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, v := postJob(t, ts2, m7Request())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fabric submit: %d", resp.StatusCode)
+	}
+	final := waitJob(t, ts2, v.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("fabric job: %s: %s", final.Status, final.Error)
+	}
+	if got := canonicalDoc(t, final.Result); !bytes.Equal(got, want) {
+		t.Fatalf("fabric-worker result differs from reference:\n want %s\n got  %s", want, got)
+	}
+
+	// The document really carries the extra column.
+	var doc experiments.SummaryDoc
+	if err := json.Unmarshal(final.Result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Generations) != 7 || doc.Generations[6] != "M7" {
+		t.Fatalf("generations = %v, want M1..M6 plus M7", doc.Generations)
+	}
+	if _, ok := doc.Means["mpki"]["M7"]; !ok {
+		t.Fatalf("no M7 MPKI mean in %v", doc.Means)
+	}
+
+	stopWorker()
+	<-workerDone
+}

@@ -484,6 +484,7 @@ func (s *Server) runPopulation(job *Job) (json.RawMessage, error) {
 func (s *Server) runPopulationFabric(job *Job) (json.RawMessage, error) {
 	req := fabric.SubmitReq{
 		Spec:   job.spec,
+		Gens:   job.gens,
 		Slices: s.warm.Suite(job.spec),
 		OnProgress: func(done, total int) {
 			job.setProgress(done, total)
@@ -521,6 +522,11 @@ func (s *Server) ShardRunner() fabric.RunFunc {
 		if s.cfg.SweepParallelism > 0 {
 			opts = append(opts, experiments.WithWorkers(s.cfg.SweepParallelism))
 		}
+		if len(job.Gens) > 0 {
+			// Predictor-lab shards carry their full generation set in the
+			// grant; everything else runs the default M1..M6.
+			opts = append(opts, experiments.WithGenerations(job.Gens))
+		}
 		if job.Trace != "" {
 			pop, err := s.population(job.Trace)
 			if err != nil {
@@ -553,6 +559,9 @@ func (s *Server) runPopulationLocal(job *Job) (json.RawMessage, error) {
 	}
 	if s.cfg.SweepParallelism > 0 {
 		opts = append(opts, experiments.WithWorkers(s.cfg.SweepParallelism))
+	}
+	if len(job.gens) > 0 {
+		opts = append(opts, experiments.WithGenerations(job.gens))
 	}
 	if job.req.Trace != "" {
 		pop, err := s.population(job.req.Trace)
@@ -628,6 +637,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Resolve the M7 generation set now so an unknown baseline or an
+	// impossible predictor geometry answers 400 at submit instead of a
+	// failed job later.
+	gens, err := req.hypoGens()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	if req.Trace != "" {
 		// Resolve now so an unknown id answers 400 at submit instead of a
 		// failed job later (and so the population is warm when the job runs).
@@ -658,7 +675,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
-	job := newJob(s.baseCtx, fmt.Sprintf("j%06d", s.nextID), req, spec)
+	job := newJob(s.baseCtx, fmt.Sprintf("j%06d", s.nextID), req, spec, gens)
 	select {
 	case s.queue <- job:
 		s.jobs[job.id] = job

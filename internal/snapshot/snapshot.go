@@ -21,9 +21,12 @@
 // Types listed in NewCodec's skip set (observability hooks like
 // *obs.Tracer) are treated as external wiring: not captured, left
 // untouched on restore. Func fields are likewise left alone — they are
-// code, not state. Channels, non-nil interfaces, and unsafe.Pointer
-// fields are rejected loudly: supporting them safely needs knowledge
-// this generic walker does not have.
+// code, not state. Interfaces holding a non-nil pointer (pluggable
+// components such as a direction-predictor engine) are captured with
+// their dynamic type name and restored in place after the target is
+// verified to hold the same dynamic type. Channels, value-shaped
+// interfaces, and unsafe.Pointer fields are rejected loudly: supporting
+// them safely needs knowledge this generic walker does not have.
 package snapshot
 
 import (
@@ -96,6 +99,7 @@ const (
 	tagStruct                  // fields follow in order
 	tagArray                   // non-POD elements follow in order
 	tagFunc                    // func field: left untouched
+	tagIface                   // non-nil interface: uvarint index of the dynamic type name in strs, then pointer encoding
 )
 
 // pod reports whether t contains no pointers, so a value of it can be
@@ -339,11 +343,38 @@ func (c *Codec) capture(img *Image, w *walkState, t reflect.Type, p unsafe.Point
 			img.tags = append(img.tags, tagPtrSkip)
 			return nil
 		}
-		if reflect.NewAt(t, p).Elem().IsNil() {
+		iv := reflect.NewAt(t, p).Elem()
+		if iv.IsNil() {
 			img.tags = append(img.tags, tagPtrNil)
 			return nil
 		}
-		return fmt.Errorf("snapshot: non-nil interface %v at %s (add it to the skip set if it is installed wiring)", t, w.at())
+		// A non-nil interface is captured as (dynamic type name, pointee):
+		// restore re-checks the target holds the same dynamic type and
+		// overwrites the pointee in place, so a pluggable component (a
+		// DirectionPredictor engine behind an interface field) snapshots
+		// like any other pointer — aliasing included. Only pointer-shaped
+		// dynamic values are supported; value-shaped ones would copy on
+		// every interface read and cannot be restored in place.
+		dv := iv.Elem()
+		if dv.Kind() != reflect.Ptr {
+			return fmt.Errorf("snapshot: interface %v at %s holds non-pointer %v", t, w.at(), dv.Type())
+		}
+		if dv.IsNil() {
+			return fmt.Errorf("snapshot: interface %v at %s holds a nil %v", t, w.at(), dv.Type())
+		}
+		img.tags = append(img.tags, tagIface)
+		img.tags = binary.AppendUvarint(img.tags, uint64(len(img.strs)))
+		img.strs = append(img.strs, dv.Type().String())
+		ep := dv.UnsafePointer()
+		if _, ok := w.seen[ep]; ok {
+			img.tags = append(img.tags, tagPtrSeen)
+			return nil
+		}
+		w.seen[ep] = struct{}{}
+		img.tags = append(img.tags, tagPtr)
+		w.push("(" + dv.Type().String() + ")")
+		defer w.pop()
+		return c.capture(img, w, dv.Type().Elem(), ep)
 	default:
 		return fmt.Errorf("snapshot: unsupported kind %v (%v) at %s", t.Kind(), t, w.at())
 	}
@@ -658,6 +689,44 @@ func (r *restorer) restore(t reflect.Type, p unsafe.Pointer) error {
 				return fmt.Errorf("snapshot: target interface at %s is non-nil, image captured nil", r.at())
 			}
 			return nil
+		case tagIface:
+			idx, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if idx >= uint64(len(r.img.strs)) {
+				return fmt.Errorf("snapshot: interface type index out of range at %s", r.at())
+			}
+			iv := reflect.NewAt(t, p).Elem()
+			if iv.IsNil() {
+				return fmt.Errorf("snapshot: target interface at %s is nil, image captured %s", r.at(), r.img.strs[idx])
+			}
+			dv := iv.Elem()
+			if dv.Kind() != reflect.Ptr || dv.IsNil() {
+				return fmt.Errorf("snapshot: target interface at %s does not hold a non-nil pointer", r.at())
+			}
+			if got := dv.Type().String(); got != r.img.strs[idx] {
+				return fmt.Errorf("snapshot: interface at %s holds %s, image captured %s", r.at(), got, r.img.strs[idx])
+			}
+			inner, err := r.tag()
+			if err != nil {
+				return err
+			}
+			ep := dv.UnsafePointer()
+			switch inner {
+			case tagPtrSeen:
+				if _, ok := r.seen[ep]; !ok {
+					return fmt.Errorf("snapshot: aliasing mismatch at %s: image expects an already-restored pointer", r.at())
+				}
+				return nil
+			case tagPtr:
+				r.seen[ep] = struct{}{}
+				r.push("(" + dv.Type().String() + ")")
+				defer r.pop()
+				return r.restore(dv.Type().Elem(), ep)
+			default:
+				return mismatch(inner)
+			}
 		default:
 			return mismatch(tg)
 		}
